@@ -1,0 +1,39 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints it,
+and writes it to ``benchmarks/reports/<name>.txt`` so the regenerated
+artifacts survive the pytest run.  Shape assertions (who wins, what
+grows, where the crossover is) live in the benchmarks themselves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture()
+def report(request):
+    """Collect lines; on teardown print them and write the report file."""
+    lines: list[str] = []
+
+    class Reporter:
+        def __call__(self, text: str = "") -> None:
+            lines.append(str(text))
+
+        def section(self, title: str) -> None:
+            lines.append("")
+            lines.append(title)
+            lines.append("=" * len(title))
+
+    reporter = Reporter()
+    yield reporter
+    REPORTS_DIR.mkdir(exist_ok=True)
+    name = request.node.name.replace("/", "_")
+    text = "\n".join(lines) + "\n"
+    (REPORTS_DIR / f"{name}.txt").write_text(text)
+    print()
+    print(text)

@@ -1,0 +1,96 @@
+"""Calibration anchors: the cost-model tuning the reproduction relies on.
+
+EXPERIMENTS.md's paper-vs-measured comparisons assume the cost model is
+calibrated to the paper's relative magnitudes.  These anchors pin the
+calibration so that an innocent-looking cost change cannot silently
+invalidate the shape claims:
+
+* fib's uncontended per-instance granularity ≈ the paper's ~1.5 µs scale,
+* strassen-to-fib granularity ratio ≈ two orders of magnitude (Table I),
+* nqueens creation cost ≥ its exclusive task work (Section VI diagnosis),
+* 1-thread no-cut-off instrumentation overhead is large (Fig. 14) and
+  cut-off overheads for the quiet codes are small (Fig. 13).
+"""
+
+from repro.analysis.nqueens_study import creation_vs_execution
+from repro.analysis.overhead import measure_overhead
+from repro.analysis.tables import format_table
+from repro.analysis.taskstats import task_statistics
+
+SIZE = "small"
+
+
+def test_calibration_anchors(benchmark, report):
+    def run():
+        granularity = task_statistics(
+            ["fib", "nqueens", "health", "floorplan", "strassen"],
+            size=SIZE,
+            variant="stress",
+            n_threads=1,
+        )
+        diagnosis = creation_vs_execution(size=SIZE, n_threads=4)
+        fib_overhead = measure_overhead(
+            "fib", size=SIZE, variant="stress", threads=(1,)
+        )[0]
+        strassen_overhead = measure_overhead(
+            "strassen", size=SIZE, variant="optimized", threads=(1,)
+        )[0]
+        return granularity, diagnosis, fib_overhead, strassen_overhead
+
+    granularity, diagnosis, fib_ov, strassen_ov = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    by_code = {r.code: r for r in granularity}
+
+    report.section("Calibration anchors (paper-relative magnitudes)")
+    report(
+        format_table(
+            ["anchor", "measured", "paper", "band"],
+            [
+                [
+                    "fib mean task [us]",
+                    f"{by_code['fib'].mean_time_us:.2f}",
+                    "1.49",
+                    "0.8 - 2.5",
+                ],
+                [
+                    "strassen/fib granularity ratio",
+                    f"{by_code['strassen'].mean_time_us / by_code['fib'].mean_time_us:.0f}x",
+                    "100x",
+                    "40x - 250x",
+                ],
+                [
+                    "floorplan/fib granularity ratio",
+                    f"{by_code['floorplan'].mean_time_us / by_code['fib'].mean_time_us:.1f}x",
+                    "5.8x",
+                    "2x - 15x",
+                ],
+                [
+                    "nqueens create/work ratio",
+                    f"{diagnosis['mean_creation_us'] / diagnosis['mean_task_exclusive_us']:.2f}",
+                    "2.9",
+                    "> 0.5",
+                ],
+                [
+                    "fib no-cutoff overhead @1thr",
+                    f"{fib_ov.overhead_pct:+.0f}%",
+                    "+527%",
+                    "> +80%",
+                ],
+                [
+                    "strassen cutoff overhead @1thr",
+                    f"{strassen_ov.overhead_pct:+.1f}%",
+                    "~0%",
+                    "< 5%",
+                ],
+            ],
+        )
+    )
+
+    fib = by_code["fib"].mean_time_us
+    assert 0.8 <= fib <= 2.5
+    assert 40 <= by_code["strassen"].mean_time_us / fib <= 250
+    assert 2 <= by_code["floorplan"].mean_time_us / fib <= 15
+    assert diagnosis["mean_creation_us"] > 0.5 * diagnosis["mean_task_exclusive_us"]
+    assert fib_ov.overhead > 0.8
+    assert abs(strassen_ov.overhead) < 0.05

@@ -1,0 +1,55 @@
+"""Figure 15: runtime of the uninstrumented no-cut-off versions vs threads.
+
+"The runtime is shown in percent compared to the highest measured value
+for that code.  When looking at the runtimes of the codes, we can see
+that the overall runtime increases [with thread count].  The only
+exception is the strassen code."
+
+The mechanism (paper Section V-A): task management inside the runtime
+becomes a serial bottleneck due to locking, so adding threads adds
+contention faster than it adds compute -- except when tasks are large
+enough (strassen) for compute to dominate.
+"""
+
+from repro.analysis.charts import grouped_bar_chart
+from repro.analysis.overhead import runtime_scaling
+from repro.analysis.tables import format_table
+
+APPS = ["fib", "floorplan", "health", "nqueens", "strassen"]
+THREADS = (1, 2, 4, 8)
+SIZE = "small"
+
+
+def test_fig15_runtime_scaling(benchmark, report):
+    def run():
+        return {app: runtime_scaling(app, size=SIZE, threads=THREADS) for app in APPS}
+
+    scaling = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.section(
+        "Figure 15: uninstrumented no-cut-off kernel time (% of per-code max)"
+    )
+    rows = [
+        [app] + [f"{scaling[app][t]:.0f}%" for t in THREADS] for app in APPS
+    ]
+    report(format_table(["code"] + [f"{t} thr" for t in THREADS], rows))
+    report()
+    report(
+        grouped_bar_chart(
+            {app: dict(series) for app, series in scaling.items()},
+            title="runtime [% of max] vs threads (cf. paper Fig. 15)",
+        )
+    )
+
+    for app in ("fib", "floorplan", "health", "nqueens"):
+        series = scaling[app]
+        # The 8-thread run is the slowest: management/contention dominates.
+        assert series[8] == max(series.values()), (app, series)
+        # And it is much slower than the 1-thread run (paper's "overall
+        # runtime increases").
+        assert series[1] < 70.0, (app, series)
+
+    # strassen scales: more threads -> faster, 1 thread is the maximum.
+    strassen = scaling["strassen"]
+    assert strassen[1] == 100.0
+    assert strassen[8] < strassen[4] < strassen[2] < strassen[1]

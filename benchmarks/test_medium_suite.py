@@ -1,0 +1,58 @@
+"""Full-suite verification at medium size (the paper's 'medium inputs').
+
+One optimized run per kernel (the nine + the uts extra) at 4 threads,
+instrumented, each verified against its ground truth, with the headline
+profile statistics tabulated.  This is the closest analogue of running
+the whole BOTS suite once, and doubles as the slowest-path regression
+check of the simulator.
+"""
+
+from repro.analysis.experiment import run_app
+from repro.analysis.tables import format_table
+from repro.bots.registry import ALL_KERNELS, EXTRA_KERNELS
+
+
+def test_medium_suite_verified(benchmark, report):
+    kernels = list(ALL_KERNELS) + list(EXTRA_KERNELS)
+
+    def run():
+        out = {}
+        for name in kernels:
+            result = run_app(
+                name, size="medium", variant="optimized", n_threads=4, seed=0
+            )
+            out[name] = result
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.section("Medium-size suite, optimized variants, 4 threads")
+    rows = []
+    for name, result in results.items():
+        stats_count = (
+            sum(
+                tree.metrics.durations.count
+                for per in result.profile.task_trees
+                for tree in per.values()
+            )
+            if result.profile
+            else 0
+        )
+        rows.append(
+            [
+                name,
+                result.verified,
+                result.parallel.completed_tasks,
+                f"{result.kernel_time:,.0f}",
+                result.profile.max_concurrent_tasks_per_thread(),
+                result.parallel.tasks_stolen,
+            ]
+        )
+        assert result.verified, name
+        assert stats_count == result.parallel.completed_tasks, name
+    report(
+        format_table(
+            ["kernel", "verified", "tasks", "kernel [us]", "max conc.", "stolen"],
+            rows,
+        )
+    )

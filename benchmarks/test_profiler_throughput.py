@@ -1,0 +1,86 @@
+"""Real wall-clock throughput of the profiler implementation itself.
+
+The paper's Section V measures the *relative* cost of the measurement
+system inside a real runtime.  These benchmarks measure the absolute
+cost of this repository's implementation with pytest-benchmark's real
+timers: events per second through the Fig. 12 algorithm and through the
+classic algorithm, and end-to-end simulated-task throughput.
+
+No paper assertions here -- these are the regression-tracking benchmarks
+a maintained profiler project ships.
+"""
+
+from repro.analysis.experiment import run_app
+from repro.events.regions import RegionRegistry, RegionType
+from repro.profiling.basic import ClassicProfiler
+from repro.profiling.task_profiler import ThreadTaskProfiler
+
+
+def test_classic_profiler_event_throughput(benchmark, report):
+    reg = RegionRegistry()
+    main = reg.register("main", RegionType.FUNCTION)
+    functions = [reg.register(f"f{i}", RegionType.FUNCTION) for i in range(8)]
+    events_per_round = 2_000
+
+    def run():
+        profiler = ClassicProfiler(main)
+        profiler.enter(main, 0.0)
+        t = 0.0
+        for i in range(events_per_round // 2):
+            region = functions[i % 8]
+            t += 1.0
+            profiler.enter(region, t)
+            t += 1.0
+            profiler.exit(region, t)
+        profiler.exit(main, t + 1.0)
+        return profiler.finish()
+
+    benchmark(run)
+    rate = events_per_round / benchmark.stats.stats.mean
+    report.section("Classic profiling algorithm throughput")
+    report(f"{rate:,.0f} enter/exit events per second (wall clock)")
+    assert rate > 100_000  # sanity floor; typical machines do millions
+
+
+def test_task_profiler_event_throughput(benchmark, report):
+    reg = RegionRegistry()
+    impl = reg.register("parallel", RegionType.IMPLICIT_TASK)
+    task = reg.register("task", RegionType.TASK)
+    barrier = reg.register("barrier", RegionType.IMPLICIT_BARRIER)
+    tasks_per_round = 500
+
+    def run():
+        profiler = ThreadTaskProfiler(0, impl, {}, start_time=0.0)
+        profiler.enter(barrier, 0.0)
+        t = 0.0
+        for i in range(1, tasks_per_round + 1):
+            t += 1.0
+            profiler.task_begin(task, i, t)
+            t += 2.0
+            profiler.task_end(task, i, t)
+        profiler.exit(barrier, t + 1.0)
+        profiler.finish(t + 1.0)
+        return profiler
+
+    result = benchmark(run)
+    # each task = begin + end (each implies a switch + stub bookkeeping)
+    events = tasks_per_round * 2
+    rate = events / benchmark.stats.stats.mean
+    report.section("Task profiling algorithm (Fig. 12) throughput")
+    report(f"{rate:,.0f} task events per second (wall clock)")
+    agg = result.task_trees[(task, None)]
+    assert agg.metrics.durations.count == tasks_per_round
+    assert rate > 50_000
+
+
+def test_end_to_end_simulated_task_throughput(benchmark, report):
+    def run():
+        return run_app("fib", size="small", variant="stress", n_threads=4, seed=0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    tasks = result.parallel.completed_tasks
+    rate = tasks / benchmark.stats.stats.mean
+    report.section("End-to-end simulation throughput (instrumented fib)")
+    report(f"{tasks} tasks per run; {rate:,.0f} simulated tasks per second")
+    assert result.verified
+    assert rate > 1_000

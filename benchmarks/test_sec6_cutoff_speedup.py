@@ -1,0 +1,57 @@
+"""Section VI's punch line: cutting nqueens task creation at level 3.
+
+"Thus, stopping task creation at level 3, as done by the nqueens version
+with cut-off, reduces the runtime of the uninstrumented computing kernel
+from 187 s to 11.5 s with 4 threads, providing a speedup of 16."
+
+Also reproduces the diagnosis that led there: the mean time to *create*
+a task rivals (paper: exceeds) the mean exclusive work of a task.
+"""
+
+from repro.analysis.nqueens_study import creation_vs_execution, cutoff_speedup
+from repro.analysis.tables import format_table
+
+SIZE = "medium"
+THREADS = 4
+
+
+def test_sec6_cutoff_speedup(benchmark, report):
+    comparison = benchmark.pedantic(
+        lambda: cutoff_speedup(size=SIZE, n_threads=THREADS, cutoff=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    report.section("Section VI: nqueens cut-off at level 3, 4 threads")
+    report(
+        format_table(
+            ["configuration", "kernel time [us]"],
+            [
+                ["no cut-off", f"{comparison.nocutoff_time:.0f}"],
+                [f"cut-off @ level {comparison.cutoff_level}",
+                 f"{comparison.cutoff_time:.0f}"],
+            ],
+        )
+    )
+    report(f"speedup: {comparison.speedup:.1f}x   (paper: 187 s -> 11.5 s = 16.3x)")
+
+    # Large speedup from fixing task granularity alone.
+    assert comparison.speedup > 4.0
+
+
+def test_sec6_creation_vs_execution(benchmark, report):
+    numbers = benchmark.pedantic(
+        lambda: creation_vs_execution(size="small", n_threads=THREADS),
+        rounds=1,
+        iterations=1,
+    )
+    report.section("Section VI diagnosis: creation cost vs task work (4 threads)")
+    report(f"mean exclusive task work : {numbers['mean_task_exclusive_us']:.2f} us "
+           f"(paper: 0.30 us)")
+    report(f"mean task creation time  : {numbers['mean_creation_us']:.2f} us "
+           f"(paper: 0.86 us)")
+    report(f"task instances           : {numbers['task_instances']}")
+
+    # The paper's diagnosis: creating a task costs as much as or more
+    # than the task's own exclusive work.
+    assert numbers["mean_creation_us"] > 0.5 * numbers["mean_task_exclusive_us"]

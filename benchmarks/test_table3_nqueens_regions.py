@@ -1,0 +1,65 @@
+"""Table III: nqueens exclusive region times vs thread count (Section VI).
+
+Paper values (nqueens without cut-off, seconds):
+
+                1 thr    2 thr    4 thr    8 thr
+    task        106.0    112.6    114.3    106.65
+    taskwait      2.44     6.69    24.83    101.7
+    create task  56.0     95.9    323.8    1102.3
+    barrier       0       40.1    183.0     947.7
+
+Reproduced shape: the task region's exclusive time is *flat* in thread
+count (same total work), while taskwait, task creation, and the barrier
+grow steeply and superlinearly -- the runtime system's management
+becoming the bottleneck.
+"""
+
+from repro.analysis.nqueens_study import nqueens_region_times
+from repro.analysis.tables import format_table
+
+THREADS = (1, 2, 4, 8)
+SIZE = "small"
+
+PAPER = {
+    "task": [106.0, 112.6, 114.3, 106.65],
+    "taskwait": [2.44, 6.69, 24.83, 101.7],
+    "create task": [56.0, 95.9, 323.8, 1102.3],
+    "barrier": [0.0, 40.1, 183.0, 947.7],
+}
+
+
+def test_table3_nqueens_regions(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: nqueens_region_times(size=SIZE, threads=THREADS),
+        rounds=1,
+        iterations=1,
+    )
+
+    report.section("Table III: nqueens exclusive region times [virtual us]")
+    measured = {
+        "task": [r.task for r in rows],
+        "taskwait": [r.taskwait for r in rows],
+        "create task": [r.create_task for r in rows],
+        "barrier": [r.barrier for r in rows],
+    }
+    table_rows = []
+    for region, values in measured.items():
+        table_rows.append([region] + [f"{v:.0f}" for v in values])
+        table_rows.append([f"  (paper [s])"] + [f"{v}" for v in PAPER[region]])
+    report(format_table(["region"] + [f"{t} thr" for t in THREADS], table_rows))
+
+    task = measured["task"]
+    # Task region flat in thread count (+-10 %): same total work.
+    assert max(task) / min(task) < 1.10, task
+
+    for region in ("taskwait", "create task", "barrier"):
+        values = measured[region]
+        # monotone growth from 1 to 8 threads...
+        assert values[-1] > values[0], (region, values)
+        # ...by a large factor (paper: 20x-400x)
+        base = values[0] if values[0] > 0 else values[1]
+        assert values[-1] > 5 * base, (region, values)
+
+    # Management eventually dwarfs the useful task time (the paper's
+    # 8-thread column: create+barrier >> task).
+    assert measured["create task"][-1] + measured["barrier"][-1] > measured["task"][-1]

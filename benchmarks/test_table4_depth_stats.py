@@ -1,0 +1,67 @@
+"""Table IV: nqueens per-recursion-depth task statistics (Section VI).
+
+Parameter instrumentation splits the nqueens task construct into one
+profile sub-tree per recursion depth.  Paper shape (depths 0-13 at
+n=14): mean task time decreases monotonically with depth; the time sum
+is dominated by the deep levels; task counts peak just above the deepest
+level; the shallow levels (0-3) contribute a tiny fraction of total time
+while still providing thousands of reasonably-sized tasks -- the
+justification for cutting off at level 3.
+"""
+
+from repro.analysis.nqueens_study import nqueens_depth_table
+from repro.analysis.tables import format_table
+
+SIZE = "medium"  # n=10: depths 0..10, closest scaled analogue of n=14
+
+
+def test_table4_depth_stats(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: nqueens_depth_table(size=SIZE, n_threads=4),
+        rounds=1,
+        iterations=1,
+    )
+
+    report.section("Table IV: nqueens task statistics per recursion depth")
+    report(
+        format_table(
+            ["depth", "mean [us]", "sum [us]", "tasks"],
+            [
+                [r.depth, f"{r.mean_time_us:.2f}", f"{r.total_time_us:.0f}", r.task_count]
+                for r in rows
+            ],
+        )
+    )
+
+    depths = [r.depth for r in rows]
+    means = [r.mean_time_us for r in rows]
+    sums = [r.total_time_us for r in rows]
+    counts = [r.task_count for r in rows]
+    total_time = sum(sums)
+    total_tasks = sum(counts)
+
+    report()
+    shallow_fraction = sum(sums[:4]) / total_time
+    report(f"levels 0-3: {100 * shallow_fraction:.1f}% of task time, "
+           f"{sum(counts[:4])} tasks of {total_tasks}")
+
+    # Depths contiguous from the root.
+    assert depths == list(range(depths[0], depths[0] + len(depths)))
+
+    # Mean task time decreases with depth (monotone, as in the paper).
+    assert all(a >= b for a, b in zip(means, means[1:])), means
+    assert means[0] > 4 * means[-1]
+
+    # The time sum is dominated by the deeper half of the levels.
+    half = len(rows) // 2
+    assert sum(sums[half:]) > sum(sums[:half])
+
+    # Task counts peak near (but not at) the deepest level.
+    peak_index = counts.index(max(counts))
+    assert peak_index >= len(rows) - 4
+
+    # Shallow levels: insignificant time, but a usable number of tasks
+    # (the paper: "2000 tasks should be enough to fill and balance up to
+    # 8 threads", scaled here).
+    assert shallow_fraction < 0.25
+    assert sum(counts[:4]) > 50

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Tuning task granularity with the advisor: the paper's optimization
+strategy ("The major strategy of optimizing performance for OpenMP tasks
+is to find the appropriate size for the tasks"), automated.
+
+Sweeps the fib cut-off level, shows kernel time / task count / mean task
+size per level, and runs the granularity advisor on the worst and best
+configurations.
+
+Run:  python examples/granularity_tuning.py
+"""
+
+from repro.analysis import format_table, run_app
+from repro.analysis.advisor import advise
+from repro.analysis.taskstats import combined_task_stats
+
+SIZE = "small"
+THREADS = 4
+
+
+def main() -> None:
+    rows = []
+    profiles = {}
+    for cutoff in (None, 2, 4, 6, 8, 10):
+        result = run_app(
+            "fib",
+            size=SIZE,
+            variant="optimized" if cutoff is not None else "stress",
+            n_threads=THREADS,
+            seed=0,
+            program_kwargs={"cutoff": cutoff} if cutoff is not None else None,
+        )
+        stats = combined_task_stats(result)
+        label = "none" if cutoff is None else str(cutoff)
+        profiles[label] = result
+        rows.append(
+            [
+                label,
+                f"{result.kernel_time:.0f}",
+                stats.count,
+                f"{stats.mean:.2f}",
+                f"{result.parallel.total('mgmt'):.0f}",
+                f"{result.parallel.total('idle'):.0f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["cutoff", "kernel [us]", "tasks", "mean task [us]", "mgmt [us]", "idle [us]"],
+            rows,
+            title=f"fib({SIZE}) granularity sweep, {THREADS} threads",
+        )
+    )
+
+    best = min(rows, key=lambda r: float(r[1]))
+    print(f"\nbest cut-off level: {best[0]} ({best[1]} us)\n")
+
+    print("== advisor on the no-cut-off run ==")
+    for finding in advise(profiles["none"].profile)[:4]:
+        print(f"  {finding}")
+
+    print("\n== advisor on the best run ==")
+    findings = advise(profiles[best[0]].profile)
+    serious = [f for f in findings if f.severity != "info"]
+    if serious:
+        for finding in serious[:4]:
+            print(f"  {finding}")
+    else:
+        print("  no granularity problems found")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fig. 3 of the paper: why tasks must be attributed to the node where
+they EXECUTE, not where they were CREATED.
+
+Feeds the identical scenario to both profiling designs:
+
+* a parallel region starts, a task-creation region runs for 2 us,
+* the implicit task waits in a barrier for 7 us of wall time,
+* the created task executes for 5 of those 7 us, inside the barrier.
+
+Creation-node attribution produces a *negative* exclusive time on the
+creation region ("which does not make sense") and hides the useful work
+inside the barrier.  Execution-node attribution (the paper's stub-node
+design) keeps every exclusive time non-negative and splits the barrier
+into task execution vs true idle/management time.
+
+Run:  python examples/node_assignment.py
+"""
+
+from repro.events import RegionRegistry, RegionType
+from repro.profiling import CreationNodeProfiler
+from repro.profiling.task_profiler import ThreadTaskProfiler
+from repro.cube import render_node
+
+
+def build_regions():
+    reg = RegionRegistry()
+    return {
+        "impl": reg.register("parallel", RegionType.IMPLICIT_TASK),
+        "create": reg.register("create_task", RegionType.TASK_CREATE),
+        "task": reg.register("task", RegionType.TASK),
+        "barrier": reg.register("barrier", RegionType.IMPLICIT_BARRIER),
+    }
+
+
+def main() -> None:
+    regions = build_regions()
+
+    print("== creation-node attribution (Fig. 3, left -- the wrong design) ==")
+    bad = CreationNodeProfiler(regions["impl"])
+    bad.enter(regions["create"], 1.0)
+    bad.task_created(regions["task"], instance=1)
+    bad.exit(regions["create"], 3.0)
+    bad.enter(regions["barrier"], 3.0)
+    bad.task_begin(1, 4.0)
+    bad.task_end(1, 9.0)
+    bad.exit(regions["barrier"], 10.0)
+    tree = bad.finish(10.0)
+    print(render_node(tree))
+    create_node = tree.find_one("create_task")
+    print(f"\n  create_task exclusive time: {create_node.exclusive_time:+.1f} us"
+          f"  <-- negative, meaningless")
+    barrier_node = tree.find_one("barrier")
+    print(f"  barrier exclusive time    : {barrier_node.exclusive_time:+.1f} us"
+          f"  <-- mostly useful work, misreported as waiting\n")
+
+    print("== execution-node attribution (Fig. 3, right -- the paper's design) ==")
+    good = ThreadTaskProfiler(0, regions["impl"], {}, start_time=0.0)
+    good.enter(regions["create"], 1.0)
+    good.exit(regions["create"], 3.0)
+    good.enter(regions["barrier"], 3.0)
+    good.task_begin(regions["task"], 1, 4.0)
+    good.task_end(regions["task"], 1, 9.0)
+    good.exit(regions["barrier"], 10.0)
+    main_tree = good.finish(10.0)
+    print(render_node(main_tree))
+    barrier_node = main_tree.find_one("barrier")
+    stub = next(c for c in barrier_node.children.values() if c.is_stub)
+    print(f"\n  create_task exclusive time: "
+          f"{main_tree.find_one('create_task').exclusive_time:+.1f} us")
+    print(f"  barrier: {barrier_node.metrics.inclusive_time:.1f} us total = "
+          f"{stub.metrics.inclusive_time:.1f} us task execution (stub) + "
+          f"{barrier_node.exclusive_time:.1f} us idle/management")
+    print("\n  every exclusive time is non-negative, and the task's work is")
+    print("  visible both inside the barrier (stub) and as its own tree:")
+    for tree in good.task_trees.values():
+        print()
+        print(render_node(tree))
+
+
+if __name__ == "__main__":
+    main()

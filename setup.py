@@ -1,0 +1,5 @@
+"""Legacy setup shim: the environment's setuptools lacks the `wheel`
+package, so PEP 660 editable installs fail; `setup.py develop` works."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro -- reproduction of "Profiling of OpenMP Tasks with Score-P".
+
+Lorenz, Philippen, Schmidl, Wolf -- ICPP 2012.
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` -- deterministic discrete-event simulation kernel.
+* :mod:`repro.events` -- regions, measurement events, event streams.
+* :mod:`repro.runtime` -- simulated OpenMP 3.0 runtime (threads, tied
+  tasks, taskwait, barriers, work stealing, lock contention).
+* :mod:`repro.instrument` -- OPARI2/POMP2-style instrumentation layer.
+* :mod:`repro.profiling` -- the paper's task-aware call-path profiler.
+* :mod:`repro.cube` -- CUBE-style profile rendering and export.
+* :mod:`repro.bots` -- the Barcelona OpenMP Tasks Suite, re-implemented.
+* :mod:`repro.analysis` -- the paper's evaluation methodology (overhead,
+  task statistics, per-depth tables, granularity advice).
+
+Quickstart::
+
+    from repro.analysis import run_app
+    result = run_app("fib", n_threads=4, size="small", cutoff=6)
+    print(result.profile.task_tree("fib_task").metrics.durations.mean)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,84 @@
+"""The paper's evaluation methodology, automated.
+
+* :mod:`repro.analysis.experiment` -- run one BOTS program under one
+  configuration and collect everything (kernel time, profile, stats).
+* :mod:`repro.analysis.overhead` -- instrumented-vs-uninstrumented
+  overhead (Figs. 13/14), runtime scaling (Fig. 15), seed ensembles for
+  the floorplan bimodality.
+* :mod:`repro.analysis.taskstats` -- mean task time and task counts
+  (Table I).
+* :mod:`repro.analysis.concurrency` -- maximum concurrently executing
+  tasks per thread (Table II).
+* :mod:`repro.analysis.nqueens_study` -- the Section VI case study
+  (Table III, Table IV, the cut-off speedup).
+* :mod:`repro.analysis.advisor` -- the granularity advisor built from the
+  paper's Section III metric recommendations.
+* :mod:`repro.analysis.tables` / :mod:`repro.analysis.charts` -- ASCII
+  rendering of tables and bar charts for the benchmark reports.
+"""
+
+from repro.analysis.experiment import ExperimentResult, run_app, run_program
+from repro.analysis.overhead import (
+    OverheadPoint,
+    measure_overhead,
+    overhead_sweep,
+    runtime_scaling,
+)
+from repro.analysis.taskstats import TaskStatsRow, task_statistics
+from repro.analysis.concurrency import max_concurrent_tasks
+from repro.analysis.nqueens_study import (
+    cutoff_speedup,
+    nqueens_depth_table,
+    nqueens_region_times,
+)
+from repro.analysis.advisor import AdvisorFinding, advise
+from repro.analysis.bottleneck import (
+    CreationBalance,
+    creation_balance,
+    diagnose_creation_bottleneck,
+)
+from repro.analysis.report import generate_report
+from repro.analysis.tables import format_table
+from repro.analysis.charts import ascii_bar_chart
+from repro.analysis.traces import (
+    Fragment,
+    SchedulingLatency,
+    SyncPointVisit,
+    management_ratio,
+    render_timeline,
+    scheduling_latencies,
+    sync_point_breakdown,
+    task_timeline,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_app",
+    "run_program",
+    "OverheadPoint",
+    "measure_overhead",
+    "overhead_sweep",
+    "runtime_scaling",
+    "TaskStatsRow",
+    "task_statistics",
+    "max_concurrent_tasks",
+    "nqueens_region_times",
+    "nqueens_depth_table",
+    "cutoff_speedup",
+    "AdvisorFinding",
+    "advise",
+    "CreationBalance",
+    "creation_balance",
+    "diagnose_creation_bottleneck",
+    "generate_report",
+    "format_table",
+    "ascii_bar_chart",
+    "Fragment",
+    "SchedulingLatency",
+    "SyncPointVisit",
+    "management_ratio",
+    "render_timeline",
+    "scheduling_latencies",
+    "sync_point_breakdown",
+    "task_timeline",
+]

@@ -1,0 +1,102 @@
+"""Task-creation bottleneck analysis (paper Section III, third problem).
+
+"On larger scales, the task creation may become a bottleneck if tasks
+are created only by a small number of threads."  (Schmidl et al. [16],
+quoted in the paper's problem analysis.)
+
+The profile already contains what is needed: task-creation regions are
+measured in the *creating* context, so counting create-region visits per
+thread (implicit trees + that thread's task trees) yields the creation
+distribution.  :func:`creation_balance` computes it plus an imbalance
+metric; :func:`diagnose_creation_bottleneck` turns it into a finding.
+
+The BOTS sparselu variants are the textbook contrast: `single` has one
+producer thread (imbalance 1.0), `for` distributes creation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.events.regions import RegionType
+from repro.profiling.profile import Profile
+
+
+@dataclass
+class CreationBalance:
+    """Task-creation distribution over threads."""
+
+    #: create-region visits per thread (index = thread id)
+    creations_per_thread: List[int]
+    #: time spent creating per thread (inclusive create-region time)
+    creation_time_per_thread: List[float]
+
+    @property
+    def total_creations(self) -> int:
+        return sum(self.creations_per_thread)
+
+    @property
+    def imbalance(self) -> float:
+        """0.0 = perfectly even, 1.0 = a single thread creates everything.
+
+        Defined as ``(max_share - 1/T) / (1 - 1/T)`` over creation counts.
+        """
+        total = self.total_creations
+        n = len(self.creations_per_thread)
+        if total == 0 or n <= 1:
+            return 0.0
+        max_share = max(self.creations_per_thread) / total
+        even_share = 1.0 / n
+        return (max_share - even_share) / (1.0 - even_share)
+
+    @property
+    def dominant_thread(self) -> Optional[int]:
+        if self.total_creations == 0:
+            return None
+        return max(
+            range(len(self.creations_per_thread)),
+            key=lambda t: self.creations_per_thread[t],
+        )
+
+
+def creation_balance(profile: Profile) -> CreationBalance:
+    """Count create-region visits per creating thread."""
+    counts = [0] * profile.n_threads
+    times = [0.0] * profile.n_threads
+    for thread_id in range(profile.n_threads):
+        roots = [profile.main_trees[thread_id]]
+        roots.extend(profile.task_trees[thread_id].values())
+        for root in roots:
+            for node in root.walk():
+                if node.region.region_type is RegionType.TASK_CREATE:
+                    counts[thread_id] += node.metrics.visits
+                    times[thread_id] += node.metrics.inclusive_time
+    return CreationBalance(counts, times)
+
+
+def diagnose_creation_bottleneck(
+    profile: Profile,
+    imbalance_warn: float = 0.5,
+    min_creations: int = 8,
+) -> Optional[str]:
+    """A human-readable finding, or None if creation is balanced enough.
+
+    Note: concentrated creation is only a *bottleneck* at scale; with few
+    threads it is often fine (the paper's sparselu single version is the
+    recommended one at 8 threads).  The message says so.
+    """
+    balance = creation_balance(profile)
+    if balance.total_creations < min_creations:
+        return None
+    if balance.imbalance < imbalance_warn:
+        return None
+    dominant = balance.dominant_thread
+    share = balance.creations_per_thread[dominant] / balance.total_creations
+    return (
+        f"thread {dominant} created {share * 100:.0f}% of all "
+        f"{balance.total_creations} tasks (imbalance "
+        f"{balance.imbalance:.2f}); at larger scales serialized task "
+        "creation becomes a bottleneck -- consider distributing creation "
+        "(e.g. the sparselu 'for' pattern) or hierarchical task spawning"
+    )

@@ -1,0 +1,75 @@
+"""ASCII bar charts for the figure-reproducing benchmarks.
+
+The paper's Figs. 13-15 are bar charts; the benchmark harness prints
+them as horizontal ASCII bars so the regenerated "figure" is directly
+comparable in a terminal / CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+
+def ascii_bar_chart(
+    data: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+    title: Optional[str] = None,
+    baseline: float = 0.0,
+) -> str:
+    """Horizontal bar chart; negative values extend left of the axis.
+
+    ``baseline`` shifts the zero point (e.g. 100 for %-of-max charts).
+    """
+    if not data:
+        return title or "(empty chart)"
+    label_width = max(len(k) for k in data)
+    values = [v - baseline for v in data.values()]
+    span = max(abs(v) for v in values) or 1.0
+    scale = width / span
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, raw in data.items():
+        value = raw - baseline
+        bar_len = int(round(abs(value) * scale))
+        bar = ("-" if value < 0 else "#") * bar_len
+        lines.append(f"{label.ljust(label_width)} | {bar} {raw:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Dict[int, float]],
+    width: int = 40,
+    unit: str = "%",
+    title: Optional[str] = None,
+) -> str:
+    """Fig. 13/14 shape: per app, one bar per thread count."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    all_values = [v for series in groups.values() for v in series.values()]
+    span = max((abs(v) for v in all_values), default=1.0) or 1.0
+    scale = width / span
+    for app, series in groups.items():
+        lines.append(app)
+        for n_threads, value in sorted(series.items()):
+            bar_len = int(round(abs(value) * scale))
+            bar = ("-" if value < 0 else "#") * bar_len
+            lines.append(f"  {n_threads:>2} thr | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compact trend rendering for test/debug output."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[int((v - lo) / (hi - lo) * (len(blocks) - 1))] for v in values
+    )

@@ -1,0 +1,72 @@
+"""Concurrently executing tasks per thread (paper Section V-B, Table II).
+
+The profiler counts live task-instance trees per thread; the per-run
+maximum bounds the profiling system's memory requirement.  The paper's
+finding: never more than ~20, tracking the recursion depth, and cut-off
+variants stay below their no-cut-off counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.analysis.experiment import run_app
+
+
+def max_concurrent_tasks(
+    name: str,
+    size: str = "small",
+    variant: str = "optimized",
+    n_threads: int = 4,
+    seed: int = 0,
+    **run_kwargs,
+) -> int:
+    """Table II's number for one code/variant."""
+    result = run_app(
+        name,
+        size=size,
+        variant=variant,
+        n_threads=n_threads,
+        instrument=True,
+        seed=seed,
+        **run_kwargs,
+    )
+    assert result.profile is not None
+    return result.profile.max_concurrent_tasks_per_thread()
+
+
+def concurrency_table(
+    entries: Iterable[Tuple[str, str]],
+    size: str = "small",
+    n_threads: int = 4,
+    seed: int = 0,
+) -> Dict[Tuple[str, str], int]:
+    """Table II: (code, variant) -> max concurrent tasks per thread.
+
+    ``entries`` mirrors the paper's 14 rows, e.g. ``('fib', 'optimized')``
+    for "fib (cut-off)" and ``('nqueens', 'stress')`` for plain nqueens.
+    """
+    return {
+        (name, variant): max_concurrent_tasks(
+            name, size=size, variant=variant, n_threads=n_threads, seed=seed
+        )
+        for name, variant in entries
+    }
+
+
+#: The paper's Table II rows, in order: code name, our variant tag, label.
+PAPER_TABLE2_ROWS: Sequence[Tuple[str, str, str]] = (
+    ("alignment", "optimized", "alignment"),
+    ("fft", "stress", "fft"),
+    ("fib", "optimized", "fib (cut-off)"),
+    ("floorplan", "stress", "floorplan"),
+    ("floorplan", "optimized", "floorplan (cut-off)"),
+    ("health", "stress", "health"),
+    ("health", "optimized", "health (cut-off)"),
+    ("nqueens", "stress", "nqueens"),
+    ("nqueens", "optimized", "nqueens (cut-off)"),
+    ("sort", "optimized", "sort"),
+    ("sparselu", "optimized", "sparselu"),
+    ("strassen", "stress", "strassen"),
+    ("strassen", "optimized", "strassen (cut-off)"),
+)

@@ -1,0 +1,187 @@
+"""The Section VI case study on nqueens (Tables III & IV, the speedup).
+
+Three pieces:
+
+* :func:`nqueens_region_times` -- Table III: exclusive execution times of
+  the task region, the taskwait and task-create regions inside the task
+  construct, and the barrier in the main tree, for varying thread counts.
+  The paper's signature: the task region stays flat while taskwait /
+  create / barrier grow superlinearly with threads.
+* :func:`nqueens_depth_table` -- Table IV: per-recursion-depth mean task
+  time, time sum, and task counts via parameter instrumentation.
+* :func:`cutoff_speedup` -- the Section VI punch line: cutting task
+  creation at level 3 slashes the kernel runtime (paper: 187 s -> 11.5 s
+  at 4 threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.experiment import run_app
+
+
+@dataclass
+class RegionTimesRow:
+    """Table III column for one thread count (times in virtual µs)."""
+
+    n_threads: int
+    task: float
+    taskwait: float
+    create_task: float
+    barrier: float
+
+
+def nqueens_region_times(
+    size: str = "small",
+    threads: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 0,
+    **run_kwargs,
+) -> List[RegionTimesRow]:
+    rows = []
+    for n_threads in threads:
+        result = run_app(
+            "nqueens",
+            size=size,
+            variant="stress",
+            n_threads=n_threads,
+            instrument=True,
+            seed=seed,
+            **run_kwargs,
+        )
+        profile = result.profile
+        assert profile is not None
+        rows.append(
+            RegionTimesRow(
+                n_threads=n_threads,
+                task=profile.region_time("nqueens_task", "exclusive", "tasks"),
+                taskwait=profile.region_time("taskwait", "exclusive", "tasks"),
+                create_task=profile.region_time(
+                    "create@nqueens_task", "exclusive", "tasks"
+                ),
+                barrier=profile.region_time("implicit barrier", "exclusive", "main"),
+            )
+        )
+    return rows
+
+
+@dataclass
+class DepthRow:
+    """Table IV row: statistics of the tasks at one recursion depth."""
+
+    depth: int
+    mean_time_us: float
+    total_time_us: float
+    task_count: int
+
+
+def nqueens_depth_table(
+    size: str = "small",
+    n_threads: int = 4,
+    seed: int = 0,
+    **run_kwargs,
+) -> List[DepthRow]:
+    """Table IV via parameter instrumentation (per-depth task sub-trees)."""
+    result = run_app(
+        "nqueens",
+        size=size,
+        variant="stress",
+        n_threads=n_threads,
+        instrument=True,
+        seed=seed,
+        program_kwargs={"depth_parameter": True},
+        **run_kwargs,
+    )
+    profile = result.profile
+    assert profile is not None
+    by_parameter = profile.task_trees_by_parameter("nqueens_task")
+    rows = []
+    for parameter, tree in by_parameter.items():
+        depth = parameter[1] if parameter is not None else 0
+        stats = tree.metrics.durations
+        rows.append(
+            DepthRow(
+                depth=depth,
+                mean_time_us=stats.mean,
+                total_time_us=stats.total,
+                task_count=stats.count,
+            )
+        )
+    rows.sort(key=lambda row: row.depth)
+    return rows
+
+
+@dataclass
+class CutoffComparison:
+    n_threads: int
+    nocutoff_time: float
+    cutoff_time: float
+    cutoff_level: int
+
+    @property
+    def speedup(self) -> float:
+        return self.nocutoff_time / self.cutoff_time
+
+
+def cutoff_speedup(
+    size: str = "small",
+    n_threads: int = 4,
+    cutoff: int = 3,
+    seed: int = 0,
+    **run_kwargs,
+) -> CutoffComparison:
+    """Section VI: uninstrumented kernel time, no-cut-off vs cut-off."""
+    nocutoff = run_app(
+        "nqueens",
+        size=size,
+        variant="stress",
+        n_threads=n_threads,
+        instrument=False,
+        seed=seed,
+        **run_kwargs,
+    )
+    with_cutoff = run_app(
+        "nqueens",
+        size=size,
+        variant="optimized",
+        n_threads=n_threads,
+        instrument=False,
+        seed=seed,
+        program_kwargs={"cutoff": cutoff},
+        **run_kwargs,
+    )
+    if not (nocutoff.verified and with_cutoff.verified):
+        raise AssertionError("nqueens produced a wrong solution count")
+    return CutoffComparison(
+        n_threads=n_threads,
+        nocutoff_time=nocutoff.kernel_time,
+        cutoff_time=with_cutoff.kernel_time,
+        cutoff_level=cutoff,
+    )
+
+
+def creation_vs_execution(size: str = "small", n_threads: int = 4, seed: int = 0) -> Dict[str, float]:
+    """The Section VI first-impression numbers: mean task execution time
+    vs mean creation time ("0.30 µs vs 0.86 µs").
+    """
+    result = run_app(
+        "nqueens",
+        size=size,
+        variant="stress",
+        n_threads=n_threads,
+        instrument=True,
+        seed=seed,
+    )
+    profile = result.profile
+    assert profile is not None
+    tree = profile.task_tree("nqueens_task")
+    create = tree.find_one("create@nqueens_task")
+    instances = tree.metrics.durations.count
+    creations = create.metrics.visits
+    return {
+        "mean_task_exclusive_us": tree.exclusive_time / instances,
+        "mean_creation_us": create.metrics.inclusive_time / creations if creations else 0.0,
+        "task_instances": instances,
+        "creations": creations,
+    }

@@ -1,0 +1,163 @@
+"""Overhead evaluation (paper Section V-A, Figs. 13-15).
+
+The paper's procedure: run each BOTS code instrumented and uninstrumented
+at 1/2/4/8 threads; overhead is the relative increase of the tasking
+kernel's runtime.  We reproduce it in virtual time, which removes the
+measurement noise of the original (but we keep the seed-ensemble
+machinery, because *schedule* variability -- the floorplan class A/B
+effect -- is real in the simulation too).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiment import run_app
+
+
+@dataclass
+class OverheadPoint:
+    """Overhead of one app at one thread count."""
+
+    app: str
+    n_threads: int
+    uninstrumented: float
+    instrumented: float
+    #: per-seed raw samples (kernel times)
+    uninstrumented_samples: List[float] = field(default_factory=list)
+    instrumented_samples: List[float] = field(default_factory=list)
+
+    @property
+    def overhead(self) -> float:
+        """Relative overhead, e.g. 0.06 for 6 %."""
+        if self.uninstrumented == 0:
+            return 0.0
+        return self.instrumented / self.uninstrumented - 1.0
+
+    @property
+    def overhead_pct(self) -> float:
+        return self.overhead * 100.0
+
+    def __repr__(self) -> str:
+        return (
+            f"OverheadPoint({self.app}, T={self.n_threads}, "
+            f"{self.overhead_pct:+.1f}%)"
+        )
+
+
+def measure_overhead(
+    name: str,
+    size: str = "small",
+    variant: str = "optimized",
+    threads: Sequence[int] = (1, 2, 4, 8),
+    seeds: Sequence[int] = (0,),
+    aggregate: str = "median",
+    **run_kwargs,
+) -> List[OverheadPoint]:
+    """Fig. 13/14 measurement for one app: overhead per thread count.
+
+    With several seeds the per-configuration kernel times are aggregated
+    by ``aggregate`` (``'median'`` or ``'mean'``); the raw samples stay on
+    the point for distribution analyses (floorplan classes).
+    """
+    if aggregate not in ("median", "mean"):
+        raise ValueError(f"aggregate must be 'median' or 'mean', got {aggregate!r}")
+    combine = statistics.median if aggregate == "median" else statistics.fmean
+    points = []
+    for n_threads in threads:
+        uninstrumented = []
+        instrumented = []
+        for seed in seeds:
+            for instrument, sink in ((False, uninstrumented), (True, instrumented)):
+                result = run_app(
+                    name,
+                    size=size,
+                    variant=variant,
+                    n_threads=n_threads,
+                    instrument=instrument,
+                    seed=seed,
+                    **run_kwargs,
+                )
+                if not result.verified:
+                    raise AssertionError(
+                        f"{name} produced a wrong result at T={n_threads}, "
+                        f"seed={seed}, instrument={instrument}"
+                    )
+                sink.append(result.kernel_time)
+        points.append(
+            OverheadPoint(
+                app=name,
+                n_threads=n_threads,
+                uninstrumented=combine(uninstrumented),
+                instrumented=combine(instrumented),
+                uninstrumented_samples=uninstrumented,
+                instrumented_samples=instrumented,
+            )
+        )
+    return points
+
+
+def overhead_sweep(
+    apps: Iterable[str],
+    size: str = "small",
+    variant: str = "optimized",
+    threads: Sequence[int] = (1, 2, 4, 8),
+    seeds: Sequence[int] = (0,),
+    **run_kwargs,
+) -> Dict[str, List[OverheadPoint]]:
+    """The full Fig. 13 (variant='optimized') / Fig. 14 ('stress') grid."""
+    return {
+        app: measure_overhead(
+            app, size=size, variant=variant, threads=threads, seeds=seeds, **run_kwargs
+        )
+        for app in apps
+    }
+
+
+def runtime_scaling(
+    name: str,
+    size: str = "small",
+    variant: str = "stress",
+    threads: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 0,
+    **run_kwargs,
+) -> Dict[int, float]:
+    """Fig. 15: uninstrumented kernel time per thread count, as % of max."""
+    times = {}
+    for n_threads in threads:
+        result = run_app(
+            name,
+            size=size,
+            variant=variant,
+            n_threads=n_threads,
+            instrument=False,
+            seed=seed,
+            **run_kwargs,
+        )
+        times[n_threads] = result.kernel_time
+    peak = max(times.values())
+    return {t: 100.0 * v / peak for t, v in times.items()}
+
+
+def classify_bimodal(
+    samples: Sequence[float], gap_factor: float = 1.5
+) -> Optional[Tuple[List[float], List[float]]]:
+    """Split samples into two classes if a clear gap exists (Section V-A).
+
+    The paper found floorplan runs clustering into a fast class A (work
+    evenly distributed) and a slow class B (half the threads idle).
+    Returns ``(class_a, class_b)`` sorted fast-first, or ``None`` when the
+    distribution is unimodal (largest adjacent gap below ``gap_factor``).
+    """
+    if len(samples) < 2:
+        return None
+    ordered = sorted(samples)
+    gaps = [(ordered[i + 1] / ordered[i], i) for i in range(len(ordered) - 1) if ordered[i] > 0]
+    if not gaps:
+        return None
+    largest, index = max(gaps)
+    if largest < gap_factor:
+        return None
+    return ordered[: index + 1], ordered[index + 1 :]

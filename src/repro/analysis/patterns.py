@@ -1,0 +1,222 @@
+"""Automatic performance-pattern detection (the Scalasca analogue).
+
+The paper's conclusion: "Automated trace analysis, like Scalasca does for
+other programming paradigms, might provide some additional information,
+and/or highlight particular performance problems."  This module detects
+named task-parallel patterns from a run's profile and (optionally)
+recorded trace, each with a severity score in [0, 1] proportional to the
+time it explains:
+
+* ``small-task-storm``     -- most task instances are below a granularity
+  floor while management time rivals useful work (the fib/nqueens
+  no-cut-off disease);
+* ``creation-bottleneck``  -- task creation concentrated on few threads
+  (Section III's third problem);
+* ``starvation``           -- threads spend a large fraction of
+  scheduling-point time idle with no tasks to run (load imbalance or too
+  few tasks);
+* ``late-producer``        -- tasks only become available long after the
+  team reached the scheduling point (trace-based; needs recorded events);
+* ``lock-thrashing``       -- the runtime pool lock is contended on most
+  acquisitions (the Fig. 15 regime).
+
+Each detection carries the evidence it was computed from, so reports can
+show *why* a pattern fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.bottleneck import creation_balance
+from repro.analysis.traces import sync_point_breakdown
+from repro.profiling.profile import Profile
+
+
+@dataclass
+class PatternMatch:
+    name: str
+    severity: float  # 0..1
+    description: str
+    evidence: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.severity:.2f}] {self.name}: {self.description}"
+
+
+def detect_patterns(
+    result,
+    granularity_floor_us: float = 5.0,
+    severity_floor: float = 0.1,
+) -> List[PatternMatch]:
+    """Run all detectors on an ExperimentResult/ParallelResult.
+
+    Returns matches with severity >= ``severity_floor``, strongest first.
+    """
+    parallel = getattr(result, "parallel", result)
+    profile = getattr(result, "profile", None) or parallel.profile
+    if profile is None:
+        raise ValueError("pattern detection requires an instrumented run")
+    matches: List[PatternMatch] = []
+    matches.extend(_small_task_storm(parallel, profile, granularity_floor_us))
+    matches.extend(_creation_bottleneck(profile, parallel))
+    matches.extend(_starvation(profile, parallel))
+    matches.extend(_lock_thrashing(parallel))
+    if parallel.trace is not None:
+        matches.extend(_late_producer(parallel))
+    matches = [m for m in matches if m.severity >= severity_floor]
+    matches.sort(key=lambda m: m.severity, reverse=True)
+    return matches
+
+
+# ----------------------------------------------------------------------
+# Detectors
+# ----------------------------------------------------------------------
+def _small_task_storm(parallel, profile: Profile, floor_us: float) -> List[PatternMatch]:
+    total_instances = 0
+    small_instances = 0
+    for per_thread in profile.task_trees:
+        for tree in per_thread.values():
+            stats = tree.metrics.durations
+            total_instances += stats.count
+            if stats.count == 0:
+                continue
+            # Use mean *exclusive* work per instance: instance durations
+            # are inflated by lock waits under contention, which would
+            # mask the smallness of the tasks themselves.
+            mean_exclusive = tree.exclusive_time / stats.count
+            if mean_exclusive < floor_us:
+                small_instances += stats.count
+    if total_instances == 0:
+        return []
+    work = parallel.total("work")
+    mgmt = parallel.total("mgmt")
+    small_share = small_instances / total_instances
+    mgmt_share = mgmt / (work + mgmt) if (work + mgmt) > 0 else 0.0
+    severity = small_share * mgmt_share
+    return [
+        PatternMatch(
+            name="small-task-storm",
+            severity=severity,
+            description=(
+                f"{small_share * 100:.0f}% of {total_instances} task instances "
+                f"average below {floor_us:.0f} us while management consumes "
+                f"{mgmt_share * 100:.0f}% of (work+management) time"
+            ),
+            evidence={
+                "small_share": small_share,
+                "mgmt_share": mgmt_share,
+                "instances": total_instances,
+            },
+        )
+    ]
+
+
+def _creation_bottleneck(profile: Profile, parallel) -> List[PatternMatch]:
+    balance = creation_balance(profile)
+    if balance.total_creations < 8 or profile.n_threads < 2:
+        return []
+    creation_time = sum(balance.creation_time_per_thread)
+    duration = parallel.duration or 1.0
+    time_share = min(max(balance.creation_time_per_thread) / duration, 1.0)
+    severity = balance.imbalance * time_share
+    return [
+        PatternMatch(
+            name="creation-bottleneck",
+            severity=severity,
+            description=(
+                f"creation imbalance {balance.imbalance:.2f}; the busiest "
+                f"producer spent {time_share * 100:.0f}% of the region "
+                "creating tasks"
+            ),
+            evidence={
+                "imbalance": balance.imbalance,
+                "creations_per_thread": balance.creations_per_thread,
+                "creation_time_us": creation_time,
+            },
+        )
+    ]
+
+
+def _starvation(profile: Profile, parallel) -> List[PatternMatch]:
+    total_sched = 0.0
+    idle = 0.0
+    for thread_id in range(profile.n_threads):
+        for node in profile.main_trees[thread_id].walk():
+            if node.region.region_type.is_scheduling_point():
+                stub = sum(
+                    c.metrics.inclusive_time
+                    for c in node.children.values()
+                    if c.is_stub
+                )
+                total_sched += node.metrics.inclusive_time
+                idle += node.metrics.inclusive_time - stub
+    if total_sched <= 0:
+        return []
+    idle_share = idle / total_sched
+    region_share = total_sched / (parallel.duration * profile.n_threads or 1.0)
+    severity = idle_share * min(region_share, 1.0)
+    return [
+        PatternMatch(
+            name="starvation",
+            severity=severity,
+            description=(
+                f"{idle_share * 100:.0f}% of scheduling-point time is "
+                "idle/management rather than task execution"
+            ),
+            evidence={"idle_share": idle_share, "sched_time_us": total_sched},
+        )
+    ]
+
+
+def _lock_thrashing(parallel) -> List[PatternMatch]:
+    stats = parallel.lock_stats
+    acquisitions = stats.get("acquisitions", 0)
+    contended = stats.get("contended", 0)
+    if acquisitions < 16:
+        return []
+    contention_rate = contended / acquisitions
+    return [
+        PatternMatch(
+            name="lock-thrashing",
+            severity=contention_rate,
+            description=(
+                f"{contention_rate * 100:.0f}% of {acquisitions} runtime-lock "
+                "acquisitions had to queue (task management serializes)"
+            ),
+            evidence={"acquisitions": acquisitions, "contended": contended},
+        )
+    ]
+
+
+def _late_producer(parallel) -> List[PatternMatch]:
+    visits = sync_point_breakdown(parallel.trace)
+    if not visits:
+        return []
+    # For barrier visits with fragments: how much time passed before the
+    # FIRST fragment, relative to the visit? Large values mean threads
+    # arrived long before work existed.
+    waits = []
+    for visit in visits:
+        if visit.total <= 0:
+            continue
+        if visit.fragments == 0:
+            continue
+        pre_share = visit.management / visit.total
+        waits.append(pre_share)
+    if not waits:
+        return []
+    mean_pre = sum(waits) / len(waits)
+    return [
+        PatternMatch(
+            name="late-producer",
+            severity=mean_pre * 0.5,  # pre-fragment gaps include dispatch cost
+            description=(
+                f"on average {mean_pre * 100:.0f}% of each scheduling-point "
+                "visit passes in gaps before/between task fragments "
+                "(tasks arrive late or dispatch is slow)"
+            ),
+            evidence={"mean_pre_fragment_share": mean_pre, "visits": len(waits)},
+        )
+    ]

@@ -1,0 +1,196 @@
+"""One-stop performance report for a single run.
+
+Bundles everything the paper says a task-aware tool should tell the user
+(Section III) into one markdown-ish text document:
+
+* run summary (kernel time, tasks, verification, time buckets),
+* per-construct task statistics (instance counts, mean/min/max runtime,
+  creation time) -- the Table I/Section VI numbers for *your* program,
+* scheduling-point accounting (stub vs idle, Fig. 5's reading),
+* granularity advisor findings,
+* creation-balance diagnosis (Section III, third problem),
+* trace-based management ratio and timeline, when events were recorded,
+* memory statistics (max concurrent instance trees, node-pool recycling).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.advisor import advise
+from repro.analysis.bottleneck import creation_balance, diagnose_creation_bottleneck
+from repro.analysis.patterns import detect_patterns
+from repro.analysis.tables import format_table
+from repro.analysis.traces import management_ratio, render_timeline
+from repro.events.regions import RegionType
+from repro.profiling.metrics import format_time
+
+
+def generate_report(result, title: Optional[str] = None) -> str:
+    """Render a full report for an :class:`ExperimentResult` or any object
+    with ``parallel`` (ParallelResult), ``profile``, and ``kernel_time``.
+    """
+    parallel = getattr(result, "parallel", result)
+    profile = getattr(result, "profile", None) or parallel.profile
+    lines: List[str] = []
+
+    def heading(text: str) -> None:
+        lines.append("")
+        lines.append(f"## {text}")
+        lines.append("")
+
+    lines.append(f"# Performance report: {parallel.region_name}")
+    if title:
+        lines.append(f"_{title}_")
+
+    # -- summary ---------------------------------------------------------
+    heading("Run summary")
+    n_threads = len(parallel.thread_stats)
+    verified = getattr(result, "verified", None)
+    rows = [
+        ["kernel time", format_time(parallel.duration)],
+        ["threads", n_threads],
+        ["task instances", parallel.completed_tasks],
+        ["tasks stolen", parallel.tasks_stolen],
+        ["events dispatched", parallel.events_dispatched],
+    ]
+    if verified is not None:
+        rows.append(["result verified", verified])
+    lines.append(format_table(["metric", "value"], rows, align_right=False))
+
+    heading("Where the threads' time went")
+    buckets = ["work", "mgmt", "instr", "idle", "critical_wait"]
+    total_all = sum(sum(s[b] for b in buckets) for s in parallel.thread_stats)
+    bucket_rows = []
+    for bucket in buckets:
+        value = parallel.total(bucket)
+        share = 100.0 * value / total_all if total_all else 0.0
+        bucket_rows.append([bucket, format_time(value), f"{share:.1f}%"])
+    lines.append(format_table(["bucket", "total", "share"], bucket_rows))
+
+    if profile is None:
+        lines.append("")
+        lines.append("(uninstrumented run: no profile sections)")
+        return "\n".join(lines)
+
+    # -- task constructs ---------------------------------------------------
+    heading("Task constructs")
+    construct_rows = []
+    for (region, parameter), tree in sorted(
+        profile.aggregated_task_trees().items(), key=lambda kv: kv[0][0].name
+    ):
+        stats = tree.metrics.durations
+        creates = tree.find(
+            predicate=lambda n: n.region.region_type is RegionType.TASK_CREATE
+        )
+        creations = sum(n.metrics.visits for n in creates)
+        creation_time = sum(n.metrics.inclusive_time for n in creates)
+        construct_rows.append(
+            [
+                tree.display_name(),
+                stats.count,
+                f"{stats.mean:.2f}",
+                f"{stats.minimum if stats.count else 0:.2f}",
+                f"{stats.maximum if stats.count else 0:.2f}",
+                f"{(creation_time / creations) if creations else 0:.2f}",
+            ]
+        )
+    lines.append(
+        format_table(
+            ["construct", "instances", "mean [us]", "min [us]", "max [us]",
+             "mean create [us]"],
+            construct_rows,
+        )
+    )
+
+    # -- scheduling points ---------------------------------------------------
+    heading("Scheduling points (task execution vs idle/management)")
+    sp_rows = []
+    for thread_id in range(profile.n_threads):
+        for node in profile.main_trees[thread_id].walk():
+            if node.region.region_type not in (
+                RegionType.BARRIER,
+                RegionType.IMPLICIT_BARRIER,
+                RegionType.TASKWAIT,
+            ):
+                continue
+            total = node.metrics.inclusive_time
+            if total <= 0:
+                continue
+            stub = sum(
+                c.metrics.inclusive_time for c in node.children.values() if c.is_stub
+            )
+            sp_rows.append(
+                [
+                    f"t{thread_id} {node.region.name}",
+                    format_time(total),
+                    format_time(stub),
+                    format_time(total - stub),
+                ]
+            )
+    if sp_rows:
+        lines.append(
+            format_table(
+                ["scheduling point", "total", "task execution", "idle/mgmt"], sp_rows
+            )
+        )
+    else:
+        lines.append("(no scheduling-point time recorded)")
+
+    # -- advisor -----------------------------------------------------------
+    heading("Granularity advisor")
+    findings = advise(profile)
+    serious = [f for f in findings if f.severity != "info"]
+    if serious:
+        for finding in serious[:8]:
+            lines.append(f"* {finding}")
+    else:
+        lines.append("* no granularity problems found")
+
+    balance_finding = diagnose_creation_bottleneck(profile)
+    balance = creation_balance(profile)
+    heading("Task creation balance")
+    lines.append(
+        f"per-thread creations: {balance.creations_per_thread} "
+        f"(imbalance {balance.imbalance:.2f})"
+    )
+    if balance_finding:
+        lines.append(f"* {balance_finding}")
+
+    # -- patterns ------------------------------------------------------------
+    heading("Detected patterns")
+    matches = detect_patterns(result if hasattr(result, "parallel") else parallel)
+    if matches:
+        for match in matches:
+            lines.append(f"* {match}")
+    else:
+        lines.append("* none above the severity floor")
+
+    # -- memory --------------------------------------------------------------
+    heading("Profiler memory (Section V-B)")
+    lines.append(
+        f"max concurrently active tasks per thread: "
+        f"{profile.max_concurrent_tasks_per_thread()}"
+    )
+    allocated = sum(s.get("pool", {}).get("allocated", 0) for s in profile.memory_stats)
+    reused = sum(s.get("pool", {}).get("reused", 0) for s in profile.memory_stats)
+    lines.append(f"instance-tree nodes allocated: {allocated}, recycled uses: {reused}")
+
+    # -- traces ---------------------------------------------------------------
+    trace = parallel.trace
+    if trace is not None:
+        heading("Trace analysis (Section VII outlook)")
+        ratio = management_ratio(trace)
+        lines.append(
+            f"management/execution ratio at scheduling points: "
+            f"{ratio['ratio']:.2f} "
+            f"(exec {format_time(ratio['task_execution'])}, "
+            f"mgmt {format_time(ratio['management'])}, "
+            f"wait {format_time(ratio['waiting'])})"
+        )
+        lines.append("")
+        lines.append("```")
+        lines.append(render_timeline(trace))
+        lines.append("```")
+
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Thread-scaling study for any kernel (Table III generalized).
+
+The paper's Section VI workflow compares profiles of runs with different
+thread counts region by region.  :func:`scaling_study` automates it for
+any BOTS kernel (or custom program): per region, the summed exclusive
+time at every thread count plus its growth factor, classified into
+
+* ``flat``      -- work-conserving regions (the task bodies),
+* ``growing``   -- management-attributed regions (taskwait, creation,
+  barriers) whose time rises with the team size,
+* ``shrinking`` -- anything that parallelizes.
+
+This is the evidence the paper derives its diagnosis from ("the increase
+in runtime is due to management overhead of the runtime system").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiment import run_app
+from repro.cube.query import flat_region_profile
+
+
+@dataclass
+class RegionScaling:
+    """One region's exclusive time across thread counts."""
+
+    region: str
+    #: thread count -> summed exclusive time
+    times: Dict[int, float]
+
+    @property
+    def growth(self) -> float:
+        """time(max threads) / time(min threads); inf if starting at 0."""
+        threads = sorted(self.times)
+        first, last = self.times[threads[0]], self.times[threads[-1]]
+        if first <= 0:
+            return float("inf") if last > 0 else 1.0
+        return last / first
+
+    @property
+    def classification(self) -> str:
+        if self.growth > 1.5:
+            return "growing"
+        if self.growth < 1 / 1.5:
+            return "shrinking"
+        return "flat"
+
+
+@dataclass
+class ScalingStudy:
+    app: str
+    threads: Sequence[int]
+    kernel_times: Dict[int, float]
+    regions: List[RegionScaling]
+
+    def region(self, name: str) -> RegionScaling:
+        for entry in self.regions:
+            if entry.region == name:
+                return entry
+        raise KeyError(f"no region {name!r} in the study")
+
+    def classified(self, kind: str) -> List[RegionScaling]:
+        return [r for r in self.regions if r.classification == kind]
+
+    def diagnosis(self) -> str:
+        """A Section VI-style one-paragraph reading of the study."""
+        growing = self.classified("growing")
+        kernel_growth = (
+            self.kernel_times[max(self.threads)] / self.kernel_times[min(self.threads)]
+        )
+        if kernel_growth > 1.2 and growing:
+            hot = max(growing, key=lambda r: r.times[max(self.threads)])
+            return (
+                f"{self.app}: kernel time grows {kernel_growth:.1f}x from "
+                f"{min(self.threads)} to {max(self.threads)} threads while "
+                f"task work stays constant; the growth concentrates in "
+                f"management regions ({', '.join(r.region for r in growing)}), "
+                f"led by {hot.region!r} ({hot.growth:.1f}x) -- the runtime "
+                "system's task management is the bottleneck (increase task "
+                "granularity)"
+            )
+        if kernel_growth < 0.8:
+            return (
+                f"{self.app}: scales ({kernel_growth:.2f}x kernel time at "
+                f"{max(self.threads)} threads); task granularity is adequate"
+            )
+        return f"{self.app}: kernel time roughly flat across thread counts"
+
+
+def scaling_study(
+    app: str,
+    size: str = "small",
+    variant: str = "stress",
+    threads: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 0,
+    min_time: float = 1.0,
+    **run_kwargs,
+) -> ScalingStudy:
+    """Run ``app`` at each thread count and collect per-region scaling."""
+    kernel_times: Dict[int, float] = {}
+    per_region: Dict[str, Dict[int, float]] = {}
+    for n_threads in threads:
+        result = run_app(
+            app,
+            size=size,
+            variant=variant,
+            n_threads=n_threads,
+            instrument=True,
+            seed=seed,
+            **run_kwargs,
+        )
+        kernel_times[n_threads] = result.kernel_time
+        flat = flat_region_profile(result.profile)
+        for region, metrics in flat.items():
+            per_region.setdefault(region, {})[n_threads] = metrics["exclusive"]
+    regions = [
+        RegionScaling(region, times)
+        for region, times in sorted(per_region.items())
+        if max(times.values()) >= min_time
+    ]
+    return ScalingStudy(app, tuple(threads), kernel_times, regions)

@@ -1,0 +1,104 @@
+"""Task granularity statistics (paper Table I).
+
+"Mean execution time over all tasks and number of tasks for code versions
+without cut-off."  The numbers come straight out of the task-aware
+profile: the aggregate task trees' duration accumulators hold one sample
+per completed instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.analysis.experiment import ExperimentResult, run_app
+from repro.profiling.metrics import StatAccumulator
+
+
+@dataclass
+class TaskStatsRow:
+    """One Table I row."""
+
+    code: str
+    mean_time_us: float
+    min_time_us: float
+    max_time_us: float
+    task_count: int
+    total_time_us: float
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskStatsRow({self.code}: mean={self.mean_time_us:.2f}us, "
+            f"n={self.task_count})"
+        )
+
+
+def combined_task_stats(result: ExperimentResult) -> StatAccumulator:
+    """Fold the per-construct instance statistics of a run into one."""
+    if result.profile is None:
+        raise ValueError("task statistics require an instrumented run")
+    combined = StatAccumulator()
+    for per_thread in result.profile.task_trees:
+        for tree in per_thread.values():
+            combined.merge(tree.metrics.durations)
+    return combined
+
+
+def task_statistics(
+    apps: Iterable[str],
+    size: str = "small",
+    variant: str = "stress",
+    n_threads: int = 4,
+    seed: int = 0,
+    include_perturbation: bool = False,
+    **run_kwargs,
+) -> List[TaskStatsRow]:
+    """Table I: mean task execution time and task count per app.
+
+    By default the statistics are collected with the per-event
+    instrumentation cost set to zero -- the simulator can observe without
+    perturbing, so the reported task granularities are the *application's*,
+    not the measurement system's.  Pass ``include_perturbation=True`` to
+    measure what an instrumented run would see instead.
+    """
+    rows = []
+    for app in apps:
+        costs = run_kwargs.pop("costs", None)
+        if costs is None:
+            from repro.runtime.costs import CostModel
+
+            costs = CostModel()
+        if not include_perturbation:
+            costs = costs.with_instrumentation_cost(0.0)
+        result = run_app(
+            app,
+            size=size,
+            variant=variant,
+            n_threads=n_threads,
+            instrument=True,
+            seed=seed,
+            costs=costs,
+            **run_kwargs,
+        )
+        stats = combined_task_stats(result)
+        rows.append(
+            TaskStatsRow(
+                code=app,
+                mean_time_us=stats.mean,
+                min_time_us=stats.minimum if stats.count else 0.0,
+                max_time_us=stats.maximum if stats.count else 0.0,
+                task_count=stats.count,
+                total_time_us=stats.total,
+            )
+        )
+    return rows
+
+
+def granularity_ratios(rows: List[TaskStatsRow]) -> Dict[str, float]:
+    """Each app's mean task time relative to the smallest-task app.
+
+    The paper's Table I argument is about *ratios*: strassen's tasks are
+    ~two orders of magnitude larger than fib's.
+    """
+    smallest = min(row.mean_time_us for row in rows)
+    return {row.code: row.mean_time_us / smallest for row in rows}

@@ -1,0 +1,170 @@
+"""BOTS *alignment*: pairwise protein sequence alignment.
+
+All-pairs global alignment scores (Needleman-Wunsch with a simplified
+substitution model) over a fixed set of synthetic protein sequences: one
+task per pair, a single flat level of parallelism with no nesting and no
+scheduling points inside the tasks.  That makes alignment the paper's
+best-behaved code: zero measured overhead (Fig. 13) and a maximum of
+exactly **1** concurrently executing task per thread (Table II).
+
+The scores are real DP results; verification recomputes a digest
+serially.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bots.common import BotsProgram, first_result, require_size
+from repro.sim.rng import DeterministicRNG
+
+#: virtual µs per DP cell evaluated
+CELL_COST_US = 0.5
+
+AMINO_ACIDS = "ARNDCQEGHILKMFPSTWYV"
+GAP_PENALTY = -4
+MATCH_SCORE = 5
+MISMATCH_SCORE = -2
+
+
+def make_sequences(count: int, length: int, seed: int = 99) -> List[str]:
+    rng = DeterministicRNG(seed)
+    return [
+        "".join(rng.choice(AMINO_ACIDS) for _ in range(length)) for _ in range(count)
+    ]
+
+
+def needleman_wunsch(a: str, b: str) -> int:
+    """Global alignment score (linear-space DP)."""
+    previous = [j * GAP_PENALTY for j in range(len(b) + 1)]
+    for i in range(1, len(a) + 1):
+        current = [i * GAP_PENALTY] + [0] * len(b)
+        for j in range(1, len(b) + 1):
+            match = MATCH_SCORE if a[i - 1] == b[j - 1] else MISMATCH_SCORE
+            current[j] = max(
+                previous[j - 1] + match,
+                previous[j] + GAP_PENALTY,
+                current[j - 1] + GAP_PENALTY,
+            )
+        previous = current
+    return previous[len(b)]
+
+
+def align_pair_task(ctx, sequences: List[str], i: int, j: int):
+    score = needleman_wunsch(sequences[i], sequences[j])
+    cells = len(sequences[i]) * len(sequences[j])
+    yield ctx.compute(CELL_COST_US * cells, counters={"dp_cells": cells})
+    return (i, j, score)
+
+
+def alignment_region(sequences: List[str]):
+    """All-pairs region: the single producer spawns one task per pair."""
+
+    def region(ctx):
+        if not (yield ctx.single()):
+            return None
+        handles = []
+        for i in range(len(sequences)):
+            for j in range(i + 1, len(sequences)):
+                handles.append((yield ctx.spawn(align_pair_task, sequences, i, j)))
+        yield ctx.taskwait()
+        scores: Dict[Tuple[int, int], int] = {}
+        for handle in handles:
+            i, j, score = handle.result
+            scores[(i, j)] = score
+        return scores
+
+    region.__name__ = "region@alignment"
+    return region
+
+
+def alignment_for_region(sequences: List[str]):
+    """BOTS' ``alignment.for`` shape: every thread creates the tasks of
+    its round-robin stripe of the pair space (distributed creation);
+    the barrier completes all pairs and thread 0 gathers the scores.
+    """
+
+    def region(ctx):
+        me, team = ctx.thread_id, ctx.n_threads
+        pairs = [
+            (i, j)
+            for i in range(len(sequences))
+            for j in range(i + 1, len(sequences))
+        ]
+        handles = []
+        for index, (i, j) in enumerate(pairs):
+            if index % team == me:
+                handles.append((yield ctx.spawn(align_pair_task, sequences, i, j)))
+        # Wait for the *whole team's* tasks, not just this thread's.
+        yield ctx.barrier()
+        scores: Dict[Tuple[int, int], int] = {}
+        for handle in handles:
+            i, j, score = handle.result
+            scores[(i, j)] = score
+        return scores
+
+    region.__name__ = "region@alignment_for"
+    return region
+
+
+def expected_scores(sequences: List[str]) -> Dict[Tuple[int, int], int]:
+    return {
+        (i, j): needleman_wunsch(sequences[i], sequences[j])
+        for i in range(len(sequences))
+        for j in range(i + 1, len(sequences))
+    }
+
+
+SIZES = {
+    "test": {"count": 4, "length": 12},
+    "small": {"count": 10, "length": 20},
+    "medium": {"count": 16, "length": 32},
+}
+
+
+def make_program(
+    size: str = "small", seed: int = 99, creation: str = "single"
+) -> BotsProgram:
+    """``creation='single'`` (default, the paper's shape) or ``'for'``
+    (distributed creation across the team, BOTS' alignment.for)."""
+    params = require_size(SIZES, size, "alignment")
+    sequences = make_sequences(params["count"], params["length"], seed)
+    expected = expected_scores(sequences)
+
+    if creation == "single":
+        body = alignment_region(sequences)
+
+        def verify(result) -> bool:
+            return first_result(result) == expected
+
+    elif creation == "for":
+        body = alignment_for_region(sequences)
+
+        def verify(result) -> bool:
+            # each thread returns its stripe; the union must be exact
+            merged: Dict[Tuple[int, int], int] = {}
+            total = 0
+            for value in result.return_values:
+                if value:
+                    total += len(value)
+                    merged.update(value)
+            return total == len(merged) and merged == expected
+
+    else:
+        raise ValueError(
+            f"unknown alignment creation mode {creation!r}; use 'single' or 'for'"
+        )
+
+    pairs = params["count"] * (params["count"] - 1) // 2
+    return BotsProgram(
+        name="alignment",
+        variant="default" if creation == "single" else "for",
+        body=body,
+        verify=verify,
+        meta={
+            "sequences": params["count"],
+            "length": params["length"],
+            "expected_tasks": pairs,
+            "creation": creation,
+        },
+    )

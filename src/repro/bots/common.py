@@ -1,0 +1,74 @@
+"""Shared infrastructure for the BOTS kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass
+class BotsProgram:
+    """A runnable benchmark instance.
+
+    Attributes
+    ----------
+    name / variant:
+        Kernel name and variant tag (``'cutoff'``, ``'nocutoff'``,
+        ``'single'``, ``'for'``).
+    body:
+        The parallel-region body, ``body(ctx) -> generator``; pass it to
+        :meth:`repro.runtime.OpenMPRuntime.parallel`.
+    verify:
+        ``verify(parallel_result) -> bool`` -- checks the *functional*
+        output of the run (the kernels compute real results).
+    meta:
+        Size parameters and derived expectations (for reports/tests).
+    """
+
+    name: str
+    variant: str
+    body: Callable
+    verify: Callable[[Any], bool]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}/{self.variant}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BotsProgram {self.label} {self.meta}>"
+
+
+def single_producer_region(task_fn: Callable, *args: Any, **kwargs: Any) -> Callable:
+    """Build the canonical BOTS region shape: one thread spawns the root
+    task inside a ``single`` construct; everyone meets at the implicit
+    end-of-region barrier, where the task pool drains.
+    """
+
+    def region(ctx):
+        if (yield ctx.single()):
+            handle = yield ctx.spawn(task_fn, *args, **kwargs)
+            yield ctx.taskwait()
+            return handle.result
+        return None
+
+    region.__name__ = f"region@{getattr(task_fn, '__name__', 'task')}"
+    return region
+
+
+def first_result(parallel_result) -> Any:
+    """The non-None return value of a single-producer region."""
+    for value in parallel_result.return_values:
+        if value is not None:
+            return value
+    return None
+
+
+def require_size(sizes: Dict[str, dict], size: str, kernel: str) -> dict:
+    """Look up a size preset with a helpful error."""
+    try:
+        return sizes[size]
+    except KeyError:
+        raise ValueError(
+            f"unknown size {size!r} for {kernel}; available: {sorted(sizes)}"
+        ) from None

@@ -1,0 +1,94 @@
+"""BOTS *fft*: Cooley-Tukey fast Fourier transform.
+
+Radix-2 decimation in time: spawn FFTs of the even and odd sub-sequences,
+taskwait, combine with twiddle factors.  Below the cut-off length the
+transform is computed directly with numpy (charged n log2 n); the
+no-cut-off stress variant recurses down to length-4 leaves.
+
+Verification compares against ``numpy.fft.fft``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bots.common import BotsProgram, first_result, require_size, single_producer_region
+
+#: virtual µs per element of a combine pass
+COMBINE_COST_US = 0.012
+#: virtual µs per element*log2(element) of a direct base-case transform
+BASE_COST_US = 0.020
+#: smallest length the no-cut-off variant still splits
+MIN_LENGTH = 4
+
+
+def make_input(n: int, seed: int = 17) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+def fft_task(ctx, data: np.ndarray, threshold: int):
+    n = len(data)
+    if n <= threshold or n <= MIN_LENGTH:
+        result = np.fft.fft(data)
+        yield ctx.compute(BASE_COST_US * n * max(np.log2(n), 1.0))
+        return result
+    even = yield ctx.spawn(fft_task, data[0::2], threshold)
+    odd = yield ctx.spawn(fft_task, data[1::2], threshold)
+    yield ctx.taskwait()
+    half = n // 2
+    twiddle = np.exp(-2j * np.pi * np.arange(half) / n)
+    odd_t = twiddle * odd.result
+    combined = np.concatenate([even.result + odd_t, even.result - odd_t])
+    yield ctx.compute(COMBINE_COST_US * n)
+    return combined
+
+
+def task_count(n: int, threshold: int) -> int:
+    def count(m: int) -> int:
+        if m <= threshold or m <= MIN_LENGTH:
+            return 1
+        return 1 + 2 * count(m // 2)
+
+    return count(n)
+
+
+SIZES = {
+    "test": {"n": 64},
+    "small": {"n": 1024},
+    "medium": {"n": 4096},
+}
+
+DEFAULT_THRESHOLD = {"test": 16, "small": 128, "medium": 256}
+
+
+def make_program(
+    size: str = "small",
+    threshold: Optional[int] = None,
+    use_cutoff: bool = True,
+    seed: int = 17,
+) -> BotsProgram:
+    params = require_size(SIZES, size, "fft")
+    n = params["n"]
+    if use_cutoff:
+        if threshold is None:
+            threshold = DEFAULT_THRESHOLD[size]
+    else:
+        threshold = MIN_LENGTH
+    data = make_input(n, seed)
+    expected = np.fft.fft(data)
+
+    def verify(result) -> bool:
+        value = first_result(result)
+        return value is not None and np.allclose(value, expected, rtol=1e-8, atol=1e-8)
+
+    body = single_producer_region(fft_task, data, threshold)
+    return BotsProgram(
+        name="fft",
+        variant="cutoff" if use_cutoff else "nocutoff",
+        body=body,
+        verify=verify,
+        meta={"n": n, "threshold": threshold, "expected_tasks": task_count(n, threshold)},
+    )

@@ -1,0 +1,128 @@
+"""BOTS *fib*: Fibonacci by binary task recursion.
+
+The paper's pathological small-task example: every task does two child
+spawns, a taskwait, and one addition.  Without a cut-off, ``fib(n)``
+creates ``2*F(n+1) - 1`` task instances whose bodies are ~1 µs -- the
+granularity the paper blames for fib's 310 % / 527 % overheads.
+
+The cut-off variant spawns tasks down to ``cutoff`` recursion levels and
+computes serially below, charging the serial subtree's work analytically
+(one Compute per subtree) so simulated time matches the fully-unrolled
+recursion while the simulation itself stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bots.common import BotsProgram, first_result, require_size, single_producer_region
+
+#: virtual µs per addition/leaf -- tuned for a ~1.5 µs mean task (Table I)
+LEAF_COST_US = 0.40
+ADD_COST_US = 0.50
+
+
+def fib_value(n: int) -> int:
+    """Iterative Fibonacci (ground truth for verification)."""
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def call_count(n: int) -> int:
+    """Number of calls in the naive recursion tree of fib(n): 2*F(n+1)-1."""
+    return 2 * fib_value(n + 1) - 1
+
+
+def task_count(n: int, cutoff: Optional[int]) -> int:
+    """Explicit task instances created for fib(n) with the given cut-off.
+
+    Every recursive call above the cut-off level is one task (the root is
+    spawned too).  ``cutoff=None`` means no cut-off.
+    """
+
+    def tasks(m: int, depth: int) -> int:
+        if m < 2:
+            return 1
+        if cutoff is not None and depth >= cutoff:
+            return 1
+        return 1 + tasks(m - 1, depth + 1) + tasks(m - 2, depth + 1)
+
+    return tasks(n, 0)
+
+
+def serial_cost(n: int) -> float:
+    """Virtual cost of computing fib(n) serially (whole recursion tree)."""
+    if n < 2:
+        return LEAF_COST_US
+    # internal nodes = F(n+1)-1, leaves = F(n+1)
+    leaves = fib_value(n + 1)
+    return (leaves - 1) * ADD_COST_US + leaves * LEAF_COST_US
+
+
+def fib_task(ctx, n: int, depth: int = 0, cutoff: Optional[int] = None,
+             depth_parameter: bool = False):
+    """The task body.  ``depth_parameter`` enables Table IV-style
+    parameter instrumentation (one profile sub-tree per recursion level).
+    """
+    if n < 2:
+        yield ctx.compute(LEAF_COST_US)
+        return n
+    if cutoff is not None and depth >= cutoff:
+        yield ctx.compute(serial_cost(n))
+        return fib_value(n)
+    parameter = ("depth", depth + 1) if depth_parameter else None
+    a = yield ctx.spawn(
+        fib_task, n - 1, depth + 1, cutoff, depth_parameter, parameter=parameter
+    )
+    b = yield ctx.spawn(
+        fib_task, n - 2, depth + 1, cutoff, depth_parameter, parameter=parameter
+    )
+    yield ctx.taskwait()
+    yield ctx.compute(ADD_COST_US)
+    return a.result + b.result
+
+
+SIZES = {
+    "test": {"n": 10},
+    "small": {"n": 16},
+    "medium": {"n": 20},
+}
+
+DEFAULT_CUTOFF = {"test": 4, "small": 10, "medium": 14}
+
+
+def make_program(
+    size: str = "small",
+    cutoff: Optional[int] = None,
+    use_cutoff: bool = False,
+    depth_parameter: bool = False,
+) -> BotsProgram:
+    """Build a fib program.
+
+    ``use_cutoff=True`` with ``cutoff=None`` picks the size's default
+    cut-off level (the BOTS "-Y" manual cut-off mode).
+    """
+    params = require_size(SIZES, size, "fib")
+    n = params["n"]
+    if use_cutoff and cutoff is None:
+        cutoff = DEFAULT_CUTOFF[size]
+    expected = fib_value(n)
+
+    def verify(result) -> bool:
+        return first_result(result) == expected
+
+    body = single_producer_region(fib_task, n, 0, cutoff, depth_parameter)
+    return BotsProgram(
+        name="fib",
+        variant="cutoff" if cutoff is not None else "nocutoff",
+        body=body,
+        verify=verify,
+        meta={
+            "n": n,
+            "cutoff": cutoff,
+            "expected_value": expected,
+            "expected_tasks": task_count(n, cutoff),
+        },
+    )

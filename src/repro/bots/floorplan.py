@@ -1,0 +1,204 @@
+"""BOTS *floorplan*: optimal cell placement by branch & bound.
+
+Place N rectangular cells (each with a set of allowed orientations) onto
+a grid so that the bounding-box area of the occupied cells is minimal.
+The search spawns one task per (cell orientation x anchor position) at
+each level and prunes branches whose partial area already reaches the
+best known area -- which the tasks share through a ``critical`` section,
+making floorplan the kernel whose schedule-dependent pruning produces the
+run-to-run variability the paper observed (the class A/B bimodality of
+Section V-A).
+
+Below the cut-off level the search continues serially inside the task.
+Verification checks the returned minimal area against an exhaustive
+serial search.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bots.common import BotsProgram, first_result, require_size, single_producer_region
+
+#: virtual µs per candidate placement evaluated
+EVAL_COST_US = 6.5
+
+Cell = Tuple[Tuple[int, int], ...]  # allowed (width, height) orientations
+Placement = Tuple[Tuple[int, int, int, int], ...]  # (x, y, w, h) per placed cell
+
+#: deterministic benchmark cell sets (width, height) with 2 orientations
+CELL_SETS = {
+    5: (
+        ((1, 4), (4, 1)),
+        ((2, 3), (3, 2)),
+        ((2, 2),),
+        ((1, 3), (3, 1)),
+        ((2, 1), (1, 2)),
+    ),
+    6: (
+        ((1, 4), (4, 1)),
+        ((2, 3), (3, 2)),
+        ((2, 2),),
+        ((1, 3), (3, 1)),
+        ((2, 1), (1, 2)),
+        ((1, 1),),
+    ),
+    7: (
+        ((1, 4), (4, 1)),
+        ((2, 3), (3, 2)),
+        ((2, 2),),
+        ((1, 3), (3, 1)),
+        ((2, 1), (1, 2)),
+        ((1, 1),),
+        ((1, 2), (2, 1)),
+    ),
+}
+
+
+class SharedBest:
+    """The bound shared between tasks (guarded by a critical section)."""
+
+    __slots__ = ("area",)
+
+    def __init__(self, upper_bound: int) -> None:
+        self.area = upper_bound
+
+
+def _overlaps(placement: Placement, x: int, y: int, w: int, h: int) -> bool:
+    for px, py, pw, ph in placement:
+        if x < px + pw and px < x + w and y < py + ph and py < y + h:
+            return True
+    return False
+
+
+def _bounding_area(placement: Placement) -> int:
+    if not placement:
+        return 0
+    max_x = max(x + w for x, y, w, h in placement)
+    max_y = max(y + h for x, y, w, h in placement)
+    return max_x * max_y
+
+
+def _candidates(placement: Placement, cell: Cell, grid: int):
+    """Anchor positions: origin, or adjacent to an already placed cell."""
+    anchors = {(0, 0)}
+    for px, py, pw, ph in placement:
+        anchors.add((px + pw, py))
+        anchors.add((px, py + ph))
+    for w, h in cell:
+        for x, y in sorted(anchors):
+            if x + w <= grid and y + h <= grid:
+                if not _overlaps(placement, x, y, w, h):
+                    yield x, y, w, h
+
+
+def solve_serial(
+    cells: Tuple[Cell, ...],
+    grid: int,
+    placement: Placement = (),
+    index: int = 0,
+    best: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Exhaustive serial search; returns (best area, evaluated candidates)."""
+    if best is None:
+        best = grid * grid + 1
+    if index == len(cells):
+        return min(best, _bounding_area(placement)), 1
+    evaluated = 1
+    for x, y, w, h in _candidates(placement, cells[index], grid):
+        partial = placement + ((x, y, w, h),)
+        if _bounding_area(partial) >= best:
+            evaluated += 1
+            continue
+        sub_best, sub_eval = solve_serial(cells, grid, partial, index + 1, best)
+        best = min(best, sub_best)
+        evaluated += sub_eval
+    return best, evaluated
+
+
+def floorplan_task(
+    ctx,
+    cells: Tuple[Cell, ...],
+    grid: int,
+    best: SharedBest,
+    placement: Placement = (),
+    index: int = 0,
+    cutoff: Optional[int] = None,
+):
+    yield ctx.compute(EVAL_COST_US)
+    if index == len(cells):
+        area = _bounding_area(placement)
+        yield ctx.critical("floorplan-best")
+        if area < best.area:
+            best.area = area
+        yield ctx.end_critical("floorplan-best")
+        return area
+    # Read the bound once per task (racy reads are fine: the bound only
+    # ever decreases, so stale reads just prune less).
+    bound = best.area
+    if _bounding_area(placement) >= bound:
+        return bound
+    if cutoff is not None and index >= cutoff:
+        sub_best, evaluated = solve_serial(cells, grid, placement, index, bound)
+        yield ctx.compute(EVAL_COST_US * evaluated)
+        if sub_best < bound:
+            yield ctx.critical("floorplan-best")
+            if sub_best < best.area:
+                best.area = sub_best
+            yield ctx.end_critical("floorplan-best")
+        return sub_best
+    handles = []
+    for x, y, w, h in _candidates(placement, cells[index], grid):
+        partial = placement + ((x, y, w, h),)
+        if _bounding_area(partial) >= best.area:
+            continue
+        handles.append(
+            (
+                yield ctx.spawn(
+                    floorplan_task, cells, grid, best, partial, index + 1, cutoff
+                )
+            )
+        )
+    yield ctx.taskwait()
+    result = min((h.result for h in handles), default=best.area)
+    return min(result, best.area)
+
+
+SIZES = {
+    "test": {"cells": 5, "grid": 6},
+    "small": {"cells": 6, "grid": 6},
+    "medium": {"cells": 7, "grid": 7},
+}
+
+DEFAULT_CUTOFF = {"test": 2, "small": 3, "medium": 3}
+
+
+def make_program(
+    size: str = "small",
+    cutoff: Optional[int] = None,
+    use_cutoff: bool = False,
+) -> BotsProgram:
+    params = require_size(SIZES, size, "floorplan")
+    cells = CELL_SETS[params["cells"]]
+    grid = params["grid"]
+    if use_cutoff and cutoff is None:
+        cutoff = DEFAULT_CUTOFF[size]
+    optimal, _ = solve_serial(cells, grid)
+    best = SharedBest(grid * grid + 1)
+
+    def verify(result) -> bool:
+        return first_result(result) == optimal and best.area == optimal
+
+    body = single_producer_region(floorplan_task, cells, grid, best, (), 0, cutoff)
+    return BotsProgram(
+        name="floorplan",
+        variant="cutoff" if cutoff is not None else "nocutoff",
+        body=body,
+        verify=verify,
+        meta={
+            "cells": len(cells),
+            "grid": grid,
+            "cutoff": cutoff,
+            "optimal_area": optimal,
+        },
+    )

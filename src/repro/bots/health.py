@@ -1,0 +1,167 @@
+"""BOTS *health*: multi-level health-system simulation.
+
+A tree of villages (branching factor 4): leaf villages generate patients;
+each simulation step descends the tree with one task per child village,
+then processes the local hospital queue.  Patients not treatable at a
+level are referred upward, so the root sees the aggregated load --
+structurally the same columnar-simulation shape as the original BOTS
+kernel, with the same cut-off option (below the cut-off level the
+sub-tree is simulated serially inside the task).
+
+All randomness is hash-based per (village, step), so the simulation's
+functional result -- total patients treated per level -- is identical for
+any thread count and schedule, which verification exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bots.common import BotsProgram, first_result, require_size, single_producer_region
+
+#: virtual µs per patient processed at a hospital
+PATIENT_COST_US = 0.9
+#: virtual µs of fixed per-village bookkeeping per step
+VILLAGE_COST_US = 0.6
+
+BRANCHING = 4
+
+
+def _patients_generated(village_id: int, step: int) -> int:
+    """Deterministic pseudo-random patient arrivals at a leaf village."""
+    h = hash((village_id, step, 0x9E3779B9)) & 0xFFFF
+    return h % 3  # 0..2 new patients per step
+
+
+def _referred(village_id: int, step: int, treated: int) -> int:
+    """How many of the treated patients get referred upward."""
+    if treated == 0:
+        return 0
+    h = hash((village_id, step, 0x85EBCA6B)) & 0xFFFF
+    return (h % (treated + 1)) // 2
+
+
+def simulate_village_serial(
+    village_id: int, level: int, step: int, max_level: int
+) -> Tuple[int, int]:
+    """Serial simulation of one village sub-tree for one step.
+
+    Returns ``(treated, referred_up)``.
+    """
+    incoming = 0
+    treated = 0
+    if level == max_level:  # leaf
+        incoming = _patients_generated(village_id, step)
+    else:
+        for c in range(BRANCHING):
+            child_id = village_id * BRANCHING + c + 1
+            sub_treated, sub_referred = simulate_village_serial(
+                child_id, level + 1, step, max_level
+            )
+            treated += sub_treated
+            incoming += sub_referred
+    locally_treated = incoming
+    referred = _referred(village_id, step, locally_treated)
+    treated += locally_treated - referred
+    return treated, referred
+
+
+def serial_cost(level: int, max_level: int, treated_hint: int) -> float:
+    """Approximate virtual cost of a serial sub-tree simulation."""
+    villages = sum(BRANCHING ** d for d in range(max_level - level + 1))
+    return villages * VILLAGE_COST_US + treated_hint * PATIENT_COST_US
+
+
+def health_task(
+    ctx,
+    village_id: int,
+    level: int,
+    step: int,
+    max_level: int,
+    cutoff: Optional[int] = None,
+):
+    """Simulate one village (and its sub-tree) for one step."""
+    yield ctx.compute(VILLAGE_COST_US)
+    if level == max_level:
+        incoming = _patients_generated(village_id, step)
+        yield ctx.compute(PATIENT_COST_US * incoming)
+        referred = _referred(village_id, step, incoming)
+        return incoming - referred, referred
+    if cutoff is not None and level >= cutoff:
+        treated, referred = simulate_village_serial(village_id, level, step, max_level)
+        yield ctx.compute(serial_cost(level, max_level, treated))
+        return treated, referred
+    handles = []
+    for c in range(BRANCHING):
+        child_id = village_id * BRANCHING + c + 1
+        handles.append(
+            (yield ctx.spawn(health_task, child_id, level + 1, step, max_level, cutoff))
+        )
+    yield ctx.taskwait()
+    treated = 0
+    incoming = 0
+    for handle in handles:
+        sub_treated, sub_referred = handle.result
+        treated += sub_treated
+        incoming += sub_referred
+    yield ctx.compute(PATIENT_COST_US * incoming)
+    referred = _referred(village_id, step, incoming)
+    treated += incoming - referred
+    return treated, referred
+
+
+def health_steps_task(ctx, steps: int, max_level: int, cutoff: Optional[int]):
+    """Root task: run the whole simulation for several steps."""
+    total_treated = 0
+    for step in range(steps):
+        handle = yield ctx.spawn(health_task, 0, 0, step, max_level, cutoff)
+        yield ctx.taskwait()
+        treated, _referred = handle.result
+        total_treated += treated
+    return total_treated
+
+
+def expected_total(steps: int, max_level: int) -> int:
+    total = 0
+    for step in range(steps):
+        treated, referred = simulate_village_serial(0, 0, step, max_level)
+        total += treated  # patients referred past the root leave untreated
+    return total
+
+
+SIZES = {
+    "test": {"levels": 2, "steps": 2},
+    "small": {"levels": 3, "steps": 6},
+    "medium": {"levels": 4, "steps": 6},
+}
+
+DEFAULT_CUTOFF = {"test": 1, "small": 2, "medium": 2}
+
+
+def make_program(
+    size: str = "small",
+    cutoff: Optional[int] = None,
+    use_cutoff: bool = False,
+) -> BotsProgram:
+    params = require_size(SIZES, size, "health")
+    levels, steps = params["levels"], params["steps"]
+    if use_cutoff and cutoff is None:
+        cutoff = DEFAULT_CUTOFF[size]
+    expected = expected_total(steps, levels)
+
+    def verify(result) -> bool:
+        return first_result(result) == expected
+
+    body = single_producer_region(health_steps_task, steps, levels, cutoff)
+    return BotsProgram(
+        name="health",
+        variant="cutoff" if cutoff is not None else "nocutoff",
+        body=body,
+        verify=verify,
+        meta={
+            "levels": levels,
+            "steps": steps,
+            "cutoff": cutoff,
+            "expected_treated": expected,
+        },
+    )

@@ -1,0 +1,99 @@
+"""Registry of the nine BOTS kernels and their paper variants.
+
+:func:`get_program` builds a *fresh* program instance on every call --
+required because some kernels (sparselu, floorplan) mutate shared state
+in place during the run, so a program object is single-use.
+
+The variant strings follow the paper's evaluation setup:
+
+* ``'optimized'`` -- the Fig. 13 configuration: cut-off versions where
+  BOTS provides one (fib, floorplan, health, nqueens, strassen), the
+  single-producer sparselu, default versions otherwise.
+* ``'stress'`` -- the Fig. 14 configuration: no cut-off anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bots import alignment, fft, fib, floorplan, health, nqueens, sort, sparselu, strassen, uts
+from repro.bots.common import BotsProgram
+
+#: kernels with a BOTS-provided cut-off version (paper Section V-A)
+CUTOFF_KERNELS = ("fib", "floorplan", "health", "nqueens", "strassen")
+
+#: all nine kernel names
+ALL_KERNELS = (
+    "alignment",
+    "fft",
+    "fib",
+    "floorplan",
+    "health",
+    "nqueens",
+    "sort",
+    "sparselu",
+    "strassen",
+)
+
+ProgramFactory = Callable[..., BotsProgram]
+
+#: kernels beyond the paper's nine (extensions; excluded from the
+#: paper-reproduction benchmark sweeps)
+EXTRA_KERNELS = ("uts",)
+
+PROGRAMS: Dict[str, ProgramFactory] = {
+    "alignment": alignment.make_program,
+    "fft": fft.make_program,
+    "fib": fib.make_program,
+    "floorplan": floorplan.make_program,
+    "health": health.make_program,
+    "nqueens": nqueens.make_program,
+    "sort": sort.make_program,
+    "sparselu": sparselu.make_program,
+    "strassen": strassen.make_program,
+    "uts": uts.make_program,
+}
+
+
+def get_program(name: str, size: str = "small", variant: str = "optimized", **kwargs) -> BotsProgram:
+    """Build a fresh program for ``name``.
+
+    ``variant``:
+
+    * ``'optimized'`` -- the kernel's tuned configuration (cut-off if the
+      suite provides one; sparselu single-producer),
+    * ``'stress'``    -- no cut-off (the Fig. 14 / Fig. 15 runs),
+    * anything else is forwarded to the kernel factory (e.g.
+      ``variant='for'`` for sparselu).
+
+    Extra keyword arguments go to the kernel's ``make_program``.
+    """
+    factory = PROGRAMS.get(name)
+    if factory is None:
+        raise KeyError(f"unknown BOTS kernel {name!r}; available: {sorted(PROGRAMS)}")
+
+    if name == "sparselu":
+        if variant == "optimized":
+            return factory(size=size, variant="single", **kwargs)
+        if variant == "stress":
+            # sparselu has no cut-off; the stress run is the same single
+            # version (matching the paper, which always uses `single`).
+            return factory(size=size, variant="single", **kwargs)
+        return factory(size=size, variant=variant, **kwargs)
+
+    if name == "alignment":
+        # no variants: one flat level of tasks
+        return factory(size=size, **kwargs)
+
+    if variant == "optimized":
+        use_cutoff = name in CUTOFF_KERNELS or name in ("sort", "fft", "uts")
+        return factory(size=size, use_cutoff=use_cutoff, **kwargs)
+    if variant == "stress":
+        return factory(size=size, use_cutoff=False, **kwargs)
+    raise ValueError(
+        f"unknown variant {variant!r} for {name!r}; use 'optimized' or 'stress'"
+    )
+
+
+def list_programs() -> List[str]:
+    return sorted(PROGRAMS)

@@ -1,0 +1,117 @@
+"""BOTS *sort*: parallel mergesort over an integer array.
+
+Divide & conquer: split in half, spawn two sort tasks, taskwait, merge.
+Below the cut-off threshold the slice is sorted serially (the BOTS code
+switches to sequential quicksort/insertion sort); the "no cut-off"
+stress variant recurses down to tiny slices, creating ~2 * n / min_size
+tasks.
+
+The sort is *real*: the program returns the sorted list and verification
+compares against ``sorted()``.  Virtual costs are charged per element
+compared/moved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.bots.common import BotsProgram, first_result, require_size, single_producer_region
+from repro.sim.rng import DeterministicRNG
+
+#: virtual µs per element merged
+MERGE_COST_US = 0.035
+#: virtual µs per element of serial sort (times log2 of the slice length)
+SERIAL_COST_US = 0.030
+#: smallest slice the no-cut-off variant still splits
+MIN_SLICE = 4
+
+
+def make_input(n: int, seed: int = 1234) -> List[int]:
+    rng = DeterministicRNG(seed)
+    return [rng.randrange(1_000_000) for _ in range(n)]
+
+
+def _merge(left: List[int], right: List[int]) -> List[int]:
+    out: List[int] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            out.append(left[i])
+            i += 1
+        else:
+            out.append(right[j])
+            j += 1
+    out.extend(left[i:])
+    out.extend(right[j:])
+    return out
+
+
+def sort_task(ctx, data: List[int], threshold: int):
+    n = len(data)
+    if n <= threshold or n <= MIN_SLICE:
+        result = sorted(data)
+        yield ctx.compute(SERIAL_COST_US * n * max(math.log2(n), 1.0) if n else 0.0)
+        return result
+    mid = n // 2
+    left = yield ctx.spawn(sort_task, data[:mid], threshold)
+    right = yield ctx.spawn(sort_task, data[mid:], threshold)
+    yield ctx.taskwait()
+    merged = _merge(left.result, right.result)
+    yield ctx.compute(MERGE_COST_US * n)
+    return merged
+
+
+def task_count(n: int, threshold: int) -> int:
+    """Task instances created for an n-element sort."""
+
+    def count(m: int) -> int:
+        if m <= threshold or m <= MIN_SLICE:
+            return 1
+        mid = m // 2
+        return 1 + count(mid) + count(m - mid)
+
+    return count(n)
+
+
+SIZES = {
+    "test": {"n": 128},
+    "small": {"n": 2048},
+    "medium": {"n": 8192},
+}
+
+DEFAULT_THRESHOLD = {"test": 32, "small": 256, "medium": 512}
+
+
+def make_program(
+    size: str = "small",
+    threshold: Optional[int] = None,
+    use_cutoff: bool = True,
+    seed: int = 1234,
+) -> BotsProgram:
+    """``use_cutoff=False`` recurses to MIN_SLICE-sized slices."""
+    params = require_size(SIZES, size, "sort")
+    n = params["n"]
+    if use_cutoff:
+        if threshold is None:
+            threshold = DEFAULT_THRESHOLD[size]
+    else:
+        threshold = MIN_SLICE
+    data = make_input(n, seed)
+    expected = sorted(data)
+
+    def verify(result) -> bool:
+        return first_result(result) == expected
+
+    body = single_producer_region(sort_task, data, threshold)
+    return BotsProgram(
+        name="sort",
+        variant="cutoff" if use_cutoff else "nocutoff",
+        body=body,
+        verify=verify,
+        meta={
+            "n": n,
+            "threshold": threshold,
+            "expected_tasks": task_count(n, threshold),
+        },
+    )

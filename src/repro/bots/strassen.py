@@ -1,0 +1,111 @@
+"""BOTS *strassen*: Strassen matrix multiplication.
+
+Each recursion level splits A and B into 2x2 blocks and spawns seven
+sub-multiplication tasks (M1..M7), then combines.  Below the cut-off
+block size the product is computed directly (numpy matmul), charged with
+a cubic flop cost.  Strassen is the paper's counter-example: its tasks
+are ~two orders of magnitude larger than fib's (Table I: 149 µs mean vs
+1.49 µs), so instrumentation overhead is negligible in every figure.
+
+Verification compares against ``A @ B`` exactly (the block arithmetic is
+the identical float operations re-associated, so we allow a small
+tolerance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bots.common import BotsProgram, first_result, require_size, single_producer_region
+
+#: virtual µs per fused multiply-add of the direct base-case product
+FLOP_COST_US = 0.25
+#: virtual µs per element of the add/combine steps
+ADD_COST_US = 0.010
+
+
+def make_inputs(n: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    return a, b
+
+
+def strassen_task(ctx, a: np.ndarray, b: np.ndarray, threshold: int):
+    n = a.shape[0]
+    if n <= threshold:
+        yield ctx.compute(FLOP_COST_US * n * n * n, counters={"flops": 2 * n * n * n})
+        return a @ b
+    h = n // 2
+    a11, a12, a21, a22 = a[:h, :h], a[:h, h:], a[h:, :h], a[h:, h:]
+    b11, b12, b21, b22 = b[:h, :h], b[:h, h:], b[h:, :h], b[h:, h:]
+    # Seven Strassen products, one task each (the BOTS decomposition).
+    yield ctx.compute(ADD_COST_US * 10 * h * h)  # the ten block additions
+    m1 = yield ctx.spawn(strassen_task, a11 + a22, b11 + b22, threshold)
+    m2 = yield ctx.spawn(strassen_task, a21 + a22, b11, threshold)
+    m3 = yield ctx.spawn(strassen_task, a11, b12 - b22, threshold)
+    m4 = yield ctx.spawn(strassen_task, a22, b21 - b11, threshold)
+    m5 = yield ctx.spawn(strassen_task, a11 + a12, b22, threshold)
+    m6 = yield ctx.spawn(strassen_task, a21 - a11, b11 + b12, threshold)
+    m7 = yield ctx.spawn(strassen_task, a12 - a22, b21 + b22, threshold)
+    yield ctx.taskwait()
+    c11 = m1.result + m4.result - m5.result + m7.result
+    c12 = m3.result + m5.result
+    c21 = m2.result + m4.result
+    c22 = m1.result - m2.result + m3.result + m6.result
+    yield ctx.compute(ADD_COST_US * 8 * h * h)  # the combine additions
+    out = np.empty_like(a)
+    out[:h, :h], out[:h, h:], out[h:, :h], out[h:, h:] = c11, c12, c21, c22
+    return out
+
+
+def task_count(n: int, threshold: int) -> int:
+    def count(m: int) -> int:
+        if m <= threshold:
+            return 1
+        return 1 + 7 * count(m // 2)
+
+    return count(n)
+
+
+SIZES = {
+    "test": {"n": 32},
+    "small": {"n": 64},
+    "medium": {"n": 128},
+}
+
+DEFAULT_THRESHOLD = {"test": 16, "small": 16, "medium": 32}
+NOCUTOFF_THRESHOLD = {"test": 8, "small": 8, "medium": 8}
+
+
+def make_program(
+    size: str = "small",
+    threshold: Optional[int] = None,
+    use_cutoff: bool = True,
+    seed: int = 7,
+) -> BotsProgram:
+    params = require_size(SIZES, size, "strassen")
+    n = params["n"]
+    if threshold is None:
+        threshold = (DEFAULT_THRESHOLD if use_cutoff else NOCUTOFF_THRESHOLD)[size]
+    a, b = make_inputs(n, seed)
+    expected = a @ b
+
+    def verify(result) -> bool:
+        value = first_result(result)
+        return value is not None and np.allclose(value, expected, rtol=1e-6, atol=1e-6)
+
+    body = single_producer_region(strassen_task, a, b, threshold)
+    return BotsProgram(
+        name="strassen",
+        variant="cutoff" if use_cutoff else "nocutoff",
+        body=body,
+        verify=verify,
+        meta={
+            "n": n,
+            "threshold": threshold,
+            "expected_tasks": task_count(n, threshold),
+        },
+    )

@@ -1,0 +1,158 @@
+"""*uts*: Unbalanced Tree Search (extra kernel, beyond the paper's nine).
+
+UTS (Olivier et al.) counts the nodes of an implicitly defined random
+tree whose shape is radically unbalanced -- the canonical stress test for
+dynamic load balancing, and a natural companion to the BOTS nine.  It is
+*not* part of the paper's evaluation; it ships as an extension because
+unbalanced task trees exercise work stealing and the Task Scheduling
+Constraint harder than any of the nine.
+
+Tree model (geometric): each node's child count is drawn from a
+deterministic hash of its path, ``P(k children) ~ q^k`` truncated at
+``m_max``, with the expected branching factor ``b`` tuned by ``q``.  The
+tree is fully determined by the root seed, so the node count is a
+verifiable ground truth (computed serially).
+
+Variants: ``cutoff`` spawns tasks down to a depth and searches serially
+below; ``nocutoff`` spawns one task per node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bots.common import BotsProgram, first_result, require_size, single_producer_region
+
+#: virtual µs per node visited (hash + bookkeeping)
+NODE_COST_US = 0.9
+
+_MASK = 0xFFFFFFFF
+
+
+def _hash(a: int, b: int) -> int:
+    """Deterministic 32-bit mix (SplitMix-style)."""
+    x = (a * 0x9E3779B9 + b * 0x85EBCA6B + 0xC2B2AE35) & _MASK
+    x ^= x >> 16
+    x = (x * 0x45D9F3B) & _MASK
+    x ^= x >> 16
+    return x
+
+
+def child_count(node_id: int, q_percent: int, m_max: int) -> int:
+    """Number of children: geometric with ratio q, truncated at m_max."""
+    draw = _hash(node_id, 0xDEADBEEF) % 100
+    children = 0
+    threshold = q_percent
+    while children < m_max and draw < threshold:
+        children += 1
+        threshold = threshold * q_percent // 100
+    return children
+
+
+def child_id(node_id: int, index: int) -> int:
+    return _hash(node_id, index + 1)
+
+
+#: fixed branching of the root node (UTS's b0), so trees never die early
+ROOT_CHILDREN = 4
+
+
+def _children_of(node_id: int, depth: int, q_percent: int, m_max: int) -> int:
+    if depth == 0:
+        return ROOT_CHILDREN
+    return child_count(node_id, q_percent, m_max)
+
+
+def count_serial(
+    node_id: int, q_percent: int, m_max: int, max_depth: int, depth: int = 0
+) -> int:
+    """Ground truth: serial node count of the subtree."""
+    if depth >= max_depth:
+        return 1
+    total = 1
+    for index in range(_children_of(node_id, depth, q_percent, m_max)):
+        total += count_serial(
+            child_id(node_id, index), q_percent, m_max, max_depth, depth + 1
+        )
+    return total
+
+
+def uts_task(
+    ctx,
+    node_id: int,
+    depth: int,
+    q_percent: int,
+    m_max: int,
+    max_depth: int,
+    cutoff: Optional[int],
+):
+    yield ctx.compute(NODE_COST_US)
+    if depth >= max_depth:
+        return 1
+    if cutoff is not None and depth >= cutoff:
+        nodes = count_serial(node_id, q_percent, m_max, max_depth, depth)
+        yield ctx.compute(NODE_COST_US * max(nodes - 1, 0))
+        return nodes
+    handles = []
+    for index in range(_children_of(node_id, depth, q_percent, m_max)):
+        handles.append(
+            (
+                yield ctx.spawn(
+                    uts_task,
+                    child_id(node_id, index),
+                    depth + 1,
+                    q_percent,
+                    m_max,
+                    max_depth,
+                    cutoff,
+                )
+            )
+        )
+    yield ctx.taskwait()
+    return 1 + sum(h.result for h in handles)
+
+
+SIZES = {
+    # q=70%, m_max=4 gives expected branching ~1.5: deep spindly trees
+    "test": {"root": 42, "q": 70, "m_max": 4, "max_depth": 12},
+    "small": {"root": 42, "q": 70, "m_max": 4, "max_depth": 14},
+    "medium": {"root": 42, "q": 70, "m_max": 4, "max_depth": 16},
+}
+
+DEFAULT_CUTOFF = {"test": 6, "small": 7, "medium": 8}
+
+
+def make_program(
+    size: str = "small",
+    cutoff: Optional[int] = None,
+    use_cutoff: bool = False,
+) -> BotsProgram:
+    params = require_size(SIZES, size, "uts")
+    root, q, m_max, max_depth = (
+        params["root"],
+        params["q"],
+        params["m_max"],
+        params["max_depth"],
+    )
+    if use_cutoff and cutoff is None:
+        cutoff = DEFAULT_CUTOFF[size]
+    expected = count_serial(root, q, m_max, max_depth)
+
+    def verify(result) -> bool:
+        return first_result(result) == expected
+
+    body = single_producer_region(uts_task, root, 0, q, m_max, max_depth, cutoff)
+    return BotsProgram(
+        name="uts",
+        variant="cutoff" if cutoff is not None else "nocutoff",
+        body=body,
+        verify=verify,
+        meta={
+            "root": root,
+            "q_percent": q,
+            "m_max": m_max,
+            "max_depth": max_depth,
+            "cutoff": cutoff,
+            "expected_nodes": expected,
+        },
+    )

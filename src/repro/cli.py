@@ -1,0 +1,337 @@
+"""Command-line interface: run kernels, regenerate paper artifacts.
+
+Examples::
+
+    python -m repro list
+    python -m repro run nqueens --size small --threads 4 --render
+    python -m repro run fib --variant stress --trace-timeline
+    python -m repro overhead fib --variant stress --threads 1,2,4,8
+    python -m repro advise nqueens --variant stress
+    python -m repro paper table1 table3 fig15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.advisor import advise
+from repro.analysis.charts import grouped_bar_chart
+from repro.analysis.experiment import run_app
+from repro.analysis.nqueens_study import (
+    cutoff_speedup,
+    nqueens_depth_table,
+    nqueens_region_times,
+)
+from repro.analysis.overhead import measure_overhead, overhead_sweep, runtime_scaling
+from repro.analysis.tables import format_table
+from repro.analysis.taskstats import task_statistics
+from repro.analysis.traces import management_ratio, render_timeline
+from repro.bots.registry import list_programs
+from repro.cube.export import dumps
+from repro.cube.render import render_profile
+
+
+def _parse_threads(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--threads expects comma-separated integers, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Profiling of OpenMP Tasks with Score-P' "
+        "(Lorenz et al., ICPP 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available BOTS kernels")
+
+    run_parser = sub.add_parser("run", help="run one kernel and show its profile")
+    run_parser.add_argument("app", help="kernel name (see `repro list`)")
+    run_parser.add_argument("--size", default="small", choices=["test", "small", "medium"])
+    run_parser.add_argument("--variant", default="optimized")
+    run_parser.add_argument("--threads", type=int, default=4)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--no-instrument", action="store_true")
+    run_parser.add_argument("--render", action="store_true", help="print the profile tree")
+    run_parser.add_argument("--max-depth", type=int, default=3)
+    run_parser.add_argument("--json", metavar="FILE", help="export the profile as JSON")
+    run_parser.add_argument(
+        "--trace-timeline", action="store_true",
+        help="record events and print the per-thread task timeline",
+    )
+
+    overhead_parser = sub.add_parser("overhead", help="instrumented-vs-baseline overhead")
+    overhead_parser.add_argument("app", nargs="+")
+    overhead_parser.add_argument("--size", default="small")
+    overhead_parser.add_argument("--variant", default="optimized")
+    overhead_parser.add_argument("--threads", type=_parse_threads, default=[1, 2, 4, 8])
+    overhead_parser.add_argument("--seeds", type=_parse_threads, default=[0])
+
+    report_parser = sub.add_parser("report", help="full performance report for one run")
+    report_parser.add_argument("app")
+    report_parser.add_argument("--size", default="small")
+    report_parser.add_argument("--variant", default="optimized")
+    report_parser.add_argument("--threads", type=int, default=4)
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument("--output", metavar="FILE", help="also write to a file")
+
+    advise_parser = sub.add_parser("advise", help="run the granularity advisor")
+    advise_parser.add_argument("app")
+    advise_parser.add_argument("--size", default="small")
+    advise_parser.add_argument("--variant", default="stress")
+    advise_parser.add_argument("--threads", type=int, default=4)
+
+    scaling_parser = sub.add_parser(
+        "scaling", help="per-region thread-scaling study (Table III generalized)"
+    )
+    scaling_parser.add_argument("app")
+    scaling_parser.add_argument("--size", default="small")
+    scaling_parser.add_argument("--variant", default="stress")
+    scaling_parser.add_argument("--threads", type=_parse_threads, default=[1, 2, 4, 8])
+
+    diff_parser = sub.add_parser(
+        "diff", help="compare two exported profiles region by region"
+    )
+    diff_parser.add_argument("before", help="JSON profile (from `repro run --json`)")
+    diff_parser.add_argument("after", help="JSON profile to compare against")
+    diff_parser.add_argument("--metric", default="exclusive",
+                             choices=["exclusive", "inclusive"])
+    diff_parser.add_argument("--limit", type=int, default=15)
+
+    paper_parser = sub.add_parser("paper", help="regenerate paper tables/figures")
+    paper_parser.add_argument(
+        "artifact",
+        nargs="+",
+        choices=["table1", "table2", "table3", "table4", "fig13", "fig14", "fig15", "sec6"],
+    )
+    paper_parser.add_argument("--size", default="small")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def cmd_list(_args) -> int:
+    for name in list_programs():
+        print(name)
+    return 0
+
+
+def cmd_run(args) -> int:
+    result = run_app(
+        args.app,
+        size=args.size,
+        variant=args.variant,
+        n_threads=args.threads,
+        instrument=not args.no_instrument,
+        seed=args.seed,
+        record_events=args.trace_timeline,
+    )
+    print(f"{result.program_label}: kernel={result.kernel_time:.1f} us, "
+          f"tasks={result.parallel.completed_tasks}, "
+          f"verified={result.verified}, threads={args.threads}")
+    for bucket in ("work", "mgmt", "instr", "idle"):
+        print(f"  {bucket:6s}: {result.bucket_total(bucket):12.1f} us")
+    if result.profile is not None:
+        print(f"  max concurrent tasks/thread: "
+              f"{result.profile.max_concurrent_tasks_per_thread()}")
+        if args.render:
+            print()
+            print(render_profile(result.profile, max_depth=args.max_depth))
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(dumps(result.profile, indent=2))
+            print(f"  profile exported to {args.json}")
+    if args.trace_timeline and result.parallel.trace is not None:
+        print()
+        print(render_timeline(result.parallel.trace))
+        ratio = management_ratio(result.parallel.trace)
+        print(f"  management/execution ratio: {ratio['ratio']:.2f}")
+    return 0 if result.verified else 1
+
+
+def cmd_overhead(args) -> int:
+    sweep = overhead_sweep(
+        args.app,
+        size=args.size,
+        variant=args.variant,
+        threads=tuple(args.threads),
+        seeds=tuple(args.seeds),
+    )
+    rows = [
+        [app] + [f"{p.overhead_pct:+.1f}%" for p in points]
+        for app, points in sweep.items()
+    ]
+    print(format_table(["code"] + [f"{t} thr" for t in args.threads], rows,
+                       title=f"profiling overhead ({args.variant}, size={args.size})"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    result = run_app(
+        args.app,
+        size=args.size,
+        variant=args.variant,
+        n_threads=args.threads,
+        seed=args.seed,
+        record_events=True,
+    )
+    text = generate_report(result, title=f"{result.program_label}, "
+                                         f"{args.threads} threads, seed {args.seed}")
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0 if result.verified else 1
+
+
+def cmd_advise(args) -> int:
+    result = run_app(
+        args.app, size=args.size, variant=args.variant,
+        n_threads=args.threads, seed=0,
+    )
+    findings = advise(result.profile)
+    if not findings:
+        print("no findings: task granularity looks healthy")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from repro.analysis.scaling import scaling_study
+
+    study = scaling_study(
+        args.app, size=args.size, variant=args.variant, threads=tuple(args.threads)
+    )
+    rows = []
+    for entry in sorted(study.regions, key=lambda r: -max(r.times.values())):
+        rows.append(
+            [entry.region]
+            + [f"{entry.times[t]:.0f}" for t in study.threads]
+            + [entry.classification]
+        )
+    print(format_table(
+        ["region"] + [f"{t} thr" for t in study.threads] + ["class"],
+        rows,
+        title=f"{args.app}: exclusive time per region [virtual us]",
+    ))
+    print()
+    print(study.diagnosis())
+    return 0
+
+
+def cmd_diff(args) -> int:
+    from repro.cube.diff import diff_profiles, summarize_diff
+    from repro.cube.export import loads as load_profile
+
+    with open(args.before) as handle:
+        before = load_profile(handle.read())
+    with open(args.after) as handle:
+        after = load_profile(handle.read())
+    entries = diff_profiles(before, after, metric=args.metric)
+    print(summarize_diff(entries, limit=args.limit))
+    return 0
+
+
+def cmd_paper(args) -> int:
+    for artifact in args.artifact:
+        print(f"==== {artifact} ====")
+        if artifact == "table1":
+            rows = task_statistics(
+                ["fib", "floorplan", "health", "nqueens", "strassen"],
+                size=args.size, variant="stress", n_threads=1,
+            )
+            print(format_table(
+                ["code", "mean [us]", "tasks"],
+                [[r.code, f"{r.mean_time_us:.2f}", r.task_count] for r in rows],
+            ))
+        elif artifact == "table2":
+            from repro.analysis.concurrency import PAPER_TABLE2_ROWS, concurrency_table
+
+            entries = [(n, v) for n, v, _ in PAPER_TABLE2_ROWS]
+            table = concurrency_table(entries, size=args.size, n_threads=4)
+            print(format_table(
+                ["code", "max tasks"],
+                [[label, table[(n, v)]] for n, v, label in PAPER_TABLE2_ROWS],
+            ))
+        elif artifact == "table3":
+            rows = nqueens_region_times(size=args.size)
+            print(format_table(
+                ["region", "1 thr", "2 thr", "4 thr", "8 thr"],
+                [
+                    ["task"] + [f"{r.task:.0f}" for r in rows],
+                    ["taskwait"] + [f"{r.taskwait:.0f}" for r in rows],
+                    ["create task"] + [f"{r.create_task:.0f}" for r in rows],
+                    ["barrier"] + [f"{r.barrier:.0f}" for r in rows],
+                ],
+            ))
+        elif artifact == "table4":
+            rows = nqueens_depth_table(size=args.size)
+            print(format_table(
+                ["depth", "mean [us]", "sum [us]", "tasks"],
+                [[r.depth, f"{r.mean_time_us:.2f}", f"{r.total_time_us:.0f}",
+                  r.task_count] for r in rows],
+            ))
+        elif artifact in ("fig13", "fig14"):
+            variant = "optimized" if artifact == "fig13" else "stress"
+            apps = (
+                ["alignment", "fft", "fib", "floorplan", "health", "nqueens",
+                 "sort", "sparselu", "strassen"]
+                if artifact == "fig13"
+                else ["fib", "floorplan", "health", "nqueens", "sort", "fft", "strassen"]
+            )
+            sweep = overhead_sweep(apps, size=args.size, variant=variant)
+            print(grouped_bar_chart(
+                {app: {p.n_threads: p.overhead_pct for p in pts}
+                 for app, pts in sweep.items()},
+                title=f"overhead [%] ({variant})",
+            ))
+        elif artifact == "fig15":
+            apps = ["fib", "floorplan", "health", "nqueens", "strassen"]
+            scaling = {app: runtime_scaling(app, size=args.size) for app in apps}
+            print(grouped_bar_chart(scaling, unit="%", title="runtime [% of max]"))
+        elif artifact == "sec6":
+            comparison = cutoff_speedup(size=args.size)
+            print(f"no cut-off: {comparison.nocutoff_time:.0f} us, "
+                  f"cut-off@{comparison.cutoff_level}: {comparison.cutoff_time:.0f} us, "
+                  f"speedup {comparison.speedup:.1f}x")
+        print()
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "overhead": cmd_overhead,
+    "report": cmd_report,
+    "scaling": cmd_scaling,
+    "diff": cmd_diff,
+    "advise": cmd_advise,
+    "paper": cmd_paper,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: normal exit.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""CUBE-style profile presentation and exchange.
+
+The paper visualizes Score-P profiles with CUBE (Fig. 5): an expandable
+call tree with inclusive/exclusive metrics, the task trees presented
+"besides the main tree", and stub nodes showing the per-scheduling-point
+task execution time.  This subpackage provides the text equivalent:
+
+* :mod:`repro.cube.render` -- tree rendering (the Fig. 5 view),
+* :mod:`repro.cube.query` -- metric queries (hot paths, top regions),
+* :mod:`repro.cube.export` -- lossless JSON export/import of profiles,
+* :mod:`repro.cube.diff` -- comparison of two profiles (e.g. two cut-off
+  levels, or instrumented cost models).
+"""
+
+from repro.cube.render import render_node, render_profile
+from repro.cube.query import flat_region_profile, hot_path, top_regions
+from repro.cube.export import profile_from_dict, profile_to_dict, dumps, loads
+from repro.cube.diff import diff_profiles, DiffEntry
+from repro.cube.paths import match_nodes, query, query_time, query_visits
+
+__all__ = [
+    "render_node",
+    "render_profile",
+    "hot_path",
+    "top_regions",
+    "flat_region_profile",
+    "profile_to_dict",
+    "profile_from_dict",
+    "dumps",
+    "loads",
+    "diff_profiles",
+    "DiffEntry",
+    "match_nodes",
+    "query",
+    "query_time",
+    "query_visits",
+]

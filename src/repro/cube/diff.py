@@ -1,0 +1,79 @@
+"""Profile comparison.
+
+Compares two runs region-by-region on the flat view -- the workflow the
+paper's Section VI uses manually ("comparison of profiles of instrumented
+runs with different numbers of threads shows...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cube.query import flat_region_profile
+from repro.profiling.profile import Profile
+
+
+@dataclass
+class DiffEntry:
+    region: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def ratio(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after > 0 else 1.0
+        return self.after / self.before
+
+    def __str__(self) -> str:
+        return (
+            f"{self.region} [{self.metric}]: {self.before:.2f} -> "
+            f"{self.after:.2f} ({self.ratio:.2f}x)"
+        )
+
+
+def diff_profiles(
+    before: Profile,
+    after: Profile,
+    metric: str = "exclusive",
+    min_change_ratio: float = 1.05,
+) -> List[DiffEntry]:
+    """Regions whose summed metric changed by at least the given ratio.
+
+    Sorted by |log ratio| descending, so the biggest movers lead.
+    Regions present in only one profile appear with 0.0 on the other side.
+    """
+    flat_before = flat_region_profile(before)
+    flat_after = flat_region_profile(after)
+    entries: List[DiffEntry] = []
+    for region in sorted(set(flat_before) | set(flat_after)):
+        b = flat_before.get(region, {}).get(metric, 0.0)
+        a = flat_after.get(region, {}).get(metric, 0.0)
+        if b == 0.0 and a == 0.0:
+            continue
+        ratio = (a / b) if b > 0 else float("inf")
+        if b == 0.0 or a == 0.0 or ratio >= min_change_ratio or ratio <= 1 / min_change_ratio:
+            entries.append(DiffEntry(region, metric, b, a))
+
+    def sort_key(entry: DiffEntry) -> float:
+        import math
+
+        if entry.before <= 0 or entry.after <= 0:
+            return float("inf")
+        return abs(math.log(entry.after / entry.before))
+
+    entries.sort(key=sort_key, reverse=True)
+    return entries
+
+
+def summarize_diff(entries: List[DiffEntry], limit: int = 10) -> str:
+    lines = [str(e) for e in entries[:limit]]
+    if len(entries) > limit:
+        lines.append(f"... ({len(entries) - limit} more)")
+    return "\n".join(lines) if lines else "(no significant changes)"

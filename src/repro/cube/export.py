@@ -1,0 +1,145 @@
+"""Lossless JSON export/import of task-aware profiles.
+
+The serialized form captures regions, tree structure, metrics (including
+the min/max/sum/count statistics), stub flags, parameters, and the
+memory/concurrency statistics -- everything needed to reload a profile in
+another process and reproduce identical analyses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Optional
+
+from repro.events.regions import Region, RegionRegistry, RegionType
+from repro.profiling.calltree import CallTreeNode
+from repro.profiling.profile import Profile
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def _node_to_dict(node: CallTreeNode) -> dict:
+    stats = node.metrics.durations
+    return {
+        "region": node.region.handle,
+        "parameter": list(node.parameter) if node.parameter is not None else None,
+        "stub": node.is_stub,
+        "inclusive": node.metrics.inclusive_time,
+        "visits": node.metrics.visits,
+        "stats": {
+            "count": stats.count,
+            "sum": stats.total,
+            "min": None if stats.empty else stats.minimum,
+            "max": None if stats.empty else stats.maximum,
+        },
+        "counters": dict(node.metrics.counters) if node.metrics.counters else None,
+        "children": [_node_to_dict(c) for c in node.children.values()],
+    }
+
+
+def profile_to_dict(profile: Profile) -> dict:
+    # Regions are referenced by a canonical index (sorted by identity
+    # key), NOT by their runtime handle -- handles depend on registration
+    # order, which would make export/import roundtrips unstable.
+    seen: Dict[int, Region] = {}
+
+    def collect(node: CallTreeNode) -> None:
+        for n in node.walk():
+            seen[n.region.handle] = n.region
+
+    for tree in profile.main_trees:
+        collect(tree)
+    for per_thread in profile.task_trees:
+        for tree in per_thread.values():
+            collect(tree)
+
+    ordered = sorted(
+        seen.values(),
+        key=lambda r: (r.name, r.region_type.value, r.file or "", r.line or 0),
+    )
+    index_of = {region.handle: i for i, region in enumerate(ordered)}
+
+    def node_dict(node: CallTreeNode) -> dict:
+        data = _node_to_dict(node)
+        _reindex(data, node, index_of)
+        return data
+
+    return {
+        "format": FORMAT_VERSION,
+        "n_threads": profile.n_threads,
+        "regions": [
+            {
+                "name": region.name,
+                "type": region.region_type.value,
+                "file": region.file,
+                "line": region.line,
+            }
+            for region in ordered
+        ],
+        "main_trees": [node_dict(t) for t in profile.main_trees],
+        "task_trees": [
+            [node_dict(t) for t in per_thread.values()]
+            for per_thread in profile.task_trees
+        ],
+        "memory_stats": profile.memory_stats,
+    }
+
+
+def _reindex(data: dict, node: CallTreeNode, index_of: Dict[int, int]) -> None:
+    data["region"] = index_of[node.region.handle]
+    for child_data, child in zip(data["children"], node.children.values()):
+        _reindex(child_data, child, index_of)
+
+
+# ----------------------------------------------------------------------
+# Deserialization
+# ----------------------------------------------------------------------
+def _node_from_dict(data: dict, regions: Dict[int, Region]) -> CallTreeNode:
+    parameter = tuple(data["parameter"]) if data["parameter"] is not None else None
+    node = CallTreeNode(regions[data["region"]], parameter, is_stub=data["stub"])
+    node.metrics.inclusive_time = data["inclusive"]
+    node.metrics.visits = data["visits"]
+    stats = data["stats"]
+    node.metrics.durations.count = stats["count"]
+    node.metrics.durations.total = stats["sum"]
+    node.metrics.durations.minimum = stats["min"] if stats["min"] is not None else math.inf
+    node.metrics.durations.maximum = stats["max"] if stats["max"] is not None else -math.inf
+    if data.get("counters"):
+        node.metrics.add_counters(data["counters"])
+    for child_data in data["children"]:
+        child = _node_from_dict(child_data, regions)
+        child.parent = node
+        node.children[child.key] = child
+    return node
+
+
+def profile_from_dict(data: dict, registry: Optional[RegionRegistry] = None) -> Profile:
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported profile format {data.get('format')!r}")
+    registry = registry if registry is not None else RegionRegistry()
+    regions: Dict[int, Region] = {}
+    for index, info in enumerate(data["regions"]):
+        regions[index] = registry.register(
+            info["name"], RegionType(info["type"]), info["file"], info["line"]
+        )
+    main_trees = [_node_from_dict(d, regions) for d in data["main_trees"]]
+    task_trees = []
+    for per_thread in data["task_trees"]:
+        trees = {}
+        for tree_data in per_thread:
+            tree = _node_from_dict(tree_data, regions)
+            trees[tree.key] = tree
+        task_trees.append(trees)
+    return Profile(main_trees, task_trees, data.get("memory_stats"))
+
+
+def dumps(profile: Profile, indent: Optional[int] = None) -> str:
+    return json.dumps(profile_to_dict(profile), indent=indent)
+
+
+def loads(text: str) -> Profile:
+    return profile_from_dict(json.loads(text))

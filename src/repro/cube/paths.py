@@ -1,0 +1,120 @@
+"""Call-path pattern queries over profiles (CUBE's path navigation).
+
+A *path pattern* selects call-tree nodes by their root-to-node region
+names, with shell-style wildcards per segment and ``**`` matching any
+number of segments::
+
+    "parallel/implicit barrier/*"      children of the barrier
+    "**/taskwait"                      every taskwait anywhere
+    "fib_task/create@*"                creation regions under the task root
+    "**/*task*/**"                     anything below a task-ish region
+
+Matching is over ``display names`` (region name plus parameter/stub
+qualifiers), case sensitive.  Patterns never match across tree
+boundaries; query functions take whole profiles and search every main
+tree and task tree.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.profiling.calltree import CallTreeNode
+from repro.profiling.profile import Profile
+
+
+def _segments(pattern: str) -> List[str]:
+    parts = [p for p in pattern.split("/") if p != ""]
+    if not parts:
+        raise ValueError("empty path pattern")
+    return parts
+
+
+@lru_cache(maxsize=512)
+def _segment_regex(segment: str) -> "re.Pattern":
+    """Compile one glob segment: only ``*`` and ``?`` are special.
+
+    Unlike :mod:`fnmatch`, brackets are literal -- display names contain
+    ``[depth=3]``-style parameter qualifiers.
+    """
+    out = []
+    for char in segment:
+        if char == "*":
+            out.append(".*")
+        elif char == "?":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("".join(out) + r"\Z")
+
+
+def _match(path_names: Sequence[str], pattern: Sequence[str]) -> bool:
+    """Glob-match a concrete path against pattern segments ('**' = any run)."""
+    # dynamic programming over (path index, pattern index)
+    memo = {}
+
+    def go(i: int, j: int) -> bool:
+        key = (i, j)
+        if key in memo:
+            return memo[key]
+        if j == len(pattern):
+            result = i == len(path_names)
+        elif pattern[j] == "**":
+            # consume zero or more path segments
+            result = go(i, j + 1) or (i < len(path_names) and go(i + 1, j))
+        elif i < len(path_names) and _segment_regex(pattern[j]).match(path_names[i]):
+            result = go(i + 1, j + 1)
+        else:
+            result = False
+        memo[key] = result
+        return result
+
+    return go(0, 0)
+
+
+def match_nodes(root: CallTreeNode, pattern: str) -> List[CallTreeNode]:
+    """All nodes of one tree whose root-to-node path matches ``pattern``."""
+    segments = _segments(pattern)
+    matches = []
+    stack: List[Tuple[CallTreeNode, List[str]]] = [(root, [root.display_name()])]
+    while stack:
+        node, path = stack.pop()
+        if _match(path, segments):
+            matches.append(node)
+        for child in node.children.values():
+            stack.append((child, path + [child.display_name()]))
+    return matches
+
+
+def query(profile: Profile, pattern: str) -> List[CallTreeNode]:
+    """Match ``pattern`` against every tree of the profile.
+
+    Searches all per-thread main trees and all per-thread task trees;
+    duplicate positions across threads appear once per thread (sum their
+    metrics with :func:`query_time` if you want totals).
+    """
+    out: List[CallTreeNode] = []
+    for tree in profile.main_trees:
+        out.extend(match_nodes(tree, pattern))
+    for per_thread in profile.task_trees:
+        for tree in per_thread.values():
+            out.extend(match_nodes(tree, pattern))
+    return out
+
+
+def query_time(profile: Profile, pattern: str, metric: str = "inclusive") -> float:
+    """Summed metric over every node the pattern selects."""
+    if metric not in ("inclusive", "exclusive"):
+        raise ValueError(f"unknown metric {metric!r}")
+    total = 0.0
+    for node in query(profile, pattern):
+        total += (
+            node.metrics.inclusive_time if metric == "inclusive" else node.exclusive_time
+        )
+    return total
+
+
+def query_visits(profile: Profile, pattern: str) -> int:
+    return sum(node.metrics.visits for node in query(profile, pattern))

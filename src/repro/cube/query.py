@@ -1,0 +1,97 @@
+"""Metric queries over profiles: hot paths, top regions, flat views."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiling.calltree import CallTreeNode
+from repro.profiling.profile import Profile
+
+
+def hot_path(node: CallTreeNode) -> List[CallTreeNode]:
+    """Follow the heaviest-inclusive child from ``node`` to a leaf.
+
+    The classic CUBE "hot path" expansion: at each level descend into the
+    child with the largest inclusive time, stopping when the node's own
+    exclusive time exceeds every child.
+    """
+    path = [node]
+    current = node
+    while current.children:
+        heaviest = max(
+            current.children.values(), key=lambda c: c.metrics.inclusive_time
+        )
+        if heaviest.metrics.inclusive_time <= current.exclusive_time:
+            break
+        path.append(heaviest)
+        current = heaviest
+    return path
+
+
+def top_regions(
+    profile: Profile,
+    metric: str = "exclusive",
+    limit: int = 10,
+    include_stubs: bool = False,
+) -> List[Tuple[str, float]]:
+    """Program-wide region ranking by summed exclusive (or inclusive) time."""
+    if metric not in ("exclusive", "inclusive"):
+        raise ValueError(f"unknown metric {metric!r}")
+    totals: Dict[str, float] = {}
+    roots: List[CallTreeNode] = list(profile.main_trees)
+    for per_thread in profile.task_trees:
+        roots.extend(per_thread.values())
+    for root in roots:
+        for node in root.walk():
+            if node.is_stub and not include_stubs:
+                continue
+            value = node.exclusive_time if metric == "exclusive" else node.metrics.inclusive_time
+            totals[node.region.name] = totals.get(node.region.name, 0.0) + value
+    ranked = sorted(totals.items(), key=lambda kv: kv[1], reverse=True)
+    return ranked[:limit]
+
+
+def flat_region_profile(profile: Profile) -> Dict[str, Dict[str, float]]:
+    """Flat (call-path-collapsed) per-region metrics.
+
+    Returns ``region name -> {exclusive, inclusive, visits}`` summed over
+    every occurrence in every tree (stub nodes excluded, since their time
+    is an alternate attribution of task execution).
+    """
+    flat: Dict[str, Dict[str, float]] = {}
+    roots: List[CallTreeNode] = list(profile.main_trees)
+    for per_thread in profile.task_trees:
+        roots.extend(per_thread.values())
+    for root in roots:
+        for node in root.walk():
+            if node.is_stub:
+                continue
+            entry = flat.setdefault(
+                node.region.name, {"exclusive": 0.0, "inclusive": 0.0, "visits": 0}
+            )
+            entry["exclusive"] += node.exclusive_time
+            entry["inclusive"] += node.metrics.inclusive_time
+            entry["visits"] += node.metrics.visits
+    return flat
+
+
+def find_task_stub_summary(profile: Profile) -> List[Tuple[str, str, float, int]]:
+    """All stub nodes: (thread/scheduling point, task construct, time, fragments).
+
+    The Fig. 5 reading aid: how much task execution happened inside each
+    scheduling point.
+    """
+    out = []
+    for thread_id in range(profile.n_threads):
+        for node in profile.main_trees[thread_id].walk():
+            if node.is_stub:
+                anchor = node.parent.path_names() if node.parent else "<root>"
+                out.append(
+                    (
+                        f"t{thread_id}:{anchor}",
+                        node.region.name,
+                        node.metrics.inclusive_time,
+                        node.metrics.visits,
+                    )
+                )
+    return out

@@ -1,0 +1,108 @@
+"""Text rendering of call trees and profiles (the Fig. 5 view)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.profiling.calltree import CallTreeNode
+from repro.profiling.metrics import format_time
+from repro.profiling.profile import Profile
+
+
+def render_node(
+    node: CallTreeNode,
+    max_depth: Optional[int] = None,
+    min_time: float = 0.0,
+    unit: Optional[str] = None,
+    show_visits: bool = True,
+    _prefix: str = "",
+    _is_last: bool = True,
+    _depth: int = 0,
+) -> str:
+    """Render one call tree as an indented text tree.
+
+    Each line shows exclusive time, inclusive time, optionally visit
+    counts, and the node name; stub nodes are marked as in the paper's
+    CUBE screenshots.  Children below ``min_time`` inclusive µs or beyond
+    ``max_depth`` are elided with a summary line.
+    """
+    lines = _render_lines(node, max_depth, min_time, unit, show_visits, "", True, 0)
+    return "\n".join(lines)
+
+
+def _render_lines(
+    node: CallTreeNode,
+    max_depth: Optional[int],
+    min_time: float,
+    unit: Optional[str],
+    show_visits: bool,
+    prefix: str,
+    is_last: bool,
+    depth: int,
+) -> List[str]:
+    connector = "" if depth == 0 else ("`- " if is_last else "|- ")
+    visits = f" x{node.metrics.visits}" if show_visits else ""
+    excl = format_time(node.exclusive_time, unit)
+    incl = format_time(node.metrics.inclusive_time, unit)
+    lines = [
+        f"{prefix}{connector}{node.display_name()}  "
+        f"[excl {excl} | incl {incl}{visits}]"
+    ]
+    children = list(node.children.values())
+    visible = [c for c in children if c.metrics.inclusive_time >= min_time]
+    hidden = len(children) - len(visible)
+    if max_depth is not None and depth >= max_depth:
+        if children:
+            lines.append(f"{prefix}{'   ' if is_last else '|  '}... ({len(children)} children)")
+        return lines
+    child_prefix = prefix + ("" if depth == 0 else ("   " if is_last else "|  "))
+    for index, child in enumerate(visible):
+        last = index == len(visible) - 1 and hidden == 0
+        lines.extend(
+            _render_lines(
+                child, max_depth, min_time, unit, show_visits, child_prefix, last, depth + 1
+            )
+        )
+    if hidden:
+        lines.append(f"{child_prefix}`- ... ({hidden} below {min_time} us)")
+    return lines
+
+
+def render_profile(
+    profile: Profile,
+    thread_id: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    min_time: float = 0.0,
+    unit: Optional[str] = None,
+) -> str:
+    """The full Fig. 5-style view: task trees above the main call tree.
+
+    With ``thread_id=None`` the aggregated (all-thread) view renders;
+    otherwise one thread's trees.
+    """
+    sections: List[str] = []
+    if thread_id is None:
+        task_trees = profile.aggregated_task_trees()
+        main = profile.aggregated_main_tree()
+        scope = f"all {profile.n_threads} thread(s), aggregated"
+    else:
+        task_trees = profile.thread_task_trees(thread_id)
+        main = profile.main_tree(thread_id)
+        scope = f"thread {thread_id}"
+
+    sections.append(f"=== Task-aware profile ({scope}) ===")
+    if task_trees:
+        sections.append("--- task trees (one per task construct) ---")
+        for key in sorted(task_trees, key=lambda k: (k[0].name, str(k[1]))):
+            tree = task_trees[key]
+            stats = tree.metrics.durations
+            sections.append(
+                f"[{tree.display_name()}] instances={stats.count} "
+                f"mean={format_time(stats.mean, unit)} "
+                f"min={format_time(stats.minimum if stats.count else 0.0, unit)} "
+                f"max={format_time(stats.maximum if stats.count else 0.0, unit)}"
+            )
+            sections.append(render_node(tree, max_depth, min_time, unit))
+    sections.append("--- main tree (implicit tasks) ---")
+    sections.append(render_node(main, max_depth, min_time, unit))
+    return "\n".join(sections)

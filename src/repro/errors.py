@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    The message lists the stuck processes and what each one was waiting on,
+    which is usually enough to diagnose a missing signal or an unsatisfiable
+    ``taskwait``.
+    """
+
+
+class ProcessError(SimulationError):
+    """A simulated process raised an exception; the original is chained."""
+
+
+class RuntimeModelError(ReproError):
+    """Misuse of the simulated OpenMP runtime API.
+
+    Examples: yielding a barrier from an explicit task, spawning a task
+    outside a parallel region, or re-using a consumed task handle.
+    """
+
+
+class InstrumentationError(ReproError):
+    """The instrumentation layer received an inconsistent event sequence."""
+
+
+class ProfileError(ReproError):
+    """The profiler detected a violation of its invariants.
+
+    The classic (non task-aware) profiling algorithm raises this when an
+    event stream breaks the enter/exit nesting condition -- exactly the
+    failure mode the paper's Section IV-B1 describes for task programs.
+    """
+
+
+class EventOrderError(ProfileError):
+    """Enter/exit events are not properly nested (Fig. 2 of the paper)."""
+
+
+class ValidationError(ReproError):
+    """An event stream failed structural validation."""

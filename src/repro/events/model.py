@@ -1,0 +1,144 @@
+"""Measurement event records.
+
+These are the events the instrumented application delivers to the
+measurement system (paper Section IV-A and Fig. 12):
+
+* ``Enter(region)`` / ``Exit(region)`` -- classic region bracketing, used
+  for functions and for OpenMP constructs (task-creation regions,
+  taskwaits, barriers are bracketed this way by OPARI2).
+* ``TaskBegin(region, instance)`` / ``TaskEnd(region, instance)`` -- the
+  first/last event of one *task instance* of a task construct.
+* ``TaskSwitch(instance)`` -- the executing thread switches to another
+  active task instance (or back to the implicit task).  This is the event
+  OPARI2's task-instance IDs make possible and the whole Fig. 12 algorithm
+  hinges on.
+* ``TaskCreateBegin/End(region, created_instance)`` -- bracket the task
+  creation region, additionally carrying the ID of the instance being
+  created (used to associate creation cost with the construct).
+
+All events carry the executing (simulated) thread id, a virtual timestamp,
+and the id of the task instance *within which* the event occurred
+(``executing_instance``); for pure enter/exit this tells the task-aware
+profiler which call tree to update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.events.regions import Region
+
+#: Task instance ids are plain ints; implicit tasks use negative ids, one
+#: per thread (thread t's implicit task is ``-(t + 1)``), explicit task
+#: instances count up from 1.
+InstanceId = int
+
+
+def implicit_instance_id(thread_id: int) -> InstanceId:
+    """The instance id of thread ``thread_id``'s implicit task."""
+    return -(thread_id + 1)
+
+
+def is_implicit(instance: InstanceId) -> bool:
+    """True if ``instance`` denotes an implicit task."""
+    return instance < 0
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Common header: who, when, and in which task context."""
+
+    thread_id: int
+    time: float
+    executing_instance: InstanceId
+
+
+@dataclass(frozen=True, slots=True)
+class EnterEvent(Event):
+    region: Region
+    #: Optional (name, value) qualifier from parameter instrumentation.
+    parameter: Optional[tuple] = None
+
+    def __str__(self) -> str:
+        return f"[t{self.thread_id} @{self.time:.2f}] enter {self.region.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class ExitEvent(Event):
+    region: Region
+
+    def __str__(self) -> str:
+        return f"[t{self.thread_id} @{self.time:.2f}] exit {self.region.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class TaskBeginEvent(Event):
+    region: Region
+    instance: InstanceId = 0
+    #: Optional (name, value) parameter qualifying the instance's sub-tree,
+    #: e.g. the recursion depth used for the paper's Table IV.
+    parameter: Optional[tuple] = None
+
+    def __str__(self) -> str:
+        return (
+            f"[t{self.thread_id} @{self.time:.2f}] task_begin "
+            f"{self.region.name} instance={self.instance}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TaskEndEvent(Event):
+    region: Region
+    instance: InstanceId = 0
+
+    def __str__(self) -> str:
+        return (
+            f"[t{self.thread_id} @{self.time:.2f}] task_end "
+            f"{self.region.name} instance={self.instance}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSwitchEvent(Event):
+    """Thread switches execution to ``instance`` (may be an implicit task)."""
+
+    instance: InstanceId = 0
+
+    def __str__(self) -> str:
+        return f"[t{self.thread_id} @{self.time:.2f}] task_switch -> {self.instance}"
+
+
+@dataclass(frozen=True, slots=True)
+class TaskCreateBeginEvent(Event):
+    region: Region
+    created_instance: InstanceId = 0
+
+    def __str__(self) -> str:
+        return (
+            f"[t{self.thread_id} @{self.time:.2f}] create_begin "
+            f"{self.region.name} -> instance {self.created_instance}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TaskCreateEndEvent(Event):
+    region: Region
+    created_instance: InstanceId = 0
+
+    def __str__(self) -> str:
+        return (
+            f"[t{self.thread_id} @{self.time:.2f}] create_end "
+            f"{self.region.name} -> instance {self.created_instance}"
+        )
+
+
+AnyEvent = Union[
+    EnterEvent,
+    ExitEvent,
+    TaskBeginEvent,
+    TaskEndEvent,
+    TaskSwitchEvent,
+    TaskCreateBeginEvent,
+    TaskCreateEndEvent,
+]

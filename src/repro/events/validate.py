@@ -1,0 +1,255 @@
+"""Event-stream validators.
+
+Two validators, matching the paper's problem analysis:
+
+:func:`validate_nesting`
+    The *classic* condition required by the pre-tasking Score-P profiling
+    algorithm: every ``Exit`` must match the most recent unmatched
+    ``Enter`` of the same region on the same thread.  Task-free OpenMP
+    streams satisfy it; the interleaved task streams of the paper's Fig. 2
+    do not, and this validator pinpoints the first violation.
+
+:func:`validate_task_stream`
+    The task-aware consistency rules under which the Fig. 12 algorithm is
+    defined: per *task instance* the enter/exit events nest correctly;
+    TaskBegin/TaskEnd bracket each instance exactly once; TaskSwitch only
+    targets instances that are active (begun, not ended) or implicit; a
+    thread's events between switches belong to the task it switched to;
+    tied instances never resume on a different thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import EventOrderError, ValidationError
+from repro.events.model import (
+    AnyEvent,
+    EnterEvent,
+    ExitEvent,
+    TaskBeginEvent,
+    TaskCreateBeginEvent,
+    TaskCreateEndEvent,
+    TaskEndEvent,
+    TaskSwitchEvent,
+    implicit_instance_id,
+    is_implicit,
+)
+from repro.events.regions import Region
+
+
+def validate_nesting(events: Iterable[AnyEvent]) -> None:
+    """Check the classic enter/exit nesting condition on one stream.
+
+    Raises :class:`~repro.errors.EventOrderError` on the first violation:
+    an exit without a matching enter, an exit for a region other than the
+    innermost open one, or leftover open regions at stream end.  Task
+    events are rejected outright -- the classic algorithm has no notion of
+    them (paper Section IV-B1).
+    """
+    stack: List[Region] = []
+    for index, event in enumerate(events):
+        if isinstance(event, EnterEvent):
+            stack.append(event.region)
+        elif isinstance(event, ExitEvent):
+            if not stack:
+                raise EventOrderError(
+                    f"event #{index}: exit {event.region.name!r} with no open region"
+                )
+            top = stack.pop()
+            if top is not event.region:
+                raise EventOrderError(
+                    f"event #{index}: exit {event.region.name!r} does not match "
+                    f"innermost open region {top.name!r}"
+                )
+        elif isinstance(
+            event,
+            (
+                TaskBeginEvent,
+                TaskEndEvent,
+                TaskSwitchEvent,
+                TaskCreateBeginEvent,
+                TaskCreateEndEvent,
+            ),
+        ):
+            raise EventOrderError(
+                f"event #{index}: task event {type(event).__name__} is not "
+                "representable in the classic (pre-tasking) profiling model"
+            )
+        else:  # pragma: no cover - defensive
+            raise ValidationError(f"unknown event type {type(event).__name__}")
+    if stack:
+        names = ", ".join(r.name for r in stack)
+        raise EventOrderError(f"stream ended with open region(s): {names}")
+
+
+class _InstanceState:
+    """Book-keeping for one task instance during task-aware validation."""
+
+    __slots__ = ("begun", "ended", "stack", "bound_thread")
+
+    def __init__(self) -> None:
+        self.begun = False
+        self.ended = False
+        self.stack: List[Region] = []
+        self.bound_thread: Optional[int] = None
+
+
+def validate_task_stream(
+    events: Iterable[AnyEvent],
+    thread_id: int = 0,
+    tied: bool = True,
+    known_active: Optional[Set[int]] = None,
+) -> Dict[int, _InstanceState]:
+    """Validate one thread's stream under the task-aware rules.
+
+    Parameters
+    ----------
+    events:
+        The thread's events in order.
+    thread_id:
+        The stream's thread; the implicit task id derives from it.
+    tied:
+        If True (the paper's supported mode) a task instance must execute
+        all its fragments on this thread.  Untied migration relaxes this
+        (Section IV-D1); cross-thread validation then needs the merged
+        trace, see :func:`validate_program_trace`.
+    known_active:
+        Instance ids that began on *another* thread and may legitimately
+        be switched to here (untied migration).  Ignored when ``tied``.
+
+    Returns the final per-instance state map so callers can make additional
+    assertions (e.g. every instance both begun and ended).
+    """
+    implicit = implicit_instance_id(thread_id)
+    states: Dict[int, _InstanceState] = {}
+    current = implicit
+
+    def state_of(instance: int) -> _InstanceState:
+        state = states.get(instance)
+        if state is None:
+            state = _InstanceState()
+            states[instance] = state
+            if is_implicit(instance):
+                state.begun = True
+        return state
+
+    state_of(implicit)
+
+    for index, event in enumerate(events):
+        if isinstance(event, TaskBeginEvent):
+            state = state_of(event.instance)
+            if state.begun:
+                raise ValidationError(
+                    f"event #{index}: instance {event.instance} begun twice"
+                )
+            state.begun = True
+            state.bound_thread = thread_id
+            current = event.instance
+        elif isinstance(event, TaskEndEvent):
+            state = state_of(event.instance)
+            if not state.begun or state.ended:
+                raise ValidationError(
+                    f"event #{index}: task_end for instance {event.instance} "
+                    "that is not active"
+                )
+            if event.instance != current:
+                raise ValidationError(
+                    f"event #{index}: task_end for instance {event.instance} "
+                    f"but current instance is {current}"
+                )
+            if state.stack:
+                names = ", ".join(r.name for r in state.stack)
+                raise ValidationError(
+                    f"event #{index}: instance {event.instance} ended with "
+                    f"open region(s): {names}"
+                )
+            state.ended = True
+            current = implicit
+        elif isinstance(event, TaskSwitchEvent):
+            target = event.instance
+            state = states.get(target)
+            if is_implicit(target):
+                if target != implicit:
+                    raise ValidationError(
+                        f"event #{index}: switch to foreign implicit task {target}"
+                    )
+            else:
+                migrated = (
+                    not tied
+                    and known_active is not None
+                    and target in known_active
+                    and state is None
+                )
+                if migrated:
+                    state = state_of(target)
+                    state.begun = True
+                if state is None or not state.begun or state.ended:
+                    raise ValidationError(
+                        f"event #{index}: switch to inactive instance {target}"
+                    )
+                if tied and state.bound_thread not in (None, thread_id):
+                    raise ValidationError(
+                        f"event #{index}: tied instance {target} resumed on "
+                        f"thread {thread_id}, began on {state.bound_thread}"
+                    )
+            current = target
+        elif isinstance(event, (EnterEvent, TaskCreateBeginEvent)):
+            if event.executing_instance != current:
+                raise ValidationError(
+                    f"event #{index}: event attributed to instance "
+                    f"{event.executing_instance} while instance {current} is current"
+                )
+            state_of(current).stack.append(event.region)
+        elif isinstance(event, (ExitEvent, TaskCreateEndEvent)):
+            if event.executing_instance != current:
+                raise ValidationError(
+                    f"event #{index}: event attributed to instance "
+                    f"{event.executing_instance} while instance {current} is current"
+                )
+            stack = state_of(current).stack
+            if not stack:
+                raise ValidationError(
+                    f"event #{index}: exit {event.region.name!r} with no open "
+                    f"region in instance {current}"
+                )
+            top = stack.pop()
+            if top is not event.region:
+                raise ValidationError(
+                    f"event #{index}: exit {event.region.name!r} does not match "
+                    f"innermost open region {top.name!r} of instance {current}"
+                )
+        else:  # pragma: no cover - defensive
+            raise ValidationError(f"unknown event type {type(event).__name__}")
+
+    return states
+
+
+def validate_program_trace(trace) -> None:
+    """Validate a whole :class:`~repro.events.stream.ProgramTrace`.
+
+    Checks every per-thread stream with the task-aware validator and then
+    the cross-thread properties: each explicit instance has exactly one
+    TaskBegin and one TaskEnd program-wide.
+    """
+    begun: Dict[int, int] = {}
+    ended: Dict[int, int] = {}
+    for stream in trace.streams:
+        validate_task_stream(
+            stream, thread_id=stream.thread_id, tied=False, known_active=set(begun)
+        )
+        for event in stream:
+            if isinstance(event, TaskBeginEvent):
+                begun[event.instance] = begun.get(event.instance, 0) + 1
+            elif isinstance(event, TaskEndEvent):
+                ended[event.instance] = ended.get(event.instance, 0) + 1
+    for instance, count in begun.items():
+        if count != 1:
+            raise ValidationError(f"instance {instance} has {count} TaskBegin events")
+        if ended.get(instance, 0) != 1:
+            raise ValidationError(
+                f"instance {instance} begun but ended {ended.get(instance, 0)} times"
+            )
+    extra = set(ended) - set(begun)
+    if extra:
+        raise ValidationError(f"TaskEnd without TaskBegin for instance(s) {sorted(extra)}")

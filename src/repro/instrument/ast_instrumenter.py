@@ -1,0 +1,177 @@
+"""AST source-to-source instrumenter: the compiler-instrumentation analogue.
+
+Score-P's default mode instruments every function with compiler hooks
+(``-finstrument-functions``); OPARI2 additionally rewrites OpenMP
+constructs.  This module reproduces the *function* half for plain Python
+code: :func:`instrument_source` rewrites every function definition so its
+body is bracketed by enter/exit calls into a hook object, and
+:func:`instrument_function` applies the same transform to a live function.
+
+The rewrite is semantics-preserving: the hook calls happen inside a
+``try/finally``, so exceptions still propagate while exits stay balanced
+-- the property the classic profiling algorithm depends on.
+
+Example::
+
+    hooks = FunctionHooks(root_name="<module>")
+    fast_sort = instrument_function(my_sort, hooks)
+    fast_sort([3, 1, 2])
+    tree = hooks.finish()          # a CallTreeNode of the dynamic calls
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Dict, Optional
+
+from repro.errors import InstrumentationError
+from repro.events.regions import RegionRegistry, RegionType
+from repro.profiling.basic import ClassicProfiler
+
+#: Name under which the hook object is injected into the function globals.
+HOOK_NAME = "__pomp2__"
+
+
+class _Instrumenter(ast.NodeTransformer):
+    """Wraps every function body in enter/exit hook calls."""
+
+    def __init__(self) -> None:
+        self.instrumented: list[str] = []
+
+    def _wrap(self, node):
+        self.generic_visit(node)
+        self.instrumented.append(node.name)
+        enter_call = ast.Expr(
+            value=ast.Call(
+                func=ast.Attribute(
+                    value=ast.Name(id=HOOK_NAME, ctx=ast.Load()),
+                    attr="enter",
+                    ctx=ast.Load(),
+                ),
+                args=[ast.Constant(value=node.name)],
+                keywords=[],
+            )
+        )
+        exit_call = ast.Expr(
+            value=ast.Call(
+                func=ast.Attribute(
+                    value=ast.Name(id=HOOK_NAME, ctx=ast.Load()),
+                    attr="exit",
+                    ctx=ast.Load(),
+                ),
+                args=[ast.Constant(value=node.name)],
+                keywords=[],
+            )
+        )
+        # Keep a leading docstring outside the try so introspection works.
+        body = list(node.body)
+        docstring: list[ast.stmt] = []
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            docstring = [body[0]]
+            body = body[1:]
+        if not body:
+            body = [ast.Pass()]
+        wrapped = ast.Try(body=body, handlers=[], orelse=[], finalbody=[exit_call])
+        node.body = docstring + [enter_call, wrapped]
+        return node
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        return self._wrap(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        return self._wrap(node)
+
+
+def instrument_source(source: str, filename: str = "<instrumented>") -> str:
+    """Rewrite Python source so every function reports enter/exit.
+
+    Returns the instrumented source text.  The caller provides the
+    ``__pomp2__`` hook object when executing it (see :class:`FunctionHooks`).
+    """
+    try:
+        tree = ast.parse(textwrap.dedent(source), filename=filename)
+    except SyntaxError as exc:
+        raise InstrumentationError(f"cannot parse source: {exc}") from exc
+    transformer = _Instrumenter()
+    tree = transformer.visit(tree)
+    ast.fix_missing_locations(tree)
+    if not transformer.instrumented:
+        raise InstrumentationError("source contains no function definitions")
+    return ast.unparse(tree)
+
+
+def instrument_function(fn: Callable, hooks: "FunctionHooks") -> Callable:
+    """Return an instrumented clone of ``fn`` bound to ``hooks``.
+
+    The function's source is re-parsed, transformed, and re-executed in a
+    copy of its globals with the hook object injected.  Closures are not
+    supported (their cells cannot be reconstructed from source).
+    """
+    if fn.__closure__:
+        raise InstrumentationError(
+            f"cannot instrument closure {fn.__name__!r}: rewrite it as a "
+            "module-level function"
+        )
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError) as exc:
+        raise InstrumentationError(
+            f"cannot retrieve source of {fn.__name__!r}: {exc}"
+        ) from exc
+    instrumented = instrument_source(source, filename=f"<instrumented {fn.__name__}>")
+    namespace: Dict[str, object] = dict(fn.__globals__)
+    namespace[HOOK_NAME] = hooks
+    exec(compile(instrumented, f"<instrumented {fn.__name__}>", "exec"), namespace)
+    new_fn = namespace[fn.__name__]
+    # Recursive calls inside the function body resolve through the new
+    # namespace, so self-recursion is instrumented too.
+    return new_fn  # type: ignore[return-value]
+
+
+class FunctionHooks:
+    """Hook object receiving enter/exit calls from instrumented functions.
+
+    Builds a call-path profile with a :class:`ClassicProfiler`.  The clock
+    is a simple event counter by default (deterministic); pass ``clock``
+    for real time measurements.
+    """
+
+    def __init__(
+        self,
+        root_name: str = "<program>",
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = RegionRegistry()
+        root = self.registry.register(root_name, RegionType.FUNCTION)
+        self._profiler = ClassicProfiler(root)
+        self._counter = 0.0
+        self._clock = clock
+        self._profiler.enter(root, self._now())
+        self.calls = 0
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        self._counter += 1.0
+        return self._counter
+
+    def enter(self, name: str) -> None:
+        self.calls += 1
+        region = self.registry.register(name, RegionType.FUNCTION)
+        self._profiler.enter(region, self._now())
+
+    def exit(self, name: str) -> None:
+        region = self.registry.register(name, RegionType.FUNCTION)
+        self._profiler.exit(region, self._now())
+
+    def finish(self):
+        """Close the root and return the call tree."""
+        self._profiler.exit(self._profiler.root.region, self._now())
+        return self._profiler.finish()

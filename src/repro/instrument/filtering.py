@@ -1,0 +1,86 @@
+"""Measurement filtering (Score-P's ``SCOREP_FILTERING_FILE`` analogue).
+
+Score-P lets users exclude regions from measurement to cut overhead; the
+events are simply never generated, so neither their cost nor their nodes
+appear.  The same feature here: a :class:`RegionFilter` attached to the
+:class:`~repro.instrument.layer.InstrumentationLayer` suppresses
+enter/exit events (and their per-event cost) for matching regions.
+
+Filtering applies to *region* events only.  Task lifecycle events
+(begin/end/switch) are never filtered: the paper's whole point is that
+task-instance tracking is load-bearing -- dropping those events breaks
+the profile, so the filter refuses patterns that would match task
+regions' lifecycle.
+
+Semantics when a region is filtered: its time melts into the parent's
+exclusive time (exactly as in Score-P), and anything that would have
+anchored under it anchors under the parent instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.events.regions import Region, RegionType
+
+
+class RegionFilter:
+    """Decides which regions are measured.
+
+    Parameters
+    ----------
+    exclude:
+        Glob-ish name patterns (``*`` wildcard) to exclude, e.g.
+        ``("taskwait", "create@*")``.
+    exclude_types:
+        Region types to exclude wholesale, e.g. ``(RegionType.TASKWAIT,)``.
+    include:
+        If given, ONLY matching names are measured (exclude still wins).
+    """
+
+    def __init__(
+        self,
+        exclude: Sequence[str] = (),
+        exclude_types: Iterable[RegionType] = (),
+        include: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._exclude = tuple(_compile(p) for p in exclude)
+        self._exclude_types = frozenset(exclude_types)
+        self._include = (
+            tuple(_compile(p) for p in include) if include is not None else None
+        )
+        #: how many events were suppressed (statistics)
+        self.suppressed = 0
+
+    def measures(self, region: Region) -> bool:
+        """True if enter/exit events for this region should be generated."""
+        if region.region_type in self._exclude_types:
+            return False
+        for pattern in self._exclude:
+            if pattern.match(region.name):
+                return False
+        if self._include is not None:
+            return any(p.match(region.name) for p in self._include)
+        return True
+
+    def note_suppressed(self) -> None:
+        self.suppressed += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RegionFilter suppressed={self.suppressed}>"
+
+
+def _compile(pattern: str) -> "re.Pattern":
+    parts = []
+    for char in pattern:
+        parts.append(".*" if char == "*" else re.escape(char))
+    return re.compile("".join(parts) + r"\Z")
+
+
+#: A ready-made filter for the paper's worst case: drop the bracketing of
+#: the management regions inside tiny tasks (taskwait + creation), the
+#: bulk of fib's per-task event volume.  Tasks themselves stay tracked.
+MANAGEMENT_REGIONS_FILTER = RegionFilter(
+    exclude=("taskwait", "taskyield", "create@*"),
+)

@@ -1,0 +1,396 @@
+"""OPARI2-style source-to-source translation of pragma-annotated Python.
+
+OPARI2 rewrites C/Fortran sources, turning ``#pragma omp`` constructs
+into runtime + measurement calls.  This module is the Python analogue:
+it takes source where OpenMP-style *pragma comments* annotate plain
+sequential statements and rewrites the functions into the generator-based
+task programs the simulated runtime executes -- inserting the spawn/
+taskwait/critical plumbing (and thereby the instrumentation hooks) the
+same way OPARI2 inserts POMP2 calls.
+
+Supported pragmas (each on its own comment line)::
+
+    #pragma omp task        -- the next statement, `x = f(...)` or `f(...)`,
+                               becomes an explicit task; `x` is bound at
+                               the next taskwait
+    #pragma omp taskwait    -- wait for direct children; pending task
+                               results are materialized here
+    #pragma omp taskyield   -- scheduling point
+    #pragma omp barrier     -- team barrier
+    #pragma omp single      -- the next statement executes on one thread
+    #pragma omp critical(name) -- the next statement runs in the named
+                               critical section
+
+Additionally, ``omp_compute(us)`` calls charge virtual work time, and
+calls between translated functions execute inline (``yield from``), so
+cut-off recursion works untouched.
+
+Like OPARI2, the transformation is *syntactic*: it does not do dataflow
+analysis.  Reading a task-assigned variable before the taskwait that
+materializes it raises ``NameError`` at run time -- the closest Python
+analogue of the data race the equivalent OpenMP program would have.
+
+Example::
+
+    SOURCE = '''
+    def fib(n):
+        if n < 2:
+            omp_compute(1.0)
+            return n
+        #pragma omp task
+        a = fib(n - 1)
+        #pragma omp task
+        b = fib(n - 2)
+        #pragma omp taskwait
+        omp_compute(0.5)
+        return a + b
+    '''
+    fns = translate_tasking(SOURCE)
+    result = run_translated(fns, "fib", (10,), config)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import textwrap
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import InstrumentationError
+
+#: marker call the preprocessor turns pragma comments into
+_MARKER = "__omp_pragma__"
+
+_PRAGMA_RE = re.compile(r"^(\s*)#\s*pragma\s+omp\s+(.+?)\s*$")
+_CRITICAL_RE = re.compile(r"^critical\s*\(\s*(\w+)\s*\)$")
+
+#: name of the virtual-work intrinsic
+COMPUTE_INTRINSIC = "omp_compute"
+
+
+def _preprocess(source: str) -> str:
+    """Turn ``#pragma omp X`` comment lines into marker statements."""
+    out_lines = []
+    for line in textwrap.dedent(source).splitlines():
+        match = _PRAGMA_RE.match(line)
+        if match:
+            indent, directive = match.groups()
+            out_lines.append(f"{indent}{_MARKER}({directive!r})")
+        else:
+            out_lines.append(line)
+    return "\n".join(out_lines) + "\n"
+
+
+def _pragma_of(node: ast.stmt) -> Optional[str]:
+    if (
+        isinstance(node, ast.Expr)
+        and isinstance(node.value, ast.Call)
+        and isinstance(node.value.func, ast.Name)
+        and node.value.func.id == _MARKER
+        and node.value.args
+        and isinstance(node.value.args[0], ast.Constant)
+    ):
+        return node.value.args[0].value
+    return None
+
+
+class _HasYield(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.found = False
+
+    def visit_Yield(self, node):  # noqa: N802
+        self.found = True
+
+    def visit_YieldFrom(self, node):  # noqa: N802
+        self.found = True
+
+    def visit_FunctionDef(self, node):  # noqa: N802
+        pass  # do not descend into nested defs
+
+    def visit_Lambda(self, node):  # noqa: N802
+        pass
+
+
+class _CallRewriter(ast.NodeTransformer):
+    """Rewrites calls in ordinary expressions.
+
+    * ``omp_compute(us)``            -> ``(yield ctx.compute(us))``
+    * call to a translated function  -> ``(yield from f(ctx, ...))``
+    """
+
+    def __init__(self, translated_names: set) -> None:
+        self.translated = translated_names
+
+    def visit_FunctionDef(self, node):  # noqa: N802
+        return node  # nested defs are out of scope
+
+    def visit_Lambda(self, node):  # noqa: N802
+        return node
+
+    def visit_Call(self, node: ast.Call):  # noqa: N802
+        self.generic_visit(node)
+        if isinstance(node.func, ast.Name):
+            if node.func.id == COMPUTE_INTRINSIC:
+                compute = ast.Call(
+                    func=ast.Attribute(
+                        value=ast.Name("ctx", ast.Load()), attr="compute", ctx=ast.Load()
+                    ),
+                    args=node.args,
+                    keywords=node.keywords,
+                )
+                return ast.Yield(value=compute)
+            if node.func.id in self.translated:
+                inlined = ast.Call(
+                    func=node.func,
+                    args=[ast.Name("ctx", ast.Load())] + node.args,
+                    keywords=node.keywords,
+                )
+                return ast.YieldFrom(value=inlined)
+        return node
+
+
+class _FunctionTranslator:
+    """Translates one function body, consuming pragma markers."""
+
+    def __init__(self, translated_names: set, fn_name: str) -> None:
+        self.translated = translated_names
+        self.fn_name = fn_name
+        self.call_rewriter = _CallRewriter(translated_names)
+        self._handle_counter = 0
+        #: (variable name, handle temp name) pending materialization
+        self.pending: List[Tuple[str, str]] = []
+
+    # -- helpers ----------------------------------------------------------
+    def _fresh_handle(self) -> str:
+        self._handle_counter += 1
+        return f"__omp_handle_{self._handle_counter}"
+
+    @staticmethod
+    def _ctx_yield(method: str, *args: ast.expr) -> ast.Expr:
+        call = ast.Call(
+            func=ast.Attribute(
+                value=ast.Name("ctx", ast.Load()), attr=method, ctx=ast.Load()
+            ),
+            args=list(args),
+            keywords=[],
+        )
+        return ast.Expr(value=ast.Yield(value=call))
+
+    def _spawn_stmt(self, target: Optional[str], call: ast.Call) -> List[ast.stmt]:
+        if not isinstance(call.func, ast.Name):
+            raise InstrumentationError(
+                f"{self.fn_name}: '#pragma omp task' target must call a "
+                "plain function name"
+            )
+        callee = call.func.id
+        if callee not in self.translated:
+            raise InstrumentationError(
+                f"{self.fn_name}: task target {callee!r} is not a function "
+                "of this translation unit"
+            )
+        rewritten_args = [self.call_rewriter.visit(a) for a in call.args]
+        spawn = ast.Call(
+            func=ast.Attribute(
+                value=ast.Name("ctx", ast.Load()), attr="spawn", ctx=ast.Load()
+            ),
+            args=[ast.Name(callee, ast.Load())] + rewritten_args,
+            keywords=[self.call_rewriter.visit(k) for k in call.keywords],
+        )
+        yielded = ast.Yield(value=spawn)
+        if target is None:
+            return [ast.Expr(value=yielded)]
+        handle = self._fresh_handle()
+        self.pending.append((target, handle))
+        return [ast.Assign(targets=[ast.Name(handle, ast.Store())], value=yielded)]
+
+    def _materialize(self) -> List[ast.stmt]:
+        stmts = []
+        for variable, handle in self.pending:
+            stmts.append(
+                ast.Assign(
+                    targets=[ast.Name(variable, ast.Store())],
+                    value=ast.Attribute(
+                        value=ast.Name(handle, ast.Load()),
+                        attr="result",
+                        ctx=ast.Load(),
+                    ),
+                )
+            )
+        self.pending.clear()
+        return stmts
+
+    # -- body translation ---------------------------------------------------
+    def translate_body(self, body: List[ast.stmt]) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        i = 0
+        while i < len(body):
+            stmt = body[i]
+            pragma = _pragma_of(stmt)
+            if pragma is None:
+                out.append(self._translate_plain(stmt))
+                i += 1
+                continue
+
+            if pragma == "task":
+                if i + 1 >= len(body):
+                    raise InstrumentationError(
+                        f"{self.fn_name}: '#pragma omp task' at end of block"
+                    )
+                nxt = body[i + 1]
+                if (
+                    isinstance(nxt, ast.Assign)
+                    and len(nxt.targets) == 1
+                    and isinstance(nxt.targets[0], ast.Name)
+                    and isinstance(nxt.value, ast.Call)
+                ):
+                    out.extend(self._spawn_stmt(nxt.targets[0].id, nxt.value))
+                elif isinstance(nxt, ast.Expr) and isinstance(nxt.value, ast.Call):
+                    out.extend(self._spawn_stmt(None, nxt.value))
+                else:
+                    raise InstrumentationError(
+                        f"{self.fn_name}: '#pragma omp task' must precede "
+                        "`x = f(...)` or `f(...)`"
+                    )
+                i += 2
+            elif pragma == "taskwait":
+                out.append(self._ctx_yield("taskwait"))
+                out.extend(self._materialize())
+                i += 1
+            elif pragma == "taskyield":
+                out.append(self._ctx_yield("taskyield"))
+                i += 1
+            elif pragma == "barrier":
+                out.append(self._ctx_yield("barrier"))
+                i += 1
+            elif pragma == "single":
+                if i + 1 >= len(body):
+                    raise InstrumentationError(
+                        f"{self.fn_name}: '#pragma omp single' at end of block"
+                    )
+                guarded = self._translate_plain(body[i + 1])
+                test = ast.Yield(
+                    value=ast.Call(
+                        func=ast.Attribute(
+                            value=ast.Name("ctx", ast.Load()),
+                            attr="single",
+                            ctx=ast.Load(),
+                        ),
+                        args=[],
+                        keywords=[],
+                    )
+                )
+                out.append(ast.If(test=test, body=[guarded], orelse=[]))
+                i += 2
+            else:
+                critical = _CRITICAL_RE.match(pragma)
+                if critical:
+                    if i + 1 >= len(body):
+                        raise InstrumentationError(
+                            f"{self.fn_name}: critical pragma at end of block"
+                        )
+                    name = ast.Constant(critical.group(1))
+                    out.append(self._ctx_yield("critical", name))
+                    out.append(self._translate_plain(body[i + 1]))
+                    out.append(self._ctx_yield("end_critical", name))
+                    i += 2
+                else:
+                    raise InstrumentationError(
+                        f"{self.fn_name}: unsupported pragma 'omp {pragma}'"
+                    )
+        return out
+
+    def _translate_plain(self, stmt: ast.stmt) -> ast.stmt:
+        """Recurse into compound statements; rewrite calls everywhere."""
+        if isinstance(stmt, (ast.If, ast.While)):
+            stmt.test = self.call_rewriter.visit(stmt.test)
+            stmt.body = self.translate_body(stmt.body)
+            stmt.orelse = self.translate_body(stmt.orelse)
+            return stmt
+        if isinstance(stmt, ast.For):
+            stmt.iter = self.call_rewriter.visit(stmt.iter)
+            stmt.body = self.translate_body(stmt.body)
+            stmt.orelse = self.translate_body(stmt.orelse)
+            return stmt
+        if isinstance(stmt, (ast.With,)):
+            stmt.body = self.translate_body(stmt.body)
+            return stmt
+        if isinstance(stmt, ast.FunctionDef):
+            raise InstrumentationError(
+                f"{self.fn_name}: nested function definitions are not supported"
+            )
+        return self.call_rewriter.visit(stmt)
+
+
+def translate_tasking(source: str) -> Dict[str, Any]:
+    """Translate a whole source unit; returns {name: generator function}.
+
+    Every top-level function of the unit is translated (it gains a
+    leading ``ctx`` parameter and becomes a generator), mirroring how
+    OPARI2 processes a full compilation unit.
+    """
+    preprocessed = _preprocess(source)
+    try:
+        module = ast.parse(preprocessed)
+    except SyntaxError as exc:
+        raise InstrumentationError(f"cannot parse source: {exc}") from exc
+
+    functions = [n for n in module.body if isinstance(n, ast.FunctionDef)]
+    if not functions:
+        raise InstrumentationError("translation unit contains no functions")
+    translated_names = {fn.name for fn in functions}
+
+    for fn in functions:
+        translator = _FunctionTranslator(translated_names, fn.name)
+        fn.body = translator.translate_body(fn.body)
+        fn.args.args.insert(0, ast.arg(arg="ctx"))
+        checker = _HasYield()
+        for stmt in fn.body:
+            checker.visit(stmt)
+        if not checker.found:
+            # Guarantee generator-ness so `yield from` composition works.
+            fn.body.insert(
+                0,
+                ast.If(
+                    test=ast.Constant(False),
+                    body=[ast.Expr(value=ast.Yield(value=ast.Constant(None)))],
+                    orelse=[],
+                ),
+            )
+
+    ast.fix_missing_locations(module)
+    namespace: Dict[str, Any] = {}
+    exec(compile(module, "<omp-translated>", "exec"), namespace)
+    return {name: namespace[name] for name in translated_names}
+
+
+def run_translated(
+    functions: Dict[str, Any],
+    entry: str,
+    args: tuple = (),
+    config=None,
+    name: Optional[str] = None,
+    mode: str = "single_producer",
+):
+    """Run a translated function in a parallel region.
+
+    ``mode='single_producer'`` (default) spawns ``entry`` as the root
+    task of a single-producer region -- the BOTS shape; the entry may use
+    task pragmas but not barriers.  ``mode='spmd'`` makes ``entry`` the
+    region body itself: every team thread executes it, so single/barrier
+    pragmas are legal (the `#pragma omp parallel` analogue).
+
+    Returns the :class:`~repro.runtime.runtime.ParallelResult`.
+    """
+    from repro.bots.common import single_producer_region
+    from repro.runtime.runtime import run_parallel
+
+    if entry not in functions:
+        raise KeyError(f"no translated function {entry!r}; have {sorted(functions)}")
+    if mode == "single_producer":
+        body = single_producer_region(functions[entry], *args)
+    elif mode == "spmd":
+        body = functions[entry]
+        return run_parallel(body, *args, config=config, name=name or f"omp:{entry}")
+    else:
+        raise ValueError(f"unknown mode {mode!r}; use 'single_producer' or 'spmd'")
+    return run_parallel(body, config=config, name=name or f"omp:{entry}")

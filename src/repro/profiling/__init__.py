@@ -1,0 +1,49 @@
+"""Task-aware call-path profiling (the paper's core contribution).
+
+Modules:
+
+* :mod:`repro.profiling.metrics` -- per-node metric storage: inclusive
+  time, visit counts, and the sum/min/max/count statistics the paper keeps
+  for statistical analysis of task instances.
+* :mod:`repro.profiling.calltree` -- the call-tree data structure with
+  region-keyed children, parameter-qualified nodes, and recursive merge.
+* :mod:`repro.profiling.pool` -- recycling allocator for task-instance
+  tree nodes ("task instance's data structures are kept for later reuse",
+  Section IV-C).
+* :mod:`repro.profiling.basic` -- the classic (pre-tasking) Score-P
+  profiling algorithm; rejects streams that violate the nesting condition.
+* :mod:`repro.profiling.task_profiler` -- the Fig. 12 task profiling
+  algorithm: task-instance table, current-task pointer, stub nodes under
+  scheduling points, pause/resume of open-region timing across suspension,
+  and merging completed instance trees into per-construct aggregate trees.
+* :mod:`repro.profiling.baselines` -- the rejected/naive designs the paper
+  argues against: creation-node attribution (Fig. 3, negative exclusive
+  times) and instance-blind bracketing (Fürlinger/Skinner).
+* :mod:`repro.profiling.profile` -- the run-level profile container.
+* :mod:`repro.profiling.memory` -- concurrent-instance-tree accounting
+  (paper Section V-B, Table II).
+"""
+
+from repro.profiling.metrics import NodeMetrics, StatAccumulator
+from repro.profiling.calltree import CallTreeNode, NodeKey
+from repro.profiling.pool import NodePool
+from repro.profiling.basic import ClassicProfiler
+from repro.profiling.task_profiler import TaskProfiler, ThreadTaskProfiler
+from repro.profiling.baselines import CreationNodeProfiler, NoInstanceProfiler
+from repro.profiling.profile import Profile
+from repro.profiling.memory import ConcurrencyTracker
+
+__all__ = [
+    "NodeMetrics",
+    "StatAccumulator",
+    "CallTreeNode",
+    "NodeKey",
+    "NodePool",
+    "ClassicProfiler",
+    "TaskProfiler",
+    "ThreadTaskProfiler",
+    "CreationNodeProfiler",
+    "NoInstanceProfiler",
+    "Profile",
+    "ConcurrencyTracker",
+]

@@ -1,0 +1,127 @@
+"""Naive/rejected profiling designs, kept as baselines.
+
+The paper argues for its design by contrasting two alternatives:
+
+:class:`CreationNodeProfiler`
+    Attributes a task's execution to the call-tree node *where it was
+    created* (Section IV-B2, Fig. 3 left).  The reproduction shows the
+    pathology quantitatively: the creating node's exclusive time goes
+    negative, and scheduling-point (barrier) time swallows useful work.
+
+:class:`NoInstanceProfiler`
+    The Fürlinger/Skinner-style scheme (Section II): task begin/end are
+    treated as plain enter/exit on the thread's single stack, with no task
+    instance identification.  It works only for *uninterrupted* tasks --
+    the moment a task suspends and another interleaves (Fig. 2), the
+    nesting condition breaks and the profiler must give up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import EventOrderError, ProfileError
+from repro.events.model import InstanceId, is_implicit
+from repro.events.regions import Region
+from repro.profiling.basic import ClassicProfiler
+from repro.profiling.calltree import CallTreeNode
+from repro.profiling.task_profiler import _Frame
+
+
+class CreationNodeProfiler:
+    """Task execution attributed to the creating node (Fig. 3, left side).
+
+    Single-threaded by design -- it exists to reproduce the paper's
+    didactic example.  The API mirrors a subset of the task profiler:
+    ``enter``/``exit`` for regions, ``task_created`` when a task-creation
+    region registers a new instance, ``task_begin``/``task_end`` around
+    execution.  Execution time lands on the node created *under the
+    creation site*, no matter where the task actually ran.
+    """
+
+    def __init__(self, root_region: Region) -> None:
+        self.root = CallTreeNode(root_region)
+        self._stack: List[_Frame] = [_Frame(self.root, 0.0)]
+        #: instance id -> node under the creation site
+        self._creation_nodes: Dict[InstanceId, CallTreeNode] = {}
+        self._executing: Dict[InstanceId, float] = {}
+
+    @property
+    def current_node(self) -> CallTreeNode:
+        return self._stack[-1].node
+
+    def enter(self, region: Region, time: float) -> CallTreeNode:
+        node = self.current_node.child(region)
+        self._stack.append(_Frame(node, time))
+        return node
+
+    def exit(self, region: Region, time: float) -> CallTreeNode:
+        if len(self._stack) <= 1:
+            raise ProfileError(f"exit {region.name!r} with no open region")
+        frame = self._stack.pop()
+        if frame.node.region is not region:
+            raise ProfileError(
+                f"exit {region.name!r} does not match {frame.node.region.name!r}"
+            )
+        frame.node.metrics.record_visit(frame.close(time))
+        return frame.node
+
+    def task_created(self, region: Region, instance: InstanceId) -> CallTreeNode:
+        """Register the creation site: the task node hangs off *here*."""
+        node = self.current_node.child(region)
+        self._creation_nodes[instance] = node
+        return node
+
+    def task_begin(self, instance: InstanceId, time: float) -> None:
+        if instance not in self._creation_nodes:
+            raise ProfileError(f"task_begin for uncreated instance {instance}")
+        self._executing[instance] = time
+
+    def task_end(self, instance: InstanceId, time: float) -> None:
+        begin = self._executing.pop(instance, None)
+        if begin is None:
+            raise ProfileError(f"task_end for non-executing instance {instance}")
+        node = self._creation_nodes.pop(instance)
+        node.metrics.record_visit(time - begin)
+
+    def finish(self, time: float) -> CallTreeNode:
+        if len(self._stack) != 1:
+            open_names = ", ".join(f.node.region.name for f in self._stack[1:])
+            raise ProfileError(f"finished with open region(s): {open_names}")
+        frame = self._stack.pop()
+        frame.node.metrics.record_visit(frame.close(time))
+        return self.root
+
+
+class NoInstanceProfiler(ClassicProfiler):
+    """Instance-blind task profiling (Fürlinger/Skinner 2009).
+
+    Task begin/end map onto enter/exit of the task region on the one and
+    only stack.  Correct as long as tasks never suspend; interleaved
+    suspension produces un-nested exits, which surface as
+    :class:`~repro.errors.EventOrderError` -- the reproduction of the
+    paper's claim that "their approach lacks task instance identification
+    and, thus, supports only uninterrupted tasks".
+    """
+
+    def task_begin(self, region: Region, instance: InstanceId, time: float) -> None:
+        # Instance id intentionally ignored -- that is the point.
+        self.enter(region, time)
+
+    def task_end(self, region: Region, instance: InstanceId, time: float) -> None:
+        node = self.current_node
+        if node.region is not region:
+            raise EventOrderError(
+                f"task_end {region.name!r} while inside {node.region.name!r}: "
+                "interleaved task fragments cannot be distinguished without "
+                "instance identification"
+            )
+        self.exit(region, time)
+
+    def task_switch(self, instance: InstanceId, time: float) -> None:
+        """A switch to anything but the implicit task is unsupported."""
+        if not is_implicit(instance):
+            raise EventOrderError(
+                "task suspension requires task instance identification; "
+                "the instance-blind profiler only supports uninterrupted tasks"
+            )

@@ -1,0 +1,103 @@
+"""The classic (pre-tasking) Score-P profiling algorithm.
+
+Paper Section IV-A: a per-thread call tree is built from the enter/exit
+event stream; each enter descends (creating the child on first visit),
+each exit ascends and attributes the inclusive duration.  The algorithm
+*requires* the nesting condition -- it raises
+:class:`~repro.errors.EventOrderError` on the interleaved streams that
+task suspension produces (Fig. 2), which is precisely the problem the
+task-aware profiler solves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import EventOrderError
+from repro.events.model import EnterEvent, ExitEvent
+from repro.events.regions import Region
+from repro.profiling.calltree import CallTreeNode
+
+#: A frame is (node, enter_time).
+Frame = Tuple[CallTreeNode, float]
+
+
+class ClassicProfiler:
+    """Single-thread enter/exit call-path profiler.
+
+    Parameters
+    ----------
+    root_region:
+        Region for the tree root (conventionally the ``main`` function or
+        the implicit-task region of a parallel region).
+    """
+
+    def __init__(self, root_region: Region) -> None:
+        self.root = CallTreeNode(root_region)
+        self._stack: List[Frame] = []
+        self._root_open: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def current_node(self) -> CallTreeNode:
+        """The node the profiler is currently positioned at."""
+        return self._stack[-1][0] if self._stack else self.root
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    def enter(self, region: Region, time: float, parameter: Optional[tuple] = None) -> CallTreeNode:
+        """Process an enter event; returns the node descended into."""
+        if self._root_open is None:
+            self._root_open = time
+        if not self._stack and region is self.root.region:
+            # Entering the root region itself positions us at the root node
+            # (the paper: "the first event is usually the enter event of the
+            # main function, for which the root node is created").
+            node = self.root
+        else:
+            node = self.current_node.child(region, parameter)
+        self._stack.append((node, time))
+        return node
+
+    def exit(self, region: Region, time: float) -> CallTreeNode:
+        """Process an exit event; returns the node ascended from."""
+        if not self._stack:
+            raise EventOrderError(f"exit {region.name!r} with no open region")
+        node, enter_time = self._stack.pop()
+        if node.region is not region:
+            self._stack.append((node, enter_time))
+            raise EventOrderError(
+                f"exit {region.name!r} does not match innermost open region "
+                f"{node.region.name!r}"
+            )
+        node.metrics.record_visit(time - enter_time)
+        return node
+
+    # ------------------------------------------------------------------
+    def feed(self, events) -> CallTreeNode:
+        """Translate a whole event stream; returns the finished root.
+
+        Only :class:`EnterEvent`/:class:`ExitEvent` are accepted -- any
+        task event raises, matching the paper's observation that the
+        classic algorithm cannot represent them.
+        """
+        for event in events:
+            if isinstance(event, EnterEvent):
+                self.enter(event.region, event.time, event.parameter)
+            elif isinstance(event, ExitEvent):
+                self.exit(event.region, event.time)
+            else:
+                raise EventOrderError(
+                    f"classic profiler cannot process {type(event).__name__}"
+                )
+        return self.finish()
+
+    def finish(self) -> CallTreeNode:
+        """Check all regions closed and return the root."""
+        if self._stack:
+            open_names = ", ".join(n.region.name for n, _ in self._stack)
+            raise EventOrderError(f"stream ended with open region(s): {open_names}")
+        return self.root

@@ -1,0 +1,202 @@
+"""Metric storage for call-tree nodes.
+
+The paper (Section IV-A): "Each node in the call tree ... stores the
+required data on certain metrics, e.g., the inclusive runtime and the
+number of visits, together with information required for statistical
+analysis, i.e. the sum, the minimum, the maximum and the number of
+samples."  :class:`StatAccumulator` is that statistical record;
+:class:`NodeMetrics` bundles it with the running inclusive time and visit
+count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class StatAccumulator:
+    """Streaming sum / min / max / count over per-visit durations.
+
+    Mean is derived (``total / count``).  Accumulators merge associatively
+    and commutatively, which the task profiler relies on when folding
+    completed instance trees into per-construct aggregate trees in whatever
+    order instances happen to finish.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.minimum: float = math.inf
+        self.maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "StatAccumulator") -> None:
+        """Fold another accumulator into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def copy(self) -> "StatAccumulator":
+        out = StatAccumulator()
+        out.merge(self)
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean if self.count else None,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatAccumulator):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.total == other.total
+            and self.minimum == other.minimum
+            and self.maximum == other.maximum
+        )
+
+    def __repr__(self) -> str:
+        if self.empty:
+            return "StatAccumulator(empty)"
+        return (
+            f"StatAccumulator(n={self.count}, sum={self.total:.3f}, "
+            f"min={self.minimum:.3f}, max={self.maximum:.3f}, mean={self.mean:.3f})"
+        )
+
+
+class NodeMetrics:
+    """Metrics attached to one call-tree node.
+
+    Attributes
+    ----------
+    inclusive_time:
+        Total virtual time spent inside this node including children.  For
+        task *stub* nodes this is the task-execution time observed inside
+        the parent scheduling point.
+    visits:
+        Number of times the node was entered.  For stub nodes this counts
+        executed task *fragments* (paper Section IV-B4).
+    durations:
+        Per-visit (for task roots: per-instance) duration statistics.
+    """
+
+    __slots__ = ("inclusive_time", "visits", "durations", "counters")
+
+    def __init__(self) -> None:
+        self.inclusive_time: float = 0.0
+        self.visits: int = 0
+        self.durations = StatAccumulator()
+        #: hardware-counter-style custom metrics (flops, bytes, ...),
+        #: lazily allocated -- most nodes carry none.
+        self.counters: Optional[dict] = None
+
+    def record_visit(self, duration: float) -> None:
+        """Account one completed visit of the node."""
+        self.inclusive_time += duration
+        self.visits += 1
+        self.durations.add(duration)
+
+    def add_time(self, duration: float) -> None:
+        """Account time without a completed-visit sample (stub fragments)."""
+        self.inclusive_time += duration
+
+    def count_fragment(self) -> None:
+        """Count one task fragment execution (stub nodes)."""
+        self.visits += 1
+
+    def add_counters(self, counters: dict) -> None:
+        """Accumulate custom counter values (flops, bytes, ...)."""
+        if self.counters is None:
+            self.counters = {}
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def counter(self, name: str) -> float:
+        """Value of one custom counter (0.0 when never recorded)."""
+        if self.counters is None:
+            return 0.0
+        return self.counters.get(name, 0.0)
+
+    def merge(self, other: "NodeMetrics") -> None:
+        self.inclusive_time += other.inclusive_time
+        self.visits += other.visits
+        self.durations.merge(other.durations)
+        if other.counters:
+            self.add_counters(other.counters)
+
+    def reset(self) -> None:
+        self.inclusive_time = 0.0
+        self.visits = 0
+        self.durations.reset()
+        self.counters = None
+
+    def as_dict(self) -> dict:
+        return {
+            "inclusive_time": self.inclusive_time,
+            "visits": self.visits,
+            "durations": self.durations.as_dict(),
+            "counters": dict(self.counters) if self.counters else {},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeMetrics(inclusive={self.inclusive_time:.3f}, "
+            f"visits={self.visits})"
+        )
+
+
+def format_time(us: float, unit: Optional[str] = None) -> str:
+    """Render a virtual-microsecond duration with a sensible unit.
+
+    ``unit`` forces one of ``'us'``, ``'ms'``, ``'s'``; otherwise the
+    magnitude picks it.  Used by the CUBE-style renderer and the report
+    tables.
+    """
+    if unit is None:
+        if abs(us) >= 1e6:
+            unit = "s"
+        elif abs(us) >= 1e3:
+            unit = "ms"
+        else:
+            unit = "us"
+    if unit == "s":
+        return f"{us / 1e6:.3f} s"
+    if unit == "ms":
+        return f"{us / 1e3:.3f} ms"
+    if unit == "us":
+        return f"{us:.3f} us"
+    raise ValueError(f"unknown unit {unit!r}")

@@ -1,0 +1,101 @@
+"""Recycling allocator for task-instance call-tree nodes.
+
+Paper, Section IV-C: "The task instance's data structures are kept for
+later reuse" and Section V-B: "released task-instance tree nodes are
+reused".  A free-list keeps the per-thread memory footprint bounded by the
+*maximum concurrent* task-tree volume instead of the total number of task
+instances -- the property Table II quantifies.
+
+The pool also exposes the statistics the memory evaluation needs:
+how many nodes were ever allocated versus recycled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.events.regions import Region
+from repro.profiling.calltree import CallTreeNode
+
+
+class NodePool:
+    """Per-thread free-list of :class:`CallTreeNode` objects."""
+
+    __slots__ = ("_free", "allocated", "reused", "released")
+
+    def __init__(self) -> None:
+        self._free: List[CallTreeNode] = []
+        #: nodes created fresh (peak memory proxy)
+        self.allocated: int = 0
+        #: nodes served from the free list
+        self.reused: int = 0
+        #: nodes returned to the free list
+        self.released: int = 0
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        region: Region,
+        parameter: Optional[tuple] = None,
+        parent: Optional[CallTreeNode] = None,
+        is_stub: bool = False,
+    ) -> CallTreeNode:
+        """Hand out a node, recycling a released one when available."""
+        if self._free:
+            node = self._free.pop()
+            node.region = region
+            node.parameter = parameter
+            node.parent = parent
+            node.is_stub = is_stub
+            node.metrics.reset()
+            node.children.clear()
+            self.reused += 1
+            return node
+        self.allocated += 1
+        return CallTreeNode(region, parameter, parent=parent, is_stub=is_stub)
+
+    def release_tree(self, root: CallTreeNode) -> int:
+        """Return every node of a completed instance tree to the free list.
+
+        Returns the number of nodes released.  The tree must no longer be
+        referenced by the caller; its links are cleared.
+        """
+        count = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            node.children.clear()
+            node.parent = None
+            self._free.append(node)
+            count += 1
+        self.released += count
+        return count
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def live_count(self) -> int:
+        """Nodes currently checked out (allocated + reused - released... )
+
+        Computed as total hand-outs minus returns; a proxy for the live
+        task-instance tree volume.
+        """
+        return self.allocated + self.reused - self.released
+
+    def stats(self) -> dict:
+        return {
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+            "free": self.free_count,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<NodePool allocated={self.allocated} reused={self.reused} "
+            f"free={self.free_count}>"
+        )

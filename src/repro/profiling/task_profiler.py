@@ -1,0 +1,458 @@
+"""The task profiling algorithm of the paper (Section IV-C, Fig. 12).
+
+Responsibilities, mapped to the paper:
+
+* **Task-instance table** -- every *active* instance (begun, not completed)
+  owns a private call tree and a frame stack; the table keeps them
+  addressable across suspension/resumption (Fig. 6-9).
+* **Current-task pointer** -- per thread; ``None`` means the implicit task
+  is executing.
+* **TaskSwitch** -- pauses time measurement on every open region of the
+  suspended instance and resumes it on the target instance (Fig. 12 lines
+  17-38); simultaneously maintains the **stub node**: the child of the
+  implicit task's current scheduling-point node that accumulates the
+  task-execution time observed there and counts executed fragments
+  (Section IV-B4, Fig. 5).
+* **TaskEnd** -- closes the instance's root region, switches back to the
+  implicit task, merges the finished instance tree into the aggregate tree
+  of its task construct ("a new node is created for the first occurrence
+  of this tasking construct; later occurrences are merged with this
+  node"), and recycles the instance tree's nodes through the
+  :class:`~repro.profiling.pool.NodePool`.
+
+Untied-task *migration* is supported exactly as Section IV-D1 describes:
+the instance table is shared between threads, so a task suspended on
+thread A can be resumed on thread B -- the pointer to the task-specific
+data migrates with the task.  The stub accounting always happens in the
+*executing* thread's implicit tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProfileError
+from repro.events.model import InstanceId, is_implicit
+from repro.events.regions import Region, RegionType
+from repro.profiling.calltree import CallTreeNode
+from repro.profiling.memory import ConcurrencyTracker
+from repro.profiling.pool import NodePool
+
+
+class _Frame:
+    """One open region of some task: where, since when, and how much so far.
+
+    ``partial`` accumulates time from fragments completed before the last
+    suspension; ``start`` is the virtual time of the last (re)start, or
+    ``None`` while the owning task is suspended.
+    """
+
+    __slots__ = ("node", "start", "partial", "folded", "folded_region")
+
+    def __init__(
+        self,
+        node: CallTreeNode,
+        start: float,
+        folded: bool = False,
+        folded_region=None,
+    ) -> None:
+        self.node = node
+        self.start: Optional[float] = start
+        self.partial: float = 0.0
+        #: frame clipped by the call-path depth limit: exits pop it, but
+        #: no metrics are recorded (the time stays in the boundary node)
+        self.folded = folded
+        self.folded_region = folded_region
+
+    def pause(self, now: float) -> None:
+        if self.start is None:
+            raise ProfileError(f"pausing already-paused frame for {self.node.display_name()!r}")
+        self.partial += now - self.start
+        self.start = None
+
+    def resume(self, now: float) -> None:
+        if self.start is not None:
+            raise ProfileError(f"resuming running frame for {self.node.display_name()!r}")
+        self.start = now
+
+    def close(self, now: float) -> float:
+        """Total accumulated duration at region exit."""
+        if self.start is None:
+            raise ProfileError(f"closing paused frame for {self.node.display_name()!r}")
+        return self.partial + (now - self.start)
+
+
+class InstanceData:
+    """Measurement state of one active task instance."""
+
+    __slots__ = (
+        "instance",
+        "region",
+        "parameter",
+        "root",
+        "frames",
+        "suspended",
+        "begin_time",
+        "fragments",
+        "home_thread",
+        "home_tracker",
+        "home_pool",
+    )
+
+    def __init__(
+        self,
+        instance: InstanceId,
+        region: Region,
+        parameter: Optional[tuple],
+        root: CallTreeNode,
+        begin_time: float,
+        home_thread: int,
+        home_tracker: Optional[ConcurrencyTracker] = None,
+        home_pool: Optional[NodePool] = None,
+    ) -> None:
+        self.instance = instance
+        self.region = region
+        self.parameter = parameter
+        self.root = root
+        self.frames: List[_Frame] = []
+        self.suspended = False
+        self.begin_time = begin_time
+        self.fragments = 0
+        self.home_thread = home_thread
+        # Untied tasks may end on a different thread than they began on;
+        # concurrency accounting and node recycling stay with the home
+        # thread (the pointer migrates with the task, Section IV-D1).
+        self.home_tracker = home_tracker
+        self.home_pool = home_pool
+
+    def current_node(self) -> CallTreeNode:
+        return self.frames[-1].node if self.frames else self.root
+
+
+#: Aggregate task trees are keyed by (task region, parameter).
+TaskTreeKey = Tuple[Region, Optional[tuple]]
+
+
+class ThreadTaskProfiler:
+    """Per-thread half of the task profiler: implicit tree + current task.
+
+    ``max_call_path_depth`` reproduces Score-P's call-path depth limit
+    (the paper's Section IV-B3 concern about exploding trees): regions
+    entered beyond the limit are folded into the boundary node -- their
+    time stays inside it, no deeper nodes are created, and
+    :attr:`truncated_enters` counts the clipped paths.
+    """
+
+    def __init__(
+        self,
+        thread_id: int,
+        implicit_region: Region,
+        instance_table: Dict[InstanceId, InstanceData],
+        start_time: float = 0.0,
+        max_call_path_depth: Optional[int] = None,
+    ) -> None:
+        self.thread_id = thread_id
+        self.implicit_root = CallTreeNode(implicit_region)
+        self._implicit_frames: List[_Frame] = [_Frame(self.implicit_root, start_time)]
+        self._table = instance_table
+        self.current: Optional[InstanceData] = None
+        self._stub_frame: Optional[_Frame] = None
+        #: finished-task aggregate trees of this thread
+        self.task_trees: Dict[TaskTreeKey, CallTreeNode] = {}
+        self.pool = NodePool()
+        self.concurrency = ConcurrencyTracker()
+        if max_call_path_depth is not None and max_call_path_depth < 1:
+            raise ValueError("max_call_path_depth must be >= 1")
+        self.max_call_path_depth = max_call_path_depth
+        #: enters folded away by the depth limit
+        self.truncated_enters = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _frames(self) -> List[_Frame]:
+        return self.current.frames if self.current is not None else self._implicit_frames
+
+    def _current_node(self) -> CallTreeNode:
+        if self.current is not None:
+            return self.current.current_node()
+        return self._implicit_frames[-1].node if self._implicit_frames else self.implicit_root
+
+    def implicit_current_node(self) -> CallTreeNode:
+        """The implicit task's position, regardless of the current task."""
+        return self._implicit_frames[-1].node if self._implicit_frames else self.implicit_root
+
+    # ------------------------------------------------------------------
+    # Region events
+    # ------------------------------------------------------------------
+    def enter(self, region: Region, time: float, parameter: Optional[tuple] = None) -> CallTreeNode:
+        """Enter a region in the context of the current task."""
+        frames = self._frames()
+        if (
+            self.max_call_path_depth is not None
+            and len(frames) >= self.max_call_path_depth
+        ):
+            # Depth limit: fold this region into the boundary node.  The
+            # folded frame keeps nesting balanced; its time is already
+            # inside the boundary node's inclusive time.
+            self.truncated_enters += 1
+            boundary = frames[-1].node if frames else (
+                self.current.root if self.current is not None else self.implicit_root
+            )
+            frames.append(_Frame(boundary, time, folded=True, folded_region=region))
+            return boundary
+        if self.current is not None:
+            parent = self.current.current_node()
+            node = parent.child(region, parameter, factory=self.pool.acquire)
+        else:
+            parent = self.implicit_current_node()
+            node = parent.child(region, parameter)
+        frames.append(_Frame(node, time))
+        return node
+
+    def exit(self, region: Region, time: float) -> CallTreeNode:
+        """Exit the innermost open region of the current task."""
+        frames = self._frames()
+        # frames[0] is the root frame (implicit task root or instance root);
+        # it is closed by finish()/task_end(), never by a plain exit.
+        if len(frames) <= 1:
+            raise ProfileError(
+                f"thread {self.thread_id}: exit {region.name!r} with no open region"
+            )
+        frame = frames.pop()
+        expected = frame.folded_region if frame.folded else frame.node.region
+        if expected is not region:
+            frames.append(frame)
+            raise ProfileError(
+                f"thread {self.thread_id}: exit {region.name!r} does not match "
+                f"innermost open region {expected.name!r}"
+            )
+        if not frame.folded:
+            frame.node.metrics.record_visit(frame.close(time))
+        return frame.node
+
+    def metric(self, counters: dict) -> None:
+        """Attribute custom counters to the current task's current node."""
+        self._current_node().metrics.add_counters(counters)
+
+    # ------------------------------------------------------------------
+    # Task events (Fig. 12)
+    # ------------------------------------------------------------------
+    def task_begin(
+        self,
+        region: Region,
+        instance: InstanceId,
+        time: float,
+        parameter: Optional[tuple] = None,
+    ) -> InstanceData:
+        """TaskBegin: create instance data, switch to it, enter its root."""
+        if instance in self._table:
+            raise ProfileError(f"instance {instance} already active")
+        root = self.pool.acquire(region, parameter)
+        data = InstanceData(
+            instance,
+            region,
+            parameter,
+            root,
+            time,
+            self.thread_id,
+            home_tracker=self.concurrency,
+            home_pool=self.pool,
+        )
+        self._table[instance] = data
+        self.concurrency.instance_created()
+        self.task_switch(instance, time)
+        # Enter(task instance, task region): open the root frame.
+        data.frames.append(_Frame(root, time))
+        return data
+
+    def task_switch(self, instance: InstanceId, time: float) -> None:
+        """TaskSwitch: suspend the current task, resume ``instance``.
+
+        ``instance`` may be an implicit id (negative), meaning "back to the
+        implicit task".
+        """
+        # -- leave the currently executing explicit task, if any ----------
+        if self.current is not None:
+            leaving = self.current
+            stub = self._stub_frame
+            if stub is None:
+                raise ProfileError("explicit task current but no stub frame open")
+            stub.node.metrics.add_time(stub.close(time))
+            self._stub_frame = None
+            for frame in leaving.frames:
+                frame.pause(time)
+            leaving.suspended = True
+            self.current = None
+
+        if is_implicit(instance):
+            return
+
+        # -- resume / start the target explicit task ----------------------
+        data = self._table.get(instance)
+        if data is None:
+            raise ProfileError(f"task_switch to unknown instance {instance}")
+        if data.suspended:
+            for frame in data.frames:
+                frame.resume(time)
+            data.suspended = False
+        self.current = data
+        data.fragments += 1
+        # Stub node: child of the implicit task's current scheduling point.
+        anchor = self.implicit_current_node()
+        stub = anchor.child(data.region, None, is_stub=True)
+        stub.metrics.count_fragment()
+        self._stub_frame = _Frame(stub, time)
+
+    def task_end(self, region: Region, instance: InstanceId, time: float) -> CallTreeNode:
+        """TaskEnd: close the root, switch to implicit, merge, recycle.
+
+        Returns the (persistent) aggregate tree root the instance was
+        merged into.
+        """
+        data = self._table.get(instance)
+        if data is None:
+            raise ProfileError(f"task_end for unknown instance {instance}")
+        if self.current is not data:
+            raise ProfileError(
+                f"task_end for instance {instance} which is not current on "
+                f"thread {self.thread_id}"
+            )
+        if len(data.frames) != 1:
+            open_names = ", ".join(f.node.region.name for f in data.frames[1:])
+            raise ProfileError(
+                f"instance {instance} ended with open region(s): {open_names}"
+            )
+        root_frame = data.frames.pop()
+        if root_frame.node is not data.root:
+            raise ProfileError("instance root frame does not reference root node")
+        data.root.metrics.record_visit(root_frame.close(time))
+
+        self.task_switch(-(self.thread_id + 1), time)  # back to the implicit task
+
+        # Merge into the aggregate tree of this task construct.
+        key: TaskTreeKey = (data.region, data.parameter)
+        aggregate = self.task_trees.get(key)
+        if aggregate is None:
+            aggregate = CallTreeNode(data.region, data.parameter)
+            self.task_trees[key] = aggregate
+        aggregate.merge(data.root)
+
+        del self._table[instance]
+        (data.home_pool or self.pool).release_tree(data.root)
+        (data.home_tracker or self.concurrency).instance_completed()
+        return aggregate
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def finish(self, time: float) -> CallTreeNode:
+        """Close the implicit task's root frame; returns the main tree."""
+        if self.current is not None:
+            raise ProfileError(
+                f"thread {self.thread_id} finished while instance "
+                f"{self.current.instance} is current"
+            )
+        if len(self._implicit_frames) != 1:
+            open_names = ", ".join(
+                f.node.region.name for f in self._implicit_frames[1:]
+            )
+            raise ProfileError(
+                f"thread {self.thread_id} finished with open region(s): {open_names}"
+            )
+        frame = self._implicit_frames.pop()
+        frame.node.metrics.record_visit(frame.close(time))
+        return self.implicit_root
+
+
+class TaskProfiler:
+    """Whole-program task profiler: one :class:`ThreadTaskProfiler` per thread.
+
+    The instance table is shared across threads so that untied tasks may
+    migrate (Section IV-D1); each event is routed to the executing
+    thread's profiler.  The profiler implements the POMP2-style listener
+    protocol consumed by :class:`repro.instrument.layer.InstrumentationLayer`.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        implicit_region: Region,
+        start_time: float = 0.0,
+        max_call_path_depth: Optional[int] = None,
+    ) -> None:
+        self.n_threads = n_threads
+        self.implicit_region = implicit_region
+        self.instance_table: Dict[InstanceId, InstanceData] = {}
+        self.threads: List[ThreadTaskProfiler] = [
+            ThreadTaskProfiler(
+                t,
+                implicit_region,
+                self.instance_table,
+                start_time,
+                max_call_path_depth=max_call_path_depth,
+            )
+            for t in range(n_threads)
+        ]
+        self.finished = False
+        self._finish_time: Optional[float] = None
+
+    @property
+    def truncated_enters(self) -> int:
+        """Region enters folded away by the call-path depth limit."""
+        return sum(t.truncated_enters for t in self.threads)
+
+    # -- listener protocol -------------------------------------------------
+    def on_enter(self, thread_id: int, region: Region, time: float, parameter=None) -> None:
+        self.threads[thread_id].enter(region, time, parameter)
+
+    def on_exit(self, thread_id: int, region: Region, time: float) -> None:
+        self.threads[thread_id].exit(region, time)
+
+    def on_task_begin(
+        self, thread_id: int, region: Region, instance: InstanceId, time: float, parameter=None
+    ) -> None:
+        self.threads[thread_id].task_begin(region, instance, time, parameter)
+
+    def on_task_switch(self, thread_id: int, instance: InstanceId, time: float) -> None:
+        profiler = self.threads[thread_id]
+        if not is_implicit(instance):
+            data = self.instance_table.get(instance)
+            if data is None:
+                raise ProfileError(f"task_switch to unknown instance {instance}")
+        profiler.task_switch(instance, time)
+
+    def on_task_end(self, thread_id: int, region: Region, instance: InstanceId, time: float) -> None:
+        self.threads[thread_id].task_end(region, instance, time)
+
+    def on_metric(self, thread_id: int, counters: dict, time: float) -> None:
+        self.threads[thread_id].metric(counters)
+
+    def on_phase_begin(self, name: str) -> None:
+        for thread in self.threads:
+            thread.concurrency.start_phase(name)
+
+    def on_phase_end(self, name: str) -> None:
+        for thread in self.threads:
+            thread.concurrency.end_phase()
+
+    def on_finish(self, time: float) -> None:
+        """End of measurement: close every thread's implicit root."""
+        if self.instance_table:
+            raise ProfileError(
+                f"measurement finished with active instances: "
+                f"{sorted(self.instance_table)}"
+            )
+        for thread in self.threads:
+            thread.finish(time)
+        self.finished = True
+        self._finish_time = time
+
+    # -- results -----------------------------------------------------------
+    def build_profile(self):
+        """Package the finished measurement into a :class:`Profile`."""
+        from repro.profiling.profile import Profile
+
+        if not self.finished:
+            raise ProfileError("build_profile() before on_finish()")
+        return Profile.from_task_profiler(self)

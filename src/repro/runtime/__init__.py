@@ -1,0 +1,56 @@
+"""Simulated OpenMP 3.0 runtime.
+
+A deterministic, virtual-time model of an OpenMP runtime with tasking:
+
+* parallel regions with a team of simulated threads (one simulation
+  process each),
+* explicit tasks (tied by default, untied opt-in) expressed as Python
+  generator functions whose ``yield``\\ s are the task scheduling points,
+* ``taskwait``/barriers that execute queued tasks while waiting,
+* work-first or breadth-first ready queues with work stealing,
+* the OpenMP Task Scheduling Constraint for tied tasks,
+* a cost model (:mod:`repro.runtime.costs`) under which task management
+  contends on a global pool lock -- the mechanism behind the paper's
+  overhead observations.
+
+See :class:`~repro.runtime.runtime.OpenMPRuntime` and
+:class:`~repro.runtime.context.TaskContext` for the public surface.
+"""
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.costs import CostModel, JUROPA_LIKE, ZERO_COST
+from repro.runtime.context import TaskContext
+from repro.runtime.directives import (
+    Barrier,
+    Compute,
+    CriticalBegin,
+    CriticalEnd,
+    Single,
+    Spawn,
+    Taskwait,
+    TaskYield,
+)
+from repro.runtime.runtime import OpenMPRuntime, ParallelResult, run_parallel
+from repro.runtime.task import TaskHandle, TaskInstance, TaskState
+
+__all__ = [
+    "RuntimeConfig",
+    "CostModel",
+    "JUROPA_LIKE",
+    "ZERO_COST",
+    "TaskContext",
+    "Compute",
+    "Spawn",
+    "Taskwait",
+    "TaskYield",
+    "Barrier",
+    "Single",
+    "CriticalBegin",
+    "CriticalEnd",
+    "OpenMPRuntime",
+    "ParallelResult",
+    "run_parallel",
+    "TaskHandle",
+    "TaskInstance",
+    "TaskState",
+]

@@ -1,0 +1,91 @@
+"""Runtime configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.runtime.costs import CostModel
+
+
+#: Queue disciplines for ready tasks.
+QUEUE_POLICIES = ("lifo", "fifo")
+#: Victim selection for work stealing.
+STEAL_POLICIES = ("random", "sequential")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything that determines a simulated run besides the program.
+
+    Attributes
+    ----------
+    n_threads:
+        Team size of the (one) parallel region.
+    queue_policy:
+        ``'lifo'`` is work-first (newest local task first, like libgomp's
+        task stack for tied tasks); ``'fifo'`` is breadth-first.
+    steal / steal_policy:
+        Whether idle threads steal from other threads' queues, and how the
+        victim is picked.  Stealing always takes the *oldest* task of the
+        victim.
+    tsc_enabled:
+        Enforce the OpenMP Task Scheduling Constraint: a new tied task may
+        only start on a thread if it is a descendant of every task that is
+        tied to and suspended on that thread.
+    allow_untied:
+        If False (the paper's supported mode -- "our instrumentation makes
+        all tasks tied by default", Section IV-D2), ``tied=False`` spawn
+        requests are silently downgraded to tied and counted.
+    instrument:
+        Measurement on/off; the off setting is the Section V baseline.
+    record_events:
+        Also record a full :class:`~repro.events.stream.ProgramTrace`
+        (memory-hungry; for tests and trace-based analysis).
+    seed:
+        Seed for every scheduling decision (steal victims).
+    costs:
+        The virtual-time :class:`~repro.runtime.costs.CostModel`.
+    """
+
+    n_threads: int = 4
+    queue_policy: str = "lifo"
+    steal: bool = True
+    steal_policy: str = "random"
+    tsc_enabled: bool = True
+    allow_untied: bool = False
+    instrument: bool = True
+    record_events: bool = False
+    seed: int = 0
+    costs: CostModel = field(default_factory=CostModel)
+    #: Score-P style call-path depth limit; regions entered deeper than
+    #: this are folded into the boundary node (None = unlimited).
+    max_call_path_depth: int | None = None
+    #: Score-P style measurement filter (repro.instrument.filtering.
+    #: RegionFilter); suppresses enter/exit events and their cost for
+    #: matching regions. Task lifecycle events are never filtered.
+    measurement_filter: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
+        if self.queue_policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"queue_policy must be one of {QUEUE_POLICIES}, got {self.queue_policy!r}"
+            )
+        if self.steal_policy not in STEAL_POLICIES:
+            raise ValueError(
+                f"steal_policy must be one of {STEAL_POLICIES}, got {self.steal_policy!r}"
+            )
+
+    # Convenience builders used throughout the analysis layer ----------
+    def with_threads(self, n_threads: int) -> "RuntimeConfig":
+        return replace(self, n_threads=n_threads)
+
+    def with_instrumentation(self, enabled: bool) -> "RuntimeConfig":
+        return replace(self, instrument=enabled)
+
+    def with_seed(self, seed: int) -> "RuntimeConfig":
+        return replace(self, seed=seed)
+
+    def with_costs(self, costs: CostModel) -> "RuntimeConfig":
+        return replace(self, costs=costs)

@@ -1,0 +1,156 @@
+"""The user-facing task context.
+
+Task bodies (and parallel-region bodies) receive a :class:`TaskContext`
+as their first argument and build directives through it::
+
+    def fib(ctx, n):
+        if n < 2:
+            yield ctx.compute(LEAF_US)
+            return n
+        a = yield ctx.spawn(fib, n - 1)
+        b = yield ctx.spawn(fib, n - 2)
+        yield ctx.taskwait()
+        yield ctx.compute(SUM_US)
+        return a.result + b.result
+
+Serial (cut-off) recursion composes with plain ``yield from``::
+
+    result = yield from fib(ctx, n - 1)   # inline, no task created
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.runtime.directives import (
+    Barrier,
+    Compute,
+    CriticalBegin,
+    CriticalEnd,
+    RegionBegin,
+    RegionEnd,
+    Single,
+    Spawn,
+    Taskwait,
+    TaskYield,
+)
+from repro.runtime.task import TaskInstance
+
+
+class TaskContext:
+    """Bound to one :class:`TaskInstance`; mostly a directive factory."""
+
+    __slots__ = ("_runtime", "_instance")
+
+    def __init__(self, runtime, instance: TaskInstance) -> None:
+        self._runtime = runtime
+        self._instance = instance
+
+    # -- directive factories -------------------------------------------
+    def compute(
+        self,
+        us: float,
+        label: Optional[str] = None,
+        counters: Optional[dict] = None,
+    ) -> Compute:
+        """Charge ``us`` virtual microseconds of useful work.
+
+        ``counters`` attributes hardware-counter-style metrics (flops,
+        bytes, ...) to the current call-path node.
+        """
+        return Compute(us, label, counters)
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        tied: bool = True,
+        parameter: Optional[tuple] = None,
+        label: Optional[str] = None,
+        if_clause: bool = True,
+        final: bool = False,
+        **kwargs: Any,
+    ) -> Spawn:
+        """Create an explicit task; the yield returns its TaskHandle.
+
+        ``if_clause=False`` or ``final=True`` make the task *included*:
+        executed immediately by this thread, no queueing (the OpenMP
+        granularity-control clauses).
+        """
+        return Spawn(
+            fn,
+            args,
+            kwargs,
+            tied=tied,
+            parameter=parameter,
+            label=label,
+            if_clause=if_clause,
+            final=final,
+        )
+
+    def taskwait(self) -> Taskwait:
+        """Wait for all direct children of the current task."""
+        return Taskwait()
+
+    def taskyield(self) -> TaskYield:
+        """Offer the scheduler a chance to run queued tasks first."""
+        return TaskYield()
+
+    def barrier(self) -> Barrier:
+        """Team barrier (implicit tasks only)."""
+        return Barrier()
+
+    def single(self, name: str = "single") -> Single:
+        """Claim a single construct; yields True on the winning thread."""
+        return Single(name)
+
+    def begin_region(
+        self, name: str, parameter: Optional[tuple] = None
+    ) -> RegionBegin:
+        """Open a user-defined profiling region (Score-P user API)."""
+        return RegionBegin(name, parameter)
+
+    def end_region(self, name: str) -> RegionEnd:
+        """Close a user-defined profiling region."""
+        return RegionEnd(name)
+
+    def critical(self, name: str = "critical") -> CriticalBegin:
+        """Enter a named critical section."""
+        return CriticalBegin(name)
+
+    def end_critical(self, name: str = "critical") -> CriticalEnd:
+        """Leave a named critical section."""
+        return CriticalEnd(name)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def thread_id(self) -> int:
+        """Id of the thread currently executing this task.
+
+        For tied tasks this is stable after the first fragment; untied
+        tasks may observe different values across scheduling points.
+        """
+        executing = self._instance.executing_thread
+        if executing is None:
+            raise RuntimeError("thread_id queried while the task is not executing")
+        return executing
+
+    @property
+    def n_threads(self) -> int:
+        return self._runtime.config.n_threads
+
+    @property
+    def task_depth(self) -> int:
+        """Nesting depth of the current task (implicit task = 0)."""
+        return self._instance.depth
+
+    @property
+    def instance_id(self) -> int:
+        return self._instance.instance_id
+
+    @property
+    def is_implicit_task(self) -> bool:
+        return self._instance.is_implicit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TaskContext instance={self._instance.instance_id}>"

@@ -1,0 +1,111 @@
+"""The virtual-time cost model of the simulated OpenMP runtime.
+
+All constants are virtual microseconds.  The defaults are calibrated so
+that the *relative* magnitudes of the paper's Juropa/libgomp measurements
+come out: µs-scale task management actions, a per-event instrumentation
+cost a few times smaller than a typical management action, and a lock
+contention factor that makes management time grow superlinearly with
+thread count (the paper's Table III: task-creation time grows ~20x from
+1 to 8 threads while the task body time stays flat).
+
+Contention model
+----------------
+Management actions that touch shared runtime state (enqueue, dequeue,
+steal, completion bookkeeping, barrier arrival) execute under one global
+pool lock.  The *hold* time of an action scales with the number of
+waiters queued behind the lock::
+
+    hold = base * (1 + contention_alpha * waiters)
+
+which models cache-line ping-pong and retry traffic of a contended lock.
+Queueing delay then compounds on top, so the *observed* latency of a
+management action grows superlinearly in the number of actively competing
+threads -- exactly the behaviour the paper attributes to "necessary
+locking during access to internal data structures" (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time costs of runtime and instrumentation actions (µs)."""
+
+    # -- task management (locked actions marked [L]) --------------------
+    task_alloc_us: float = 0.30  # descriptor allocation/init, unlocked
+    enqueue_us: float = 0.20  # [L] push task into the pool
+    dequeue_us: float = 0.20  # [L] pop task from the pool
+    steal_us: float = 0.40  # [L] steal probe + pop from a victim
+    task_switch_us: float = 0.15  # save/restore task context, unlocked
+    task_complete_us: float = 0.25  # [L] completion bookkeeping
+    taskwait_us: float = 0.10  # taskwait bookkeeping, unlocked
+    barrier_us: float = 0.30  # [L] barrier arrival bookkeeping
+    single_us: float = 0.10  # [L] single-construct claim
+    critical_us: float = 0.10  # critical enter/exit bookkeeping
+    parallel_fork_us: float = 2.0  # spawning the team, per thread
+    parallel_join_us: float = 2.0  # joining the team, per thread
+
+    # -- contention ------------------------------------------------------
+    #: lock hold-time scaling per queued waiter (see module docstring)
+    contention_alpha: float = 0.75
+    #: hold-time scaling per *additional team thread*: models cache-line
+    #: transfer cost of the shared runtime state, which grows with the
+    #: number of sharers even when the lock is momentarily uncontended.
+    #: hold = base * (1 + coherence_beta*(T-1)) * (1 + contention_alpha*waiters)
+    coherence_beta: float = 0.5
+
+    # -- measurement -----------------------------------------------------
+    #: cost of one instrumentation event when measurement is enabled
+    instr_event_us: float = 0.45
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A model with every *management* cost multiplied by ``factor``.
+
+        Instrumentation cost and contention alpha are left untouched;
+        used by ablation benchmarks.
+        """
+        return replace(
+            self,
+            task_alloc_us=self.task_alloc_us * factor,
+            enqueue_us=self.enqueue_us * factor,
+            dequeue_us=self.dequeue_us * factor,
+            steal_us=self.steal_us * factor,
+            task_switch_us=self.task_switch_us * factor,
+            task_complete_us=self.task_complete_us * factor,
+            taskwait_us=self.taskwait_us * factor,
+            barrier_us=self.barrier_us * factor,
+            single_us=self.single_us * factor,
+            critical_us=self.critical_us * factor,
+        )
+
+    def with_instrumentation_cost(self, instr_event_us: float) -> "CostModel":
+        return replace(self, instr_event_us=instr_event_us)
+
+    def without_contention(self) -> "CostModel":
+        return replace(self, contention_alpha=0.0, coherence_beta=0.0)
+
+
+#: Default model used by all paper-reproduction experiments.
+JUROPA_LIKE = CostModel()
+
+#: Free runtime: isolates algorithmic behaviour from cost modelling;
+#: useful in unit tests where exact virtual times are asserted.
+ZERO_COST = CostModel(
+    task_alloc_us=0.0,
+    enqueue_us=0.0,
+    dequeue_us=0.0,
+    steal_us=0.0,
+    task_switch_us=0.0,
+    task_complete_us=0.0,
+    taskwait_us=0.0,
+    barrier_us=0.0,
+    single_us=0.0,
+    critical_us=0.0,
+    parallel_fork_us=0.0,
+    parallel_join_us=0.0,
+    contention_alpha=0.0,
+    coherence_beta=0.0,
+    instr_event_us=0.0,
+)

@@ -1,0 +1,118 @@
+"""Ready-task queues with work-first/breadth-first policies and stealing.
+
+One deque per thread.  Logical structure mirrors libgomp-era runtimes:
+
+* **push**: a newly created task goes to the creating thread's deque.
+* **pop** (local): work-first (``'lifo'``) takes the newest local task,
+  breadth-first (``'fifo'``) the oldest.
+* **steal**: an idle thread takes the *oldest* task of a victim with a
+  non-empty deque; the victim is chosen randomly or by sequential scan.
+
+All operations respect the Task Scheduling Constraint: tasks that the
+popping/stealing thread may not start (because of its suspended tied
+tasks) are skipped, not lost.
+
+The queue structure itself carries no locking -- callers serialize through
+the runtime's pool lock, which is where the simulated contention arises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runtime import tsc
+from repro.runtime.task import TaskInstance
+from repro.sim.rng import DeterministicRNG
+
+
+class TaskPool:
+    """Per-thread ready deques behind a single logical pool."""
+
+    def __init__(
+        self,
+        n_threads: int,
+        queue_policy: str,
+        steal_policy: str,
+        rng: DeterministicRNG,
+        tsc_enabled: bool = True,
+    ) -> None:
+        self.n_threads = n_threads
+        self.queue_policy = queue_policy
+        self.steal_policy = steal_policy
+        self.rng = rng
+        self.tsc_enabled = tsc_enabled
+        self._queues: List[List[TaskInstance]] = [[] for _ in range(n_threads)]
+        # statistics
+        self.pushes = 0
+        self.pops = 0
+        self.steals = 0
+        self.failed_steals = 0
+
+    # ------------------------------------------------------------------
+    def push(self, thread_id: int, task: TaskInstance) -> None:
+        self._queues[thread_id].append(task)
+        self.pushes += 1
+
+    def pop_local(self, thread_id: int, suspended_tied) -> Optional[TaskInstance]:
+        """Take the next TSC-eligible task from the thread's own deque."""
+        queue = self._queues[thread_id]
+        if not queue:
+            return None
+        from_end = self.queue_policy == "lifo"
+        if self.tsc_enabled:
+            index = tsc.eligible_index(queue, suspended_tied, from_end)
+            if index < 0:
+                return None
+        else:
+            index = len(queue) - 1 if from_end else 0
+        task = queue.pop(index)
+        self.pops += 1
+        return task
+
+    def steal(self, thief_id: int, suspended_tied) -> Optional[TaskInstance]:
+        """Take the oldest eligible task from some other thread's deque."""
+        victims = [
+            t for t in range(self.n_threads) if t != thief_id and self._queues[t]
+        ]
+        if not victims:
+            return None
+        if self.steal_policy == "random":
+            order = self.rng.shuffled(victims)
+        else:
+            order = sorted(victims)
+        for victim in order:
+            queue = self._queues[victim]
+            if self.tsc_enabled:
+                index = tsc.eligible_index(queue, suspended_tied, from_end=False)
+                if index < 0:
+                    continue
+            else:
+                index = 0
+            task = queue.pop(index)
+            self.steals += 1
+            return task
+        self.failed_steals += 1
+        return None
+
+    # ------------------------------------------------------------------
+    def local_size(self, thread_id: int) -> int:
+        return len(self._queues[thread_id])
+
+    def total_size(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    @property
+    def empty(self) -> bool:
+        return all(not q for q in self._queues)
+
+    def stats(self) -> dict:
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "steals": self.steals,
+            "failed_steals": self.failed_steals,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sizes = [len(q) for q in self._queues]
+        return f"<TaskPool {self.queue_policy} sizes={sizes}>"

@@ -1,0 +1,160 @@
+"""Task instances, handles, and lifecycle states."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Optional, Tuple
+
+from repro.events.regions import Region
+
+
+class TaskState(enum.Enum):
+    CREATED = "created"  # descriptor exists, queued, never executed
+    RUNNING = "running"  # a thread is executing a fragment right now
+    SUSPENDED = "suspended"  # hit a taskwait with incomplete children
+    COMPLETED = "completed"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TaskState.{self.name}"
+
+
+class TaskInstance:
+    """One dynamic instance of a task construct (or an implicit task).
+
+    Implicit tasks carry negative ids (one per thread) and ``parent is
+    None``; explicit instances count up from 1 and form the task tree the
+    OpenMP Task Scheduling Constraint is defined over.
+    """
+
+    __slots__ = (
+        "instance_id",
+        "region",
+        "fn",
+        "args",
+        "kwargs",
+        "parent",
+        "depth",
+        "tied",
+        "parameter",
+        "state",
+        "generator",
+        "owner_thread",
+        "executing_thread",
+        "outstanding_children",
+        "waiting_in_taskwait",
+        "pending_send",
+        "resume_exit_region",
+        "result",
+        "handle",
+        "creation_time",
+        "final",
+        "included",
+        "yielded",
+    )
+
+    def __init__(
+        self,
+        instance_id: int,
+        region: Region,
+        fn: Optional[Callable[..., Any]],
+        args: Tuple[Any, ...],
+        kwargs: dict,
+        parent: Optional["TaskInstance"],
+        tied: bool = True,
+        parameter: Optional[tuple] = None,
+        creation_time: float = 0.0,
+    ) -> None:
+        self.instance_id = instance_id
+        self.region = region
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.tied = tied
+        self.parameter = parameter
+        self.state = TaskState.CREATED
+        self.generator: Optional[Generator] = None
+        #: thread that first executed the task (tied tasks stay here)
+        self.owner_thread: Optional[int] = None
+        #: thread currently running a fragment (meaningful while RUNNING)
+        self.executing_thread: Optional[int] = None
+        #: direct children not yet completed (taskwait condition)
+        self.outstanding_children = 0
+        #: True while suspended inside a taskwait
+        self.waiting_in_taskwait = False
+        #: value to send into the generator on the next fragment
+        self.pending_send: Any = None
+        #: region whose exit event must be emitted on resumption (taskwait)
+        self.resume_exit_region: Optional[Region] = None
+        self.result: Any = None
+        self.handle = TaskHandle(self)
+        self.creation_time = creation_time
+        #: OpenMP final clause: this task and all descendants are included
+        self.final = False
+        #: executed immediately by the encountering thread, never queued
+        self.included = False
+        #: suspended at a taskyield; resumable anytime at low priority
+        self.yielded = False
+
+    # ------------------------------------------------------------------
+    @property
+    def is_implicit(self) -> bool:
+        return self.instance_id < 0
+
+    @property
+    def is_explicit(self) -> bool:
+        return self.instance_id > 0
+
+    def is_descendant_of(self, ancestor: "TaskInstance") -> bool:
+        """True if ``ancestor`` is on this task's parent chain (or self)."""
+        node: Optional[TaskInstance] = self
+        while node is not None:
+            if node is ancestor:
+                return True
+            node = node.parent
+        return False
+
+    def children_complete(self) -> bool:
+        return self.outstanding_children == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "implicit" if self.is_implicit else "explicit"
+        return (
+            f"<TaskInstance {self.instance_id} {kind} {self.region.name!r} "
+            f"{self.state.value} depth={self.depth}>"
+        )
+
+
+class TaskHandle:
+    """What a ``Spawn`` yield evaluates to: a future for the task's result.
+
+    The result is guaranteed available after a ``taskwait`` (for direct
+    children) or a ``barrier`` (for all tasks of the region) -- the same
+    guarantees OpenMP gives about task side effects.
+    """
+
+    __slots__ = ("_instance",)
+
+    def __init__(self, instance: TaskInstance) -> None:
+        self._instance = instance
+
+    @property
+    def done(self) -> bool:
+        return self._instance.state is TaskState.COMPLETED
+
+    @property
+    def result(self) -> Any:
+        if not self.done:
+            raise RuntimeError(
+                f"result of task {self._instance.instance_id} read before "
+                "completion; synchronize with taskwait or a barrier first"
+            )
+        return self._instance.result
+
+    @property
+    def instance_id(self) -> int:
+        return self._instance.instance_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TaskHandle {self._instance.instance_id} done={self.done}>"

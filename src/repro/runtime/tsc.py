@@ -1,0 +1,51 @@
+"""The OpenMP Task Scheduling Constraint (TSC).
+
+OpenMP 3.0, Section 2.7.1: "In order to start the execution of a new tied
+task, the new task must be a descendant of every suspended task tied to
+the same thread."  The constraint guarantees deadlock-free progress of
+tied tasks without the runtime having to grow the stack unboundedly.
+
+Resumption of an already-started suspended task is *not* restricted by the
+TSC -- which is why the paper's Fig. 4 stream (task1 resumes while task2
+is still suspended) is legal, and why the profiler must handle arbitrary
+suspend/resume interleavings rather than a stack discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.runtime.task import TaskInstance
+
+
+def may_start(candidate: TaskInstance, suspended_tied: Iterable[TaskInstance]) -> bool:
+    """May ``candidate`` (a new, never-executed task) start on a thread
+    whose suspended tied tasks are ``suspended_tied``?
+
+    Untied candidates are unconstrained.  Tied candidates must be a
+    descendant of every suspended tied task of the thread.
+    """
+    if not candidate.tied:
+        return True
+    for suspended in suspended_tied:
+        if not candidate.is_descendant_of(suspended):
+            return False
+    return True
+
+
+def eligible_index(
+    candidates: list, suspended_tied: Iterable[TaskInstance], from_end: bool
+) -> int:
+    """Index of the first TSC-eligible task in ``candidates``.
+
+    Scans from the back (``from_end=True``, LIFO / work-first) or the
+    front (FIFO / breadth-first or steal).  Returns -1 if none is
+    eligible.  ``suspended_tied`` is materialized once since it is checked
+    per candidate.
+    """
+    suspended = list(suspended_tied)
+    indices = range(len(candidates) - 1, -1, -1) if from_end else range(len(candidates))
+    for index in indices:
+        if may_start(candidates[index], suspended):
+            return index
+    return -1

@@ -1,0 +1,137 @@
+"""Event queue, virtual clock, and waitable events.
+
+The :class:`Environment` owns a binary-heap event queue of
+``(time, sequence, callback, value)`` entries.  ``sequence`` is a
+monotonically increasing integer that breaks ties between events scheduled
+for the same virtual time, which makes the whole simulation deterministic:
+two runs with identical inputs replay identical event orders.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import DeadlockError
+
+Callback = Callable[[Any], None]
+
+
+class Environment:
+    """A discrete-event simulation environment with a virtual clock.
+
+    Attributes
+    ----------
+    now:
+        Current virtual time in microseconds.  Only :meth:`run` advances it.
+    """
+
+    __slots__ = ("now", "_queue", "_seq", "_active", "_blocked")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callback, Any]] = []
+        self._seq: int = 0
+        # Number of live processes; used for deadlock detection.
+        self._active: int = 0
+        # Debug registry of blocked process descriptions keyed by id.
+        self._blocked: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callback, value: Any = None) -> None:
+        """Schedule ``callback(value)`` to run ``delay`` µs from now.
+
+        ``delay`` must be non-negative; a zero delay schedules the callback
+        after all callbacks already queued for the current instant.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, value))
+
+    def event(self) -> "SimEvent":
+        """Create a fresh :class:`SimEvent` bound to this environment."""
+        return SimEvent(self)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation until the queue drains (or ``until`` is hit).
+
+        Returns the final virtual time.  Raises
+        :class:`~repro.errors.DeadlockError` if the queue drains while
+        registered processes are still blocked.
+        """
+        queue = self._queue
+        while queue:
+            time, _seq, callback, value = heapq.heappop(queue)
+            if until is not None and time > until:
+                # Push the event back: the caller may resume the run later.
+                heapq.heappush(queue, (time, _seq, callback, value))
+                self.now = until
+                return self.now
+            self.now = time
+            callback(value)
+        if self._active > 0:
+            details = "; ".join(sorted(self._blocked.values())) or "<no detail>"
+            raise DeadlockError(
+                f"event queue drained with {self._active} process(es) still "
+                f"blocked: {details}"
+            )
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Process bookkeeping (used by repro.sim.process)
+    # ------------------------------------------------------------------
+    def _register_process(self) -> None:
+        self._active += 1
+
+    def _unregister_process(self) -> None:
+        self._active -= 1
+
+    def _note_blocked(self, key: int, description: str) -> None:
+        self._blocked[key] = description
+
+    def _note_unblocked(self, key: int) -> None:
+        self._blocked.pop(key, None)
+
+
+class SimEvent:
+    """A one-shot waitable event.
+
+    Processes wait on a ``SimEvent`` by yielding it.  :meth:`trigger` wakes
+    every waiter at the current virtual time, passing ``value`` into each
+    waiting generator.  Waiting on an already-triggered event resumes the
+    process immediately (at the current instant) with the stored value.
+    """
+
+    __slots__ = ("env", "_waiters", "triggered", "value")
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._waiters: List[Callback] = []
+        self.triggered: bool = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all current waiters with ``value``."""
+        if self.triggered:
+            raise RuntimeError("SimEvent triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.env.schedule(0.0, callback, value)
+
+    def _add_waiter(self, callback: Callback) -> None:
+        if self.triggered:
+            self.env.schedule(0.0, callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else f"{len(self._waiters)} waiter(s)"
+        return f"<SimEvent {state}>"

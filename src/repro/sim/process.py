@@ -1,0 +1,124 @@
+"""Generator-based simulated processes and the requests they may yield.
+
+A process body is a generator.  Each ``yield`` hands the kernel a *request*
+describing what the process wants to wait for:
+
+``Timeout(duration)``
+    Resume the process ``duration`` µs later.
+
+:class:`~repro.sim.core.SimEvent`
+    Resume when the event is triggered; the trigger value becomes the value
+    of the ``yield`` expression.
+
+:class:`~repro.sim.sync.AcquireRequest` (from ``lock.acquire()``)
+    Resume once the lock has been granted to this process.
+
+Processes terminate by returning; the return value is stored in
+:attr:`Process.value` and the :attr:`Process.terminated` event fires.
+Exceptions raised inside a process propagate out of
+:meth:`Environment.run` wrapped in :class:`~repro.errors.ProcessError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import ProcessError, ReproError, SimulationError
+from repro.sim.core import Environment, SimEvent
+
+
+class Timeout:
+    """Request: advance this process's resume point by ``duration`` µs."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative timeout: {duration!r}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.duration!r})"
+
+
+class Process:
+    """A running simulated process wrapping a generator.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    generator:
+        The process body.  It is started on the next tick of the event
+        queue, not synchronously, so creation order does not leak into the
+        schedule beyond the deterministic sequence numbers.
+    name:
+        Used in deadlock reports.
+    """
+
+    __slots__ = ("env", "name", "_generator", "done", "value", "terminated", "_key")
+
+    _next_key = 0
+
+    def __init__(
+        self,
+        env: Environment,
+        generator: Generator[Any, Any, Any],
+        name: str = "process",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self._generator = generator
+        self.done = False
+        self.value: Any = None
+        self.terminated: SimEvent = env.event()
+        Process._next_key += 1
+        self._key = Process._next_key
+        env._register_process()
+        env.schedule(0.0, self._resume, None)
+
+    # ------------------------------------------------------------------
+    def _resume(self, send_value: Any) -> None:
+        """Advance the generator by one step and act on the request."""
+        env = self.env
+        env._note_unblocked(self._key)
+        try:
+            request = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.done = True
+            self.value = stop.value
+            env._unregister_process()
+            self.terminated.trigger(stop.value)
+            return
+        except Exception as exc:
+            # Propagate the original exception (type intact, so callers
+            # can catch what user code raised); annotate with the process
+            # name for diagnosis.
+            env._unregister_process()
+            exc.add_note(f"(raised inside simulated process {self.name!r})")
+            raise
+
+        if isinstance(request, Timeout):
+            env.schedule(request.duration, self._resume, None)
+        elif isinstance(request, SimEvent):
+            env._note_blocked(self._key, f"{self.name} waiting on event")
+            request._add_waiter(self._resume)
+        elif hasattr(request, "_grant_to"):  # AcquireRequest duck type
+            env._note_blocked(self._key, f"{self.name} waiting on {request}")
+            request._grant_to(self._resume)
+        else:
+            self._generator.close()
+            env._unregister_process()
+            raise ProcessError(
+                f"process {self.name!r} yielded unsupported request "
+                f"{request!r}; expected Timeout, SimEvent, or lock.acquire()"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def run_all(env: Environment, until: Optional[float] = None) -> float:
+    """Convenience wrapper: run the environment to completion."""
+    return env.run(until=until)

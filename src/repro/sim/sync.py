@@ -1,0 +1,141 @@
+"""Synchronization primitives: FIFO locks and broadcast signals.
+
+:class:`SimLock` models a contended mutex (the simulated OpenMP runtime's
+internal task-pool lock and ``critical`` sections).  Waiting happens in
+virtual time, so lock contention shows up in the simulated timings exactly
+as it does in the paper's measurements of the real libgomp runtime.
+
+:class:`Signal` is a re-armable broadcast used for "state changed" wakeups
+(new task enqueued, task completed, thread arrived at a barrier).  Waiters
+grab the *current* one-shot event via :meth:`Signal.wait` and re-check
+their condition after waking; :meth:`Signal.fire` wakes everyone and
+re-arms.  Because signals only fire on actual state changes, wakeup storms
+terminate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.core import Environment, SimEvent
+
+Callback = Callable[[Any], None]
+
+
+class AcquireRequest:
+    """The object returned by :meth:`SimLock.acquire`; yield it to wait."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "SimLock") -> None:
+        self.lock = lock
+
+    def _grant_to(self, callback: Callback) -> None:
+        self.lock._enqueue(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<acquire {self.lock.name}>"
+
+
+class SimLock:
+    """A FIFO mutex living in virtual time.
+
+    Usage inside a process generator::
+
+        yield lock.acquire()
+        yield Timeout(hold_cost)
+        lock.release()
+
+    The lock tracks :attr:`waiter_count` while held, which the runtime's
+    cost model uses to scale hold times under contention (modelling cache
+    coherence and retry traffic in a real runtime's task pool).
+    """
+
+    __slots__ = ("env", "name", "_held", "_waiters", "acquisitions", "contended_acquisitions")
+
+    def __init__(self, env: Environment, name: str = "lock") -> None:
+        self.env = env
+        self.name = name
+        self._held = False
+        self._waiters: Deque[Callback] = deque()
+        #: total number of successful acquisitions (statistics)
+        self.acquisitions = 0
+        #: acquisitions that had to wait behind another holder
+        self.contended_acquisitions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently queued behind the holder."""
+        return len(self._waiters)
+
+    def acquire(self) -> AcquireRequest:
+        """Return a request object; yield it from a process to acquire."""
+        return AcquireRequest(self)
+
+    def release(self) -> None:
+        """Release the lock, handing it to the next FIFO waiter if any."""
+        if not self._held:
+            raise RuntimeError(f"lock {self.name!r} released while not held")
+        if self._waiters:
+            callback = self._waiters.popleft()
+            # The next holder takes over immediately; the lock stays held.
+            self.acquisitions += 1
+            self.env.schedule(0.0, callback, None)
+        else:
+            self._held = False
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, callback: Callback) -> None:
+        if not self._held:
+            self._held = True
+            self.acquisitions += 1
+            self.env.schedule(0.0, callback, None)
+        else:
+            self.contended_acquisitions += 1
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "held" if self._held else "free"
+        return f"<SimLock {self.name} {state}, {len(self._waiters)} waiting>"
+
+
+class Signal:
+    """Re-armable broadcast event for condition re-check loops.
+
+    A waiter does::
+
+        while not condition():
+            yield signal.wait()
+
+    and any state mutator calls :meth:`fire`.  Every ``fire`` wakes all
+    waiters registered on the *current* underlying event and replaces it
+    with a fresh one, so late waiters never miss future fires and early
+    waiters never wait on a stale event.
+    """
+
+    __slots__ = ("env", "_event", "fires")
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._event: SimEvent = env.event()
+        #: number of times the signal fired (statistics)
+        self.fires = 0
+
+    def wait(self) -> SimEvent:
+        """Return the current one-shot event to yield on."""
+        return self._event
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all current waiters and re-arm."""
+        self.fires += 1
+        event, self._event = self._event, self.env.event()
+        event.trigger(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Signal fires={self.fires}>"

@@ -1,0 +1,213 @@
+"""Tests for the analysis layer (experiment runner, overhead, statistics)."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_bar_chart,
+    cutoff_speedup,
+    format_table,
+    max_concurrent_tasks,
+    measure_overhead,
+    nqueens_depth_table,
+    nqueens_region_times,
+    run_app,
+    task_statistics,
+)
+from repro.analysis.advisor import advise
+from repro.analysis.charts import grouped_bar_chart, sparkline
+from repro.analysis.nqueens_study import creation_vs_execution
+from repro.analysis.overhead import classify_bimodal, overhead_sweep
+from repro.analysis.tables import format_percent
+from repro.analysis.taskstats import combined_task_stats, granularity_ratios
+
+
+# ----------------------------------------------------------------------
+# run_app
+# ----------------------------------------------------------------------
+def test_run_app_returns_verified_result():
+    result = run_app("fib", size="test", variant="stress", n_threads=2, seed=0)
+    assert result.verified
+    assert result.kernel_time > 0
+    assert result.profile is not None
+    assert result.result_value == 55  # fib(10)
+
+
+def test_run_app_uninstrumented_has_no_profile():
+    result = run_app("fib", size="test", n_threads=2, instrument=False)
+    assert result.profile is None
+    assert result.bucket_total("instr") == 0.0
+
+
+def test_run_app_forwards_program_kwargs():
+    result = run_app(
+        "nqueens",
+        size="test",
+        variant="stress",
+        n_threads=1,
+        program_kwargs={"depth_parameter": True},
+    )
+    by_param = result.profile.task_trees_by_parameter("nqueens_task")
+    assert len(by_param) > 1  # split by depth
+
+
+# ----------------------------------------------------------------------
+# Overhead
+# ----------------------------------------------------------------------
+def test_measure_overhead_points_shape():
+    points = measure_overhead("fib", size="test", variant="stress", threads=(1, 2))
+    assert [p.n_threads for p in points] == [1, 2]
+    for p in points:
+        assert p.uninstrumented > 0
+        assert p.instrumented > 0
+    # tiny tasks, one thread: overhead must be clearly positive
+    assert points[0].overhead > 0.5
+
+
+def test_overhead_shadowing_with_threads():
+    """The paper's Fig. 14 effect: tiny-task overhead collapses when the
+    runtime's own lock contention dominates."""
+    points = measure_overhead("fib", size="test", variant="stress", threads=(1, 4))
+    assert points[0].overhead > points[-1].overhead
+
+
+def test_overhead_sweep_covers_all_apps():
+    sweep = overhead_sweep(["fib", "strassen"], size="test", threads=(1,))
+    assert set(sweep) == {"fib", "strassen"}
+
+
+def test_measure_overhead_multi_seed_median():
+    points = measure_overhead(
+        "fib", size="test", variant="stress", threads=(2,), seeds=(0, 1, 2)
+    )
+    assert len(points[0].instrumented_samples) == 3
+    assert min(points[0].instrumented_samples) <= points[0].instrumented
+    assert points[0].instrumented <= max(points[0].instrumented_samples)
+
+
+def test_measure_overhead_rejects_bad_aggregate():
+    with pytest.raises(ValueError, match="aggregate"):
+        measure_overhead("fib", size="test", aggregate="max")
+
+
+def test_classify_bimodal():
+    assert classify_bimodal([1.0, 1.1, 2.9, 3.0]) == ([1.0, 1.1], [2.9, 3.0])
+    assert classify_bimodal([1.0, 1.05, 1.1]) is None
+    assert classify_bimodal([1.0]) is None
+
+
+# ----------------------------------------------------------------------
+# Task statistics (Table I machinery)
+# ----------------------------------------------------------------------
+def test_task_statistics_rows():
+    rows = task_statistics(["fib", "strassen"], size="test", n_threads=2)
+    by_code = {r.code: r for r in rows}
+    assert by_code["fib"].task_count == 177
+    assert by_code["fib"].mean_time_us > 0
+    assert by_code["strassen"].task_count == 57
+
+
+def test_granularity_ratios_relative_to_smallest():
+    rows = task_statistics(["fib", "strassen"], size="test", n_threads=2)
+    ratios = granularity_ratios(rows)
+    assert min(ratios.values()) == 1.0
+
+
+def test_combined_task_stats_requires_profile():
+    result = run_app("fib", size="test", n_threads=1, instrument=False)
+    with pytest.raises(ValueError, match="instrumented"):
+        combined_task_stats(result)
+
+
+# ----------------------------------------------------------------------
+# Concurrency (Table II machinery)
+# ----------------------------------------------------------------------
+def test_max_concurrent_alignment_is_one():
+    assert max_concurrent_tasks("alignment", size="test", n_threads=2) == 1
+
+
+def test_cutoff_reduces_max_concurrent():
+    stress = max_concurrent_tasks("fib", size="test", variant="stress", n_threads=2)
+    optimized = max_concurrent_tasks("fib", size="test", variant="optimized", n_threads=2)
+    assert optimized <= stress
+
+
+# ----------------------------------------------------------------------
+# nqueens study (Tables III/IV, Section VI)
+# ----------------------------------------------------------------------
+def test_nqueens_region_times_task_flat_barrier_grows():
+    rows = nqueens_region_times(size="test", threads=(1, 4))
+    assert rows[0].task == pytest.approx(rows[1].task, rel=0.05)
+    assert rows[1].barrier > rows[0].barrier
+
+
+def test_nqueens_depth_table_monotone_decreasing_mean():
+    rows = nqueens_depth_table(size="test", n_threads=2)
+    assert [r.depth for r in rows] == sorted(r.depth for r in rows)
+    means = [r.mean_time_us for r in rows]
+    # Mean task runtime decreases with depth (Table IV's key shape).
+    assert means[0] > means[-1]
+    total_tasks = sum(r.task_count for r in rows)
+    assert total_tasks > 0
+
+
+def test_cutoff_speedup_is_positive():
+    comparison = cutoff_speedup(size="test", n_threads=4, cutoff=2)
+    assert comparison.speedup > 1.0
+
+
+def test_creation_vs_execution_diagnosis():
+    numbers = creation_vs_execution(size="test", n_threads=2)
+    assert numbers["task_instances"] > 0
+    assert numbers["mean_creation_us"] > 0
+    assert numbers["mean_task_exclusive_us"] > 0
+
+
+# ----------------------------------------------------------------------
+# Advisor
+# ----------------------------------------------------------------------
+def test_advisor_flags_tiny_fib_tasks():
+    result = run_app("fib", size="test", variant="stress", n_threads=2)
+    findings = advise(result.profile)
+    kinds = {f.kind for f in findings}
+    assert "small-tasks" in kinds
+    assert str(findings[0]).startswith("[")
+
+
+def test_advisor_quiet_on_large_tasks():
+    result = run_app("strassen", size="small", variant="optimized", n_threads=2)
+    findings = advise(result.profile, granularity_floor_us=1.0)
+    assert not [f for f in findings if f.kind == "small-tasks"]
+
+
+# ----------------------------------------------------------------------
+# Formatting helpers
+# ----------------------------------------------------------------------
+def test_format_table_basic():
+    text = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert len(lines) == 6
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_percent():
+    assert format_percent(0.0634) == "+6.3%"
+    assert format_percent(-0.05) == "-5.0%"
+
+
+def test_ascii_bar_chart_renders_negative_bars():
+    chart = ascii_bar_chart({"x": 5.0, "y": -3.0}, width=10, unit="%")
+    assert "#" in chart and "-" in chart
+
+
+def test_grouped_bar_chart_and_sparkline():
+    chart = grouped_bar_chart({"fib": {1: 100.0, 2: 50.0}}, title="demo")
+    assert "fib" in chart and "1 thr" in chart
+    assert sparkline([1, 2, 3]) != ""
+    assert sparkline([]) == ""
+    assert sparkline([2, 2]) == "▁▁"

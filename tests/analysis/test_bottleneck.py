@@ -1,0 +1,62 @@
+"""Tests for the task-creation bottleneck analysis (Section III, item 3)."""
+
+import pytest
+
+from repro.analysis import run_app
+from repro.analysis.bottleneck import (
+    CreationBalance,
+    creation_balance,
+    diagnose_creation_bottleneck,
+)
+
+
+def test_sparselu_single_is_fully_imbalanced():
+    result = run_app("sparselu", size="test", variant="single", n_threads=4)
+    balance = creation_balance(result.profile)
+    assert balance.imbalance == pytest.approx(1.0)
+    nonzero = [c for c in balance.creations_per_thread if c > 0]
+    assert len(nonzero) == 1
+    assert balance.total_creations == result.parallel.completed_tasks
+
+
+def test_sparselu_for_distributes_creation():
+    result = run_app("sparselu", size="small", variant="for", n_threads=4)
+    balance = creation_balance(result.profile)
+    assert balance.imbalance < 0.5
+    assert sum(1 for c in balance.creations_per_thread if c > 0) >= 3
+
+
+def test_diagnosis_fires_only_on_imbalance():
+    single = run_app("sparselu", size="small", variant="single", n_threads=4)
+    distributed = run_app("sparselu", size="small", variant="for", n_threads=4)
+    assert diagnose_creation_bottleneck(single.profile) is not None
+    assert diagnose_creation_bottleneck(distributed.profile) is None
+
+
+def test_recursive_creation_is_balanced_with_stealing():
+    """fib spreads creation because stolen subtrees create their own."""
+    result = run_app("fib", size="small", variant="stress", n_threads=4, seed=1)
+    balance = creation_balance(result.profile)
+    assert balance.imbalance < 0.9
+    assert balance.total_creations == result.parallel.completed_tasks
+
+
+def test_diagnosis_quiet_on_tiny_runs():
+    result = run_app("fib", size="test", variant="optimized", n_threads=1,
+                     program_kwargs={"cutoff": 1})
+    # 3 creations on one thread: technically imbalanced, but below the
+    # min_creations floor -> no finding.
+    assert diagnose_creation_bottleneck(result.profile, min_creations=8) is None
+
+
+def test_balance_edge_cases():
+    empty = CreationBalance([0, 0], [0.0, 0.0])
+    assert empty.imbalance == 0.0
+    assert empty.dominant_thread is None
+    single_thread = CreationBalance([10], [1.0])
+    assert single_thread.imbalance == 0.0
+    even = CreationBalance([5, 5], [1.0, 1.0])
+    assert even.imbalance == pytest.approx(0.0)
+    skewed = CreationBalance([10, 0], [1.0, 0.0])
+    assert skewed.imbalance == pytest.approx(1.0)
+    assert skewed.dominant_thread == 0

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_all_kernels(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "fib" in out and "sparselu" in out and "uts" in out
+    assert len(out) >= 10  # the paper's nine plus registered extras
+
+
+def test_run_summary_and_exit_code(capsys):
+    code = main(["run", "fib", "--size", "test", "--threads", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verified=True" in out
+    assert "work" in out and "instr" in out
+
+
+def test_run_render_and_json_export(tmp_path, capsys):
+    target = tmp_path / "profile.json"
+    code = main(
+        [
+            "run",
+            "fib",
+            "--size",
+            "test",
+            "--variant",
+            "stress",
+            "--render",
+            "--json",
+            str(target),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "main tree" in out
+    data = json.loads(target.read_text())
+    assert data["format"] == 1
+
+
+def test_run_uninstrumented(capsys):
+    code = main(["run", "sort", "--size", "test", "--no-instrument"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "max concurrent" not in out  # no profile without instrumentation
+
+
+def test_run_trace_timeline(capsys):
+    code = main(
+        ["run", "fib", "--size", "test", "--variant", "stress", "--trace-timeline"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "utilization" in out
+    assert "management/execution ratio" in out
+
+
+def test_overhead_table(capsys):
+    code = main(
+        ["overhead", "fib", "--size", "test", "--variant", "stress",
+         "--threads", "1,2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 thr" in out and "2 thr" in out and "fib" in out
+
+
+def test_advise_reports_findings(capsys):
+    code = main(["advise", "fib", "--size", "test", "--variant", "stress"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[critical]" in out or "[warning]" in out
+
+
+@pytest.mark.parametrize("artifact", ["table1", "table3", "sec6"])
+def test_paper_artifacts(capsys, artifact):
+    code = main(["paper", artifact, "--size", "test"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert artifact in out
+
+
+def test_bad_threads_argument_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["overhead", "fib", "--threads", "x,y"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_scaling_command(capsys):
+    code = main(["scaling", "nqueens", "--size", "test", "--threads", "1,2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "nqueens_task" in out
+    assert "flat" in out
+
+
+def test_diff_command(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    main(["run", "fib", "--size", "test", "--variant", "stress", "--json", str(a)])
+    main(["run", "fib", "--size", "test", "--variant", "optimized", "--json", str(b)])
+    capsys.readouterr()
+    code = main(["diff", str(a), str(b), "--limit", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "->" in out

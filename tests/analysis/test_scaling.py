@@ -1,0 +1,61 @@
+"""Tests for the generalized thread-scaling study."""
+
+import pytest
+
+from repro.analysis.scaling import RegionScaling, ScalingStudy, scaling_study
+
+
+@pytest.fixture(scope="module")
+def nqueens_study():
+    return scaling_study("nqueens", size="test", threads=(1, 2, 8))
+
+
+def test_study_shape(nqueens_study):
+    assert nqueens_study.app == "nqueens"
+    assert nqueens_study.threads == (1, 2, 8)
+    assert set(nqueens_study.kernel_times) == {1, 2, 8}
+    names = {r.region for r in nqueens_study.regions}
+    assert "nqueens_task" in names
+    assert "taskwait" in names
+
+
+def test_task_region_flat_management_grows(nqueens_study):
+    task = nqueens_study.region("nqueens_task")
+    assert task.classification == "flat"
+    assert task.growth == pytest.approx(1.0, rel=0.05)
+    taskwait = nqueens_study.region("taskwait")
+    create = nqueens_study.region("create@nqueens_task")
+    assert taskwait.classification == "growing"
+    assert create.classification == "growing"
+
+
+def test_classified_filter(nqueens_study):
+    growing = nqueens_study.classified("growing")
+    assert all(r.classification == "growing" for r in growing)
+    assert nqueens_study.region("taskwait") in growing
+
+
+def test_diagnosis_detects_management_bottleneck():
+    study = scaling_study("nqueens", size="small", threads=(1, 8))
+    text = study.diagnosis()
+    assert "management" in text
+    assert "granularity" in text
+
+
+def test_diagnosis_detects_scaling_code():
+    study = scaling_study("strassen", size="test", threads=(1, 4))
+    assert "scales" in study.diagnosis()
+
+
+def test_unknown_region_raises(nqueens_study):
+    with pytest.raises(KeyError):
+        nqueens_study.region("bogus")
+
+
+def test_region_scaling_growth_edge_cases():
+    zero_start = RegionScaling("r", {1: 0.0, 8: 5.0})
+    assert zero_start.growth == float("inf")
+    all_zero = RegionScaling("r", {1: 0.0, 8: 0.0})
+    assert all_zero.growth == 1.0
+    shrinking = RegionScaling("r", {1: 10.0, 8: 2.0})
+    assert shrinking.classification == "shrinking"

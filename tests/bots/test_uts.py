@@ -1,0 +1,69 @@
+"""Tests for the UTS extra kernel (unbalanced tree search)."""
+
+import pytest
+
+from repro.bots import get_program
+from repro.bots.common import first_result
+from repro.bots.uts import ROOT_CHILDREN, child_count, child_id, count_serial
+from repro.runtime import RuntimeConfig
+from repro.runtime.runtime import run_parallel
+
+
+def run(variant="optimized", n_threads=4, seed=0, size="test", **kwargs):
+    prog = get_program("uts", size=size, variant=variant, **kwargs)
+    config = RuntimeConfig(n_threads=n_threads, instrument=False, seed=seed)
+    return prog, run_parallel(prog.body, config=config, name=prog.label)
+
+
+def test_tree_model_is_deterministic():
+    assert child_count(12345, 70, 4) == child_count(12345, 70, 4)
+    assert child_id(1, 0) != child_id(1, 1)
+    assert count_serial(42, 70, 4, 8) == count_serial(42, 70, 4, 8)
+
+
+def test_child_count_bounded_by_m_max():
+    for node in range(500):
+        assert 0 <= child_count(node, 95, 3) <= 3
+
+
+def test_tree_is_actually_unbalanced():
+    """Sibling subtrees differ in size by large factors."""
+    sizes = [
+        count_serial(child_id(42, i), 70, 4, 12, depth=1) for i in range(ROOT_CHILDREN)
+    ]
+    assert max(sizes) > 3 * min(sizes), sizes
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 4])
+@pytest.mark.parametrize("variant", ["stress", "optimized"])
+def test_uts_counts_correctly(n_threads, variant):
+    prog, result = run(variant=variant, n_threads=n_threads)
+    assert prog.verify(result)
+    assert first_result(result) == prog.meta["expected_nodes"]
+
+
+def test_cutoff_cuts_task_count():
+    _, stress = run("stress", n_threads=2)
+    _, optimized = run("optimized", n_threads=2)
+    assert optimized.completed_tasks < stress.completed_tasks / 10
+    assert first_result(stress) == first_result(optimized)
+
+
+def test_unbalanced_tree_forces_stealing():
+    """The whole point of UTS: static splitting cannot balance it."""
+    _, result = run("optimized", n_threads=4, seed=3)
+    assert result.tasks_stolen > 5
+
+
+def test_results_invariant_across_seeds():
+    values = {first_result(run("optimized", seed=seed)[1]) for seed in range(4)}
+    assert len(values) == 1
+
+
+def test_uts_listed_as_extra_not_in_paper_nine():
+    from repro.bots.registry import ALL_KERNELS, EXTRA_KERNELS, list_programs
+
+    assert "uts" in list_programs()
+    assert "uts" in EXTRA_KERNELS
+    assert "uts" not in ALL_KERNELS
+    assert len(ALL_KERNELS) == 9

@@ -1,0 +1,168 @@
+"""BOTS variants, sizes, and cross-seed robustness."""
+
+import pytest
+
+from repro.analysis.experiment import run_app
+from repro.bots import get_program
+from repro.bots.common import first_result
+from repro.runtime import RuntimeConfig
+from repro.runtime.runtime import run_parallel
+
+
+def run(name, variant="optimized", n_threads=2, seed=0, size="test", **kwargs):
+    prog = get_program(name, size=size, variant=variant, **kwargs)
+    config = RuntimeConfig(n_threads=n_threads, instrument=False, seed=seed)
+    result = run_parallel(prog.body, config=config, name=prog.label)
+    return prog, result
+
+
+# ----------------------------------------------------------------------
+# sparselu variants
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_threads", [1, 2, 4])
+def test_sparselu_for_variant_thread_counts(n_threads):
+    prog, result = run("sparselu", variant="for", n_threads=n_threads)
+    assert prog.verify(result), f"sparselu/for at {n_threads} threads"
+
+
+def test_sparselu_block_kernels_match_dense_lu():
+    """lu0/fwd/bdiv/bmod on a single full matrix equal a dense in-place LU."""
+    import numpy as np
+
+    from repro.bots import sparselu
+
+    rng = np.random.default_rng(3)
+    n = 12
+    matrix = rng.standard_normal((n, n)) + np.eye(n) * 50.0
+    reference = matrix.copy()
+    sparselu.lu0(reference)
+    rebuilt = sparselu.lu_to_lu_product(reference)
+    assert np.allclose(rebuilt, matrix, rtol=1e-9, atol=1e-9)
+
+
+def test_sparselu_genmat_deterministic():
+    import numpy as np
+
+    from repro.bots import sparselu
+
+    a = sparselu.genmat(4, 8, 5)
+    b = sparselu.genmat(4, 8, 5)
+    assert np.allclose(sparselu.to_dense(a, 8), sparselu.to_dense(b, 8))
+
+
+def test_sparselu_rejects_unknown_variant():
+    with pytest.raises(ValueError, match="sparselu variant"):
+        get_program("sparselu", variant="magic")
+
+
+def test_sparselu_fill_in_occurs():
+    """bmod fills blocks that were empty in the original pattern."""
+    from repro.bots import sparselu
+
+    blocks = sparselu.genmat(4, 8)
+    empty_before = sum(1 for row in blocks for b in row if b is None)
+    prog = get_program("sparselu", size="test", variant="single")
+    config = RuntimeConfig(n_threads=1, instrument=False, seed=0)
+    run_parallel(prog.body, config=config)
+    assert empty_before > 0  # the pattern is actually sparse
+
+
+# ----------------------------------------------------------------------
+# Thresholds and cut-off levels change task counts, not results
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("threshold", [32, 64, 128])
+def test_sort_threshold_sweep(threshold):
+    prog, result = run("sort", threshold=threshold)
+    assert prog.verify(result)
+    assert result.completed_tasks == prog.meta["expected_tasks"]
+
+
+@pytest.mark.parametrize("threshold", [8, 16, 32])
+def test_fft_threshold_sweep(threshold):
+    prog, result = run("fft", threshold=threshold)
+    assert prog.verify(result)
+
+
+@pytest.mark.parametrize("cutoff", [1, 2, 3])
+def test_health_cutoff_sweep(cutoff):
+    prog, result = run("health", cutoff=cutoff)
+    assert prog.verify(result)
+
+
+def test_fib_task_count_decreases_with_cutoff():
+    prog, nocutoff = run("fib", variant="stress")
+    assert prog.verify(nocutoff)
+    counts = [nocutoff.completed_tasks]
+    for cutoff in (6, 4, 2):
+        prog, result = run("fib", cutoff=cutoff)
+        assert prog.verify(result)
+        counts.append(result.completed_tasks)
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] < counts[0]
+
+
+# ----------------------------------------------------------------------
+# Seeds only change schedules, never results
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["fib", "sort", "nqueens", "health"])
+def test_results_invariant_across_seeds(name):
+    values = set()
+    for seed in range(4):
+        prog, result = run(name, variant="stress", n_threads=4, seed=seed)
+        value = first_result(result)
+        values.add(repr(value) if not isinstance(value, (int, float)) else value)
+    assert len(values) == 1
+
+
+# ----------------------------------------------------------------------
+# Small sizes smoke (medium is covered by the benchmarks)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["fib", "sort", "strassen", "fft", "alignment"])
+def test_small_size_verified(name):
+    prog, result = run(name, size="small", n_threads=4)
+    assert prog.verify(result)
+
+
+def test_meta_describes_program():
+    prog = get_program("fib", size="small", variant="optimized")
+    assert prog.meta["n"] == 16
+    assert prog.meta["cutoff"] is not None
+    assert prog.label == "fib/cutoff"
+    assert "BotsProgram" in repr(prog)
+
+
+def test_run_app_reports_stolen_tasks_under_contention():
+    result = run_app("strassen", size="test", variant="stress", n_threads=4,
+                     instrument=False)
+    assert result.parallel.tasks_stolen > 0
+
+
+# ----------------------------------------------------------------------
+# alignment creation variants
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("creation", ["single", "for"])
+@pytest.mark.parametrize("n_threads", [1, 2, 4])
+def test_alignment_creation_variants(creation, n_threads):
+    prog = get_program("alignment", size="test", creation=creation)
+    config = RuntimeConfig(n_threads=n_threads, instrument=False, seed=0)
+    result = run_parallel(prog.body, config=config, name=prog.label)
+    assert prog.verify(result)
+
+
+def test_alignment_for_distributes_creation():
+    from repro.analysis.bottleneck import creation_balance
+    from repro.analysis.experiment import run_program
+
+    single = run_program(
+        get_program("alignment", size="small", creation="single"), n_threads=4
+    )
+    distributed = run_program(
+        get_program("alignment", size="small", creation="for"), n_threads=4
+    )
+    assert creation_balance(single.profile).imbalance > 0.9
+    assert creation_balance(distributed.profile).imbalance < 0.3
+
+
+def test_alignment_rejects_unknown_creation_mode():
+    with pytest.raises(ValueError, match="creation mode"):
+        get_program("alignment", size="test", creation="magic")

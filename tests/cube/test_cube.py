@@ -1,0 +1,167 @@
+"""Tests for the CUBE-style renderer, export/import, queries, and diff."""
+
+import json
+
+import pytest
+
+from repro.analysis import run_app
+from repro.cube import (
+    diff_profiles,
+    dumps,
+    flat_region_profile,
+    hot_path,
+    loads,
+    profile_from_dict,
+    render_node,
+    render_profile,
+    top_regions,
+)
+from repro.cube.diff import summarize_diff
+from repro.cube.query import find_task_stub_summary
+from repro.events import RegionRegistry, RegionType
+from repro.profiling import CallTreeNode
+
+
+@pytest.fixture(scope="module")
+def fib_profile():
+    return run_app("fib", size="test", variant="stress", n_threads=2, seed=1).profile
+
+
+@pytest.fixture(scope="module")
+def fib_cutoff_profile():
+    return run_app("fib", size="test", variant="optimized", n_threads=2, seed=1).profile
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def test_render_profile_contains_fig5_elements(fib_profile):
+    text = render_profile(fib_profile)
+    assert "task trees" in text
+    assert "main tree" in text
+    assert "(stub)" in text  # stub nodes marked, as in Fig. 5
+    assert "fib_task" in text
+    assert "instances=177" in text
+
+
+def test_render_node_depth_limit_and_min_time(fib_profile):
+    main = fib_profile.aggregated_main_tree()
+    shallow = render_node(main, max_depth=1)
+    assert "..." in shallow or shallow.count("\n") < render_node(main).count("\n")
+    filtered = render_node(main, min_time=1e12)
+    assert "below" in filtered
+
+
+def test_render_per_thread_view(fib_profile):
+    text = render_profile(fib_profile, thread_id=0)
+    assert "thread 0" in text
+
+
+def test_render_tree_glyphs():
+    reg = RegionRegistry()
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    root.child(reg.register("a", RegionType.FUNCTION)).metrics.record_visit(1.0)
+    root.child(reg.register("b", RegionType.FUNCTION)).metrics.record_visit(2.0)
+    root.metrics.record_visit(4.0)
+    text = render_node(root)
+    assert "|- a" in text
+    assert "`- b" in text
+
+
+# ----------------------------------------------------------------------
+# Export / import
+# ----------------------------------------------------------------------
+def test_json_roundtrip_is_lossless_and_canonical(fib_profile):
+    blob = dumps(fib_profile)
+    restored = loads(blob)
+    assert dumps(restored) == blob
+    assert restored.n_threads == fib_profile.n_threads
+    a = fib_profile.task_tree("fib_task").metrics.durations
+    b = restored.task_tree("fib_task").metrics.durations
+    assert a == b
+
+
+def test_export_is_valid_json_with_format_marker(fib_profile):
+    data = json.loads(dumps(fib_profile))
+    assert data["format"] == 1
+    assert data["n_threads"] == 2
+    assert isinstance(data["regions"], list)
+
+
+def test_import_rejects_unknown_format(fib_profile):
+    data = json.loads(dumps(fib_profile))
+    data["format"] = 99
+    with pytest.raises(ValueError, match="unsupported"):
+        profile_from_dict(data)
+
+
+def test_roundtrip_preserves_queries(fib_profile):
+    restored = loads(dumps(fib_profile))
+    assert top_regions(restored, limit=5) == top_regions(fib_profile, limit=5)
+    assert restored.max_concurrent_tasks_per_thread() == (
+        fib_profile.max_concurrent_tasks_per_thread()
+    )
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+def test_hot_path_descends_heaviest(fib_profile):
+    main = fib_profile.aggregated_main_tree()
+    path = hot_path(main)
+    assert path[0] is main
+    for parent, child in zip(path, path[1:]):
+        assert child.parent is parent
+        heaviest = max(parent.children.values(), key=lambda c: c.metrics.inclusive_time)
+        assert child is heaviest
+
+
+def test_top_regions_sorted_descending(fib_profile):
+    ranked = top_regions(fib_profile, limit=6)
+    values = [v for _, v in ranked]
+    assert values == sorted(values, reverse=True)
+    # For tiny fib tasks, management regions (taskwait) rival the task
+    # bodies themselves -- the paper's central observation; the task
+    # region must still rank at the top alongside them.
+    assert "fib_task" in [name for name, _ in ranked[:2]]
+
+
+def test_flat_profile_excludes_stub_double_counting(fib_profile):
+    flat = flat_region_profile(fib_profile)
+    # Stub time is an alternate attribution of fib_task execution; the
+    # flat view must count the task region once.
+    region_total = flat["fib_task"]["inclusive"]
+    agg = fib_profile.task_tree("fib_task")
+    assert region_total == pytest.approx(agg.metrics.inclusive_time)
+
+
+def test_stub_summary_lists_scheduling_points(fib_profile):
+    stubs = find_task_stub_summary(fib_profile)
+    assert stubs
+    anchors = {anchor.split(":")[1] for anchor, _, _, _ in stubs}
+    assert any("taskwait" in a or "barrier" in a for a in anchors)
+    for _anchor, construct, time_us, fragments in stubs:
+        assert construct == "fib_task"
+        assert time_us >= 0
+        assert fragments >= 1
+
+
+# ----------------------------------------------------------------------
+# Diff
+# ----------------------------------------------------------------------
+def test_diff_detects_cutoff_improvement(fib_profile, fib_cutoff_profile):
+    entries = diff_profiles(fib_profile, fib_cutoff_profile)
+    by_region = {e.region: e for e in entries}
+    # The cut-off drastically reduces taskwait and creation time.
+    assert by_region["taskwait"].ratio < 0.5
+    assert by_region["create@fib_task"].ratio < 0.5
+
+
+def test_diff_identical_profiles_is_empty(fib_profile):
+    assert diff_profiles(fib_profile, fib_profile) == []
+
+
+def test_diff_summary_renders(fib_profile, fib_cutoff_profile):
+    text = summarize_diff(diff_profiles(fib_profile, fib_cutoff_profile), limit=3)
+    assert "->" in text
+    assert summarize_diff([]) == "(no significant changes)"

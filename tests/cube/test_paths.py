@@ -1,0 +1,94 @@
+"""Tests for the call-path pattern query language."""
+
+import pytest
+
+from repro.analysis import run_app
+from repro.cube.paths import _match, match_nodes, query, query_time, query_visits
+from repro.events import RegionRegistry, RegionType
+from repro.profiling import CallTreeNode
+
+
+# ----------------------------------------------------------------------
+# Matcher unit tests
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "path,pattern,expected",
+    [
+        (["a", "b", "c"], ["a", "b", "c"], True),
+        (["a", "b", "c"], ["a", "*", "c"], True),
+        (["a", "b", "c"], ["a", "c"], False),
+        (["a", "b", "c"], ["**", "c"], True),
+        (["a", "b", "c"], ["**"], True),
+        (["a"], ["**", "a"], True),
+        (["a", "b", "c"], ["a", "**"], True),
+        (["a", "b", "c"], ["a", "**", "b"], False),
+        (["a", "b", "c", "d"], ["a", "**", "d"], True),
+        (["a", "b"], ["*", "*", "*"], False),
+        (["task[depth=3]"], ["task[depth=*]"], True),
+    ],
+)
+def test_segment_matcher(path, pattern, expected):
+    assert _match(path, pattern) is expected
+
+
+def test_empty_pattern_rejected():
+    reg = RegionRegistry()
+    root = CallTreeNode(reg.register("r", RegionType.FUNCTION))
+    with pytest.raises(ValueError):
+        match_nodes(root, "")
+
+
+def test_match_nodes_on_literal_tree():
+    reg = RegionRegistry()
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    a = root.child(reg.register("a", RegionType.FUNCTION))
+    b = a.child(reg.register("b", RegionType.FUNCTION))
+    a2 = b.child(reg.register("a", RegionType.FUNCTION))
+    assert match_nodes(root, "main") == [root]
+    assert set(match_nodes(root, "**/a")) == {a, a2}
+    assert match_nodes(root, "main/a/b") == [b]
+    assert match_nodes(root, "**/b/**") == [b, a2]
+
+
+# ----------------------------------------------------------------------
+# Profile-level queries
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fib_profile():
+    return run_app("fib", size="test", variant="stress", n_threads=2, seed=1).profile
+
+
+def test_query_spans_main_and_task_trees(fib_profile):
+    taskwaits = query(fib_profile, "**/taskwait")
+    # one in the implicit tree (thread 0) + per-thread task trees
+    assert len(taskwaits) >= 2
+    assert all(n.region.name == "taskwait" for n in taskwaits)
+
+
+def test_query_stub_nodes_by_wildcard(fib_profile):
+    stubs = query(fib_profile, "**/* (stub)")
+    assert stubs
+    assert all(n.is_stub for n in stubs)
+
+
+def test_query_time_matches_direct_sum(fib_profile):
+    via_query = query_time(fib_profile, "**/create@*", metric="inclusive")
+    direct = sum(
+        node.metrics.inclusive_time
+        for tree in list(fib_profile.main_trees)
+        + [t for per in fib_profile.task_trees for t in per.values()]
+        for node in tree.walk()
+        if node.region.name.startswith("create@")
+    )
+    assert via_query == pytest.approx(direct)
+
+
+def test_query_visits_and_bad_metric(fib_profile):
+    assert query_visits(fib_profile, "fib_task") == 177
+    with pytest.raises(ValueError, match="metric"):
+        query_time(fib_profile, "**", metric="median")
+
+
+def test_query_no_matches_is_empty(fib_profile):
+    assert query(fib_profile, "**/nonexistent_region") == []
+    assert query_time(fib_profile, "**/nonexistent_region") == 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for the event records and instance-id helpers."""
+
+import pytest
+
+from repro.events import (
+    EnterEvent,
+    ExitEvent,
+    RegionRegistry,
+    RegionType,
+    TaskBeginEvent,
+    TaskEndEvent,
+    TaskSwitchEvent,
+)
+from repro.events.model import (
+    TaskCreateBeginEvent,
+    TaskCreateEndEvent,
+    implicit_instance_id,
+    is_implicit,
+)
+
+
+@pytest.fixture()
+def region():
+    return RegionRegistry().register("foo", RegionType.FUNCTION)
+
+
+def test_implicit_instance_ids_are_negative_and_unique():
+    ids = [implicit_instance_id(t) for t in range(8)]
+    assert all(i < 0 for i in ids)
+    assert len(set(ids)) == 8
+    assert implicit_instance_id(0) == -1
+    assert implicit_instance_id(7) == -8
+
+
+def test_is_implicit_classification():
+    assert is_implicit(-1)
+    assert is_implicit(-8)
+    assert not is_implicit(1)
+    assert not is_implicit(12345)
+
+
+def test_events_are_frozen(region):
+    event = EnterEvent(0, 1.0, -1, region)
+    with pytest.raises(AttributeError):
+        event.time = 2.0
+
+
+def test_event_str_renderings(region):
+    task_region = RegionRegistry().register("t", RegionType.TASK)
+    cases = [
+        (EnterEvent(0, 1.5, -1, region), "enter foo"),
+        (ExitEvent(1, 2.5, -2, region), "exit foo"),
+        (TaskBeginEvent(0, 3.0, 7, task_region, instance=7), "task_begin t instance=7"),
+        (TaskEndEvent(0, 4.0, 7, task_region, instance=7), "task_end t instance=7"),
+        (TaskSwitchEvent(2, 5.0, -3, instance=-3), "task_switch -> -3"),
+        (
+            TaskCreateBeginEvent(0, 6.0, -1, region, created_instance=9),
+            "create_begin foo -> instance 9",
+        ),
+        (
+            TaskCreateEndEvent(0, 7.0, -1, region, created_instance=9),
+            "create_end foo -> instance 9",
+        ),
+    ]
+    for event, expected in cases:
+        text = str(event)
+        assert expected in text, (text, expected)
+        assert f"t{event.thread_id}" in text
+
+
+def test_events_carry_executing_instance(region):
+    event = EnterEvent(0, 1.0, 42, region)
+    assert event.executing_instance == 42
+    assert event.parameter is None
+    with_param = EnterEvent(0, 1.0, 42, region, ("depth", 3))
+    assert with_param.parameter == ("depth", 3)
+
+
+def test_events_compare_by_value(region):
+    a = EnterEvent(0, 1.0, -1, region)
+    b = EnterEvent(0, 1.0, -1, region)
+    assert a == b
+    assert a != ExitEvent(0, 1.0, -1, region)

@@ -1,0 +1,72 @@
+"""Unit tests for region handles and the interning registry."""
+
+import pytest
+
+from repro.events import Region, RegionRegistry, RegionType
+
+
+def test_register_interns_by_key():
+    reg = RegionRegistry()
+    a = reg.register("foo", RegionType.FUNCTION, "foo.py", 10)
+    b = reg.register("foo", RegionType.FUNCTION, "foo.py", 10)
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_different_type_different_region():
+    reg = RegionRegistry()
+    a = reg.register("x", RegionType.FUNCTION)
+    b = reg.register("x", RegionType.TASK)
+    assert a is not b
+    assert len(reg) == 2
+
+
+def test_handles_are_consecutive_and_resolvable():
+    reg = RegionRegistry()
+    a = reg.register("a", RegionType.FUNCTION)
+    b = reg.register("b", RegionType.TASK)
+    assert (a.handle, b.handle) == (1, 2)
+    assert reg.lookup(1) is a
+    assert reg.lookup(2) is b
+    with pytest.raises(KeyError):
+        reg.lookup(99)
+
+
+def test_find_by_name_and_ambiguity():
+    reg = RegionRegistry()
+    reg.register("dup", RegionType.FUNCTION)
+    reg.register("dup", RegionType.TASK)
+    with pytest.raises(ValueError):
+        reg.find("dup")
+    assert reg.find("dup", RegionType.TASK).region_type is RegionType.TASK
+    with pytest.raises(KeyError):
+        reg.find("missing")
+
+
+def test_scheduling_point_classification():
+    assert RegionType.TASKWAIT.is_scheduling_point()
+    assert RegionType.BARRIER.is_scheduling_point()
+    assert RegionType.IMPLICIT_BARRIER.is_scheduling_point()
+    assert RegionType.TASK_CREATE.is_scheduling_point()
+    assert not RegionType.FUNCTION.is_scheduling_point()
+    assert not RegionType.TASK.is_scheduling_point()
+    assert not RegionType.CRITICAL.is_scheduling_point()
+
+
+def test_region_location_rendering():
+    reg = RegionRegistry()
+    with_loc = reg.register("f", RegionType.FUNCTION, "src/f.py", 3)
+    file_only = reg.register("g", RegionType.FUNCTION, "src/g.py")
+    bare = reg.register("h", RegionType.FUNCTION)
+    assert with_loc.location() == "src/f.py:3"
+    assert file_only.location() == "src/g.py"
+    assert bare.location() == "<unknown>"
+
+
+def test_registry_iteration_and_containment():
+    reg = RegionRegistry()
+    a = reg.register("a", RegionType.FUNCTION)
+    other = RegionRegistry().register("a", RegionType.FUNCTION)
+    assert a in reg
+    assert other not in reg
+    assert list(reg) == [a]

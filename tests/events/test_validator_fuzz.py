@@ -1,0 +1,161 @@
+"""Property-based fuzzing of the event-stream validators.
+
+Strategy: generate structurally *valid* single-thread task streams (a
+random interleaving of task lifecycles with properly nested regions),
+assert the task-aware validator accepts them; then apply a random
+corruption (drop/duplicate/retype an event) and assert the validator --
+or the stream's own monotonicity check -- rejects the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.events import (
+    EnterEvent,
+    ExitEvent,
+    RegionRegistry,
+    RegionType,
+    TaskBeginEvent,
+    TaskEndEvent,
+    TaskSwitchEvent,
+    validate_task_stream,
+)
+from repro.events.model import implicit_instance_id
+
+REG = RegionRegistry()
+TASK = REG.register("task", RegionType.TASK)
+FOO = REG.register("foo", RegionType.FUNCTION)
+BAR = REG.register("bar", RegionType.FUNCTION)
+IMPL = implicit_instance_id(0)
+
+
+@st.composite
+def valid_streams(draw):
+    """Build a valid stream by simulating random scheduler decisions."""
+    events = []
+    time = 0.0
+    next_instance = 1
+    # live[instance] = list of open function regions
+    live = {}
+    suspended = set()
+    current = None  # None = implicit
+
+    def tick():
+        nonlocal time
+        time += draw(st.floats(min_value=0.1, max_value=2.0))
+        return time
+
+    steps = draw(st.integers(min_value=1, max_value=40))
+    for _ in range(steps):
+        choices = ["begin"]
+        if current is not None:
+            choices += ["enter", "end_or_suspend"]
+        if suspended and current is None:
+            choices.append("resume")
+        action = draw(st.sampled_from(choices))
+        nonlocal_time = tick()
+        if action == "begin" and current is None:
+            instance = next_instance
+            next_instance += 1
+            live[instance] = []
+            events.append(TaskBeginEvent(0, nonlocal_time, instance, TASK, instance))
+            current = instance
+        elif action == "begin":
+            # beginning a new task implicitly suspends the current one
+            suspended.add(current)
+            instance = next_instance
+            next_instance += 1
+            live[instance] = []
+            events.append(TaskBeginEvent(0, nonlocal_time, instance, TASK, instance))
+            current = instance
+        elif action == "enter":
+            region = draw(st.sampled_from([FOO, BAR]))
+            live[current].append(region)
+            events.append(EnterEvent(0, nonlocal_time, current, region))
+        elif action == "end_or_suspend":
+            if live[current]:
+                if draw(st.booleans()):
+                    region = live[current].pop()
+                    events.append(ExitEvent(0, nonlocal_time, current, region))
+                else:
+                    suspended.add(current)
+                    events.append(TaskSwitchEvent(0, nonlocal_time, IMPL, IMPL))
+                    current = None
+            else:
+                events.append(TaskEndEvent(0, nonlocal_time, current, TASK, current))
+                del live[current]
+                current = None
+        elif action == "resume":
+            instance = draw(st.sampled_from(sorted(suspended)))
+            suspended.discard(instance)
+            events.append(TaskSwitchEvent(0, nonlocal_time, instance, instance))
+            current = instance
+
+    # wind down: close everything
+    while current is not None or suspended:
+        if current is None:
+            instance = sorted(suspended)[0]
+            suspended.discard(instance)
+            events.append(TaskSwitchEvent(0, tick(), instance, instance))
+            current = instance
+        while live[current]:
+            region = live[current].pop()
+            events.append(ExitEvent(0, tick(), current, region))
+        events.append(TaskEndEvent(0, tick(), current, TASK, current))
+        del live[current]
+        current = None
+    return events
+
+
+@settings(max_examples=80, deadline=None)
+@given(events=valid_streams())
+def test_generated_streams_are_accepted(events):
+    states = validate_task_stream(events, thread_id=0)
+    for instance, state in states.items():
+        if instance > 0:
+            assert state.begun and state.ended
+
+
+@settings(max_examples=80, deadline=None)
+@given(events=valid_streams(), data=st.data())
+def test_corrupted_streams_are_rejected_or_harmless(events, data):
+    """Dropping one structural event must not be silently mis-accepted:
+    either the validator raises, or the dropped event was provably
+    non-structural for validation (a no-op switch)."""
+    if not events:
+        return
+    index = data.draw(st.integers(0, len(events) - 1))
+    dropped = events[index]
+    corrupted = events[:index] + events[index + 1 :]
+    try:
+        states = validate_task_stream(corrupted, thread_id=0)
+    except ValidationError:
+        return  # rejected: good
+    # Accepted: only two classes of drops can slip past single-stream
+    # validation, and both leave detectable traces:
+    if isinstance(dropped, TaskEndEvent):
+        # the instance now simply looks still-active -- the program-level
+        # validator (validate_program_trace) is responsible for catching
+        # begun-but-never-ended instances.
+        assert not states[dropped.instance].ended
+    else:
+        # otherwise only scheduling switches are non-structural
+        assert isinstance(dropped, TaskSwitchEvent)
+
+
+@settings(max_examples=50, deadline=None)
+@given(events=valid_streams(), data=st.data())
+def test_duplicated_task_begin_rejected(events, data):
+    begins = [e for e in events if isinstance(e, TaskBeginEvent)]
+    if not begins:
+        return
+    victim = data.draw(st.sampled_from(begins))
+    # Re-issue the same TaskBegin at the end of the stream.
+    corrupted = events + [
+        TaskBeginEvent(0, events[-1].time + 1.0, victim.instance, TASK, victim.instance)
+    ]
+    with pytest.raises(ValidationError):
+        validate_task_stream(corrupted, thread_id=0)

@@ -1,0 +1,111 @@
+"""Tests for the AST source-to-source instrumenter (compiler analogue)."""
+
+import pytest
+
+from repro.errors import EventOrderError, InstrumentationError
+from repro.instrument import instrument_function, instrument_source
+from repro.instrument.ast_instrumenter import HOOK_NAME, FunctionHooks
+
+
+# module-level sample functions (instrument_function needs source access)
+def _leaf(x):
+    return x + 1
+
+
+def _caller(x):
+    return _leaf(x) * 2
+
+
+def _recursive(n):
+    """Docstring survives instrumentation."""
+    if n <= 0:
+        return 0
+    return 1 + _recursive(n - 1)
+
+
+def _raises(x):
+    raise ValueError(f"bad {x}")
+
+
+def test_instrument_source_inserts_hooks():
+    source = "def f(x):\n    return x * 2\n"
+    out = instrument_source(source)
+    assert f"{HOOK_NAME}.enter('f')" in out
+    assert f"{HOOK_NAME}.exit('f')" in out
+    assert "try:" in out and "finally:" in out
+
+
+def test_instrument_source_requires_functions():
+    with pytest.raises(InstrumentationError, match="no function definitions"):
+        instrument_source("x = 1\n")
+
+
+def test_instrument_source_rejects_bad_syntax():
+    with pytest.raises(InstrumentationError, match="cannot parse"):
+        instrument_source("def broken(:\n")
+
+
+def test_instrumented_function_preserves_behavior():
+    hooks = FunctionHooks()
+    fn = instrument_function(_leaf, hooks)
+    assert fn(41) == 42
+    assert hooks.calls == 1
+
+
+def test_call_tree_from_nested_calls():
+    hooks = FunctionHooks(root_name="<test>")
+    # Instrument caller only; _leaf resolves to the uninstrumented module
+    # function, so only _caller appears in the tree.
+    fn = instrument_function(_caller, hooks)
+    fn(1)
+    fn(2)
+    tree = hooks.finish()
+    caller_node = tree.find_one("_caller")
+    assert caller_node.visits == 2
+
+
+def test_self_recursion_is_instrumented():
+    hooks = FunctionHooks()
+    fn = instrument_function(_recursive, hooks)
+    assert fn(3) == 3
+    tree = hooks.finish()
+    # recursion builds a chain _recursive -> _recursive -> ...
+    chain = tree.find(name="_recursive")
+    assert len(chain) == 4  # depths 3,2,1,0
+    assert fn.__doc__ == "Docstring survives instrumentation."
+
+
+def test_exceptions_keep_enter_exit_balanced():
+    hooks = FunctionHooks()
+    fn = instrument_function(_raises, hooks)
+    with pytest.raises(ValueError, match="bad 7"):
+        fn(7)
+    # The finally-based exit kept the profiler stack balanced:
+    tree = hooks.finish()
+    assert tree.find_one("_raises").visits == 1
+
+
+def test_closures_rejected():
+    y = 10
+
+    def closure(x):
+        return x + y
+
+    with pytest.raises(InstrumentationError, match="closure"):
+        instrument_function(closure, FunctionHooks())
+
+
+def test_hooks_detect_mismatched_exit():
+    hooks = FunctionHooks()
+    hooks.enter("a")
+    with pytest.raises(EventOrderError):
+        hooks.exit("b")
+
+
+def test_custom_clock():
+    times = iter([0.0, 1.0, 5.0, 9.0])
+    hooks = FunctionHooks(clock=lambda: next(times))
+    hooks.enter("f")
+    hooks.exit("f")
+    tree = hooks.finish()
+    assert tree.find_one("f").inclusive_time == 4.0

@@ -1,0 +1,128 @@
+"""Measurement filtering (Score-P's overhead-control feature)."""
+
+import pytest
+
+from repro.analysis.experiment import run_app
+from repro.events.regions import RegionRegistry, RegionType
+from repro.instrument import MANAGEMENT_REGIONS_FILTER, RegionFilter
+from repro.instrument.filtering import RegionFilter as RF
+from repro.runtime import RuntimeConfig
+
+
+@pytest.fixture()
+def regions():
+    reg = RegionRegistry()
+    return {
+        "taskwait": reg.register("taskwait", RegionType.TASKWAIT),
+        "create": reg.register("create@fib_task", RegionType.TASK_CREATE),
+        "task": reg.register("fib_task", RegionType.TASK),
+        "foo": reg.register("foo", RegionType.FUNCTION),
+    }
+
+
+# ----------------------------------------------------------------------
+# RegionFilter semantics
+# ----------------------------------------------------------------------
+def test_exclude_by_name_and_glob(regions):
+    f = RegionFilter(exclude=("taskwait", "create@*"))
+    assert not f.measures(regions["taskwait"])
+    assert not f.measures(regions["create"])
+    assert f.measures(regions["task"])
+    assert f.measures(regions["foo"])
+
+
+def test_exclude_by_type(regions):
+    f = RegionFilter(exclude_types=(RegionType.TASKWAIT,))
+    assert not f.measures(regions["taskwait"])
+    assert f.measures(regions["create"])
+
+
+def test_include_whitelist(regions):
+    f = RegionFilter(include=("fib_*",))
+    assert f.measures(regions["task"])
+    assert not f.measures(regions["foo"])
+    # exclude always wins over include
+    g = RegionFilter(include=("fib_*",), exclude=("fib_task",))
+    assert not g.measures(regions["task"])
+
+
+# ----------------------------------------------------------------------
+# End-to-end behavior
+# ----------------------------------------------------------------------
+def fib_run(filter_=None, n_threads=1, seed=0):
+    return run_app(
+        "fib",
+        size="test",
+        variant="stress",
+        n_threads=n_threads,
+        seed=seed,
+        measurement_filter=filter_,
+    )
+
+
+def test_filtered_regions_missing_from_profile():
+    result = fib_run(MANAGEMENT_REGIONS_FILTER)
+    names = {
+        node.region.name
+        for per in result.profile.task_trees
+        for tree in per.values()
+        for node in tree.walk()
+    }
+    assert "taskwait" not in names
+    assert "create@fib_task" not in names
+    # the task construct itself is still fully tracked
+    tree = result.profile.task_tree("fib_task")
+    assert tree.metrics.durations.count == result.parallel.completed_tasks
+
+
+def test_filtered_time_melts_into_parent():
+    """Inclusive times are preserved; only attribution coarsens."""
+    unfiltered = fib_run(None)
+    filtered = fib_run(MANAGEMENT_REGIONS_FILTER)
+    # the task-tree root still accounts for all instance time; the
+    # formerly-separate taskwait/create time is now root-exclusive
+    for result in (unfiltered, filtered):
+        tree = result.profile.task_tree("fib_task")
+        assert tree.metrics.inclusive_time > 0
+    filtered_tree = filtered.profile.task_tree("fib_task")
+    assert filtered_tree.exclusive_time == pytest.approx(
+        filtered_tree.metrics.inclusive_time
+    )  # no children left
+
+
+def test_filtering_reduces_overhead():
+    """The point of the feature: fewer events, less instrumentation cost."""
+    unfiltered = fib_run(None)
+    filtered = fib_run(MANAGEMENT_REGIONS_FILTER)
+    assert filtered.parallel.events_dispatched < unfiltered.parallel.events_dispatched
+    assert filtered.parallel.total("instr") < unfiltered.parallel.total("instr")
+    assert filtered.kernel_time < unfiltered.kernel_time
+    assert MANAGEMENT_REGIONS_FILTER.suppressed > 0
+
+
+def test_filtering_does_not_change_results():
+    unfiltered = fib_run(None, n_threads=2, seed=1)
+    filtered = fib_run(MANAGEMENT_REGIONS_FILTER, n_threads=2, seed=1)
+    assert filtered.verified and unfiltered.verified
+    assert filtered.result_value == unfiltered.result_value
+    assert (
+        filtered.parallel.completed_tasks == unfiltered.parallel.completed_tasks
+    )
+
+
+def test_invariants_hold_under_filtering():
+    """Stub accounting survives region filtering."""
+    result = fib_run(MANAGEMENT_REGIONS_FILTER, n_threads=2)
+    profile = result.profile
+    stub_time = sum(
+        node.metrics.inclusive_time
+        for tree in profile.main_trees
+        for node in tree.walk()
+        if node.is_stub
+    )
+    task_time = sum(
+        tree.metrics.durations.total
+        for per in profile.task_trees
+        for tree in per.values()
+    )
+    assert stub_time == pytest.approx(task_time, rel=1e-9)

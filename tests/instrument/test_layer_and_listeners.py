@@ -1,0 +1,109 @@
+"""Tests for the instrumentation layer and POMP2 listeners."""
+
+import pytest
+
+from repro.events import RegionRegistry, RegionType
+from repro.events.stream import ProgramTrace
+from repro.instrument import InstrumentationLayer, MulticastListener, NullListener
+from repro.instrument.pomp2 import RecordingListener
+
+
+class CountingListener:
+    def __init__(self):
+        self.counts = {}
+
+    def _bump(self, kind):
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def on_enter(self, *a, **k):
+        self._bump("enter")
+
+    def on_exit(self, *a, **k):
+        self._bump("exit")
+
+    def on_task_begin(self, *a, **k):
+        self._bump("task_begin")
+
+    def on_task_end(self, *a, **k):
+        self._bump("task_end")
+
+    def on_task_switch(self, *a, **k):
+        self._bump("task_switch")
+
+    def on_phase_begin(self, *a, **k):
+        self._bump("phase_begin")
+
+    def on_phase_end(self, *a, **k):
+        self._bump("phase_end")
+
+    def on_finish(self, *a, **k):
+        self._bump("finish")
+
+
+@pytest.fixture()
+def region():
+    return RegionRegistry().register("r", RegionType.FUNCTION)
+
+
+def test_disabled_layer_is_a_noop(region):
+    listener = CountingListener()
+    layer = InstrumentationLayer(enabled=False, per_event_cost=1.0, listener=listener)
+    layer.enter(0, region, 0.0)
+    layer.exit(0, region, 1.0)
+    layer.task_begin(0, region, 1, 2.0)
+    layer.finish(3.0)
+    assert listener.counts == {}
+    assert layer.cost == 0.0
+    assert layer.events_dispatched == 0
+
+
+def test_enabled_layer_dispatches_and_counts(region):
+    listener = CountingListener()
+    layer = InstrumentationLayer(enabled=True, per_event_cost=0.5, listener=listener)
+    layer.enter(0, region, 0.0)
+    layer.exit(0, region, 1.0)
+    layer.task_begin(0, region, 1, 2.0)
+    layer.task_switch(0, -1, 3.0)
+    layer.task_end(0, region, 1, 4.0)
+    layer.phase_begin("p")
+    layer.phase_end("p")
+    layer.finish(5.0)
+    assert layer.events_dispatched == 5  # phase/finish are not events
+    assert listener.counts["enter"] == 1
+    assert listener.counts["task_switch"] == 1
+    assert listener.counts["finish"] == 1
+    assert layer.cost == 0.5
+
+
+def test_add_listener_builds_multicast(region):
+    a, b = CountingListener(), CountingListener()
+    layer = InstrumentationLayer(enabled=True, listener=a)
+    layer.add_listener(b)
+    layer.enter(0, region, 0.0)
+    assert a.counts["enter"] == 1
+    assert b.counts["enter"] == 1
+    assert isinstance(layer.listener, MulticastListener)
+
+
+def test_add_listener_replaces_null():
+    layer = InstrumentationLayer(enabled=True)
+    assert isinstance(layer.listener, NullListener)
+    counting = CountingListener()
+    layer.add_listener(counting)
+    assert layer.listener is counting
+
+
+def test_recording_listener_tracks_current_instance(region):
+    reg = RegionRegistry()
+    task = reg.register("t", RegionType.TASK)
+    trace = ProgramTrace(1, reg)
+    rec = RecordingListener(trace)
+    rec.on_task_begin(0, task, 1, 1.0)
+    rec.on_enter(0, region, 2.0)
+    rec.on_exit(0, region, 3.0)
+    rec.on_task_end(0, task, 1, 4.0)
+    events = list(trace.stream(0))
+    assert events[1].executing_instance == 1  # enter inside the task
+    # after task_end the implicit task is current again
+    rec.on_enter(0, region, 5.0)
+    assert trace.stream(0)[-1].executing_instance == -1

@@ -1,0 +1,84 @@
+"""Property-based tests of the pragma translator.
+
+Generates random task-recursion sources (a family of fib-like programs
+with varying arity, cut-off style, and pragma placement), translates
+them, runs them at random thread counts/seeds, and checks the functional
+result against a direct Python evaluation of the same recursion.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.instrument.opari2 import run_translated, translate_tasking
+from repro.runtime import RuntimeConfig, ZERO_COST
+
+TEMPLATE = """
+def node(depth):
+    omp_compute({leaf_cost})
+    if depth >= {max_depth}:
+        return 1
+    total = 1
+{spawn_block}
+    return total
+"""
+
+
+def make_source(arity: int, max_depth: int, leaf_cost: float, use_taskwait_each: bool):
+    lines = []
+    indent = "    "
+    if use_taskwait_each:
+        for k in range(arity):
+            lines.append(f"{indent}#pragma omp task")
+            lines.append(f"{indent}child_{k} = node(depth + 1)")
+            lines.append(f"{indent}#pragma omp taskwait")
+            lines.append(f"{indent}total = total + child_{k}")
+    else:
+        for k in range(arity):
+            lines.append(f"{indent}#pragma omp task")
+            lines.append(f"{indent}child_{k} = node(depth + 1)")
+        lines.append(f"{indent}#pragma omp taskwait")
+        for k in range(arity):
+            lines.append(f"{indent}total = total + child_{k}")
+    return TEMPLATE.format(
+        leaf_cost=leaf_cost,
+        max_depth=max_depth,
+        spawn_block="\n".join(lines),
+    )
+
+
+def expected_nodes(arity: int, max_depth: int) -> int:
+    # full arity-ary tree of the given depth
+    total = 0
+    layer = 1
+    for _ in range(max_depth + 1):
+        total += layer
+        layer *= arity
+    return total
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arity=st.integers(1, 3),
+    max_depth=st.integers(0, 4),
+    leaf_cost=st.floats(0.0, 2.0),
+    per_spawn_wait=st.booleans(),
+    n_threads=st.integers(1, 4),
+    seed=st.integers(0, 5),
+)
+def test_translated_recursions_count_correctly(
+    arity, max_depth, leaf_cost, per_spawn_wait, n_threads, seed
+):
+    source = make_source(arity, max_depth, leaf_cost, per_spawn_wait)
+    functions = translate_tasking(source)
+    config = RuntimeConfig(
+        n_threads=n_threads, seed=seed, instrument=True, costs=ZERO_COST
+    )
+    result = run_translated(functions, "node", (0,), config)
+    values = [v for v in result.return_values if v is not None]
+    assert values == [expected_nodes(arity, max_depth)]
+    # one task per node (including the root spawned by the region)
+    assert result.completed_tasks == expected_nodes(arity, max_depth)
+    # the profile agrees with the task count
+    tree = result.profile.task_tree("node")
+    assert tree.metrics.durations.count == result.completed_tasks

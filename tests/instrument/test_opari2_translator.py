@@ -1,0 +1,235 @@
+"""Tests for the OPARI2-style pragma source translator."""
+
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.instrument.opari2 import _preprocess, run_translated, translate_tasking
+from repro.runtime import RuntimeConfig, ZERO_COST
+
+
+def quiet(**kw):
+    kw.setdefault("costs", ZERO_COST)
+    return RuntimeConfig(**kw)
+
+
+FIB_SOURCE = """
+def fib(n):
+    if n < 2:
+        omp_compute(1.0)
+        return n
+    #pragma omp task
+    a = fib(n - 1)
+    #pragma omp task
+    b = fib(n - 2)
+    #pragma omp taskwait
+    omp_compute(0.5)
+    return a + b
+"""
+
+
+def test_preprocess_rewrites_pragma_comments():
+    text = _preprocess("    #pragma omp taskwait\nx = 1\n")
+    assert "__omp_pragma__('taskwait')" in text
+    assert "x = 1" in text
+
+
+def test_translated_fib_matches_directive_version():
+    fns = translate_tasking(FIB_SOURCE)
+    result = run_translated(fns, "fib", (10,), quiet(n_threads=4, seed=1))
+    assert [v for v in result.return_values if v is not None] == [55]
+    # identical task count to the hand-written generator version:
+    # root + 2 per internal node = 2*F(11)-1
+    assert result.completed_tasks == 177
+
+
+def test_translated_functions_are_profiled():
+    fns = translate_tasking(FIB_SOURCE)
+    config = RuntimeConfig(n_threads=2, instrument=True, costs=ZERO_COST, seed=0)
+    result = run_translated(fns, "fib", (8,), config)
+    tree = result.profile.task_tree("fib")
+    assert tree.metrics.durations.count == result.completed_tasks
+    assert tree.find_one("taskwait").visits > 0
+
+
+def test_inline_call_between_translated_functions():
+    source = """
+def helper(x):
+    omp_compute(2.0)
+    return x * 10
+
+def main(x):
+    value = helper(x)      # plain call -> inlined, no task
+    return value + helper(x)
+"""
+    fns = translate_tasking(source)
+    result = run_translated(fns, "main", (3,), quiet(n_threads=1))
+    assert [v for v in result.return_values if v is not None] == [60]
+    assert result.completed_tasks == 1  # only the root task
+
+
+def test_bare_call_task_without_binding():
+    calls = []
+    source = """
+def side_effect(x):
+    omp_compute(1.0)
+    sink(x)
+
+def main():
+    #pragma omp task
+    side_effect(1)
+    #pragma omp task
+    side_effect(2)
+    #pragma omp taskwait
+    return "ok"
+"""
+    fns = translate_tasking(source)
+    # inject the sink into both functions' shared globals
+    fns["side_effect"].__globals__["sink"] = calls.append
+    result = run_translated(fns, "main", (), quiet(n_threads=2, seed=0))
+    assert sorted(calls) == [1, 2]
+    assert result.completed_tasks == 3
+
+
+def test_single_and_barrier_and_critical():
+    source = """
+def worker(data):
+    #pragma omp critical(tally)
+    bump(data)
+    omp_compute(1.0)
+
+def region_fn(data):
+    #pragma omp single
+    seed_data(data)
+    #pragma omp barrier
+    #pragma omp task
+    worker(data)
+    #pragma omp task
+    worker(data)
+    #pragma omp taskwait
+    return list(data)
+"""
+    fns = translate_tasking(source)
+    fns["region_fn"].__globals__["seed_data"] = lambda d: d.append("seed")
+    fns["worker"].__globals__["bump"] = lambda d: d.append("bump")
+    shared = []
+    # barriers require the SPMD mode: the entry IS the region body.
+    result = run_translated(
+        fns, "region_fn", (shared,), quiet(n_threads=2, seed=0), mode="spmd"
+    )
+    value = next(v for v in result.return_values if v is not None)
+    assert value.count("seed") == 1
+    # SPMD: each of the 2 threads spawned 2 worker tasks.
+    assert value.count("bump") == 4
+
+
+def test_taskyield_pragma():
+    source = """
+def t(n):
+    omp_compute(1.0)
+    #pragma omp taskyield
+    return n
+
+def main():
+    #pragma omp task
+    a = t(1)
+    #pragma omp task
+    b = t(2)
+    #pragma omp taskwait
+    return a + b
+"""
+    fns = translate_tasking(source)
+    result = run_translated(fns, "main", (), quiet(n_threads=1))
+    assert [v for v in result.return_values if v is not None] == [3]
+
+
+def test_reading_task_result_before_taskwait_is_a_race():
+    """The syntactic translation's documented behavior: the variable does
+    not exist until the taskwait materializes it."""
+    source = """
+def t():
+    omp_compute(1.0)
+    return 42
+
+def main():
+    #pragma omp task
+    a = t()
+    return a
+"""
+    fns = translate_tasking(source)
+    with pytest.raises(NameError):
+        run_translated(fns, "main", (), quiet(n_threads=1))
+
+
+def test_error_task_pragma_before_non_call():
+    with pytest.raises(InstrumentationError, match="must precede"):
+        translate_tasking(
+            """
+def main():
+    #pragma omp task
+    x = 1 + 1
+"""
+        )
+
+
+def test_error_task_target_outside_unit():
+    with pytest.raises(InstrumentationError, match="not a function"):
+        translate_tasking(
+            """
+def main():
+    #pragma omp task
+    print("hi")
+"""
+        )
+
+
+def test_error_unsupported_pragma():
+    with pytest.raises(InstrumentationError, match="unsupported pragma"):
+        translate_tasking(
+            """
+def main():
+    #pragma omp sections
+    x = 1
+"""
+        )
+
+
+def test_error_trailing_task_pragma():
+    with pytest.raises(InstrumentationError, match="end of block"):
+        translate_tasking(
+            """
+def main():
+    #pragma omp task
+"""
+        )
+
+
+def test_error_no_functions():
+    with pytest.raises(InstrumentationError, match="no functions"):
+        translate_tasking("x = 1\n")
+
+
+def test_error_unknown_entry():
+    fns = translate_tasking(FIB_SOURCE)
+    with pytest.raises(KeyError, match="no translated function"):
+        run_translated(fns, "nope", ())
+
+
+def test_pragmas_inside_loops_and_branches():
+    source = """
+def leaf(i):
+    omp_compute(1.0)
+    return i
+
+def main(n):
+    total = 0
+    for i in range(n):
+        if i % 2 == 0:
+            #pragma omp task
+            h = leaf(i)
+            #pragma omp taskwait
+            total = total + h
+    return total
+"""
+    fns = translate_tasking(source)
+    result = run_translated(fns, "main", (6,), quiet(n_threads=2, seed=0))
+    assert [v for v in result.return_values if v is not None] == [0 + 2 + 4]

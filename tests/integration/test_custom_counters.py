@@ -1,0 +1,134 @@
+"""Custom-counter metrics through the whole stack (PAPI-metric analogue).
+
+Compute directives carry counters (flops, DP cells, ...); the profiler
+attributes them to the current call-path node; aggregation, merge, and
+JSON export preserve them; and for the kernels that report them the
+totals match the analytic formulas exactly.
+"""
+
+import pytest
+
+from repro.analysis import run_app
+from repro.cube import dumps, loads
+from repro.runtime import RuntimeConfig, ZERO_COST
+from repro.runtime.runtime import run_parallel
+
+
+def quiet(**kw):
+    kw.setdefault("costs", ZERO_COST)
+    return RuntimeConfig(**kw)
+
+
+def test_counters_attributed_to_current_node():
+    def child(ctx):
+        yield ctx.compute(1.0, counters={"flops": 100, "bytes": 64})
+        yield ctx.compute(1.0, counters={"flops": 50})
+
+    def body(ctx):
+        yield ctx.spawn(child)
+        yield ctx.taskwait()
+        yield ctx.compute(1.0, counters={"flops": 7})
+
+    result = run_parallel(body, config=quiet(n_threads=1, instrument=True))
+    profile = result.profile
+    task_tree = profile.task_tree("child")
+    assert task_tree.metrics.counter("flops") == 150
+    assert task_tree.metrics.counter("bytes") == 64
+    # The implicit task's own compute lands on the main tree root.
+    assert profile.main_tree(0).metrics.counter("flops") == 7
+    # Unknown counters read as zero.
+    assert task_tree.metrics.counter("cache_misses") == 0.0
+
+
+def test_counters_merge_across_instances_and_threads():
+    def child(ctx, n):
+        yield ctx.compute(1.0, counters={"units": n})
+
+    def body(ctx):
+        if (yield ctx.single()):
+            for i in range(1, 5):
+                yield ctx.spawn(child, i)
+
+    result = run_parallel(body, config=quiet(n_threads=2, instrument=True))
+    tree = result.profile.task_tree("child")
+    assert tree.metrics.counter("units") == 1 + 2 + 3 + 4
+
+
+def test_counters_validation():
+    def bad_value(ctx):
+        yield ctx.compute(1.0, counters={"flops": -1})
+
+    with pytest.raises(ValueError, match="negative counter"):
+        run_parallel(bad_value, config=quiet(n_threads=1))
+
+    def bad_name(ctx):
+        yield ctx.compute(1.0, counters={42: 1.0})
+
+    with pytest.raises(TypeError, match="counter names"):
+        run_parallel(bad_name, config=quiet(n_threads=1))
+
+
+def test_counters_ignored_when_uninstrumented():
+    def child(ctx):
+        yield ctx.compute(1.0, counters={"flops": 100})
+
+    def body(ctx):
+        yield ctx.spawn(child)
+        yield ctx.taskwait()
+
+    result = run_parallel(body, config=quiet(n_threads=1, instrument=False))
+    assert result.profile is None  # nothing to attribute to; no crash
+
+
+def test_strassen_flop_count_matches_formula():
+    """7^levels base-case multiplications of (n/2^levels)^3 * 2 flops."""
+    result = run_app("strassen", size="test", variant="optimized", n_threads=2)
+    meta = result.meta
+    n, threshold = meta["n"], meta["threshold"]
+    levels = 0
+    size = n
+    while size > threshold:
+        size //= 2
+        levels += 1
+    expected_flops = (7 ** levels) * 2 * size**3
+    tree = result.profile.task_tree("strassen_task")
+    assert tree.metrics.counter("flops") == expected_flops
+
+
+def test_alignment_dp_cells_match_formula():
+    result = run_app("alignment", size="test", n_threads=2)
+    pairs = result.meta["expected_tasks"]
+    length = result.meta["length"]
+    tree = result.profile.task_tree("align_pair_task")
+    assert tree.metrics.counter("dp_cells") == pairs * length * length
+
+
+def test_counters_survive_json_roundtrip():
+    result = run_app("strassen", size="test", variant="optimized", n_threads=2)
+    restored = loads(dumps(result.profile))
+    original = result.profile.task_tree("strassen_task").metrics.counter("flops")
+    assert restored.task_tree("strassen_task").metrics.counter("flops") == original
+    assert original > 0
+
+
+def test_counter_pause_resume_unaffected_by_suspension():
+    """Counters are event-attributed, not time-based: suspension between
+    two compute calls must not lose or double-count anything."""
+
+    def grandchild(ctx):
+        yield ctx.compute(5.0)
+
+    def child(ctx):
+        yield ctx.compute(1.0, counters={"units": 10})
+        yield ctx.spawn(grandchild)
+        yield ctx.taskwait()  # may suspend here
+        yield ctx.compute(1.0, counters={"units": 5})
+
+    def body(ctx):
+        if (yield ctx.single()):
+            yield ctx.spawn(child)
+
+    for n_threads in (1, 4):
+        result = run_parallel(body, config=quiet(n_threads=n_threads, instrument=True))
+        tree = result.profile.task_tree("child")
+        assert tree.metrics.counter("units") == 15

@@ -1,0 +1,123 @@
+"""Tests for the rejected profiling designs (paper Fig. 3 and Section II).
+
+The Fig. 3 scenario: a parallel region starts (1 us), a task-creation
+region runs (2 us), the implicit task waits in a barrier (7 us wall) during
+which the created task executes for 5 us.
+
+* Creation-node assignment (left of Fig. 3): the creating region's node
+  gets the task as a child carrying 5 us, but the creation region itself
+  only measured 2 us inclusive -> exclusive time -5 ("which does not make
+  sense"), and the barrier shows 7 us although most of it was useful work.
+* Execution-node assignment (right of Fig. 3, what the real algorithm
+  does): barrier 7 us inclusive with a 5 us stub child -> barrier
+  exclusive 2 us, task creation exclusive stays 2 us, nothing negative.
+"""
+
+import pytest
+
+from repro.errors import EventOrderError
+from repro.events import RegionRegistry, RegionType
+from repro.events.model import implicit_instance_id
+from repro.profiling import CreationNodeProfiler, NoInstanceProfiler
+from repro.profiling.task_profiler import ThreadTaskProfiler
+
+
+@pytest.fixture()
+def regions():
+    reg = RegionRegistry()
+    return {
+        "impl": reg.register("parallel", RegionType.IMPLICIT_TASK),
+        "create": reg.register("create_task", RegionType.TASK_CREATE),
+        "task": reg.register("task", RegionType.TASK),
+        "barrier": reg.register("barrier", RegionType.IMPLICIT_BARRIER),
+        "taskwait": reg.register("taskwait", RegionType.TASKWAIT),
+        "foo": reg.register("foo", RegionType.FUNCTION),
+    }
+
+
+def test_fig3_creation_node_assignment_goes_negative(regions):
+    p = CreationNodeProfiler(regions["impl"])
+    # parallel region start: 1 us of exclusive time before creating.
+    p.enter(regions["create"], 1.0)
+    p.task_created(regions["task"], instance=1)
+    p.exit(regions["create"], 3.0)  # 2 us creation
+    p.enter(regions["barrier"], 3.0)
+    p.task_begin(1, 4.0)
+    p.task_end(1, 9.0)  # 5 us of execution, inside the barrier
+    p.exit(regions["barrier"], 10.0)  # 7 us wall in barrier
+    root = p.finish(10.0)
+
+    create = root.find_child(regions["create"])
+    task = create.find_child(regions["task"])
+    barrier = root.find_child(regions["barrier"])
+    assert task.inclusive_time == 5.0
+    assert create.inclusive_time == 2.0
+    # The paper's pathology, reproduced exactly: -3 us here (2 - 5).
+    assert create.exclusive_time == -3.0
+    assert create.exclusive_time < 0
+    # The barrier swallows the useful work: 7 us, none attributed to tasks.
+    assert barrier.exclusive_time == 7.0
+
+
+def test_fig3_execution_node_assignment_stays_sane(regions):
+    """Same event sequence through the real task profiler."""
+    p = ThreadTaskProfiler(0, regions["impl"], {}, start_time=0.0)
+    p.enter(regions["create"], 1.0)
+    p.exit(regions["create"], 3.0)
+    p.enter(regions["barrier"], 3.0)
+    p.task_begin(regions["task"], 1, 4.0)
+    p.task_end(regions["task"], 1, 9.0)
+    p.exit(regions["barrier"], 10.0)
+    main = p.finish(10.0)
+
+    create = main.find_child(regions["create"])
+    barrier = main.find_child(regions["barrier"])
+    stub = barrier.find_child(regions["task"])
+    assert create.exclusive_time == 2.0
+    assert stub.inclusive_time == 5.0
+    assert barrier.exclusive_time == 2.0  # true wait/overhead time
+    # Execution-node assignment never yields negative exclusive values.
+    for node in main.walk():
+        assert node.exclusive_time >= 0.0
+
+
+def test_no_instance_profiler_handles_uninterrupted_tasks(regions):
+    p = NoInstanceProfiler(regions["impl"])
+    p.enter(regions["impl"], 0.0)
+    p.enter(regions["barrier"], 1.0)
+    p.task_begin(regions["task"], 1, 2.0)
+    p.enter(regions["foo"], 2.5)
+    p.exit(regions["foo"], 3.5)
+    p.task_end(regions["task"], 1, 4.0)
+    p.task_begin(regions["task"], 2, 4.0)
+    p.task_end(regions["task"], 2, 6.0)
+    p.exit(regions["barrier"], 6.0)
+    p.exit(regions["impl"], 7.0)
+    root = p.finish()
+    task_node = root.find_child(regions["barrier"]).find_child(regions["task"])
+    assert task_node.visits == 2
+    assert task_node.inclusive_time == 4.0
+
+
+def test_no_instance_profiler_breaks_on_interleaving(regions):
+    """Fürlinger/Skinner limitation: suspension cannot be represented."""
+    p = NoInstanceProfiler(regions["impl"])
+    p.enter(regions["impl"], 0.0)
+    p.enter(regions["barrier"], 1.0)
+    p.task_begin(regions["task"], 1, 2.0)
+    p.enter(regions["taskwait"], 3.0)
+    # task 1 suspends; task 2 begins -> fine so far for the blind profiler
+    p.task_begin(regions["task"], 2, 3.0)
+    p.task_end(regions["task"], 2, 4.0)
+    # ...but resuming task 1 is impossible without instance ids
+    with pytest.raises(EventOrderError, match="instance identification"):
+        p.task_switch(1, 4.0)
+
+
+def test_no_instance_profiler_detects_mismatched_task_end(regions):
+    p = NoInstanceProfiler(regions["impl"])
+    p.enter(regions["impl"], 0.0)
+    p.task_begin(regions["task"], 1, 1.0)
+    p.enter(regions["foo"], 2.0)
+    with pytest.raises(EventOrderError, match="interleaved task fragments"):
+        p.task_end(regions["task"], 1, 3.0)

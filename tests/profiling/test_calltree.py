@@ -1,0 +1,157 @@
+"""Unit tests for the call-tree structure: children, paths, merge, exclusive."""
+
+import pytest
+
+from repro.events import RegionRegistry, RegionType
+from repro.profiling import CallTreeNode
+
+
+@pytest.fixture()
+def reg():
+    return RegionRegistry()
+
+
+def test_child_get_or_create(reg):
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    foo = reg.register("foo", RegionType.FUNCTION)
+    a = root.child(foo)
+    b = root.child(foo)
+    assert a is b
+    assert len(root.children) == 1
+    assert a.parent is root
+
+
+def test_parameter_qualified_children_are_distinct(reg):
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    task = reg.register("task", RegionType.TASK)
+    d0 = root.child(task, parameter=("depth", 0))
+    d1 = root.child(task, parameter=("depth", 1))
+    assert d0 is not d1
+    assert root.find_child(task, ("depth", 0)) is d0
+    assert root.find_child(task) is None
+    assert d1.display_name() == "task[depth=1]"
+
+
+def test_depth_and_path(reg):
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    a = root.child(reg.register("a", RegionType.FUNCTION))
+    b = a.child(reg.register("b", RegionType.FUNCTION))
+    assert root.depth() == 0
+    assert b.depth() == 2
+    assert [n.region.name for n in b.path()] == ["main", "a", "b"]
+    assert b.path_names() == "main/a/b"
+
+
+def test_walk_preorder_and_count(reg):
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    a = root.child(reg.register("a", RegionType.FUNCTION))
+    a.child(reg.register("a1", RegionType.FUNCTION))
+    root.child(reg.register("b", RegionType.FUNCTION))
+    names = [n.region.name for n in root.walk()]
+    assert names == ["main", "a", "a1", "b"]
+    assert root.node_count() == 4
+
+
+def test_find_and_find_one(reg):
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    barrier = reg.register("barrier", RegionType.BARRIER)
+    root.child(barrier)
+    a = root.child(reg.register("a", RegionType.FUNCTION))
+    a.child(barrier)
+    assert len(root.find(name="barrier")) == 2
+    with pytest.raises(ValueError):
+        root.find_one("barrier")
+    assert root.find_one("a") is a
+    with pytest.raises(KeyError):
+        root.find_one("missing")
+
+
+def test_exclusive_time_derivation(reg):
+    """Paper Section IV-A: exclusive = inclusive - sum(children inclusive)."""
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    child = root.child(reg.register("foo", RegionType.FUNCTION))
+    root.metrics.record_visit(10.0)
+    child.metrics.record_visit(4.0)
+    assert root.inclusive_time == 10.0
+    assert root.exclusive_time == 6.0
+    assert child.exclusive_time == 4.0
+
+
+def test_merge_accumulates_metrics_and_structure(reg):
+    main = reg.register("main", RegionType.FUNCTION)
+    foo = reg.register("foo", RegionType.FUNCTION)
+    bar = reg.register("bar", RegionType.FUNCTION)
+
+    a = CallTreeNode(main)
+    a.metrics.record_visit(10.0)
+    a.child(foo).metrics.record_visit(3.0)
+
+    b = CallTreeNode(main)
+    b.metrics.record_visit(20.0)
+    b.child(foo).metrics.record_visit(5.0)
+    b.child(bar).metrics.record_visit(7.0)
+
+    a.merge(b)
+    assert a.inclusive_time == 30.0
+    assert a.visits == 2
+    assert a.find_child(foo).inclusive_time == 8.0
+    assert a.find_child(bar).inclusive_time == 7.0
+    # merged-in child got a proper parent link
+    assert a.find_child(bar).parent is a
+    # b untouched
+    assert b.inclusive_time == 20.0
+
+
+def test_merge_region_mismatch_rejected(reg):
+    a = CallTreeNode(reg.register("a", RegionType.FUNCTION))
+    b = CallTreeNode(reg.register("b", RegionType.FUNCTION))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_merge_is_order_insensitive_on_metrics(reg):
+    """Folding instances in any order yields the same aggregate numbers."""
+    main = reg.register("task", RegionType.TASK)
+    foo = reg.register("foo", RegionType.FUNCTION)
+
+    def instance(t):
+        node = CallTreeNode(main)
+        node.metrics.record_visit(t)
+        node.child(foo).metrics.record_visit(t / 2)
+        return node
+
+    instances = [instance(float(t)) for t in (3, 7, 2, 9)]
+
+    forward = CallTreeNode(main)
+    for inst in instances:
+        forward.merge(inst)
+    backward = CallTreeNode(main)
+    for inst in reversed(instances):
+        backward.merge(inst)
+
+    assert forward.inclusive_time == backward.inclusive_time
+    assert forward.metrics.durations == backward.metrics.durations
+    assert (
+        forward.find_child(foo).metrics.durations
+        == backward.find_child(foo).metrics.durations
+    )
+
+
+def test_deep_copy_is_detached(reg):
+    root = CallTreeNode(reg.register("main", RegionType.FUNCTION))
+    child = root.child(reg.register("foo", RegionType.FUNCTION))
+    child.metrics.record_visit(2.0)
+    clone = root.deep_copy()
+    clone_child = clone.find_child(child.region)
+    clone_child.metrics.record_visit(100.0)
+    assert child.inclusive_time == 2.0
+    assert clone_child.parent is clone
+
+
+def test_stub_flag_propagates_through_child_and_copy(reg):
+    root = CallTreeNode(reg.register("barrier", RegionType.BARRIER))
+    task = reg.register("task", RegionType.TASK)
+    stub = root.child(task, is_stub=True)
+    assert stub.is_stub
+    assert "(stub)" in stub.display_name()
+    assert root.deep_copy().find_child(task).is_stub

@@ -1,0 +1,122 @@
+"""Call-path depth limit (Score-P's clipping, paper Section IV-B3)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.events import RegionRegistry, RegionType
+from repro.profiling.task_profiler import ThreadTaskProfiler
+from repro.runtime import RuntimeConfig, ZERO_COST
+from repro.runtime.runtime import run_parallel
+
+
+@pytest.fixture()
+def regions():
+    reg = RegionRegistry()
+    return {
+        "impl": reg.register("parallel", RegionType.IMPLICIT_TASK),
+        "f": reg.register("f", RegionType.FUNCTION),
+        "g": reg.register("g", RegionType.FUNCTION),
+    }
+
+
+def test_depth_limit_folds_deep_regions(regions):
+    p = ThreadTaskProfiler(0, regions["impl"], {}, max_call_path_depth=3)
+    # depth grows: root frame is depth 1, so limit 3 allows 2 nested regions
+    p.enter(regions["f"], 1.0)
+    p.enter(regions["g"], 2.0)
+    node = p.enter(regions["f"], 3.0)  # folded: beyond the limit
+    # The folded enter returns the boundary node (g).
+    assert node.region is regions["g"]
+    p.exit(regions["f"], 4.0)
+    p.exit(regions["g"], 5.0)
+    p.exit(regions["f"], 6.0)
+    main = p.finish(7.0)
+    assert p.truncated_enters == 1
+    # No third-level node exists...
+    g_node = main.find_one("g")
+    assert g_node.children == {}
+    # ...and its time contains the folded region's time.
+    assert g_node.inclusive_time == 3.0  # [2,5)
+
+
+def test_folded_exits_still_validated(regions):
+    p = ThreadTaskProfiler(0, regions["impl"], {}, max_call_path_depth=2)
+    p.enter(regions["f"], 1.0)
+    p.enter(regions["g"], 2.0)  # folded
+    with pytest.raises(ProfileError, match="does not match"):
+        p.exit(regions["f"], 3.0)
+
+
+def test_depth_limit_validation(regions):
+    with pytest.raises(ValueError, match="max_call_path_depth"):
+        ThreadTaskProfiler(0, regions["impl"], {}, max_call_path_depth=0)
+
+
+def test_end_to_end_depth_limit_bounds_tree():
+    """Nested regions (here: nested named criticals) get clipped.
+
+    Note: per-task trees are naturally shallow -- a spawned task starts
+    its own tree (Section IV-B3's design) -- so the depth limit matters
+    for region nesting *within* one context, exactly as in Score-P.
+    """
+    depth_of_nesting = 10
+
+    def body(ctx):
+        for i in range(depth_of_nesting):
+            yield ctx.critical(f"zone{i}")
+        yield ctx.compute(5.0)
+        for i in reversed(range(depth_of_nesting)):
+            yield ctx.end_critical(f"zone{i}")
+        return "done"
+
+    limited = RuntimeConfig(
+        n_threads=1, instrument=True, costs=ZERO_COST, max_call_path_depth=4
+    )
+    result = run_parallel(body, config=limited)
+    assert result.return_values == ["done"]  # functionality unaffected
+    assert result.extra["truncated_enters"] == depth_of_nesting - 3
+
+    def tree_depth(node):
+        if not node.children:
+            return 1
+        return 1 + max(tree_depth(c) for c in node.children.values())
+
+    tree = result.profile.main_tree(0)
+    assert tree_depth(tree) <= 4
+    # The boundary node holds all the deeper time.
+    boundary = tree.find_one("critical@zone2")
+    assert boundary.inclusive_time >= 5.0
+    assert boundary.children == {}
+
+
+def test_unlimited_depth_by_default():
+    def chain(ctx, depth):
+        if depth == 0:
+            yield ctx.compute(1.0)
+            return 0
+        handle = yield ctx.spawn(chain, depth - 1)
+        yield ctx.taskwait()
+        return handle.result + 1
+
+    def body(ctx):
+        yield ctx.spawn(chain, 10)
+        yield ctx.taskwait()
+
+    config = RuntimeConfig(n_threads=1, instrument=True, costs=ZERO_COST)
+    result = run_parallel(body, config=config)
+    assert result.extra["truncated_enters"] == 0
+
+
+def test_time_conservation_with_depth_limit(regions):
+    """Folded regions leak no time: parent inclusive is exact."""
+    p = ThreadTaskProfiler(0, regions["impl"], {}, max_call_path_depth=2)
+    p.enter(regions["f"], 0.0)
+    for i in range(5):
+        p.enter(regions["g"], float(i * 2))  # folded each time
+        p.exit(regions["g"], float(i * 2 + 1))
+    p.exit(regions["f"], 10.0)
+    main = p.finish(10.0)
+    f_node = main.find_one("f")
+    assert f_node.inclusive_time == 10.0
+    assert f_node.exclusive_time == 10.0  # no children at all
+    assert p.truncated_enters == 5

@@ -1,0 +1,112 @@
+"""Unit tests for StatAccumulator and NodeMetrics."""
+
+import math
+
+import pytest
+
+from repro.profiling import NodeMetrics, StatAccumulator
+from repro.profiling.metrics import format_time
+
+
+def test_empty_accumulator():
+    acc = StatAccumulator()
+    assert acc.empty
+    assert acc.count == 0
+    assert acc.mean == 0.0
+    assert acc.as_dict()["min"] is None
+
+
+def test_add_updates_all_statistics():
+    acc = StatAccumulator()
+    for value in (4.0, 1.0, 7.0):
+        acc.add(value)
+    assert acc.count == 3
+    assert acc.total == 12.0
+    assert acc.minimum == 1.0
+    assert acc.maximum == 7.0
+    assert acc.mean == 4.0
+
+
+def test_merge_matches_sequential_adds():
+    values_a = [1.0, 5.0, 2.5]
+    values_b = [9.0, 0.5]
+    merged = StatAccumulator()
+    for v in values_a + values_b:
+        merged.add(v)
+    a = StatAccumulator()
+    b = StatAccumulator()
+    for v in values_a:
+        a.add(v)
+    for v in values_b:
+        b.add(v)
+    a.merge(b)
+    assert a == merged
+
+
+def test_merge_with_empty_is_identity():
+    acc = StatAccumulator()
+    acc.add(3.0)
+    before = acc.copy()
+    acc.merge(StatAccumulator())
+    assert acc == before
+
+
+def test_reset_returns_to_empty():
+    acc = StatAccumulator()
+    acc.add(1.0)
+    acc.reset()
+    assert acc.empty
+    assert acc.minimum == math.inf
+
+
+def test_node_metrics_record_visit():
+    metrics = NodeMetrics()
+    metrics.record_visit(10.0)
+    metrics.record_visit(4.0)
+    assert metrics.inclusive_time == 14.0
+    assert metrics.visits == 2
+    assert metrics.durations.minimum == 4.0
+    assert metrics.durations.maximum == 10.0
+
+
+def test_node_metrics_stub_accounting():
+    """Stub nodes get time without visit samples, fragments without time."""
+    metrics = NodeMetrics()
+    metrics.count_fragment()
+    metrics.add_time(5.0)
+    metrics.count_fragment()
+    metrics.add_time(2.0)
+    assert metrics.visits == 2
+    assert metrics.inclusive_time == 7.0
+    assert metrics.durations.empty
+
+
+def test_node_metrics_merge():
+    a = NodeMetrics()
+    b = NodeMetrics()
+    a.record_visit(3.0)
+    b.record_visit(5.0)
+    b.record_visit(1.0)
+    a.merge(b)
+    assert a.inclusive_time == 9.0
+    assert a.visits == 3
+    assert a.durations.count == 3
+    assert a.durations.minimum == 1.0
+
+
+@pytest.mark.parametrize(
+    "us,expected",
+    [
+        (2.5, "2.500 us"),
+        (2500.0, "2.500 ms"),
+        (2.5e6, "2.500 s"),
+    ],
+)
+def test_format_time_auto_unit(us, expected):
+    assert format_time(us) == expected
+
+
+def test_format_time_forced_unit_and_error():
+    assert format_time(1e6, "ms") == "1000.000 ms"
+    with pytest.raises(ValueError):
+        format_time(1.0, "h")

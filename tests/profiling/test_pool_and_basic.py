@@ -1,0 +1,172 @@
+"""Unit tests for the node pool and the classic profiling algorithm."""
+
+import pytest
+
+from repro.errors import EventOrderError
+from repro.events import (
+    EnterEvent,
+    ExitEvent,
+    RegionRegistry,
+    RegionType,
+    TaskBeginEvent,
+)
+from repro.events.model import implicit_instance_id
+from repro.profiling import ClassicProfiler, NodePool
+
+
+@pytest.fixture()
+def reg():
+    return RegionRegistry()
+
+
+# ----------------------------------------------------------------------
+# NodePool
+# ----------------------------------------------------------------------
+def test_pool_allocates_then_recycles(reg):
+    pool = NodePool()
+    task = reg.register("task", RegionType.TASK)
+    root = pool.acquire(task)
+    child = root.child(reg.register("foo", RegionType.FUNCTION), factory=pool.acquire)
+    child.metrics.record_visit(5.0)
+    assert pool.allocated == 2
+    assert pool.live_count == 2
+
+    released = pool.release_tree(root)
+    assert released == 2
+    assert pool.free_count == 2
+    assert pool.live_count == 0
+
+    reused = pool.acquire(task)
+    assert pool.reused == 1
+    assert reused.metrics.inclusive_time == 0.0
+    assert not reused.children
+    assert reused.parent is None
+
+
+def test_pool_bounded_by_peak_not_total(reg):
+    """The Section V-B property: memory tracks concurrency, not task count."""
+    pool = NodePool()
+    task = reg.register("task", RegionType.TASK)
+    for _ in range(100):
+        node = pool.acquire(task)
+        pool.release_tree(node)
+    assert pool.allocated == 1
+    assert pool.reused == 99
+
+
+def test_pool_stats_dict(reg):
+    pool = NodePool()
+    node = pool.acquire(reg.register("t", RegionType.TASK))
+    pool.release_tree(node)
+    assert pool.stats() == {"allocated": 1, "reused": 0, "released": 1, "free": 1}
+
+
+# ----------------------------------------------------------------------
+# ClassicProfiler
+# ----------------------------------------------------------------------
+def test_fig1_translation(reg):
+    """Fig. 1: the event stream translates into main -> {foo, bar}."""
+    main = reg.register("main", RegionType.FUNCTION)
+    foo = reg.register("foo", RegionType.FUNCTION)
+    bar = reg.register("bar", RegionType.FUNCTION)
+    impl = implicit_instance_id(0)
+
+    profiler = ClassicProfiler(main)
+    root = profiler.feed(
+        [
+            EnterEvent(0, 0.0, impl, main),
+            EnterEvent(0, 1.0, impl, foo),
+            ExitEvent(0, 3.0, impl, foo),
+            EnterEvent(0, 4.0, impl, bar),
+            ExitEvent(0, 6.0, impl, bar),
+            ExitEvent(0, 7.0, impl, main),
+        ]
+    )
+    assert root.inclusive_time == 7.0
+    assert root.find_child(foo).inclusive_time == 2.0
+    assert root.find_child(bar).inclusive_time == 2.0
+    assert root.exclusive_time == 3.0
+    assert root.visits == 1
+
+
+def test_repeated_calls_accumulate_on_same_node(reg):
+    main = reg.register("main", RegionType.FUNCTION)
+    foo = reg.register("foo", RegionType.FUNCTION)
+    profiler = ClassicProfiler(main)
+    profiler.enter(main, 0.0)
+    for t in range(3):
+        profiler.enter(foo, float(10 * t + 1))
+        profiler.exit(foo, float(10 * t + 3))
+    profiler.exit(main, 30.0)
+    root = profiler.finish()
+    node = root.find_child(foo)
+    assert node.visits == 3
+    assert node.inclusive_time == 6.0
+    assert node.metrics.durations.mean == 2.0
+    assert len(root.children) == 1
+
+
+def test_recursion_builds_chain_not_cycle(reg):
+    main = reg.register("main", RegionType.FUNCTION)
+    f = reg.register("f", RegionType.FUNCTION)
+    profiler = ClassicProfiler(main)
+    profiler.enter(main, 0.0)
+    profiler.enter(f, 1.0)
+    profiler.enter(f, 2.0)
+    profiler.exit(f, 3.0)
+    profiler.exit(f, 4.0)
+    profiler.exit(main, 5.0)
+    root = profiler.finish()
+    outer = root.find_child(f)
+    inner = outer.find_child(f)
+    assert outer is not inner
+    assert outer.inclusive_time == 3.0
+    assert inner.inclusive_time == 1.0
+
+
+def test_mismatched_exit_raises(reg):
+    main = reg.register("main", RegionType.FUNCTION)
+    foo = reg.register("foo", RegionType.FUNCTION)
+    profiler = ClassicProfiler(main)
+    profiler.enter(main, 0.0)
+    profiler.enter(foo, 1.0)
+    with pytest.raises(EventOrderError, match="does not match"):
+        profiler.exit(main, 2.0)
+
+
+def test_exit_on_empty_stack_raises(reg):
+    profiler = ClassicProfiler(reg.register("main", RegionType.FUNCTION))
+    with pytest.raises(EventOrderError, match="no open region"):
+        profiler.exit(reg.register("foo", RegionType.FUNCTION), 1.0)
+
+
+def test_finish_with_open_regions_raises(reg):
+    main = reg.register("main", RegionType.FUNCTION)
+    profiler = ClassicProfiler(main)
+    profiler.enter(main, 0.0)
+    with pytest.raises(EventOrderError, match="open region"):
+        profiler.finish()
+
+
+def test_task_events_rejected_by_classic_feed(reg):
+    """Section IV-B1: the classic algorithm cannot handle task streams."""
+    main = reg.register("main", RegionType.FUNCTION)
+    task = reg.register("task", RegionType.TASK)
+    profiler = ClassicProfiler(main)
+    with pytest.raises(EventOrderError, match="cannot process"):
+        profiler.feed([TaskBeginEvent(0, 0.0, 1, task, instance=1)])
+
+
+def test_parameter_splits_nodes(reg):
+    main = reg.register("main", RegionType.FUNCTION)
+    f = reg.register("f", RegionType.FUNCTION)
+    profiler = ClassicProfiler(main)
+    profiler.enter(main, 0.0)
+    profiler.enter(f, 1.0, parameter=("n", 1))
+    profiler.exit(f, 2.0)
+    profiler.enter(f, 3.0, parameter=("n", 2))
+    profiler.exit(f, 5.0)
+    profiler.exit(main, 6.0)
+    root = profiler.finish()
+    assert root.find_child(f, ("n", 1)).inclusive_time == 1.0
+    assert root.find_child(f, ("n", 2)).inclusive_time == 2.0

@@ -1,0 +1,267 @@
+"""Runtime basics: parallel regions, compute, spawn/taskwait, results."""
+
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.runtime import (
+    OpenMPRuntime,
+    RuntimeConfig,
+    TaskState,
+    ZERO_COST,
+    run_parallel,
+)
+
+
+def quiet_config(**kw):
+    kw.setdefault("instrument", False)
+    kw.setdefault("costs", ZERO_COST)
+    return RuntimeConfig(**kw)
+
+
+def test_plain_function_body_runs_on_every_thread():
+    def body(ctx):
+        return ctx.thread_id * 10
+
+    result = run_parallel(body, config=quiet_config(n_threads=3))
+    assert result.return_values == [0, 10, 20]
+    assert result.completed_tasks == 0
+
+
+def test_compute_advances_virtual_time():
+    def body(ctx):
+        yield ctx.compute(5.0)
+        yield ctx.compute(2.5)
+
+    result = run_parallel(body, config=quiet_config(n_threads=1))
+    assert result.duration == pytest.approx(7.5)
+    assert result.thread_stats[0]["work"] == pytest.approx(7.5)
+
+
+def test_compute_rejects_negative():
+    def body(ctx):
+        yield ctx.compute(-1.0)
+
+    with pytest.raises(ValueError):
+        run_parallel(body, config=quiet_config(n_threads=1))
+
+
+def test_spawn_and_taskwait_returns_result():
+    def child(ctx, x):
+        yield ctx.compute(1.0)
+        return x * x
+
+    def body(ctx):
+        handle = yield ctx.spawn(child, 7)
+        yield ctx.taskwait()
+        return handle.result
+
+    result = run_parallel(body, config=quiet_config(n_threads=1))
+    assert result.return_values == [49]
+    assert result.completed_tasks == 1
+
+
+def test_handle_result_before_completion_raises():
+    def child(ctx):
+        yield ctx.compute(1.0)
+
+    def body(ctx):
+        handle = yield ctx.spawn(child)
+        # No taskwait: reading the result now must fail.
+        return handle.result
+
+    with pytest.raises(RuntimeError, match="before"):
+        run_parallel(body, config=quiet_config(n_threads=1))
+
+
+def test_tasks_complete_at_implicit_end_barrier():
+    seen = []
+
+    def child(ctx, i):
+        yield ctx.compute(1.0)
+        seen.append(i)
+
+    def body(ctx):
+        if (yield ctx.single()):
+            for i in range(5):
+                yield ctx.spawn(child, i)
+        # no explicit taskwait/barrier: the end-of-region barrier catches them
+
+    result = run_parallel(body, config=quiet_config(n_threads=2))
+    assert sorted(seen) == [0, 1, 2, 3, 4]
+    assert result.completed_tasks == 5
+
+
+def test_single_claimed_by_exactly_one_thread():
+    winners = []
+
+    def body(ctx):
+        if (yield ctx.single()):
+            winners.append(ctx.thread_id)
+
+    run_parallel(body, config=quiet_config(n_threads=4))
+    assert len(winners) == 1
+
+
+def test_single_in_loop_claims_each_occurrence():
+    wins = []
+
+    def body(ctx):
+        for i in range(3):
+            if (yield ctx.single()):
+                wins.append(i)
+            yield ctx.barrier()
+
+    run_parallel(body, config=quiet_config(n_threads=2))
+    assert wins == [0, 1, 2]
+
+
+def test_barrier_synchronizes_threads():
+    def body(ctx):
+        # thread 0 works before the barrier, thread 1 after; both must
+        # leave the barrier at the max of the arrivals.
+        if ctx.thread_id == 0:
+            yield ctx.compute(10.0)
+        yield ctx.barrier()
+        return ctx._runtime.env.now  # time at barrier exit
+
+    result = run_parallel(body, config=quiet_config(n_threads=2))
+    assert result.return_values[0] == pytest.approx(result.return_values[1])
+    assert result.return_values[0] >= 10.0
+
+
+def test_barrier_inside_explicit_task_rejected():
+    def child(ctx):
+        yield ctx.barrier()
+
+    def body(ctx):
+        yield ctx.spawn(child)
+        yield ctx.taskwait()
+
+    with pytest.raises(RuntimeModelError, match="forbids barriers"):
+        run_parallel(body, config=quiet_config(n_threads=1))
+
+
+def test_single_inside_explicit_task_rejected():
+    def child(ctx):
+        yield ctx.single()
+
+    def body(ctx):
+        yield ctx.spawn(child)
+        yield ctx.taskwait()
+
+    with pytest.raises(RuntimeModelError, match="single construct"):
+        run_parallel(body, config=quiet_config(n_threads=1))
+
+
+def test_unknown_directive_rejected():
+    def body(ctx):
+        yield "nonsense"
+
+    with pytest.raises(RuntimeModelError, match="expected a runtime directive"):
+        run_parallel(body, config=quiet_config(n_threads=1))
+
+
+def test_runtime_single_use():
+    def body(ctx):
+        return None
+
+    rt = OpenMPRuntime(quiet_config(n_threads=1))
+    rt.parallel(body)
+    with pytest.raises(RuntimeModelError, match="already executed"):
+        rt.parallel(body)
+
+
+def test_nested_task_spawning():
+    def grandchild(ctx):
+        yield ctx.compute(1.0)
+        return "leaf"
+
+    def child(ctx):
+        handle = yield ctx.spawn(grandchild)
+        yield ctx.taskwait()
+        return handle.result + "!"
+
+    def body(ctx):
+        if not (yield ctx.single()):
+            return None
+        handle = yield ctx.spawn(child)
+        yield ctx.taskwait()
+        return handle.result
+
+    result = run_parallel(body, config=quiet_config(n_threads=2))
+    assert "leaf!" in result.return_values
+    assert result.completed_tasks == 2
+
+
+def test_yield_from_inlines_serial_recursion():
+    """Cut-off style: `yield from` runs the callee inline, no task."""
+
+    def work(ctx, n):
+        if n == 0:
+            yield ctx.compute(1.0)
+            return 1
+        sub = yield from work(ctx, n - 1)
+        return sub + 1
+
+    def body(ctx):
+        value = yield from work(ctx, 4)
+        return value
+
+    result = run_parallel(body, config=quiet_config(n_threads=1))
+    assert result.return_values == [5]
+    assert result.completed_tasks == 0  # no explicit tasks at all
+
+
+def test_determinism_same_seed_same_everything():
+    def child(ctx, n):
+        if n == 0:
+            yield ctx.compute(1.0)
+            return 1
+        total = 0
+        handles = []
+        for _ in range(2):
+            handles.append((yield ctx.spawn(child, n - 1)))
+        yield ctx.taskwait()
+        for handle in handles:
+            total += handle.result
+        return total
+
+    def body(ctx):
+        if (yield ctx.single()):
+            root = yield ctx.spawn(child, 5)
+            yield ctx.taskwait()
+            return root.result
+        return None
+
+    config = RuntimeConfig(n_threads=4, seed=42, instrument=False)
+    a = run_parallel(body, config=config)
+    b = run_parallel(body, config=config)
+    assert a.duration == b.duration
+    assert a.thread_stats == b.thread_stats
+    assert a.pool_stats == b.pool_stats
+
+
+def test_different_seed_may_change_schedule_but_not_results():
+    def child(ctx, n):
+        if n == 0:
+            yield ctx.compute(1.0)
+            return 1
+        handles = []
+        for _ in range(2):
+            handles.append((yield ctx.spawn(child, n - 1)))
+        yield ctx.taskwait()
+        return sum(h.result for h in handles)
+
+    def body(ctx):
+        if (yield ctx.single()):
+            root = yield ctx.spawn(child, 6)
+            yield ctx.taskwait()
+            return root.result
+        return None
+
+    values = set()
+    for seed in range(4):
+        config = RuntimeConfig(n_threads=4, seed=seed, instrument=False)
+        result = run_parallel(body, config=config)
+        values.add(result.return_values[0])
+    assert values == {64}

@@ -1,0 +1,142 @@
+"""OpenMP `if` and `final` clauses: undeferred / included task execution."""
+
+import pytest
+
+from repro.runtime import RuntimeConfig, ZERO_COST
+from repro.runtime.runtime import run_parallel
+
+
+def quiet(**kw):
+    kw.setdefault("costs", ZERO_COST)
+    return RuntimeConfig(**kw)
+
+
+def leaf(ctx, x):
+    yield ctx.compute(1.0)
+    return x * 2
+
+
+def test_if_false_executes_immediately():
+    order = []
+
+    def body(ctx):
+        order.append("before")
+        handle = yield ctx.spawn(leaf, 21, if_clause=False)
+        order.append("after")
+        # No taskwait: an undeferred task is guaranteed complete already.
+        return handle.result
+
+    result = run_parallel(body, config=quiet(n_threads=1, instrument=True))
+    assert result.return_values == [42]
+    assert order == ["before", "after"]
+    assert result.completed_tasks == 1
+
+
+def test_final_task_subtree_runs_inline():
+    def node(ctx, depth):
+        if depth == 0:
+            yield ctx.compute(1.0)
+            return 1
+        # Children spawned WITHOUT final -- they inherit included-ness
+        # from the final ancestor.
+        a = yield ctx.spawn(node, depth - 1)
+        b = yield ctx.spawn(node, depth - 1)
+        yield ctx.taskwait()
+        return a.result + b.result
+
+    def body(ctx):
+        if not (yield ctx.single()):
+            return None
+        handle = yield ctx.spawn(node, 4, final=True)
+        yield ctx.taskwait()
+        return handle.result
+
+    result = run_parallel(body, config=quiet(n_threads=4, instrument=True))
+    assert [v for v in result.return_values if v is not None] == [16]
+    # Every instance executed; none were queued or stolen.
+    assert result.completed_tasks == 2 ** 5 - 1
+    assert result.pool_stats["pushes"] == 0
+    assert result.tasks_stolen == 0
+
+
+def test_included_instances_still_profiled():
+    def body(ctx):
+        yield ctx.spawn(leaf, 1, if_clause=False)
+        yield ctx.spawn(leaf, 2, if_clause=False)
+        yield ctx.spawn(leaf, 3)
+        yield ctx.taskwait()
+
+    result = run_parallel(body, config=quiet(n_threads=1, instrument=True))
+    tree = result.profile.task_tree("leaf")
+    assert tree.metrics.durations.count == 3  # included + deferred alike
+
+
+def test_included_inside_explicit_parent_resumes_parent_timing():
+    """Parent's time excludes the included child's execution (the child is
+    a separate instance), and resumes correctly afterwards."""
+
+    def child(ctx):
+        yield ctx.compute(10.0)
+
+    def parent(ctx):
+        yield ctx.compute(1.0)
+        yield ctx.spawn(child, if_clause=False)
+        yield ctx.compute(2.0)
+
+    def body(ctx):
+        yield ctx.spawn(parent)
+        yield ctx.taskwait()
+
+    result = run_parallel(body, config=quiet(n_threads=1, instrument=True))
+    profile = result.profile
+    parent_tree = profile.task_tree("parent")
+    child_tree = profile.task_tree("child")
+    assert child_tree.metrics.durations.total == pytest.approx(10.0)
+    # parent: 1 + 2 compute + the create bracketing, but NOT the child's 10.
+    assert parent_tree.metrics.durations.total == pytest.approx(3.0)
+
+
+def test_final_cutoff_equivalent_results():
+    """Using final as the cut-off mechanism (the OpenMP-native way) gives
+    the same functional result as no cut-off."""
+
+    def fib(ctx, n, depth, final_at):
+        if n < 2:
+            yield ctx.compute(0.5)
+            return n
+        make_final = depth + 1 == final_at
+        a = yield ctx.spawn(fib, n - 1, depth + 1, final_at, final=make_final)
+        b = yield ctx.spawn(fib, n - 2, depth + 1, final_at, final=make_final)
+        yield ctx.taskwait()
+        return a.result + b.result
+
+    def body(ctx):
+        if (yield ctx.single()):
+            root = yield ctx.spawn(fib, 10, 0, 3)
+            yield ctx.taskwait()
+            return root.result
+        return None
+
+    result = run_parallel(body, config=quiet(n_threads=4, instrument=True))
+    values = [v for v in result.return_values if v is not None]
+    assert values == [55]
+    # Far fewer queue operations than the 177 instances executed.
+    assert result.pool_stats["pushes"] < 40
+    assert result.completed_tasks == 177
+
+
+def test_included_counts_in_concurrency_tracking():
+    def child(ctx):
+        yield ctx.compute(1.0)
+
+    def parent(ctx):
+        yield ctx.spawn(child, if_clause=False)
+        yield ctx.compute(1.0)
+
+    def body(ctx):
+        yield ctx.spawn(parent)
+        yield ctx.taskwait()
+
+    result = run_parallel(body, config=quiet(n_threads=1, instrument=True))
+    # During the child's inline execution, two instance trees were live.
+    assert result.profile.max_concurrent_tasks_per_thread() == 2

@@ -1,0 +1,314 @@
+"""Scheduling semantics: queues, stealing, TSC, suspension, untied tasks."""
+
+import pytest
+
+from repro.runtime import (
+    OpenMPRuntime,
+    RuntimeConfig,
+    ZERO_COST,
+)
+from repro.runtime.queues import TaskPool
+from repro.runtime.runtime import run_parallel
+from repro.runtime.task import TaskInstance
+from repro.runtime.tsc import eligible_index, may_start
+from repro.events.regions import RegionRegistry, RegionType
+from repro.sim.rng import DeterministicRNG
+
+
+def quiet_config(**kw):
+    kw.setdefault("instrument", False)
+    kw.setdefault("costs", ZERO_COST)
+    return RuntimeConfig(**kw)
+
+
+# ----------------------------------------------------------------------
+# TaskPool unit tests
+# ----------------------------------------------------------------------
+def make_task(reg, instance_id, parent=None, tied=True):
+    region = reg.register("t", RegionType.TASK)
+    return TaskInstance(instance_id, region, None, (), {}, parent, tied=tied)
+
+
+def test_pool_lifo_pops_newest():
+    reg = RegionRegistry()
+    pool = TaskPool(1, "lifo", "sequential", DeterministicRNG(0))
+    a, b = make_task(reg, 1), make_task(reg, 2)
+    pool.push(0, a)
+    pool.push(0, b)
+    assert pool.pop_local(0, []) is b
+    assert pool.pop_local(0, []) is a
+    assert pool.pop_local(0, []) is None
+
+
+def test_pool_fifo_pops_oldest():
+    reg = RegionRegistry()
+    pool = TaskPool(1, "fifo", "sequential", DeterministicRNG(0))
+    a, b = make_task(reg, 1), make_task(reg, 2)
+    pool.push(0, a)
+    pool.push(0, b)
+    assert pool.pop_local(0, []) is a
+
+
+def test_steal_takes_oldest_from_victim():
+    reg = RegionRegistry()
+    pool = TaskPool(2, "lifo", "sequential", DeterministicRNG(0))
+    a, b = make_task(reg, 1), make_task(reg, 2)
+    pool.push(0, a)
+    pool.push(0, b)
+    stolen = pool.steal(1, [])
+    assert stolen is a  # oldest
+    assert pool.stats()["steals"] == 1
+
+
+def test_steal_with_no_victims_fails():
+    pool = TaskPool(2, "lifo", "random", DeterministicRNG(0))
+    assert pool.steal(0, []) is None
+
+
+# ----------------------------------------------------------------------
+# Task Scheduling Constraint
+# ----------------------------------------------------------------------
+def test_tsc_descendant_rules():
+    reg = RegionRegistry()
+    root = make_task(reg, 1)
+    child = make_task(reg, 2, parent=root)
+    grandchild = make_task(reg, 3, parent=child)
+    sibling = make_task(reg, 4, parent=root)
+
+    assert may_start(grandchild, [root])
+    assert may_start(grandchild, [root, child])
+    assert not may_start(sibling, [child])
+    assert may_start(sibling, [root])
+    assert may_start(sibling, [])
+
+
+def test_tsc_untied_candidate_unconstrained():
+    reg = RegionRegistry()
+    root = make_task(reg, 1)
+    unrelated = make_task(reg, 2, tied=False)
+    assert may_start(unrelated, [root])
+
+
+def test_eligible_index_scans_requested_direction():
+    reg = RegionRegistry()
+    blocker = make_task(reg, 1)
+    eligible = make_task(reg, 2, parent=blocker)
+    other = make_task(reg, 3)  # not a descendant of blocker
+    queue = [other, eligible]
+    assert eligible_index(queue, [blocker], from_end=True) == 1
+    assert eligible_index(queue, [blocker], from_end=False) == 1
+    assert eligible_index([other], [blocker], from_end=True) == -1
+
+
+def test_pool_pop_respects_tsc():
+    reg = RegionRegistry()
+    pool = TaskPool(1, "lifo", "sequential", DeterministicRNG(0))
+    blocker = make_task(reg, 1)
+    foreign = make_task(reg, 2)
+    descendant = make_task(reg, 3, parent=blocker)
+    pool.push(0, foreign)
+    pool.push(0, descendant)
+    # With blocker suspended, only the descendant is eligible.
+    assert pool.pop_local(0, [blocker]) is descendant
+    assert pool.pop_local(0, [blocker]) is None
+    # Once unblocked, the foreign task can go.
+    assert pool.pop_local(0, []) is foreign
+
+
+def test_pool_pop_without_tsc_ignores_suspension():
+    reg = RegionRegistry()
+    pool = TaskPool(1, "lifo", "sequential", DeterministicRNG(0), tsc_enabled=False)
+    blocker = make_task(reg, 1)
+    foreign = make_task(reg, 2)
+    pool.push(0, foreign)
+    assert pool.pop_local(0, [blocker]) is foreign
+
+
+# ----------------------------------------------------------------------
+# End-to-end scheduling behaviour
+# ----------------------------------------------------------------------
+def test_work_is_shared_across_threads():
+    executed_by = []
+
+    def child(ctx, i):
+        yield ctx.compute(10.0)
+        executed_by.append(ctx.thread_id)
+
+    def body(ctx):
+        if (yield ctx.single()):
+            for i in range(8):
+                yield ctx.spawn(child, i)
+
+    result = run_parallel(body, config=quiet_config(n_threads=4, seed=3))
+    assert len(executed_by) == 8
+    # With zero-cost management and equal task sizes, all four threads
+    # should end up executing some tasks via stealing.
+    assert len(set(executed_by)) >= 2
+    assert result.tasks_stolen > 0
+
+
+def test_no_steal_keeps_tasks_on_creator():
+    executed_by = []
+
+    def child(ctx, i):
+        yield ctx.compute(10.0)
+        executed_by.append(ctx.thread_id)
+
+    def body(ctx):
+        if (yield ctx.single()):
+            creator = ctx.thread_id
+            for i in range(6):
+                yield ctx.spawn(child, i)
+            yield ctx.taskwait()
+            return creator
+        return None
+
+    result = run_parallel(
+        body, config=quiet_config(n_threads=4, steal=False, seed=0)
+    )
+    creator = next(v for v in result.return_values if v is not None)
+    assert set(executed_by) == {creator}
+    assert result.tasks_stolen == 0
+
+
+def test_parallel_speedup_with_threads():
+    """Equal independent tasks: wall time shrinks with team size."""
+
+    def child(ctx, i):
+        yield ctx.compute(100.0)
+
+    def body(ctx):
+        if (yield ctx.single()):
+            for i in range(16):
+                yield ctx.spawn(child, i)
+
+    durations = {}
+    for n in (1, 2, 4):
+        result = run_parallel(body, config=quiet_config(n_threads=n, seed=1))
+        durations[n] = result.duration
+    assert durations[2] < durations[1] * 0.75
+    assert durations[4] < durations[2] * 0.75
+
+
+def test_suspended_tied_task_resumes_on_owner_thread():
+    fragments = []
+
+    def grandchild(ctx):
+        yield ctx.compute(5.0)
+
+    def child(ctx):
+        fragments.append(("start", ctx.thread_id))
+        yield ctx.spawn(grandchild)
+        yield ctx.taskwait()
+        fragments.append(("resume", ctx.thread_id))
+
+    def body(ctx):
+        if (yield ctx.single()):
+            yield ctx.spawn(child)
+
+    run_parallel(body, config=quiet_config(n_threads=4, seed=7))
+    start = dict(fragments[:1])
+    assert fragments[0][0] == "start"
+    assert fragments[-1][0] == "resume"
+    assert fragments[0][1] == fragments[-1][1]  # tied: same thread
+
+
+def test_untied_downgraded_by_default():
+    def child(ctx):
+        yield ctx.compute(1.0)
+
+    def body(ctx):
+        yield ctx.spawn(child, tied=False)
+        yield ctx.taskwait()
+
+    result = run_parallel(body, config=quiet_config(n_threads=1))
+    assert result.downgraded_untied == 1
+
+
+def test_untied_allowed_when_configured():
+    def child(ctx):
+        yield ctx.compute(1.0)
+
+    def body(ctx):
+        yield ctx.spawn(child, tied=False)
+        yield ctx.taskwait()
+
+    result = run_parallel(
+        body, config=quiet_config(n_threads=1, allow_untied=True)
+    )
+    assert result.downgraded_untied == 0
+
+
+def test_deep_taskwait_chain_interleaves_and_completes():
+    """Recursive spawn+taskwait exercises suspension under TSC heavily."""
+
+    def node(ctx, depth):
+        if depth == 0:
+            yield ctx.compute(1.0)
+            return 1
+        left = yield ctx.spawn(node, depth - 1)
+        right = yield ctx.spawn(node, depth - 1)
+        yield ctx.taskwait()
+        return left.result + right.result
+
+    def body(ctx):
+        if (yield ctx.single()):
+            root = yield ctx.spawn(node, 6)
+            yield ctx.taskwait()
+            return root.result
+        return None
+
+    for n_threads in (1, 2, 4, 8):
+        result = run_parallel(body, config=quiet_config(n_threads=n_threads, seed=5))
+        values = [v for v in result.return_values if v is not None]
+        assert values == [64]
+        assert result.completed_tasks == 2 ** 7 - 1
+
+
+def test_critical_serializes_with_waiting_time():
+    order = []
+
+    def child(ctx, i):
+        yield ctx.critical("zone")
+        order.append(("in", i))
+        yield ctx.compute(10.0)
+        order.append(("out", i))
+        yield ctx.end_critical("zone")
+
+    def body(ctx):
+        if (yield ctx.single()):
+            for i in range(4):
+                yield ctx.spawn(child, i)
+
+    result = run_parallel(body, config=quiet_config(n_threads=4, seed=2))
+    # No two tasks inside the critical zone simultaneously.
+    inside = 0
+    for kind, _ in order:
+        inside += 1 if kind == "in" else -1
+        assert 0 <= inside <= 1
+    total_wait = sum(s["critical_wait"] for s in result.thread_stats)
+    assert total_wait > 0.0
+
+
+def test_breadth_first_vs_work_first_both_correct():
+    def node(ctx, depth):
+        if depth == 0:
+            yield ctx.compute(1.0)
+            return 1
+        a = yield ctx.spawn(node, depth - 1)
+        b = yield ctx.spawn(node, depth - 1)
+        yield ctx.taskwait()
+        return a.result + b.result
+
+    def body(ctx):
+        if (yield ctx.single()):
+            root = yield ctx.spawn(node, 5)
+            yield ctx.taskwait()
+            return root.result
+        return None
+
+    for policy in ("lifo", "fifo"):
+        result = run_parallel(
+            body, config=quiet_config(n_threads=2, queue_policy=policy, seed=1)
+        )
+        assert [v for v in result.return_values if v is not None] == [32]

@@ -1,0 +1,129 @@
+"""OpenMP 3.1 taskyield: queued tasks run before the yielder continues."""
+
+import pytest
+
+from repro.runtime import RuntimeConfig, ZERO_COST
+from repro.runtime.runtime import run_parallel
+
+
+def quiet(**kw):
+    kw.setdefault("costs", ZERO_COST)
+    kw.setdefault("instrument", False)
+    return RuntimeConfig(**kw)
+
+
+def test_taskyield_lets_queued_task_run_first():
+    order = []
+
+    def other(ctx):
+        yield ctx.compute(1.0)
+        order.append("other")
+
+    def yielder(ctx):
+        order.append("yielder-start")
+        yield ctx.spawn(other)
+        yield ctx.taskyield()
+        order.append("yielder-end")
+
+    def body(ctx):
+        yield ctx.spawn(yielder)
+        yield ctx.taskwait()
+
+    result = run_parallel(body, config=quiet(n_threads=1))
+    assert order == ["yielder-start", "other", "yielder-end"]
+    assert result.completed_tasks == 2
+
+
+def test_taskyield_noop_when_nothing_queued():
+    order = []
+
+    def lone(ctx):
+        order.append("start")
+        yield ctx.taskyield()
+        order.append("end")
+
+    def body(ctx):
+        yield ctx.spawn(lone)
+        yield ctx.taskwait()
+
+    run_parallel(body, config=quiet(n_threads=1))
+    assert order == ["start", "end"]
+
+
+def test_taskyield_noop_on_implicit_task():
+    def body(ctx):
+        yield ctx.taskyield()
+        return "fine"
+
+    result = run_parallel(body, config=quiet(n_threads=2))
+    assert result.return_values == ["fine", "fine"]
+
+
+def test_taskyield_resumes_on_same_thread_when_tied():
+    threads_seen = []
+
+    def filler(ctx, i):
+        yield ctx.compute(5.0)
+
+    def yielder(ctx):
+        threads_seen.append(ctx.thread_id)
+        yield ctx.taskyield()
+        threads_seen.append(ctx.thread_id)
+
+    def body(ctx):
+        if (yield ctx.single()):
+            yield ctx.spawn(yielder)
+            for i in range(6):
+                yield ctx.spawn(filler, i)
+
+    run_parallel(body, config=quiet(n_threads=4, seed=2))
+    assert len(threads_seen) == 2
+    assert threads_seen[0] == threads_seen[1]  # tied: same thread
+
+
+def test_taskyield_profiled_as_suspension():
+    """The yield gap is excluded from the yielding task's runtime and the
+    taskyield region appears in its tree."""
+
+    def other(ctx):
+        yield ctx.compute(50.0)
+
+    def yielder(ctx):
+        yield ctx.compute(1.0)
+        yield ctx.spawn(other)
+        yield ctx.taskyield()
+        yield ctx.compute(2.0)
+
+    def body(ctx):
+        yield ctx.spawn(yielder)
+        yield ctx.taskwait()
+
+    config = RuntimeConfig(n_threads=1, instrument=True, costs=ZERO_COST)
+    result = run_parallel(body, config=config)
+    profile = result.profile
+    ytree = profile.task_tree("yielder")
+    # 1 + 2 us of own compute; the 50 us spent in `other` is excluded.
+    assert ytree.metrics.durations.total == pytest.approx(3.0)
+    assert ytree.find_one("taskyield").visits == 1
+    assert profile.task_tree("other").metrics.durations.total == pytest.approx(50.0)
+
+
+def test_many_yielders_all_complete():
+    def worker(ctx, i):
+        yield ctx.compute(1.0)
+        yield ctx.taskyield()
+        yield ctx.compute(1.0)
+        return i
+
+    def body(ctx):
+        if not (yield ctx.single()):
+            return None
+        handles = []
+        for i in range(20):
+            handles.append((yield ctx.spawn(worker, i)))
+        yield ctx.taskwait()
+        return sorted(h.result for h in handles)
+
+    result = run_parallel(body, config=quiet(n_threads=4, seed=1))
+    values = [v for v in result.return_values if v is not None]
+    assert values == [list(range(20))]

@@ -1,0 +1,106 @@
+"""User-defined measurement regions (Score-P user API analogue)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.runtime import RuntimeConfig, ZERO_COST
+from repro.runtime.runtime import run_parallel
+
+
+def config(**kw):
+    kw.setdefault("costs", ZERO_COST)
+    kw.setdefault("instrument", True)
+    return RuntimeConfig(**kw)
+
+
+def test_user_region_structures_the_profile():
+    def body(ctx):
+        yield ctx.begin_region("setup")
+        yield ctx.compute(3.0)
+        yield ctx.end_region("setup")
+        yield ctx.begin_region("solve")
+        yield ctx.compute(7.0)
+        yield ctx.end_region("solve")
+
+    result = run_parallel(body, config=config(n_threads=1))
+    main = result.profile.main_tree(0)
+    assert main.find_one("setup").inclusive_time == pytest.approx(3.0)
+    assert main.find_one("solve").inclusive_time == pytest.approx(7.0)
+
+
+def test_user_regions_nest():
+    def body(ctx):
+        yield ctx.begin_region("outer")
+        yield ctx.begin_region("inner")
+        yield ctx.compute(2.0)
+        yield ctx.end_region("inner")
+        yield ctx.compute(1.0)
+        yield ctx.end_region("outer")
+
+    result = run_parallel(body, config=config(n_threads=1))
+    outer = result.profile.main_tree(0).find_one("outer")
+    assert outer.inclusive_time == pytest.approx(3.0)
+    assert outer.exclusive_time == pytest.approx(1.0)
+    assert outer.find_one("inner").inclusive_time == pytest.approx(2.0)
+
+
+def test_user_region_inside_task_lands_in_task_tree():
+    def child(ctx, n):
+        yield ctx.begin_region("phase", parameter=("n", n))
+        yield ctx.compute(float(n))
+        yield ctx.end_region("phase")
+
+    def body(ctx):
+        for n in (1, 2):
+            yield ctx.spawn(child, n)
+        yield ctx.taskwait()
+
+    result = run_parallel(body, config=config(n_threads=1))
+    tree = result.profile.task_tree("child")
+    # parameter instrumentation split the phase node by value
+    names = {node.display_name() for node in tree.walk()}
+    assert "phase[n=1]" in names
+    assert "phase[n=2]" in names
+
+
+def test_user_region_survives_suspension():
+    """An open user region pauses/resumes with the task, like any region."""
+
+    def grandchild(ctx):
+        yield ctx.compute(50.0)
+
+    def child(ctx):
+        yield ctx.begin_region("span")
+        yield ctx.compute(1.0)
+        yield ctx.spawn(grandchild)
+        yield ctx.taskwait()  # suspend with "span" open
+        yield ctx.compute(2.0)
+        yield ctx.end_region("span")
+
+    def body(ctx):
+        yield ctx.spawn(child)
+        yield ctx.taskwait()
+
+    result = run_parallel(body, config=config(n_threads=1))
+    span = result.profile.task_tree("child").find_one("span")
+    # 1 + 2 own compute plus the nested taskwait region time; the 50 us
+    # spent suspended in the grandchild is excluded.
+    assert span.inclusive_time < 10.0
+    assert span.inclusive_time >= 3.0
+
+
+def test_mismatched_user_region_detected():
+    def body(ctx):
+        yield ctx.begin_region("a")
+        yield ctx.end_region("b")
+
+    with pytest.raises(ProfileError, match="does not match"):
+        run_parallel(body, config=config(n_threads=1))
+
+
+def test_unclosed_user_region_detected():
+    def body(ctx):
+        yield ctx.begin_region("a")
+
+    with pytest.raises(ProfileError, match="open region"):
+        run_parallel(body, config=config(n_threads=1))

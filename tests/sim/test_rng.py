@@ -1,0 +1,57 @@
+"""Unit tests for the deterministic RNG wrapper."""
+
+import pytest
+
+from repro.sim import DeterministicRNG
+from repro.sim.rng import resolve_rng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRNG(7)
+    b = DeterministicRNG(7)
+    seq_a = [a.randrange(100) for _ in range(50)]
+    seq_b = [b.randrange(100) for _ in range(50)]
+    assert seq_a == seq_b
+
+
+def test_different_seed_different_stream():
+    a = DeterministicRNG(1)
+    b = DeterministicRNG(2)
+    assert [a.randrange(1000) for _ in range(20)] != [
+        b.randrange(1000) for _ in range(20)
+    ]
+
+
+def test_choice_from_empty_raises():
+    with pytest.raises(IndexError):
+        DeterministicRNG(0).choice([])
+
+
+def test_choice_covers_all_elements():
+    rng = DeterministicRNG(3)
+    seen = {rng.choice([0, 1, 2, 3]) for _ in range(200)}
+    assert seen == {0, 1, 2, 3}
+
+
+def test_shuffled_does_not_mutate_input():
+    rng = DeterministicRNG(5)
+    original = [1, 2, 3, 4, 5]
+    out = rng.shuffled(original)
+    assert original == [1, 2, 3, 4, 5]
+    assert sorted(out) == original
+
+
+def test_spawn_derives_reproducible_children():
+    parent_a = DeterministicRNG(11)
+    parent_b = DeterministicRNG(11)
+    child_a = parent_a.spawn(3)
+    child_b = parent_b.spawn(3)
+    assert [child_a.randrange(10) for _ in range(10)] == [
+        child_b.randrange(10) for _ in range(10)
+    ]
+
+
+def test_resolve_rng_passthrough_and_default():
+    rng = DeterministicRNG(9)
+    assert resolve_rng(rng) is rng
+    assert resolve_rng(None, seed=4).seed == 4

@@ -1,0 +1,136 @@
+"""Unit tests for SimLock (FIFO contention in virtual time) and Signal."""
+
+import pytest
+
+from repro.sim import Environment, Process, Signal, SimLock, Timeout
+
+
+def test_uncontended_lock_acquires_immediately():
+    env = Environment()
+    lock = SimLock(env, "L")
+    times = []
+
+    def body():
+        yield lock.acquire()
+        times.append(env.now)
+        yield Timeout(5.0)
+        lock.release()
+
+    Process(env, body())
+    env.run()
+    assert times == [0.0]
+    assert not lock.held
+    assert lock.acquisitions == 1
+    assert lock.contended_acquisitions == 0
+
+
+def test_contended_lock_serializes_fifo():
+    env = Environment()
+    lock = SimLock(env, "L")
+    grants = []
+
+    def worker(name, arrive):
+        yield Timeout(arrive)
+        yield lock.acquire()
+        grants.append((name, env.now))
+        yield Timeout(10.0)
+        lock.release()
+
+    Process(env, worker("a", 0.0))
+    Process(env, worker("b", 1.0))
+    Process(env, worker("c", 2.0))
+    env.run()
+    assert grants == [("a", 0.0), ("b", 10.0), ("c", 20.0)]
+    assert lock.contended_acquisitions == 2
+    assert env.now == 30.0
+
+
+def test_waiter_count_visible_to_holder():
+    env = Environment()
+    lock = SimLock(env, "L")
+    observed = []
+
+    def holder():
+        yield lock.acquire()
+        yield Timeout(5.0)
+        observed.append(lock.waiter_count)
+        lock.release()
+
+    def waiter():
+        yield Timeout(1.0)
+        yield lock.acquire()
+        lock.release()
+
+    Process(env, holder())
+    Process(env, waiter())
+    Process(env, waiter())
+    env.run()
+    assert observed == [2]
+
+
+def test_release_without_hold_raises():
+    env = Environment()
+    lock = SimLock(env, "L")
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_signal_wakes_current_waiters_and_rearms():
+    env = Environment()
+    signal = Signal(env)
+    log = []
+
+    def waiter(name):
+        yield signal.wait()
+        log.append((name, "woke-1", env.now))
+        yield signal.wait()
+        log.append((name, "woke-2", env.now))
+
+    Process(env, waiter("w"))
+    env.schedule(3.0, lambda _: signal.fire())
+    env.schedule(7.0, lambda _: signal.fire())
+    env.run()
+    assert log == [("w", "woke-1", 3.0), ("w", "woke-2", 7.0)]
+    assert signal.fires == 2
+
+
+def test_signal_condition_recheck_loop():
+    """The canonical usage pattern: wait until a counter reaches a target."""
+    env = Environment()
+    signal = Signal(env)
+    state = {"count": 0}
+    done_at = []
+
+    def consumer():
+        while state["count"] < 3:
+            yield signal.wait()
+        done_at.append(env.now)
+
+    def producer():
+        for _ in range(3):
+            yield Timeout(2.0)
+            state["count"] += 1
+            signal.fire()
+
+    Process(env, consumer())
+    Process(env, producer())
+    env.run()
+    assert done_at == [6.0]
+
+
+def test_lock_fairness_under_many_waiters():
+    env = Environment()
+    lock = SimLock(env, "L")
+    order = []
+
+    def worker(index):
+        yield Timeout(float(index) * 0.001)
+        yield lock.acquire()
+        order.append(index)
+        yield Timeout(1.0)
+        lock.release()
+
+    for i in range(20):
+        Process(env, worker(i))
+    env.run()
+    assert order == list(range(20))
