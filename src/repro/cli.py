@@ -8,11 +8,14 @@ Examples::
     python -m repro overhead fib --variant stress --threads 1,2,4,8
     python -m repro advise nqueens --variant stress
     python -m repro paper table1 table3 fig15
+    python -m repro run fib --size test --fault-mode drop_events --tolerate-errors
+    python -m repro faults --apps fib --modes drop_events,clock_skew --seeds 0
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -32,6 +35,8 @@ from repro.analysis.traces import management_ratio, render_timeline
 from repro.bots.registry import list_programs
 from repro.cube.export import dumps
 from repro.cube.render import render_profile
+from repro.errors import ReproError
+from repro.faults.plan import FAULT_MODES
 
 
 def _parse_threads(text: str) -> List[int]:
@@ -41,6 +46,21 @@ def _parse_threads(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(
             f"--threads expects comma-separated integers, got {text!r}"
         ) from None
+
+
+def _parse_names(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _unknown_kernel(name: str) -> int:
+    """One-line stderr diagnostic + exit code 2 for a bad kernel name."""
+    matches = difflib.get_close_matches(name, list_programs(), n=3, cutoff=0.5)
+    hint = f"; did you mean {' or '.join(matches)}?" if matches else ""
+    print(
+        f"repro: unknown kernel {name!r}{hint} (run `repro list` to see them all)",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--trace-timeline", action="store_true",
         help="record events and print the per-thread task timeline",
+    )
+    tolerance = run_parser.add_mutually_exclusive_group()
+    tolerance.add_argument(
+        "--tolerate-errors", action="store_true",
+        help="lenient mode: salvage a partial profile when the run "
+             "crashes, hangs, or produces a corrupt trace",
+    )
+    tolerance.add_argument(
+        "--strict", action="store_true",
+        help="strict mode: validate the recorded trace and fail with the "
+             "precise error on the first inconsistency",
+    )
+    run_parser.add_argument(
+        "--fault-mode", choices=FAULT_MODES, metavar="MODE",
+        help=f"arm one fault-injection mode (one of: {', '.join(FAULT_MODES)})",
+    )
+    run_parser.add_argument(
+        "--watchdog-us", type=float, default=None, metavar="US",
+        help="abort the parallel region after this much virtual time",
     )
 
     overhead_parser = sub.add_parser("overhead", help="instrumented-vs-baseline overhead")
@@ -114,6 +153,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     paper_parser.add_argument("--size", default="small")
 
+    faults_parser = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign (graceful-degradation check)",
+    )
+    faults_parser.add_argument(
+        "--apps", type=_parse_names, default=["fib", "nqueens"],
+        help="comma-separated kernel names (default: fib,nqueens)",
+    )
+    faults_parser.add_argument(
+        "--modes", type=_parse_names, default=list(FAULT_MODES),
+        help=f"comma-separated fault modes (default: all of {','.join(FAULT_MODES)})",
+    )
+    faults_parser.add_argument(
+        "--seeds", type=_parse_threads, default=[0, 1, 2],
+        help="comma-separated seeds (default: 0,1,2)",
+    )
+    faults_parser.add_argument("--size", default="test",
+                               choices=["test", "small", "medium"])
+    faults_parser.add_argument("--threads", type=int, default=2)
+    faults_parser.add_argument(
+        "--watchdog-us", type=float, default=None, metavar="US",
+        help="virtual-time watchdog per run (default: 1e6)",
+    )
+
     return parser
 
 
@@ -126,16 +189,73 @@ def cmd_list(_args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    result = run_app(
+def _run_tolerant(args, plan) -> int:
+    from repro.faults.campaign import DEFAULT_WATCHDOG_US, run_tolerant
+
+    outcome = run_tolerant(
         args.app,
         size=args.size,
-        variant=args.variant,
         n_threads=args.threads,
-        instrument=not args.no_instrument,
         seed=args.seed,
-        record_events=args.trace_timeline,
+        plan=plan,
+        watchdog_us=(
+            args.watchdog_us if args.watchdog_us is not None else DEFAULT_WATCHDOG_US
+        ),
+        variant=args.variant,
     )
+    verified = "n/a" if outcome.verified is None else outcome.verified
+    print(f"{args.app}: status={outcome.status}, verified={verified}, "
+          f"threads={args.threads}")
+    if outcome.salvage is not None:
+        print(f"  {outcome.salvage.summary()}")
+    if outcome.error:
+        print(f"  run error: {outcome.error}")
+    if outcome.profile is not None:
+        if args.render:
+            print()
+            print(render_profile(outcome.profile, max_depth=args.max_depth))
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(dumps(outcome.profile, indent=2))
+            print(f"  profile exported to {args.json}")
+    return 0 if outcome.ok else 1
+
+
+def cmd_run(args) -> int:
+    if args.app not in list_programs():
+        return _unknown_kernel(args.app)
+    plan = None
+    if args.fault_mode:
+        from repro.faults.plan import plan_for_mode
+
+        plan = plan_for_mode(args.fault_mode, seed=args.seed)
+    if args.tolerate_errors:
+        return _run_tolerant(args, plan)
+
+    overrides = {}
+    if plan is not None:
+        overrides["fault_plan"] = plan
+    if args.watchdog_us is not None:
+        overrides["watchdog_us"] = args.watchdog_us
+    try:
+        result = run_app(
+            args.app,
+            size=args.size,
+            variant=args.variant,
+            n_threads=args.threads,
+            instrument=not args.no_instrument,
+            seed=args.seed,
+            record_events=args.trace_timeline or args.strict,
+            **overrides,
+        )
+        if args.strict and result.parallel.trace is not None:
+            from repro.events.validate import validate_program_trace
+
+            validate_program_trace(result.parallel.trace)
+    except ReproError as exc:
+        # Strict semantics: surface the precise error type and fail.
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
     print(f"{result.program_label}: kernel={result.kernel_time:.1f} us, "
           f"tasks={result.parallel.completed_tasks}, "
           f"verified={result.verified}, threads={args.threads}")
@@ -160,6 +280,9 @@ def cmd_run(args) -> int:
 
 
 def cmd_overhead(args) -> int:
+    for app in args.app:
+        if app not in list_programs():
+            return _unknown_kernel(app)
     sweep = overhead_sweep(
         args.app,
         size=args.size,
@@ -179,6 +302,8 @@ def cmd_overhead(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
+    if args.app not in list_programs():
+        return _unknown_kernel(args.app)
     result = run_app(
         args.app,
         size=args.size,
@@ -197,6 +322,8 @@ def cmd_report(args) -> int:
 
 
 def cmd_advise(args) -> int:
+    if args.app not in list_programs():
+        return _unknown_kernel(args.app)
     result = run_app(
         args.app, size=args.size, variant=args.variant,
         n_threads=args.threads, seed=0,
@@ -213,6 +340,8 @@ def cmd_advise(args) -> int:
 def cmd_scaling(args) -> int:
     from repro.analysis.scaling import scaling_study
 
+    if args.app not in list_programs():
+        return _unknown_kernel(args.app)
     study = scaling_study(
         args.app, size=args.size, variant=args.variant, threads=tuple(args.threads)
     )
@@ -312,6 +441,38 @@ def cmd_paper(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.faults.campaign import (
+        DEFAULT_WATCHDOG_US,
+        campaign_table,
+        run_campaign,
+    )
+
+    for app in args.apps:
+        if app not in list_programs():
+            return _unknown_kernel(app)
+    unknown = [mode for mode in args.modes if mode not in FAULT_MODES]
+    if unknown:
+        print(
+            f"repro: unknown fault mode(s) {', '.join(unknown)}; "
+            f"available: {', '.join(FAULT_MODES)}",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_campaign(
+        apps=tuple(args.apps),
+        modes=tuple(args.modes),
+        seeds=tuple(args.seeds),
+        size=args.size,
+        n_threads=args.threads,
+        watchdog_us=(
+            args.watchdog_us if args.watchdog_us is not None else DEFAULT_WATCHDOG_US
+        ),
+    )
+    print(campaign_table(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -321,6 +482,7 @@ COMMANDS = {
     "diff": cmd_diff,
     "advise": cmd_advise,
     "paper": cmd_paper,
+    "faults": cmd_faults,
 }
 
 

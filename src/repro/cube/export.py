@@ -86,6 +86,13 @@ def profile_to_dict(profile: Profile) -> dict:
             for per_thread in profile.task_trees
         ],
         "memory_stats": profile.memory_stats,
+        # Completeness flag: present only for salvaged (lenient-mode)
+        # profiles, so strict exports are byte-identical to before.
+        **(
+            {"salvage": profile.salvage.to_dict()}
+            if profile.salvage is not None
+            else {}
+        ),
     }
 
 
@@ -134,7 +141,12 @@ def profile_from_dict(data: dict, registry: Optional[RegionRegistry] = None) -> 
             tree = _node_from_dict(tree_data, regions)
             trees[tree.key] = tree
         task_trees.append(trees)
-    return Profile(main_trees, task_trees, data.get("memory_stats"))
+    salvage = None
+    if data.get("salvage") is not None:
+        from repro.profiling.salvage import SalvageReport
+
+        salvage = SalvageReport.from_dict(data["salvage"])
+    return Profile(main_trees, task_trees, data.get("memory_stats"), salvage=salvage)
 
 
 def dumps(profile: Profile, indent: Optional[int] = None) -> str:

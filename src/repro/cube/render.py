@@ -91,6 +91,21 @@ def render_profile(
         scope = f"thread {thread_id}"
 
     sections.append(f"=== Task-aware profile ({scope}) ===")
+    if profile.salvage is not None and profile.salvage.partial:
+        report = profile.salvage
+        sections.append(
+            "!!! PARTIAL PROFILE -- built in salvage mode: "
+            f"{report.events_dropped} event(s) dropped, "
+            f"{report.events_repaired} repaired, "
+            f"{len(report.instances_quarantined)} instance(s) quarantined"
+        )
+        if report.instances_quarantined:
+            shown = sorted(report.instances_quarantined)[:12]
+            more = len(report.instances_quarantined) - len(shown)
+            suffix = f" (+{more} more)" if more else ""
+            sections.append(f"!!! quarantined instances: {shown}{suffix}")
+        if report.run_error:
+            sections.append(f"!!! run aborted: {report.run_error}")
     if task_trees:
         sections.append("--- task trees (one per task construct) ---")
         for key in sorted(task_trees, key=lambda k: (k[0].name, str(k[1]))):

@@ -29,6 +29,31 @@ class ProcessError(SimulationError):
     """A simulated process raised an exception; the original is chained."""
 
 
+class WatchdogTimeout(SimulationError):
+    """A watchdog deadline elapsed with the simulation still busy.
+
+    Raised by :meth:`~repro.runtime.runtime.OpenMPRuntime.parallel` when
+    ``RuntimeConfig.watchdog_us`` is set and the parallel region has not
+    drained its event queue by the deadline -- the simulated analogue of a
+    measurement run killed by a batch-system time limit.  The message
+    names the pending work so a stuck task is diagnosable.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault fired (task-body exception from a FaultPlan).
+
+    Deliberately raised by the fault-injection framework inside simulated
+    task bodies; in strict mode it propagates like any application error,
+    in lenient mode the salvage pipeline converts it into a partial
+    profile plus a :class:`~repro.profiling.salvage.SalvageReport`.
+    """
+
+
+class StreamRepairError(ReproError):
+    """repair_stream() received input it cannot even partially recover."""
+
+
 class RuntimeModelError(ReproError):
     """Misuse of the simulated OpenMP runtime API.
 

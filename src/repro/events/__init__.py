@@ -30,9 +30,21 @@ from repro.events.model import (
 )
 from repro.events.stream import EventStream, ProgramTrace
 from repro.events.validate import (
+    Violation,
+    collect_nesting_violations,
+    collect_task_stream_violations,
+    collect_trace_violations,
     validate_nesting,
+    validate_program_trace,
     validate_task_stream,
 )
+from repro.events.repair import (
+    RepairLog,
+    RepairResult,
+    repair_stream,
+    repair_streams,
+)
+from repro.events.replay import replay_events, replay_trace
 
 __all__ = [
     "Region",
@@ -48,6 +60,17 @@ __all__ = [
     "TaskCreateEndEvent",
     "EventStream",
     "ProgramTrace",
+    "Violation",
     "validate_nesting",
     "validate_task_stream",
+    "validate_program_trace",
+    "collect_nesting_violations",
+    "collect_task_stream_violations",
+    "collect_trace_violations",
+    "RepairLog",
+    "RepairResult",
+    "repair_stream",
+    "repair_streams",
+    "replay_events",
+    "replay_trace",
 ]

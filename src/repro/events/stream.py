@@ -46,6 +46,16 @@ class EventStream:
             )
         self._events.append(event)
 
+    def append_unchecked(self, event: AnyEvent) -> None:
+        """Append without consistency checks.
+
+        Only the fault-injection path uses this: injected clock skew and
+        reordering deliberately violate the monotonicity that
+        :meth:`append` enforces, and the salvage pipeline repairs the
+        stream afterwards.
+        """
+        self._events.append(event)
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._events)
@@ -111,6 +121,30 @@ class ProgramTrace:
 
     def record(self, event: AnyEvent) -> None:
         self.streams[event.thread_id].append(event)
+
+    def attach_injector(self, injector) -> None:
+        """Route future :meth:`record` calls through a fault injector.
+
+        Shadows ``record`` with an instance attribute so the disarmed
+        path stays byte-identical (no per-event flag check): when no
+        injector is attached, recording costs exactly what it did before
+        this hook existed.  The injector's ``on_record(event)`` returns
+        the events to actually store -- possibly none (drop), several
+        (duplicate), or perturbed copies (clock skew) -- which are
+        appended unchecked because perturbed timestamps may legitimately
+        violate per-stream monotonicity.
+        """
+        streams = self.streams
+
+        def record(event: AnyEvent) -> None:
+            for out in injector.on_record(event):
+                streams[out.thread_id].append_unchecked(out)
+
+        self.record = record  # type: ignore[method-assign]
+
+    def detach_injector(self) -> None:
+        """Undo :meth:`attach_injector` (restores the class method)."""
+        self.__dict__.pop("record", None)
 
     def total_events(self) -> int:
         return sum(len(s) for s in self.streams)

@@ -16,13 +16,32 @@ Two validators, matching the paper's problem analysis:
     targets instances that are active (begun, not ended) or implicit; a
     thread's events between switches belong to the task it switched to;
     tied instances never resume on a different thread.
+
+Both validators exist in two modes:
+
+* **strict** (the historical behavior): raise the precise
+  :class:`~repro.errors.EventOrderError` / :class:`~repro.errors.ValidationError`
+  at the *first* violation.
+* **lenient**: walk the whole stream, collect every violation as a
+  structured :class:`Violation` record, and keep going with a best-effort
+  continuation (skip the offending event, or force-close what it left
+  open).  This is the mode production measurement must run in -- one
+  corrupt event must not cost the whole run's profile
+  (:func:`collect_nesting_violations`, :func:`collect_task_stream_violations`,
+  :func:`collect_trace_violations`).
+
+Internally each validator is written once, as a generator of violations;
+the strict entry points simply raise the first violation the generator
+yields, which preserves the historical stop-at-first-error semantics and
+exact messages.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
 
-from repro.errors import EventOrderError, ValidationError
+from repro.errors import EventOrderError, ReproError, ValidationError
 from repro.events.model import (
     AnyEvent,
     EnterEvent,
@@ -38,29 +57,70 @@ from repro.events.model import (
 from repro.events.regions import Region
 
 
-def validate_nesting(events: Iterable[AnyEvent]) -> None:
-    """Check the classic enter/exit nesting condition on one stream.
+@dataclass(frozen=True)
+class Violation:
+    """One structural violation found by a validator in lenient mode.
 
-    Raises :class:`~repro.errors.EventOrderError` on the first violation:
-    an exit without a matching enter, an exit for a region other than the
-    innermost open one, or leftover open regions at stream end.  Task
-    events are rejected outright -- the classic algorithm has no notion of
-    them (paper Section IV-B1).
+    Attributes
+    ----------
+    index:
+        Position of the offending event in its stream, or ``-1`` for
+        end-of-stream / cross-thread violations that have no single
+        offending event.
+    kind:
+        Short machine-readable code (``"exit-unmatched"``,
+        ``"begin-twice"``, ...).
+    message:
+        The exact message strict mode would raise with.
+    error:
+        The exception class strict mode would raise.
+    """
+
+    index: int
+    kind: str
+    message: str
+    error: Type[ReproError] = ValidationError
+
+    def exception(self) -> ReproError:
+        """The exception strict mode raises for this violation."""
+        return self.error(self.message)
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Classic (pre-tasking) nesting condition
+# ----------------------------------------------------------------------
+def _nesting_violations(events: Iterable[AnyEvent]) -> Iterator[Violation]:
+    """Yield every violation of the classic nesting condition.
+
+    Lenient continuation: an unmatched exit is skipped, a mismatching
+    exit closes the innermost open region anyway, task events are
+    skipped.
     """
     stack: List[Region] = []
+    index = -1
     for index, event in enumerate(events):
         if isinstance(event, EnterEvent):
             stack.append(event.region)
         elif isinstance(event, ExitEvent):
             if not stack:
-                raise EventOrderError(
-                    f"event #{index}: exit {event.region.name!r} with no open region"
+                yield Violation(
+                    index,
+                    "exit-unmatched",
+                    f"event #{index}: exit {event.region.name!r} with no open region",
+                    EventOrderError,
                 )
+                continue
             top = stack.pop()
             if top is not event.region:
-                raise EventOrderError(
+                yield Violation(
+                    index,
+                    "exit-mismatch",
                     f"event #{index}: exit {event.region.name!r} does not match "
-                    f"innermost open region {top.name!r}"
+                    f"innermost open region {top.name!r}",
+                    EventOrderError,
                 )
         elif isinstance(
             event,
@@ -72,17 +132,51 @@ def validate_nesting(events: Iterable[AnyEvent]) -> None:
                 TaskCreateEndEvent,
             ),
         ):
-            raise EventOrderError(
+            yield Violation(
+                index,
+                "task-event",
                 f"event #{index}: task event {type(event).__name__} is not "
-                "representable in the classic (pre-tasking) profiling model"
+                "representable in the classic (pre-tasking) profiling model",
+                EventOrderError,
             )
-        else:  # pragma: no cover - defensive
-            raise ValidationError(f"unknown event type {type(event).__name__}")
+        else:
+            yield Violation(
+                index,
+                "unknown-event",
+                f"unknown event type {type(event).__name__}",
+                ValidationError,
+            )
     if stack:
         names = ", ".join(r.name for r in stack)
-        raise EventOrderError(f"stream ended with open region(s): {names}")
+        yield Violation(
+            -1,
+            "open-at-end",
+            f"stream ended with open region(s): {names}",
+            EventOrderError,
+        )
 
 
+def validate_nesting(events: Iterable[AnyEvent]) -> None:
+    """Check the classic enter/exit nesting condition on one stream.
+
+    Raises :class:`~repro.errors.EventOrderError` on the first violation:
+    an exit without a matching enter, an exit for a region other than the
+    innermost open one, or leftover open regions at stream end.  Task
+    events are rejected outright -- the classic algorithm has no notion of
+    them (paper Section IV-B1).
+    """
+    for violation in _nesting_violations(events):
+        raise violation.exception()
+
+
+def collect_nesting_violations(events: Iterable[AnyEvent]) -> List[Violation]:
+    """Lenient counterpart of :func:`validate_nesting`: all violations."""
+    return list(_nesting_violations(events))
+
+
+# ----------------------------------------------------------------------
+# Task-aware consistency rules
+# ----------------------------------------------------------------------
 class _InstanceState:
     """Book-keeping for one task instance during task-aware validation."""
 
@@ -93,6 +187,157 @@ class _InstanceState:
         self.ended = False
         self.stack: List[Region] = []
         self.bound_thread: Optional[int] = None
+
+
+def _task_stream_violations(
+    events: Iterable[AnyEvent],
+    thread_id: int,
+    tied: bool,
+    known_active: Optional[Set[int]],
+    states: Dict[int, _InstanceState],
+) -> Iterator[Violation]:
+    """Yield every violation of the task-aware rules on one stream.
+
+    Mutates ``states`` in place so callers see the final per-instance
+    state.  Lenient continuation rules: offending events are skipped,
+    except that a TaskEnd with open regions force-closes them (the
+    instance still counts as ended) and an attribution mismatch is
+    re-attributed to the actually-current instance.
+    """
+    implicit = implicit_instance_id(thread_id)
+    current = implicit
+
+    def state_of(instance: int) -> _InstanceState:
+        state = states.get(instance)
+        if state is None:
+            state = _InstanceState()
+            states[instance] = state
+            if is_implicit(instance):
+                state.begun = True
+        return state
+
+    state_of(implicit)
+
+    for index, event in enumerate(events):
+        if isinstance(event, TaskBeginEvent):
+            state = state_of(event.instance)
+            if state.begun:
+                yield Violation(
+                    index,
+                    "begin-twice",
+                    f"event #{index}: instance {event.instance} begun twice",
+                )
+                continue
+            state.begun = True
+            state.bound_thread = thread_id
+            current = event.instance
+        elif isinstance(event, TaskEndEvent):
+            state = state_of(event.instance)
+            if not state.begun or state.ended:
+                yield Violation(
+                    index,
+                    "end-inactive",
+                    f"event #{index}: task_end for instance {event.instance} "
+                    "that is not active",
+                )
+                continue
+            if event.instance != current:
+                yield Violation(
+                    index,
+                    "end-not-current",
+                    f"event #{index}: task_end for instance {event.instance} "
+                    f"but current instance is {current}",
+                )
+                # Lenient continuation: pretend the missing switch happened.
+                current = event.instance
+            if state.stack:
+                names = ", ".join(r.name for r in state.stack)
+                yield Violation(
+                    index,
+                    "end-open-regions",
+                    f"event #{index}: instance {event.instance} ended with "
+                    f"open region(s): {names}",
+                )
+                state.stack.clear()
+            state.ended = True
+            current = implicit
+        elif isinstance(event, TaskSwitchEvent):
+            target = event.instance
+            state = states.get(target)
+            if is_implicit(target):
+                if target != implicit:
+                    yield Violation(
+                        index,
+                        "switch-foreign-implicit",
+                        f"event #{index}: switch to foreign implicit task {target}",
+                    )
+                    continue
+            else:
+                migrated = (
+                    not tied
+                    and known_active is not None
+                    and target in known_active
+                    and state is None
+                )
+                if migrated:
+                    state = state_of(target)
+                    state.begun = True
+                if state is None or not state.begun or state.ended:
+                    yield Violation(
+                        index,
+                        "switch-inactive",
+                        f"event #{index}: switch to inactive instance {target}",
+                    )
+                    continue
+                if tied and state.bound_thread not in (None, thread_id):
+                    yield Violation(
+                        index,
+                        "tied-migration",
+                        f"event #{index}: tied instance {target} resumed on "
+                        f"thread {thread_id}, began on {state.bound_thread}",
+                    )
+                    continue
+            current = target
+        elif isinstance(event, (EnterEvent, TaskCreateBeginEvent)):
+            if event.executing_instance != current:
+                yield Violation(
+                    index,
+                    "attribution",
+                    f"event #{index}: event attributed to instance "
+                    f"{event.executing_instance} while instance {current} is current",
+                )
+            state_of(current).stack.append(event.region)
+        elif isinstance(event, (ExitEvent, TaskCreateEndEvent)):
+            if event.executing_instance != current:
+                yield Violation(
+                    index,
+                    "attribution",
+                    f"event #{index}: event attributed to instance "
+                    f"{event.executing_instance} while instance {current} is current",
+                )
+            stack = state_of(current).stack
+            if not stack:
+                yield Violation(
+                    index,
+                    "exit-unmatched",
+                    f"event #{index}: exit {event.region.name!r} with no open "
+                    f"region in instance {current}",
+                )
+                continue
+            top = stack.pop()
+            if top is not event.region:
+                yield Violation(
+                    index,
+                    "exit-mismatch",
+                    f"event #{index}: exit {event.region.name!r} does not match "
+                    f"innermost open region {top.name!r} of instance {current}",
+                )
+        else:
+            yield Violation(
+                index,
+                "unknown-event",
+                f"unknown event type {type(event).__name__}",
+            )
 
 
 def validate_task_stream(
@@ -119,110 +364,81 @@ def validate_task_stream(
         be switched to here (untied migration).  Ignored when ``tied``.
 
     Returns the final per-instance state map so callers can make additional
-    assertions (e.g. every instance both begun and ended).
+    assertions (e.g. every instance both begun and ended).  Raises the
+    precise :class:`~repro.errors.ValidationError` at the first violation.
     """
-    implicit = implicit_instance_id(thread_id)
     states: Dict[int, _InstanceState] = {}
-    current = implicit
-
-    def state_of(instance: int) -> _InstanceState:
-        state = states.get(instance)
-        if state is None:
-            state = _InstanceState()
-            states[instance] = state
-            if is_implicit(instance):
-                state.begun = True
-        return state
-
-    state_of(implicit)
-
-    for index, event in enumerate(events):
-        if isinstance(event, TaskBeginEvent):
-            state = state_of(event.instance)
-            if state.begun:
-                raise ValidationError(
-                    f"event #{index}: instance {event.instance} begun twice"
-                )
-            state.begun = True
-            state.bound_thread = thread_id
-            current = event.instance
-        elif isinstance(event, TaskEndEvent):
-            state = state_of(event.instance)
-            if not state.begun or state.ended:
-                raise ValidationError(
-                    f"event #{index}: task_end for instance {event.instance} "
-                    "that is not active"
-                )
-            if event.instance != current:
-                raise ValidationError(
-                    f"event #{index}: task_end for instance {event.instance} "
-                    f"but current instance is {current}"
-                )
-            if state.stack:
-                names = ", ".join(r.name for r in state.stack)
-                raise ValidationError(
-                    f"event #{index}: instance {event.instance} ended with "
-                    f"open region(s): {names}"
-                )
-            state.ended = True
-            current = implicit
-        elif isinstance(event, TaskSwitchEvent):
-            target = event.instance
-            state = states.get(target)
-            if is_implicit(target):
-                if target != implicit:
-                    raise ValidationError(
-                        f"event #{index}: switch to foreign implicit task {target}"
-                    )
-            else:
-                migrated = (
-                    not tied
-                    and known_active is not None
-                    and target in known_active
-                    and state is None
-                )
-                if migrated:
-                    state = state_of(target)
-                    state.begun = True
-                if state is None or not state.begun or state.ended:
-                    raise ValidationError(
-                        f"event #{index}: switch to inactive instance {target}"
-                    )
-                if tied and state.bound_thread not in (None, thread_id):
-                    raise ValidationError(
-                        f"event #{index}: tied instance {target} resumed on "
-                        f"thread {thread_id}, began on {state.bound_thread}"
-                    )
-            current = target
-        elif isinstance(event, (EnterEvent, TaskCreateBeginEvent)):
-            if event.executing_instance != current:
-                raise ValidationError(
-                    f"event #{index}: event attributed to instance "
-                    f"{event.executing_instance} while instance {current} is current"
-                )
-            state_of(current).stack.append(event.region)
-        elif isinstance(event, (ExitEvent, TaskCreateEndEvent)):
-            if event.executing_instance != current:
-                raise ValidationError(
-                    f"event #{index}: event attributed to instance "
-                    f"{event.executing_instance} while instance {current} is current"
-                )
-            stack = state_of(current).stack
-            if not stack:
-                raise ValidationError(
-                    f"event #{index}: exit {event.region.name!r} with no open "
-                    f"region in instance {current}"
-                )
-            top = stack.pop()
-            if top is not event.region:
-                raise ValidationError(
-                    f"event #{index}: exit {event.region.name!r} does not match "
-                    f"innermost open region {top.name!r} of instance {current}"
-                )
-        else:  # pragma: no cover - defensive
-            raise ValidationError(f"unknown event type {type(event).__name__}")
-
+    for violation in _task_stream_violations(
+        events, thread_id, tied, known_active, states
+    ):
+        raise violation.exception()
     return states
+
+
+def collect_task_stream_violations(
+    events: Iterable[AnyEvent],
+    thread_id: int = 0,
+    tied: bool = True,
+    known_active: Optional[Set[int]] = None,
+) -> Tuple[Dict[int, _InstanceState], List[Violation]]:
+    """Lenient counterpart of :func:`validate_task_stream`.
+
+    Walks the whole stream, returning the final state map *and* every
+    violation found, instead of raising at the first one.
+    """
+    states: Dict[int, _InstanceState] = {}
+    violations = list(
+        _task_stream_violations(events, thread_id, tied, known_active, states)
+    )
+    return states, violations
+
+
+# ----------------------------------------------------------------------
+# Whole-program traces
+# ----------------------------------------------------------------------
+def _trace_violations(trace) -> Iterator[Violation]:
+    begun: Dict[int, int] = {}
+    ended: Dict[int, int] = {}
+    for stream in trace.streams:
+        last_time = None
+        for index, event in enumerate(stream):
+            if last_time is not None and event.time < last_time:
+                yield Violation(
+                    index,
+                    "time-order",
+                    f"event #{index}: timestamp {event.time} precedes "
+                    f"{last_time} on thread {stream.thread_id}",
+                )
+            last_time = event.time
+        states: Dict[int, _InstanceState] = {}
+        yield from _task_stream_violations(
+            stream, stream.thread_id, False, set(begun), states
+        )
+        for event in stream:
+            if isinstance(event, TaskBeginEvent):
+                begun[event.instance] = begun.get(event.instance, 0) + 1
+            elif isinstance(event, TaskEndEvent):
+                ended[event.instance] = ended.get(event.instance, 0) + 1
+    for instance, count in begun.items():
+        if count != 1:
+            yield Violation(
+                -1,
+                "begin-count",
+                f"instance {instance} has {count} TaskBegin events",
+            )
+        if ended.get(instance, 0) != 1:
+            yield Violation(
+                -1,
+                "end-count",
+                f"instance {instance} begun but ended {ended.get(instance, 0)} times",
+            )
+    extra = set(ended) - set(begun)
+    if extra:
+        yield Violation(
+            -1,
+            "end-without-begin",
+            f"TaskEnd without TaskBegin for instance(s) {sorted(extra)}",
+        )
 
 
 def validate_program_trace(trace) -> None:
@@ -232,24 +448,10 @@ def validate_program_trace(trace) -> None:
     the cross-thread properties: each explicit instance has exactly one
     TaskBegin and one TaskEnd program-wide.
     """
-    begun: Dict[int, int] = {}
-    ended: Dict[int, int] = {}
-    for stream in trace.streams:
-        validate_task_stream(
-            stream, thread_id=stream.thread_id, tied=False, known_active=set(begun)
-        )
-        for event in stream:
-            if isinstance(event, TaskBeginEvent):
-                begun[event.instance] = begun.get(event.instance, 0) + 1
-            elif isinstance(event, TaskEndEvent):
-                ended[event.instance] = ended.get(event.instance, 0) + 1
-    for instance, count in begun.items():
-        if count != 1:
-            raise ValidationError(f"instance {instance} has {count} TaskBegin events")
-        if ended.get(instance, 0) != 1:
-            raise ValidationError(
-                f"instance {instance} begun but ended {ended.get(instance, 0)} times"
-            )
-    extra = set(ended) - set(begun)
-    if extra:
-        raise ValidationError(f"TaskEnd without TaskBegin for instance(s) {sorted(extra)}")
+    for violation in _trace_violations(trace):
+        raise violation.exception()
+
+
+def collect_trace_violations(trace) -> List[Violation]:
+    """Lenient counterpart of :func:`validate_program_trace`."""
+    return list(_trace_violations(trace))

@@ -1,0 +1,39 @@
+"""Deterministic fault injection and graceful degradation.
+
+The paper's profiling algorithm (Fig. 12) assumes a consistent event
+stream; real measurement systems see everything from crashed task bodies
+to overrun trace buffers.  This subpackage makes those failure modes
+*reproducible* so the rest of the stack can prove it degrades
+gracefully:
+
+* :class:`~repro.faults.plan.FaultPlan` -- a frozen, seeded description
+  of which faults to inject (task-body exceptions, stuck tasks, dropped/
+  duplicated/reordered events, truncated streams, clock skew).
+* :class:`~repro.faults.injector.FaultInjector` -- executes a plan
+  against one run: picks victim task instances and perturbs the recorded
+  event stream.  Armed via ``RuntimeConfig.fault_plan``; when no plan is
+  armed, none of this code is imported, let alone run.
+* :mod:`repro.faults.campaign` -- the salvage pipeline (run -> repair ->
+  replay -> partial profile + SalvageReport) and seeded fault campaigns
+  over the BOTS kernels, surfaced as the ``repro faults`` CLI command.
+"""
+
+from repro.faults.plan import FaultPlan, FAULT_MODES, plan_for_mode
+from repro.faults.injector import FaultInjector
+from repro.faults.campaign import (
+    CampaignResult,
+    SalvageOutcome,
+    run_campaign,
+    run_tolerant,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FAULT_MODES",
+    "plan_for_mode",
+    "FaultInjector",
+    "CampaignResult",
+    "SalvageOutcome",
+    "run_campaign",
+    "run_tolerant",
+]

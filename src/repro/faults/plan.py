@@ -1,0 +1,134 @@
+"""Fault plans: frozen, seeded descriptions of what to break.
+
+A plan is pure data -- rates, magnitudes, and a seed.  Handing the same
+plan to two runs of the same program produces byte-identical faults, so
+every campaign failure is replayable from its ``(mode, seed)`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+#: The named single-fault corruption modes a campaign sweeps over.
+FAULT_MODES: Tuple[str, ...] = (
+    "task_exception",
+    "stuck_task",
+    "drop_events",
+    "duplicate_events",
+    "reorder_events",
+    "truncate_stream",
+    "clock_skew",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the :class:`~repro.faults.injector.FaultInjector` needs.
+
+    All ``*_rate`` fields are per-decision probabilities in ``[0, 1]``:
+    task rates apply once per explicit task instance, stream rates once
+    per recorded event.  A default-constructed plan injects nothing.
+    """
+
+    seed: int = 0
+    # -- task-level faults (perturb the simulated run itself) ----------
+    #: probability that an explicit task body raises FaultInjectionError
+    task_exception_rate: float = 0.0
+    #: probability that an explicit task computes "forever" (watchdog bait)
+    stuck_task_rate: float = 0.0
+    #: virtual µs a stuck task burns (large, but finite: no wall-clock hang)
+    stuck_duration_us: float = 1e9
+    #: cap on task-level faults per run (1 keeps campaigns diagnosable)
+    max_task_faults: int = 1
+    # -- stream-level faults (perturb the recorded event stream) -------
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    clock_skew_rate: float = 0.0
+    #: maximum |skew| in virtual µs applied to a skewed event
+    clock_skew_us: float = 25.0
+    #: record at most this many events program-wide, then drop the rest
+    truncate_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "task_exception_rate",
+            "stuck_task_rate",
+            "drop_rate",
+            "duplicate_rate",
+            "reorder_rate",
+            "clock_skew_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.truncate_after is not None and self.truncate_after < 0:
+            raise ValueError(f"truncate_after must be >= 0, got {self.truncate_after!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def wants_task_faults(self) -> bool:
+        return self.task_exception_rate > 0.0 or self.stuck_task_rate > 0.0
+
+    @property
+    def wants_stream_faults(self) -> bool:
+        return (
+            self.drop_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.reorder_rate > 0.0
+            or self.clock_skew_rate > 0.0
+            or self.truncate_after is not None
+        )
+
+    @property
+    def armed(self) -> bool:
+        return self.wants_task_faults or self.wants_stream_faults
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        parts = []
+        if self.task_exception_rate:
+            parts.append(f"task_exception={self.task_exception_rate:g}")
+        if self.stuck_task_rate:
+            parts.append(f"stuck_task={self.stuck_task_rate:g}")
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate:g}")
+        if self.duplicate_rate:
+            parts.append(f"duplicate={self.duplicate_rate:g}")
+        if self.reorder_rate:
+            parts.append(f"reorder={self.reorder_rate:g}")
+        if self.clock_skew_rate:
+            parts.append(f"clock_skew={self.clock_skew_rate:g}")
+        if self.truncate_after is not None:
+            parts.append(f"truncate_after={self.truncate_after}")
+        body = ", ".join(parts) if parts else "no faults"
+        return f"FaultPlan(seed={self.seed}: {body})"
+
+
+def plan_for_mode(mode: str, seed: int = 0, intensity: float = 0.05) -> FaultPlan:
+    """Build a single-mode plan for a campaign cell.
+
+    ``intensity`` is the per-event rate for stream modes; task modes use
+    a high per-task rate (capped at one fault per run) so the fault
+    actually fires on small workloads.
+    """
+    if mode == "task_exception":
+        return FaultPlan(seed=seed, task_exception_rate=0.5)
+    if mode == "stuck_task":
+        return FaultPlan(seed=seed, stuck_task_rate=0.5)
+    if mode == "drop_events":
+        return FaultPlan(seed=seed, drop_rate=intensity)
+    if mode == "duplicate_events":
+        return FaultPlan(seed=seed, duplicate_rate=intensity)
+    if mode == "reorder_events":
+        return FaultPlan(seed=seed, reorder_rate=intensity)
+    if mode == "truncate_stream":
+        return FaultPlan(seed=seed, truncate_after=120)
+    if mode == "clock_skew":
+        return FaultPlan(seed=seed, clock_skew_rate=intensity)
+    raise ValueError(
+        f"unknown fault mode {mode!r}; known modes: {', '.join(FAULT_MODES)}"
+    )

@@ -32,6 +32,7 @@ from repro.profiling.task_profiler import TaskProfiler, ThreadTaskProfiler
 from repro.profiling.baselines import CreationNodeProfiler, NoInstanceProfiler
 from repro.profiling.profile import Profile
 from repro.profiling.memory import ConcurrencyTracker
+from repro.profiling.salvage import SalvageReport
 
 __all__ = [
     "NodeMetrics",
@@ -46,4 +47,5 @@ __all__ = [
     "NoInstanceProfiler",
     "Profile",
     "ConcurrencyTracker",
+    "SalvageReport",
 ]

@@ -31,12 +31,16 @@ class Profile:
         main_trees: List[CallTreeNode],
         task_trees: List[Dict[TaskTreeKey, CallTreeNode]],
         memory_stats: Optional[List[dict]] = None,
+        salvage=None,
     ) -> None:
         if len(main_trees) != len(task_trees):
             raise ProfileError("main_trees and task_trees length mismatch")
         self.main_trees = main_trees
         self.task_trees = task_trees
         self.memory_stats = memory_stats or [{} for _ in main_trees]
+        #: :class:`~repro.profiling.salvage.SalvageReport` when the profile
+        #: was built in lenient mode; ``None`` for strict (complete) runs.
+        self.salvage = salvage
 
     # ------------------------------------------------------------------
     @classmethod
@@ -50,7 +54,13 @@ class Profile:
             }
             for t in profiler.threads
         ]
-        return cls(main, tasks, memory)
+        return cls(main, tasks, memory, salvage=getattr(profiler, "salvage", None))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_partial(self) -> bool:
+        """True when a salvage report says the profile is incomplete."""
+        return self.salvage is not None and self.salvage.partial
 
     # ------------------------------------------------------------------
     @property

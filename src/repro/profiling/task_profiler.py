@@ -344,6 +344,36 @@ class ThreadTaskProfiler:
         return aggregate
 
     # ------------------------------------------------------------------
+    # Salvage helpers (lenient mode only -- never called on the hot path)
+    # ------------------------------------------------------------------
+    def salvage_drop_current(self, time: float) -> Optional[InstanceData]:
+        """Detach the current explicit task without merging it.
+
+        Used when quarantining an instance whose event history is broken:
+        the stub frame is closed (its time is real and stays in the
+        implicit tree) but the instance tree is discarded.
+        """
+        data = self.current
+        if data is None:
+            return None
+        stub = self._stub_frame
+        if stub is not None and stub.start is not None:
+            stub.node.metrics.add_time(stub.close(time))
+        self._stub_frame = None
+        self.current = None
+        return data
+
+    def salvage_finish(self, time: float) -> CallTreeNode:
+        """Force-close whatever is still open, then finish normally."""
+        if self.current is not None:
+            self.salvage_drop_current(time)
+        while len(self._implicit_frames) > 1:
+            frame = self._implicit_frames.pop()
+            if not frame.folded and frame.start is not None:
+                frame.node.metrics.record_visit(frame.close(time))
+        return self.finish(time)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def finish(self, time: float) -> CallTreeNode:
@@ -372,6 +402,14 @@ class TaskProfiler:
     migrate (Section IV-D1); each event is routed to the executing
     thread's profiler.  The profiler implements the POMP2-style listener
     protocol consumed by :class:`repro.instrument.layer.InstrumentationLayer`.
+
+    ``strict=False`` selects *lenient* (salvage) mode: instead of raising
+    :class:`~repro.errors.ProfileError` on an inconsistent event, the
+    profiler drops the event or quarantines the offending task instance
+    and records the incident in :attr:`salvage`.  The lenient handlers
+    are installed as *instance* attributes shadowing the class methods,
+    so the default strict path is byte-identical to the original
+    implementation -- no per-event mode check on the hot path.
     """
 
     def __init__(
@@ -380,6 +418,7 @@ class TaskProfiler:
         implicit_region: Region,
         start_time: float = 0.0,
         max_call_path_depth: Optional[int] = None,
+        strict: bool = True,
     ) -> None:
         self.n_threads = n_threads
         self.implicit_region = implicit_region
@@ -396,6 +435,19 @@ class TaskProfiler:
         ]
         self.finished = False
         self._finish_time: Optional[float] = None
+        self.strict = strict
+        self.salvage = None
+        if not strict:
+            from repro.profiling.salvage import SalvageReport
+
+            self.salvage = SalvageReport()
+            # Shadow the listener entry points with the lenient variants.
+            self.on_enter = self._salvage_on_enter  # type: ignore[method-assign]
+            self.on_exit = self._salvage_on_exit  # type: ignore[method-assign]
+            self.on_task_begin = self._salvage_on_task_begin  # type: ignore[method-assign]
+            self.on_task_switch = self._salvage_on_task_switch  # type: ignore[method-assign]
+            self.on_task_end = self._salvage_on_task_end  # type: ignore[method-assign]
+            self.on_finish = self._salvage_on_finish  # type: ignore[method-assign]
 
     @property
     def truncated_enters(self) -> int:
@@ -445,6 +497,76 @@ class TaskProfiler:
             )
         for thread in self.threads:
             thread.finish(time)
+        self.finished = True
+        self._finish_time = time
+
+    # -- lenient (salvage) listener variants -------------------------------
+    # Installed as instance attributes by __init__(strict=False); the class
+    # methods above stay untouched for the strict hot path.
+    def _quarantine(self, instance: InstanceId, time: float, reason: str) -> None:
+        """Evict an instance whose event history cannot be trusted."""
+        self.salvage.quarantine(instance, reason)
+        data = self.instance_table.pop(instance, None)
+        if data is None:
+            return
+        for thread in self.threads:
+            if thread.current is data:
+                thread.salvage_drop_current(time)
+        tracker = data.home_tracker
+        if tracker is not None and tracker.current > 0:
+            tracker.instance_completed()
+        if data.home_pool is not None:
+            data.home_pool.release_tree(data.root)
+
+    def _salvage_on_enter(self, thread_id, region, time, parameter=None) -> None:
+        self.salvage.events_seen += 1
+        try:
+            self.threads[thread_id].enter(region, time, parameter)
+        except ProfileError as exc:
+            self.salvage.events_dropped += 1
+            self.salvage.note(f"dropped enter {region.name!r}: {exc}")
+
+    def _salvage_on_exit(self, thread_id, region, time) -> None:
+        self.salvage.events_seen += 1
+        try:
+            self.threads[thread_id].exit(region, time)
+        except ProfileError as exc:
+            self.salvage.events_dropped += 1
+            self.salvage.note(f"dropped exit {region.name!r}: {exc}")
+
+    def _salvage_on_task_begin(self, thread_id, region, instance, time, parameter=None) -> None:
+        self.salvage.events_seen += 1
+        try:
+            self.threads[thread_id].task_begin(region, instance, time, parameter)
+        except ProfileError as exc:
+            self.salvage.events_dropped += 1
+            self._quarantine(instance, time, f"task_begin failed: {exc}")
+
+    def _salvage_on_task_switch(self, thread_id, instance, time) -> None:
+        self.salvage.events_seen += 1
+        try:
+            self.threads[thread_id].task_switch(instance, time)
+        except ProfileError as exc:
+            # task_switch leaves the thread on its implicit task when the
+            # target is unusable, which is a consistent state to continue
+            # from; the failed switch itself is simply not performed.
+            self.salvage.events_dropped += 1
+            self.salvage.note(f"dropped task_switch to {instance}: {exc}")
+
+    def _salvage_on_task_end(self, thread_id, region, instance, time) -> None:
+        self.salvage.events_seen += 1
+        try:
+            self.threads[thread_id].task_end(region, instance, time)
+            self.salvage.instances_completed += 1
+        except ProfileError as exc:
+            self.salvage.events_dropped += 1
+            self._quarantine(instance, time, f"task_end failed: {exc}")
+
+    def _salvage_on_finish(self, time) -> None:
+        for instance in sorted(self.instance_table):
+            self._quarantine(instance, time, "still active at end of measurement")
+        for thread in self.threads:
+            thread.salvage_finish(time)
         self.finished = True
         self._finish_time = time
 

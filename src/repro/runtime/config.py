@@ -64,6 +64,13 @@ class RuntimeConfig:
     #: RegionFilter); suppresses enter/exit events and their cost for
     #: matching regions. Task lifecycle events are never filtered.
     measurement_filter: object | None = None
+    #: Armed :class:`~repro.faults.plan.FaultPlan` (None = no faults; the
+    #: fault machinery is then never imported, let alone invoked).
+    fault_plan: object | None = None
+    #: Virtual-time watchdog: if set, ``parallel()`` raises
+    #: :class:`~repro.errors.WatchdogTimeout` when the region has not
+    #: completed within this many virtual µs (stuck-task detection).
+    watchdog_us: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:

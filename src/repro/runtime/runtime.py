@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.errors import RuntimeModelError
+from repro.errors import RuntimeModelError, WatchdogTimeout
 from repro.events.regions import Region, RegionRegistry, RegionType
 from repro.events.stream import ProgramTrace
 from repro.instrument.layer import InstrumentationLayer
@@ -116,6 +116,15 @@ class OpenMPRuntime:
         self.profiler: Optional[TaskProfiler] = None
         self.trace: Optional[ProgramTrace] = None
 
+        # -- fault injection ----------------------------------------------
+        # The faults package is only imported when a plan is armed, so
+        # the common path never even pays the import.
+        self.fault_injector = None
+        if self.config.fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(self.config.fault_plan)
+
     # ------------------------------------------------------------------
     # Region management
     # ------------------------------------------------------------------
@@ -201,6 +210,8 @@ class OpenMPRuntime:
             or not directive.if_clause
             or getattr(parent, "included", False)
         )
+        if self.fault_injector is not None:
+            self.fault_injector.on_new_task(task)
         return task
 
     # ------------------------------------------------------------------
@@ -249,6 +260,14 @@ class OpenMPRuntime:
                 enabled=True, per_event_cost=0.0, listener=RecordingListener(self.trace)
             )
 
+        injector = self.fault_injector
+        if (
+            injector is not None
+            and self.trace is not None
+            and injector.plan.wants_stream_faults
+        ):
+            self.trace.attach_injector(injector)
+
         # Team setup: one implicit task + worker per thread.
         implicit_tasks = [
             TaskInstance(
@@ -266,8 +285,23 @@ class OpenMPRuntime:
             Process(self.env, worker.process(), name=f"thread-{worker.id}")
 
         start = self.env.now
-        self.env.run()
+        watchdog = self.config.watchdog_us
+        if watchdog is None:
+            self.env.run()
+        else:
+            self.env.run(until=start + watchdog)
+            if self.env.pending():
+                raise WatchdogTimeout(
+                    f"parallel region {name!r} exceeded its watchdog deadline "
+                    f"of {watchdog:g} virtual µs with {self.env.pending()} "
+                    f"event(s) still queued (blocked: {self.env.blocked_report()})"
+                )
         duration = self.env.now - start
+
+        if injector is not None and self.trace is not None:
+            # Events still withheld for reordering surface at the end.
+            for event in injector.drain():
+                self.trace.streams[event.thread_id].append_unchecked(event)
 
         if self.outstanding_tasks != 0:  # pragma: no cover - invariant
             raise RuntimeModelError(
@@ -296,7 +330,12 @@ class OpenMPRuntime:
             extra={
                 "truncated_enters": (
                     self.profiler.truncated_enters if self.profiler else 0
-                )
+                ),
+                **(
+                    {"fault_injection": injector.summary()}
+                    if injector is not None
+                    else {}
+                ),
             },
             tasks_stolen=sum(w.tasks_stolen for w in workers),
             profile=profile,

@@ -50,6 +50,7 @@ class TaskInstance:
         "final",
         "included",
         "yielded",
+        "injected_fault",
     )
 
     def __init__(
@@ -96,6 +97,9 @@ class TaskInstance:
         self.included = False
         #: suspended at a taskyield; resumable anytime at low priority
         self.yielded = False
+        #: fault-injection directive chosen for this instance (None almost
+        #: always; see repro.faults.injector.FaultInjector.on_new_task)
+        self.injected_fault: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property

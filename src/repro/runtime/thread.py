@@ -179,7 +179,10 @@ class WorkerThread:
         gen = task.generator
         if gen is None:
             ctx = TaskContext(rt, task)
-            produced = task.fn(ctx, *task.args, **task.kwargs)
+            if task.injected_fault is not None:
+                produced = rt.fault_injector.faulty_body(ctx, task)
+            else:
+                produced = task.fn(ctx, *task.args, **task.kwargs)
             if not isinstance(produced, GeneratorType):
                 # A plain function: no scheduling points, result immediate.
                 task.result = produced

@@ -83,6 +83,14 @@ class Environment:
             )
         return self.now
 
+    def pending(self) -> int:
+        """Number of queued events (non-zero after a truncated ``run``)."""
+        return len(self._queue)
+
+    def blocked_report(self) -> str:
+        """Human-readable list of currently blocked processes."""
+        return "; ".join(sorted(self._blocked.values())) or "<none>"
+
     # ------------------------------------------------------------------
     # Process bookkeeping (used by repro.sim.process)
     # ------------------------------------------------------------------

@@ -90,13 +90,26 @@ class Process:
             env._unregister_process()
             self.terminated.trigger(stop.value)
             return
-        except Exception as exc:
-            # Propagate the original exception (type intact, so callers
-            # can catch what user code raised); annotate with the process
-            # name for diagnosis.
+        except ReproError as exc:
+            # Library errors propagate with their precise type intact
+            # (callers catch DeadlockError, RuntimeModelError, ...);
+            # annotate with the process name for diagnosis.
             env._unregister_process()
             exc.add_note(f"(raised inside simulated process {self.name!r})")
             raise
+        except (KeyboardInterrupt, SystemExit):
+            # Never swallow or rewrap interpreter-control exceptions.
+            env._unregister_process()
+            raise
+        except Exception as exc:
+            # Application errors are wrapped so callers can distinguish
+            # "a simulated process blew up" from errors of their own; the
+            # original is always chained (``raise ... from``) so the full
+            # traceback survives.
+            env._unregister_process()
+            raise ProcessError(
+                f"process {self.name!r} raised {type(exc).__name__}: {exc}"
+            ) from exc
 
         if isinstance(request, Timeout):
             env.schedule(request.duration, self._resume, None)

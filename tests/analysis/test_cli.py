@@ -105,6 +105,80 @@ def test_scaling_command(capsys):
     assert "flat" in out
 
 
+def test_unknown_kernel_exits_2_with_suggestion(capsys):
+    code = main(["run", "fibb", "--size", "test"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown kernel 'fibb'" in err
+    assert "did you mean fib" in err
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["report", "qneens", "--size", "test"],
+        ["advise", "qneens", "--size", "test"],
+        ["overhead", "fib", "qneens", "--size", "test"],
+        ["scaling", "qneens", "--size", "test"],
+        ["faults", "--apps", "qneens"],
+    ],
+)
+def test_unknown_kernel_rejected_everywhere(argv, capsys):
+    code = main(argv)
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown kernel 'qneens'" in err
+    assert "nqueens" in err
+
+
+def test_run_tolerate_errors_salvages_faulty_run(capsys):
+    code = main(
+        ["run", "fib", "--size", "test", "--threads", "2",
+         "--fault-mode", "drop_events", "--tolerate-errors"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "status=partial" in out
+    assert "partial profile" in out
+
+
+def test_run_strict_fault_reports_precise_error(capsys):
+    code = main(
+        ["run", "fib", "--size", "test", "--threads", "2",
+         "--fault-mode", "task_exception", "--strict"]
+    )
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "FaultInjectionError" in err
+
+
+def test_run_strict_healthy_run_passes_validation(capsys):
+    code = main(["run", "fib", "--size", "test", "--threads", "2", "--strict"])
+    assert code == 0
+    assert "verified=True" in capsys.readouterr().out
+
+
+def test_tolerate_and_strict_are_mutually_exclusive():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fib", "--tolerate-errors", "--strict"])
+
+
+def test_faults_campaign_smoke(capsys):
+    code = main(
+        ["faults", "--apps", "fib", "--modes", "drop_events,task_exception",
+         "--seeds", "0", "--size", "test"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2/2 cells degraded gracefully" in out
+
+
+def test_faults_rejects_unknown_mode(capsys):
+    code = main(["faults", "--modes", "cosmic_rays"])
+    assert code == 2
+    assert "unknown fault mode" in capsys.readouterr().err
+
+
 def test_diff_command(tmp_path, capsys):
     a, b = tmp_path / "a.json", tmp_path / "b.json"
     main(["run", "fib", "--size", "test", "--variant", "stress", "--json", str(a)])

@@ -1,0 +1,51 @@
+"""Salvaged profiles survive JSON export and are flagged when rendered."""
+
+import pytest
+
+from repro.cube.export import dumps, loads, profile_to_dict
+from repro.cube.render import render_profile
+from repro.faults import plan_for_mode, run_tolerant
+
+
+@pytest.fixture(scope="module")
+def partial_profile():
+    outcome = run_tolerant(
+        "fib", size="test", n_threads=2, seed=0,
+        plan=plan_for_mode("drop_events", seed=0),
+    )
+    assert outcome.profile is not None and outcome.profile.is_partial
+    return outcome.profile
+
+
+@pytest.fixture(scope="module")
+def complete_profile():
+    outcome = run_tolerant("fib", size="test", n_threads=2, seed=0)
+    assert outcome.profile is not None
+    return outcome.profile
+
+
+def test_salvage_report_survives_export_roundtrip(partial_profile):
+    clone = loads(dumps(partial_profile))
+    assert clone.is_partial
+    assert clone.salvage.events_dropped == partial_profile.salvage.events_dropped
+    assert clone.salvage.events_repaired == partial_profile.salvage.events_repaired
+    assert (
+        clone.salvage.instances_quarantined
+        == partial_profile.salvage.instances_quarantined
+    )
+
+
+def test_complete_profiles_export_without_salvage_key(complete_profile):
+    data = profile_to_dict(complete_profile)
+    assert "salvage" not in data
+    assert not loads(dumps(complete_profile)).is_partial
+
+
+def test_render_flags_partial_profiles(partial_profile):
+    text = render_profile(partial_profile)
+    assert "PARTIAL PROFILE" in text
+    assert "salvage mode" in text
+
+
+def test_render_of_complete_profile_has_no_banner(complete_profile):
+    assert "PARTIAL" not in render_profile(complete_profile)

@@ -1,0 +1,117 @@
+"""System-level salvage: tolerant runs, the watchdog, and the fault grid.
+
+The acceptance property of the robustness work: every cell of the
+(mode x seed) grid either yields a full profile or a partial profile
+with a non-empty salvage report -- never an unhandled exception --
+while strict mode keeps raising the precise error type.
+"""
+
+import pytest
+
+from repro.analysis.experiment import run_app
+from repro.errors import FaultInjectionError, ValidationError, WatchdogTimeout
+from repro.events.validate import validate_program_trace
+from repro.faults import plan_for_mode, run_campaign, run_tolerant
+from repro.faults.campaign import campaign_table
+
+
+def test_healthy_tolerant_run_is_complete():
+    outcome = run_tolerant("fib", size="test", n_threads=2, seed=0)
+    assert outcome.status == "complete"
+    assert outcome.ok
+    assert outcome.verified is True
+    assert outcome.profile is not None
+    assert outcome.profile.salvage is None
+    assert not outcome.profile.is_partial
+
+
+def test_injected_exception_salvages_partial_profile():
+    outcome = run_tolerant(
+        "fib", size="test", n_threads=2, seed=0,
+        plan=plan_for_mode("task_exception", seed=0),
+    )
+    assert outcome.status == "partial"
+    assert outcome.ok
+    assert "FaultInjectionError" in outcome.salvage.run_error
+    assert outcome.profile is not None
+    assert outcome.profile.is_partial
+
+
+def test_corrupt_trace_rebuilds_with_accounting():
+    outcome = run_tolerant(
+        "fib", size="test", n_threads=2, seed=0,
+        plan=plan_for_mode("drop_events", seed=0),
+    )
+    assert outcome.status == "partial" and outcome.ok
+    report = outcome.salvage
+    assert report.partial
+    assert (
+        report.events_dropped
+        or report.events_repaired
+        or report.instances_quarantined
+    )
+    # the live run itself stayed healthy, so the result is still verified
+    assert outcome.verified is True
+
+
+def test_stuck_task_trips_the_watchdog():
+    outcome = run_tolerant(
+        "fib", size="test", n_threads=2, seed=0,
+        plan=plan_for_mode("stuck_task", seed=0), watchdog_us=1e5,
+    )
+    assert outcome.status == "partial" and outcome.ok
+    assert outcome.salvage.watchdog_fired
+    assert "WatchdogTimeout" in outcome.salvage.run_error
+
+
+def test_strict_mode_raises_the_precise_fault_error():
+    with pytest.raises(FaultInjectionError, match="plan seed 0"):
+        run_app(
+            "fib", size="test", n_threads=2, seed=0,
+            fault_plan=plan_for_mode("task_exception", seed=0),
+        )
+
+
+def test_strict_watchdog_raises_watchdog_timeout():
+    with pytest.raises(WatchdogTimeout, match="watchdog deadline"):
+        run_app(
+            "fib", size="test", n_threads=2, seed=0,
+            fault_plan=plan_for_mode("stuck_task", seed=0),
+            watchdog_us=1e5,
+        )
+
+
+def test_generous_watchdog_lets_healthy_runs_finish():
+    result = run_app("fib", size="test", n_threads=2, seed=0, watchdog_us=1e9)
+    assert result.verified
+
+
+def test_strict_validation_flags_corrupt_trace():
+    result = run_app(
+        "fib", size="test", n_threads=2, seed=0, record_events=True,
+        fault_plan=plan_for_mode("drop_events", seed=0),
+    )
+    with pytest.raises(ValidationError):
+        validate_program_trace(result.parallel.trace)
+
+
+def test_campaign_grid_degrades_gracefully():
+    results = run_campaign(
+        apps=("fib",),
+        modes=("drop_events", "task_exception", "clock_skew"),
+        seeds=(0, 1),
+    )
+    assert len(results) == 6
+    assert all(r.ok for r in results)
+    table = campaign_table(results)
+    assert "6/6 cells degraded gracefully" in table
+    assert "drop_events" in table and "task_exception" in table
+
+
+def test_tolerant_runs_are_deterministic():
+    plan = plan_for_mode("duplicate_events", seed=2)
+    first = run_tolerant("fib", size="test", n_threads=2, seed=2, plan=plan)
+    second = run_tolerant("fib", size="test", n_threads=2, seed=2, plan=plan)
+    assert first.status == second.status
+    summary_of = lambda o: o.salvage.summary() if o.salvage else None
+    assert summary_of(first) == summary_of(second)

@@ -1,0 +1,138 @@
+"""FaultPlan validation and seeded FaultInjector determinism."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.events import EnterEvent, ExitEvent, RegionRegistry, RegionType
+from repro.events.model import implicit_instance_id
+from repro.faults import FAULT_MODES, FaultInjector, FaultPlan, plan_for_mode
+
+IMPL = implicit_instance_id(0)
+
+
+def test_plan_rejects_out_of_range_rates():
+    with pytest.raises(ValueError, match="drop_rate"):
+        FaultPlan(drop_rate=1.5)
+    with pytest.raises(ValueError, match="truncate_after"):
+        FaultPlan(truncate_after=-1)
+
+
+def test_plan_for_mode_covers_every_mode():
+    for mode in FAULT_MODES:
+        plan = plan_for_mode(mode, seed=7)
+        assert plan.armed, mode
+        assert plan.seed == 7
+        assert "no faults" not in plan.describe()
+
+
+def test_plan_for_mode_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="clock_skew"):
+        plan_for_mode("cosmic_rays")
+
+
+def test_unarmed_plan_wants_nothing():
+    plan = FaultPlan()
+    assert not plan.armed
+    assert not plan.wants_task_faults
+    assert not plan.wants_stream_faults
+    assert "no faults" in plan.describe()
+
+
+def test_with_seed_returns_reseeded_copy():
+    plan = plan_for_mode("drop_events", seed=0)
+    reseeded = plan.with_seed(9)
+    assert reseeded.seed == 9
+    assert reseeded.drop_rate == plan.drop_rate
+
+
+def _event_burst(n=200):
+    reg = RegionRegistry()
+    foo = reg.register("foo", RegionType.FUNCTION)
+    events = []
+    time = 0.0
+    for _ in range(n // 2):
+        events.append(EnterEvent(0, time, IMPL, foo))
+        time += 1.0
+        events.append(ExitEvent(0, time, IMPL, foo))
+        time += 1.0
+    return events
+
+
+def _corrupt(events, plan):
+    injector = FaultInjector(plan)
+    out = []
+    for event in events:
+        out.extend(injector.on_record(event))
+    out.extend(injector.drain())
+    return out, injector
+
+
+def test_stream_faults_are_deterministic_per_seed():
+    events = _event_burst()
+    first, _ = _corrupt(events, plan_for_mode("drop_events", seed=3))
+    again, _ = _corrupt(events, plan_for_mode("drop_events", seed=3))
+    other, _ = _corrupt(events, plan_for_mode("drop_events", seed=4))
+    assert first == again
+    assert first != other
+
+
+def test_drop_mode_actually_drops():
+    events = _event_burst()
+    out, injector = _corrupt(events, plan_for_mode("drop_events", seed=0))
+    assert injector.stats["events_dropped"] > 0
+    assert len(out) == len(events) - injector.stats["events_dropped"]
+
+
+def test_truncation_cuts_the_stream():
+    events = _event_burst(100)
+    out, injector = _corrupt(events, FaultPlan(seed=0, truncate_after=10))
+    assert len(out) == 10
+    assert injector.stats["events_truncated"] == 90
+    assert "truncate_after=10" in injector.summary()
+
+
+def test_reordered_events_swap_but_are_not_lost():
+    events = _event_burst()
+    out, injector = _corrupt(events, plan_for_mode("reorder_events", seed=1))
+    assert injector.stats["events_reordered"] > 0
+    assert len(out) == len(events)  # withheld events always re-emerge
+    assert out != events
+    assert sorted(out, key=lambda e: e.time) == events  # swapped, not lost
+
+
+def test_task_fault_decisions_respect_max_task_faults():
+    plan = FaultPlan(seed=1, task_exception_rate=1.0, max_task_faults=2)
+    injector = FaultInjector(plan)
+    tasks = [
+        SimpleNamespace(instance_id=i, region=None, injected_fault=None)
+        for i in range(5)
+    ]
+    for task in tasks:
+        injector.on_new_task(task)
+    assert sum(t.injected_fault == "exception" for t in tasks) == 2
+
+
+def test_faulty_body_raises_the_injected_error():
+    reg = RegionRegistry()
+    region = reg.register("victim", RegionType.TASK)
+    task = SimpleNamespace(instance_id=7, region=region, injected_fault="exception")
+    ctx = SimpleNamespace(compute=lambda us: ("compute", us))
+    injector = FaultInjector(FaultPlan(seed=0, task_exception_rate=1.0))
+    body = injector.faulty_body(ctx, task)
+    assert next(body) == ("compute", 1.0)
+    with pytest.raises(FaultInjectionError, match="instance 7"):
+        next(body)
+    assert injector.stats["tasks_failed"] == 1
+
+
+def test_stuck_body_computes_for_the_plan_duration():
+    task = SimpleNamespace(instance_id=3, region=None, injected_fault="stuck")
+    ctx = SimpleNamespace(compute=lambda us: us)
+    injector = FaultInjector(FaultPlan(seed=0, stuck_task_rate=1.0))
+    body = injector.faulty_body(ctx, task)
+    assert next(body) == injector.plan.stuck_duration_us
+    with pytest.raises(StopIteration):
+        next(body)
+    assert injector.stats["tasks_stuck"] == 1

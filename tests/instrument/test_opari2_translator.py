@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import InstrumentationError
+from repro.errors import InstrumentationError, ProcessError
 from repro.instrument.opari2 import _preprocess, run_translated, translate_tasking
 from repro.runtime import RuntimeConfig, ZERO_COST
 
@@ -156,8 +156,9 @@ def main():
     return a
 """
     fns = translate_tasking(source)
-    with pytest.raises(NameError):
+    with pytest.raises(ProcessError) as excinfo:
         run_translated(fns, "main", (), quiet(n_threads=1))
+    assert isinstance(excinfo.value.__cause__, NameError)
 
 
 def test_error_task_pragma_before_non_call():

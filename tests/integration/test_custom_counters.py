@@ -10,6 +10,7 @@ import pytest
 
 from repro.analysis import run_app
 from repro.cube import dumps, loads
+from repro.errors import ProcessError
 from repro.runtime import RuntimeConfig, ZERO_COST
 from repro.runtime.runtime import run_parallel
 
@@ -58,13 +59,13 @@ def test_counters_validation():
     def bad_value(ctx):
         yield ctx.compute(1.0, counters={"flops": -1})
 
-    with pytest.raises(ValueError, match="negative counter"):
+    with pytest.raises(ProcessError, match="negative counter"):
         run_parallel(bad_value, config=quiet(n_threads=1))
 
     def bad_name(ctx):
         yield ctx.compute(1.0, counters={42: 1.0})
 
-    with pytest.raises(TypeError, match="counter names"):
+    with pytest.raises(ProcessError, match="counter names"):
         run_parallel(bad_name, config=quiet(n_threads=1))
 
 

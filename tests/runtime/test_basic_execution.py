@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import RuntimeModelError
+from repro.errors import ProcessError, RuntimeModelError
 from repro.runtime import (
     OpenMPRuntime,
     RuntimeConfig,
@@ -41,8 +41,9 @@ def test_compute_rejects_negative():
     def body(ctx):
         yield ctx.compute(-1.0)
 
-    with pytest.raises(ValueError):
+    with pytest.raises(ProcessError, match="negative compute") as excinfo:
         run_parallel(body, config=quiet_config(n_threads=1))
+    assert isinstance(excinfo.value.__cause__, ValueError)
 
 
 def test_spawn_and_taskwait_returns_result():
@@ -69,7 +70,7 @@ def test_handle_result_before_completion_raises():
         # No taskwait: reading the result now must fail.
         return handle.result
 
-    with pytest.raises(RuntimeError, match="before"):
+    with pytest.raises(ProcessError, match="before"):
         run_parallel(body, config=quiet_config(n_threads=1))
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DeadlockError, RuntimeModelError
+from repro.errors import DeadlockError, ProcessError, RuntimeModelError
 from repro.runtime import (
     CostModel,
     OpenMPRuntime,
@@ -92,7 +92,7 @@ def test_critical_end_without_begin_raises():
     def body(ctx):
         yield ctx.end_critical("zone")
 
-    with pytest.raises(RuntimeError, match="released while not held"):
+    with pytest.raises(ProcessError, match="released while not held"):
         run_parallel(body, config=quiet(n_threads=1))
 
 

@@ -141,7 +141,7 @@ def test_deadlock_detection_reports_stuck_process():
         env.run()
 
 
-def test_process_exception_propagates_with_note():
+def test_process_exception_wrapped_with_original_chained():
     env = Environment()
 
     def bad():
@@ -149,9 +149,38 @@ def test_process_exception_propagates_with_note():
         raise ValueError("boom")
 
     Process(env, bad(), name="bad-proc")
-    with pytest.raises(ValueError, match="boom") as excinfo:
+    with pytest.raises(ProcessError, match="boom") as excinfo:
         env.run()
-    assert any("bad-proc" in note for note in excinfo.value.__notes__)
+    assert "bad-proc" in str(excinfo.value)
+    # The original exception (and hence its traceback) is always chained.
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_library_errors_propagate_with_type_intact():
+    from repro.errors import RuntimeModelError
+
+    env = Environment()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeModelError("misuse")
+
+    Process(env, bad(), name="model-proc")
+    with pytest.raises(RuntimeModelError, match="misuse") as excinfo:
+        env.run()
+    assert any("model-proc" in note for note in excinfo.value.__notes__)
+
+
+def test_system_exit_escapes_unwrapped():
+    env = Environment()
+
+    def bail():
+        yield Timeout(1.0)
+        raise SystemExit(3)
+
+    Process(env, bail(), name="bail-proc")
+    with pytest.raises(SystemExit):
+        env.run()
 
 
 def test_yielding_garbage_is_an_error():

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.cube",
     "repro.bots",
     "repro.analysis",
+    "repro.faults",
 ]
 
 
@@ -53,6 +54,7 @@ PROMISED = {
         "CreationNodeProfiler",
         "NoInstanceProfiler",
         "ConcurrencyTracker",
+        "SalvageReport",
     ],
     "repro.instrument": [
         "InstrumentationLayer",
@@ -75,6 +77,24 @@ PROMISED = {
         "ProgramTrace",
         "validate_nesting",
         "validate_task_stream",
+        "Violation",
+        "collect_trace_violations",
+        "validate_program_trace",
+        "repair_stream",
+        "repair_streams",
+        "RepairLog",
+        "replay_events",
+        "replay_trace",
+    ],
+    "repro.faults": [
+        "FaultPlan",
+        "FaultInjector",
+        "FAULT_MODES",
+        "plan_for_mode",
+        "run_tolerant",
+        "run_campaign",
+        "CampaignResult",
+        "SalvageOutcome",
     ],
     "repro.cube": [
         "render_profile",
