@@ -1,0 +1,84 @@
+"""Supervisor overhead: process isolation must stay cheap per cell.
+
+The supervisor exists so the big sweeps (Figs. 13-15, the fault
+campaign) can run unattended; that is only viable if forking a worker,
+shipping the spec over a pipe, fsync-journaling two records, and
+reaping the process costs a small fraction of a real cell.  This
+benchmark measures the fixed per-cell cost on trivial stub cells (worst
+case: zero useful work) and on real fault-campaign cells.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.faults.campaign import run_campaign
+from repro.supervisor import FAST_BACKOFF, call_cell, run_supervised
+from repro.supervisor.worker import execute_spec
+
+N_CELLS = 12
+
+
+def _stub_grid():
+    return [
+        call_cell(
+            "repro.supervisor.stubs:ok_cell", {"value": i}, cell_id=f"cell-{i}"
+        )
+        for i in range(N_CELLS)
+    ]
+
+
+def test_supervisor_per_cell_overhead(report, tmp_path):
+    specs = _stub_grid()
+
+    start = time.perf_counter()
+    for spec in specs:
+        assert execute_spec(spec)["ok"]
+    direct_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = run_supervised(
+        specs,
+        jobs=2,
+        backoff=FAST_BACKOFF,
+        journal_path=str(tmp_path / "journal.jsonl"),
+    )
+    supervised_s = time.perf_counter() - start
+    assert result.ok
+
+    per_cell_ms = (supervised_s - direct_s) / N_CELLS * 1e3
+    report.section("supervisor fixed overhead (trivial cells)")
+    report(f"cells: {N_CELLS}, jobs: 2, journal: fsync'd JSONL")
+    report(f"direct execution:     {direct_s * 1e3:8.1f} ms total")
+    report(f"supervised execution: {supervised_s * 1e3:8.1f} ms total")
+    report(f"isolation overhead:   {per_cell_ms:8.1f} ms/cell")
+    # Fork + pipe + 2 fsync'd journal records + reap must stay well under
+    # the cost of any real campaign cell.
+    assert per_cell_ms < 500.0, f"supervisor overhead {per_cell_ms:.0f} ms/cell"
+
+
+def test_supervised_campaign_overhead(report, tmp_path):
+    kwargs = dict(apps=("fib",), modes=("drop_events", "task_exception"),
+                  seeds=(0, 1))
+
+    start = time.perf_counter()
+    sequential = run_campaign(**kwargs)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    supervised = run_campaign(
+        **kwargs,
+        supervised=True,
+        jobs=2,
+        journal_path=str(tmp_path / "journal.jsonl"),
+    )
+    supervised_s = time.perf_counter() - start
+
+    assert len(supervised) == len(sequential)
+    assert all(r.ok for r in supervised)
+    ratio = supervised_s / sequential_s if sequential_s else float("inf")
+    report.section("fault campaign: supervised vs in-process")
+    report(f"cells: {len(sequential)} (fib x 2 modes x 2 seeds)")
+    report(f"sequential in-process: {sequential_s * 1e3:8.1f} ms")
+    report(f"supervised (jobs=2):   {supervised_s * 1e3:8.1f} ms")
+    report(f"ratio: {ratio:.2f}x (isolation + journal vs parallelism)")

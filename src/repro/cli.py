@@ -10,6 +10,8 @@ Examples::
     python -m repro paper table1 table3 fig15
     python -m repro run fib --size test --fault-mode drop_events --tolerate-errors
     python -m repro faults --apps fib --modes drop_events,clock_skew --seeds 0
+    python -m repro supervise --apps fib --jobs 2 --journal campaign.jsonl
+    python -m repro supervise --resume campaign.jsonl --jobs 2
 """
 
 from __future__ import annotations
@@ -33,10 +35,11 @@ from repro.analysis.tables import format_table
 from repro.analysis.taskstats import task_statistics
 from repro.analysis.traces import management_ratio, render_timeline
 from repro.bots.registry import list_programs
-from repro.cube.export import dumps
+from repro.cube.export import dump_path
 from repro.cube.render import render_profile
-from repro.errors import ReproError
+from repro.errors import CampaignInterrupted, ReproError
 from repro.faults.plan import FAULT_MODES
+from repro.ioutil import atomic_write
 
 
 def _parse_threads(text: str) -> List[int]:
@@ -177,6 +180,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="virtual-time watchdog per run (default: 1e6)",
     )
 
+    supervise_parser = sub.add_parser(
+        "supervise",
+        help="crash-safe supervised grid execution (isolated workers, "
+        "wall-clock timeouts, retries, resumable journal)",
+    )
+    supervise_parser.add_argument(
+        "--apps", type=_parse_names, default=["fib", "nqueens"],
+        help="comma-separated kernel names for a fault grid "
+        "(default: fib,nqueens; ignored with --spec-file)",
+    )
+    supervise_parser.add_argument(
+        "--modes", type=_parse_names, default=list(FAULT_MODES),
+        help="comma-separated fault modes; 'none' runs cells healthy "
+        f"(default: all of {','.join(FAULT_MODES)})",
+    )
+    supervise_parser.add_argument(
+        "--seeds", type=_parse_threads, default=[0, 1, 2],
+        help="comma-separated seeds (default: 0,1,2)",
+    )
+    supervise_parser.add_argument("--size", default="test",
+                                  choices=["test", "small", "medium"])
+    supervise_parser.add_argument("--threads", type=int, default=2)
+    supervise_parser.add_argument(
+        "--watchdog-us", type=float, default=None, metavar="US",
+        help="virtual-time watchdog per run (default: 1e6)",
+    )
+    supervise_parser.add_argument(
+        "--spec-file", metavar="FILE",
+        help="run this grid instead (JSON list or JSONL of run specs)",
+    )
+    supervise_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker subprocesses to run in parallel (default: 1)",
+    )
+    supervise_parser.add_argument(
+        "--timeout-s", type=float, default=60.0, metavar="S",
+        help="wall-clock limit per cell attempt in real seconds "
+        "(default: 60; catches kernels stuck without advancing "
+        "virtual time, which --watchdog-us cannot)",
+    )
+    supervise_parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per cell for transient crash/timeout/oom outcomes "
+        "(deterministic errors are never retried; default: 1)",
+    )
+    supervise_parser.add_argument(
+        "--backoff-s", type=float, default=0.5, metavar="S",
+        help="base retry delay, doubled per attempt with seeded jitter "
+        "(default: 0.5)",
+    )
+    supervise_parser.add_argument(
+        "--journal", metavar="FILE",
+        help="append-only JSONL journal (fsync'd write-ahead records; "
+        "makes the run resumable after any crash)",
+    )
+    supervise_parser.add_argument(
+        "--resume", metavar="FILE",
+        help="replay this journal: skip journaled-complete cells, re-run "
+        "pending/failed ones (implies --journal FILE)",
+    )
+    supervise_parser.add_argument(
+        "--summary", metavar="FILE",
+        help="also write the outcome table as JSON (atomic temp+rename)",
+    )
+
     return parser
 
 
@@ -215,8 +283,7 @@ def _run_tolerant(args, plan) -> int:
             print()
             print(render_profile(outcome.profile, max_depth=args.max_depth))
         if args.json:
-            with open(args.json, "w") as handle:
-                handle.write(dumps(outcome.profile, indent=2))
+            dump_path(outcome.profile, args.json)
             print(f"  profile exported to {args.json}")
     return 0 if outcome.ok else 1
 
@@ -268,8 +335,7 @@ def cmd_run(args) -> int:
             print()
             print(render_profile(result.profile, max_depth=args.max_depth))
         if args.json:
-            with open(args.json, "w") as handle:
-                handle.write(dumps(result.profile, indent=2))
+            dump_path(result.profile, args.json)
             print(f"  profile exported to {args.json}")
     if args.trace_timeline and result.parallel.trace is not None:
         print()
@@ -316,8 +382,7 @@ def cmd_report(args) -> int:
                                          f"{args.threads} threads, seed {args.seed}")
     print(text)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
+        atomic_write(args.output, text + "\n")
     return 0 if result.verified else 1
 
 
@@ -459,18 +524,100 @@ def cmd_faults(args) -> int:
             file=sys.stderr,
         )
         return 2
-    results = run_campaign(
-        apps=tuple(args.apps),
-        modes=tuple(args.modes),
-        seeds=tuple(args.seeds),
-        size=args.size,
-        n_threads=args.threads,
-        watchdog_us=(
-            args.watchdog_us if args.watchdog_us is not None else DEFAULT_WATCHDOG_US
-        ),
-    )
+    try:
+        results = run_campaign(
+            apps=tuple(args.apps),
+            modes=tuple(args.modes),
+            seeds=tuple(args.seeds),
+            size=args.size,
+            n_threads=args.threads,
+            watchdog_us=(
+                args.watchdog_us if args.watchdog_us is not None else DEFAULT_WATCHDOG_US
+            ),
+        )
+    except CampaignInterrupted as exc:
+        # Ctrl-C: the finished cells are not lost -- print the partial
+        # table and exit with the conventional 128+SIGINT status.
+        print(campaign_table(exc.results))
+        print(f"repro: {exc}", file=sys.stderr)
+        return 130
     print(campaign_table(results))
     return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_supervise(args) -> int:
+    from repro.faults.campaign import DEFAULT_WATCHDOG_US
+    from repro.supervisor import (
+        BackoffPolicy,
+        Supervisor,
+        fault_grid,
+        load_spec_file,
+        outcome_table,
+    )
+
+    if args.spec_file:
+        try:
+            specs = load_spec_file(args.spec_file)
+        except (OSError, ValueError) as exc:
+            print(f"repro: cannot load spec file: {exc}", file=sys.stderr)
+            return 2
+    else:
+        for app in args.apps:
+            if app not in list_programs():
+                return _unknown_kernel(app)
+        unknown = [
+            mode for mode in args.modes
+            if mode != "none" and mode not in FAULT_MODES
+        ]
+        if unknown:
+            print(
+                f"repro: unknown fault mode(s) {', '.join(unknown)}; "
+                f"available: none, {', '.join(FAULT_MODES)}",
+                file=sys.stderr,
+            )
+            return 2
+        specs = fault_grid(
+            args.apps,
+            args.modes,
+            args.seeds,
+            size=args.size,
+            n_threads=args.threads,
+            watchdog_us=(
+                args.watchdog_us
+                if args.watchdog_us is not None
+                else DEFAULT_WATCHDOG_US
+            ),
+        )
+
+    journal_path = args.journal or args.resume
+    report = Supervisor(
+        specs,
+        jobs=args.jobs,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+        backoff=BackoffPolicy(base_s=args.backoff_s),
+        journal_path=journal_path,
+        resume=args.resume is not None,
+    ).run()
+
+    print(outcome_table(report))
+    if args.summary:
+        import dataclasses
+
+        atomic_write(
+            args.summary,
+            json.dumps(
+                {
+                    "interrupted": report.interrupted,
+                    "results": [dataclasses.asdict(r) for r in report.results],
+                },
+                indent=2,
+            ),
+        )
+        print(f"summary written to {args.summary}")
+    if report.interrupted:
+        return 130
+    return 0 if report.ok else 1
 
 
 COMMANDS = {
@@ -483,6 +630,7 @@ COMMANDS = {
     "advise": cmd_advise,
     "paper": cmd_paper,
     "faults": cmd_faults,
+    "supervise": cmd_supervise,
 }
 
 
@@ -493,6 +641,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: normal exit.
         return 0
+    except KeyboardInterrupt:
+        # Commands with partial state handle Ctrl-C themselves (the
+        # supervisor drains its workers, `faults` prints the partial
+        # table); anything else just exits with 128+SIGINT.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -14,7 +14,13 @@ task execution time.  This subpackage provides the text equivalent:
 
 from repro.cube.render import render_node, render_profile
 from repro.cube.query import flat_region_profile, hot_path, top_regions
-from repro.cube.export import profile_from_dict, profile_to_dict, dumps, loads
+from repro.cube.export import (
+    dump_path,
+    dumps,
+    loads,
+    profile_from_dict,
+    profile_to_dict,
+)
 from repro.cube.diff import diff_profiles, DiffEntry
 from repro.cube.paths import match_nodes, query, query_time, query_visits
 
@@ -27,6 +33,7 @@ __all__ = [
     "profile_to_dict",
     "profile_from_dict",
     "dumps",
+    "dump_path",
     "loads",
     "diff_profiles",
     "DiffEntry",

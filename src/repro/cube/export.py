@@ -153,5 +153,17 @@ def dumps(profile: Profile, indent: Optional[int] = None) -> str:
     return json.dumps(profile_to_dict(profile), indent=indent)
 
 
+def dump_path(profile: Profile, path: str, indent: Optional[int] = 2) -> None:
+    """Export a profile to ``path`` crash-safely.
+
+    The JSON is staged in a temp file and renamed into place
+    (:func:`repro.ioutil.atomic_write`), so an interrupted export never
+    leaves a truncated or corrupt profile where a good one stood.
+    """
+    from repro.ioutil import atomic_write
+
+    atomic_write(path, dumps(profile, indent=indent))
+
+
 def loads(text: str) -> Profile:
     return profile_from_dict(json.loads(text))

@@ -40,6 +40,33 @@ class WatchdogTimeout(SimulationError):
     """
 
 
+class WallClockTimeout(ReproError):
+    """A wall-clock deadline elapsed while a run was still executing.
+
+    The complement of :class:`WatchdogTimeout`: the virtual-time
+    watchdog catches a *simulated* task that never finishes, but a
+    kernel stuck in host Python without advancing virtual time (an
+    accidental busy loop) never trips it.  Supervised execution
+    (:mod:`repro.supervisor`) enforces ``RuntimeConfig.wall_timeout_s``
+    in the worker process via ``SIGALRM`` -- and, as a backstop, kills
+    the worker from the parent -- raising or reporting this error.
+    """
+
+
+class CampaignInterrupted(ReproError):
+    """Ctrl-C arrived mid-campaign; the completed cells are preserved.
+
+    Raised instead of letting a bare ``KeyboardInterrupt`` discard every
+    finished cell: ``results`` holds the cells that completed before the
+    interrupt, so callers (the CLI) can print the partial table and exit
+    with status 130.
+    """
+
+    def __init__(self, message: str, results=()):
+        super().__init__(message)
+        self.results = list(results)
+
+
 class FaultInjectionError(ReproError):
     """An injected fault fired (task-body exception from a FaultPlan).
 

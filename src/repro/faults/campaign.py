@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.bots.registry import get_program
-from repro.errors import ReproError, WatchdogTimeout
+from repro.errors import CampaignInterrupted, ReproError, WatchdogTimeout
 from repro.events.regions import RegionType
 from repro.events.repair import repair_streams
 from repro.events.replay import replay_trace
@@ -93,8 +93,14 @@ def run_tolerant(
     plan: Optional[FaultPlan] = None,
     watchdog_us: Optional[float] = DEFAULT_WATCHDOG_US,
     variant: str = "optimized",
+    wall_timeout_s: Optional[float] = None,
 ) -> SalvageOutcome:
-    """Run a kernel, salvaging a partial profile from whatever survives."""
+    """Run a kernel, salvaging a partial profile from whatever survives.
+
+    ``wall_timeout_s`` is carried into the config for supervised workers
+    (:mod:`repro.supervisor`), which enforce it with ``SIGALRM``; plain
+    in-process calls cannot interrupt a non-yielding kernel.
+    """
     program = get_program(name, size=size, variant=variant)
     config = RuntimeConfig(
         n_threads=n_threads,
@@ -103,6 +109,7 @@ def run_tolerant(
         seed=seed,
         fault_plan=plan if plan is not None and plan.armed else None,
         watchdog_us=watchdog_us,
+        wall_timeout_s=wall_timeout_s,
     )
     runtime = OpenMPRuntime(config)
     implicit_region = runtime.registry.register(
@@ -187,6 +194,15 @@ class CampaignResult:
     ok: bool
     summary: str
     error: Optional[str] = None
+    #: supervisor outcome class (``ok``/``partial``/``error``/``timeout``/
+    #: ``crash``/``oom``); in-process cells derive it from ``status``
+    outcome: str = ""
+    #: how many worker attempts this cell took (1 = no retries)
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.outcome:
+            self.outcome = "ok" if self.status == "complete" else self.status
 
 
 def run_campaign(
@@ -196,49 +212,125 @@ def run_campaign(
     size: str = "test",
     n_threads: int = 2,
     watchdog_us: float = DEFAULT_WATCHDOG_US,
+    *,
+    supervised: bool = False,
+    jobs: int = 1,
+    wall_timeout_s: Optional[float] = None,
+    retries: int = 1,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
 ) -> List[CampaignResult]:
-    """Sweep the fault grid in lenient mode; never raises per-cell."""
+    """Sweep the fault grid in lenient mode; never raises per-cell.
+
+    ``supervised=True`` runs every cell in an isolated worker subprocess
+    via :class:`repro.supervisor.Supervisor`: ``jobs`` workers in
+    parallel, per-cell wall-clock timeouts, retry-with-backoff for
+    transient failures, and (with ``journal_path``) a crash-safe journal
+    that ``resume=True`` replays so completed cells are not re-executed.
+
+    Either way, a ``KeyboardInterrupt`` raises
+    :class:`~repro.errors.CampaignInterrupted` carrying the cells that
+    finished, instead of discarding them.
+    """
+    if supervised:
+        return _run_campaign_supervised(
+            apps, modes, seeds, size, n_threads, watchdog_us,
+            jobs=jobs, wall_timeout_s=wall_timeout_s, retries=retries,
+            journal_path=journal_path, resume=resume,
+        )
     results: List[CampaignResult] = []
-    for app in apps:
-        for mode in modes:
-            for seed in seeds:
-                plan = plan_for_mode(mode, seed=seed)
-                outcome = run_tolerant(
-                    app,
-                    size=size,
-                    n_threads=n_threads,
+    cells = [(a, m, s) for a in apps for m in modes for s in seeds]
+    try:
+        for app, mode, seed in cells:
+            plan = plan_for_mode(mode, seed=seed)
+            outcome = run_tolerant(
+                app,
+                size=size,
+                n_threads=n_threads,
+                seed=seed,
+                plan=plan,
+                watchdog_us=watchdog_us,
+            )
+            summary = (
+                outcome.salvage.summary()
+                if outcome.salvage is not None
+                else "profile complete: no salvage needed"
+            )
+            results.append(
+                CampaignResult(
+                    app=app,
+                    mode=mode,
                     seed=seed,
-                    plan=plan,
-                    watchdog_us=watchdog_us,
+                    status=outcome.status,
+                    ok=outcome.ok,
+                    summary=summary,
+                    error=outcome.error,
                 )
-                summary = (
-                    outcome.salvage.summary()
-                    if outcome.salvage is not None
-                    else "profile complete: no salvage needed"
-                )
-                results.append(
-                    CampaignResult(
-                        app=app,
-                        mode=mode,
-                        seed=seed,
-                        status=outcome.status,
-                        ok=outcome.ok,
-                        summary=summary,
-                        error=outcome.error,
-                    )
-                )
+            )
+    except KeyboardInterrupt:
+        raise CampaignInterrupted(
+            f"campaign interrupted after {len(results)} of {len(cells)} cells",
+            results,
+        ) from None
+    return results
+
+
+def _run_campaign_supervised(
+    apps, modes, seeds, size, n_threads, watchdog_us, *,
+    jobs, wall_timeout_s, retries, journal_path, resume,
+) -> List[CampaignResult]:
+    from repro.supervisor import Supervisor, fault_grid
+
+    specs = fault_grid(
+        apps, modes, seeds,
+        size=size, n_threads=n_threads, watchdog_us=watchdog_us,
+        wall_timeout_s=wall_timeout_s,
+    )
+    report = Supervisor(
+        specs,
+        jobs=jobs,
+        timeout_s=wall_timeout_s,
+        retries=retries,
+        journal_path=journal_path,
+        resume=resume,
+    ).run()
+    by_cell = {spec.cell_id: spec for spec in specs}
+    results = []
+    for cell in report.results:
+        params = by_cell[cell.cell_id].params
+        if report.interrupted and cell.outcome in ("interrupted", "pending"):
+            continue  # unfinished cells are not campaign results
+        results.append(
+            CampaignResult(
+                app=params["app"],
+                mode=params["mode"],
+                seed=params["seed"],
+                status=cell.status,
+                ok=cell.ok,
+                summary=cell.summary,
+                error=cell.error,
+                outcome=cell.outcome,
+                attempts=cell.attempts,
+            )
+        )
+    if report.interrupted:
+        raise CampaignInterrupted(
+            f"campaign interrupted after {len(results)} of {len(specs)} cells",
+            results,
+        )
     return results
 
 
 def campaign_table(results: Sequence[CampaignResult]) -> str:
     """Fixed-width text rendering of a campaign grid."""
     lines = [
-        f"{'app':<12} {'mode':<18} {'seed':>4}  {'status':<9} summary",
+        f"{'app':<12} {'mode':<18} {'seed':>4} {'att':>3}  {'status':<9} summary",
         "-" * 78,
     ]
     for r in results:
         lines.append(
-            f"{r.app:<12} {r.mode:<18} {r.seed:>4}  {r.status:<9} {r.summary}"
+            f"{r.app:<12} {r.mode:<18} {r.seed:>4} {r.attempts:>3}  "
+            f"{r.status:<9} {r.summary}"
         )
     ok = sum(1 for r in results if r.ok)
     lines.append("-" * 78)

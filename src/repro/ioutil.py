@@ -1,0 +1,76 @@
+"""Crash-safe filesystem helpers.
+
+Every artifact the package writes to disk -- exported profiles, reports,
+supervisor summaries -- goes through :func:`atomic_write`, so an
+interrupted process (Ctrl-C, SIGKILL, power loss) can never leave a
+truncated or half-written file where a previous good one stood: the new
+content is staged in a temporary file in the *same directory* (same
+filesystem, so the rename is atomic) and moved into place with
+``os.replace`` only after it has been flushed and fsync'd.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Union
+
+
+def fsync_directory(directory: Union[str, os.PathLike]) -> None:
+    """Flush a directory entry so a completed rename survives a crash.
+
+    Best-effort: some filesystems (and all of Windows) refuse to fsync a
+    directory handle; that only weakens durability, not atomicity.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Union[str, os.PathLike],
+    data: Union[str, bytes],
+    *,
+    encoding: str = "utf-8",
+    durable: bool = True,
+) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Readers never observe a partial file: they see either the previous
+    content or the complete new content.  On any failure the temporary
+    file is removed and the original file is left untouched.
+
+    ``durable=True`` additionally fsyncs the file (and its directory)
+    before/after the rename so the write survives power loss, not just
+    process death.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        mode = "wb" if isinstance(data, bytes) else "w"
+        kwargs = {} if isinstance(data, bytes) else {"encoding": encoding}
+        with os.fdopen(fd, mode, **kwargs) as handle:
+            handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_directory(directory)

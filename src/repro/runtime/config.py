@@ -71,10 +71,21 @@ class RuntimeConfig:
     #: :class:`~repro.errors.WatchdogTimeout` when the region has not
     #: completed within this many virtual µs (stuck-task detection).
     watchdog_us: float | None = None
+    #: Wall-clock watchdog: real seconds one run may take.  Complements
+    #: ``watchdog_us``, which cannot catch a kernel stuck in host Python
+    #: *without* advancing virtual time.  Enforced by the supervised
+    #: worker (:mod:`repro.supervisor.worker`) via ``SIGALRM`` plus a
+    #: parent-side kill -- the in-process runtime cannot interrupt a
+    #: non-yielding kernel, so plain ``parallel()`` ignores it.
+    wall_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
+        if self.wall_timeout_s is not None and self.wall_timeout_s <= 0:
+            raise ValueError(
+                f"wall_timeout_s must be positive, got {self.wall_timeout_s!r}"
+            )
         if self.queue_policy not in QUEUE_POLICIES:
             raise ValueError(
                 f"queue_policy must be one of {QUEUE_POLICIES}, got {self.queue_policy!r}"

@@ -1,0 +1,50 @@
+"""Retry pacing: exponential backoff with deterministic jitter.
+
+Transient failures (a crashed or OOM-killed worker, a wall-clock
+timeout) are retried after an exponentially growing delay.  The jitter
+de-synchronizes retries of many cells without sacrificing the package's
+determinism guarantee: it is derived from a seeded RNG keyed by
+``(cell_id, attempt)``, so the same grid replays the same schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Delay before retry ``attempt + 1`` after ``attempt`` failed."""
+
+    #: delay after the first failure, in real seconds
+    base_s: float = 0.5
+    #: multiplier per subsequent failure
+    factor: float = 2.0
+    #: ceiling on the un-jittered delay
+    max_s: float = 30.0
+    #: +/- fraction of the delay randomized (0 disables jitter)
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.factor < 1.0 or self.max_s < 0:
+            raise ValueError(
+                f"invalid backoff policy: base_s={self.base_s!r}, "
+                f"factor={self.factor!r}, max_s={self.max_s!r}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter!r}")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt!r}")
+        raw = min(self.max_s, self.base_s * self.factor ** (attempt - 1))
+        if not self.jitter:
+            return raw
+        rng = random.Random(f"{key}#{attempt}")
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+#: Snappy policy for test-sized grids and CI smoke runs.
+FAST_BACKOFF = BackoffPolicy(base_s=0.05, factor=2.0, max_s=1.0, jitter=0.1)

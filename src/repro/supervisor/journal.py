@@ -1,0 +1,138 @@
+"""The crash-safe campaign journal: append-only, fsync'd JSONL.
+
+The supervisor writes one JSON record per line, flushed and fsync'd
+before the action it describes takes effect ("write-ahead"): a
+``start`` record before a worker launches, a ``result`` record as soon
+as its outcome is known.  Because appends are the only mutation, a
+SIGKILL at any byte offset costs at most the final, partial line --
+:func:`load_journal` tolerates exactly that and replays the rest, which
+is what makes ``--resume`` safe after a crash of the supervisor itself.
+
+Record types::
+
+    {"type":"meta","version":1,"cells":N}
+    {"type":"start","cell":ID,"attempt":K}
+    {"type":"result","cell":ID,"attempt":K,"outcome":...,"ok":...,
+     "status":...,"summary":...,"error":...,"duration_s":...}
+    {"type":"interrupt","completed":N}
+
+Only the supervisor process writes the journal; workers report through
+a pipe, so an orphaned worker can never corrupt it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+JOURNAL_VERSION = 1
+
+#: Outcomes that settle a cell: re-running cannot improve on them.
+#: ``ok``/``partial`` degraded gracefully; ``error`` is a deterministic
+#: failure that would simply reproduce.
+TERMINAL_OUTCOMES = frozenset({"ok", "partial", "error"})
+#: Transient outcomes worth retrying (and re-running on resume).
+RETRYABLE_OUTCOMES = frozenset({"crash", "timeout", "oom"})
+
+
+class Journal:
+    """Append-only writer.  Every record hits the disk before we act."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def record(self, entry: dict) -> None:
+        line = json.dumps(entry, separators=(",", ":"), sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # Convenience constructors for the record types -------------------
+    def meta(self, n_cells: int) -> None:
+        self.record({"type": "meta", "version": JOURNAL_VERSION, "cells": n_cells})
+
+    def start(self, cell_id: str, attempt: int) -> None:
+        self.record({"type": "start", "cell": cell_id, "attempt": attempt})
+
+    def result(self, cell_id: str, attempt: int, payload: dict) -> None:
+        entry = {"type": "result", "cell": cell_id, "attempt": attempt}
+        entry.update(payload)
+        self.record(entry)
+
+    def interrupt(self, completed: int) -> None:
+        self.record({"type": "interrupt", "completed": completed})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """What a replayed journal says about each cell."""
+
+    #: cell -> its most recent ``result`` record
+    results: Dict[str, dict] = field(default_factory=dict)
+    #: cell -> number of ``start`` records (attempts ever launched)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: lines that failed to parse (a crash mid-append leaves at most 1)
+    skipped_lines: int = 0
+    interrupted: bool = False
+
+    @property
+    def completed(self) -> Set[str]:
+        """Cells whose latest outcome is terminal -- skipped on resume."""
+        return {
+            cell
+            for cell, record in self.results.items()
+            if record.get("outcome") in TERMINAL_OUTCOMES
+        }
+
+
+def load_journal(path: str) -> JournalState:
+    """Replay a journal, tolerating a torn final line.
+
+    A partial trailing line is the expected residue of a supervisor
+    killed mid-append; it is counted in ``skipped_lines`` and otherwise
+    ignored, as is any line that fails to parse (corruption never makes
+    resume refuse to run -- the worst case is re-running a cell).
+    """
+    state = JournalState()
+    try:
+        handle = open(path, encoding="utf-8")
+    except FileNotFoundError:
+        return state
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                state.skipped_lines += 1
+                continue
+            kind = entry.get("type")
+            if kind == "start":
+                cell = entry.get("cell")
+                state.attempts[cell] = max(
+                    state.attempts.get(cell, 0), int(entry.get("attempt", 0))
+                )
+            elif kind == "result":
+                cell = entry.get("cell")
+                state.results[cell] = entry
+            elif kind == "interrupt":
+                state.interrupted = True
+    return state

@@ -1,0 +1,169 @@
+"""Run specs: serializable descriptions of one supervised grid cell.
+
+A :class:`RunSpec` is pure data -- kind, parameters, per-cell limits --
+so it can cross a process boundary (the worker), a file boundary (the
+``--spec-file`` grid format) and a crash boundary (the journal keys
+cells by ``cell_id``).  Two kinds cover every grid the evaluation runs:
+
+* ``'fault'`` -- one cell of the fault campaign: run a BOTS kernel in
+  lenient mode with a seeded :class:`~repro.faults.plan.FaultPlan`
+  armed (``mode='none'`` runs the kernel healthy, which also covers
+  plain benchmark repetitions).
+* ``'call'`` -- any importable ``module:function`` with JSON kwargs;
+  used for paper-table regeneration cells, self-test stubs
+  (:mod:`repro.supervisor.stubs`) and ad-hoc grids.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+SPEC_KINDS = ("fault", "call")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of a supervised grid.
+
+    ``cell_id`` is the stable key the journal uses to match results
+    across supervisor restarts -- it must be unique within a grid and
+    identical between the original run and a ``--resume``.
+    """
+
+    kind: str
+    cell_id: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: wall-clock limit for this cell in real seconds (None = use the
+    #: supervisor's default); enforced in the worker via SIGALRM and by
+    #: a parent-side kill.
+    wall_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPEC_KINDS:
+            raise ValueError(
+                f"spec kind must be one of {SPEC_KINDS}, got {self.kind!r}"
+            )
+        if not self.cell_id:
+            raise ValueError("cell_id must be a non-empty string")
+        if self.wall_timeout_s is not None and self.wall_timeout_s <= 0:
+            raise ValueError(
+                f"wall_timeout_s must be positive, got {self.wall_timeout_s!r}"
+            )
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind, "cell_id": self.cell_id, "params": dict(self.params)}
+        if self.wall_timeout_s is not None:
+            data["wall_timeout_s"] = self.wall_timeout_s
+        return data
+
+
+def spec_from_dict(data: dict) -> RunSpec:
+    return RunSpec(
+        kind=data["kind"],
+        cell_id=data["cell_id"],
+        params=dict(data.get("params") or {}),
+        wall_timeout_s=data.get("wall_timeout_s"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Grid builders
+# ----------------------------------------------------------------------
+def fault_cell(
+    app: str,
+    mode: str,
+    seed: int,
+    *,
+    size: str = "test",
+    n_threads: int = 2,
+    watchdog_us: Optional[float] = None,
+    wall_timeout_s: Optional[float] = None,
+) -> RunSpec:
+    """One fault-campaign cell (``mode='none'`` = healthy run)."""
+    return RunSpec(
+        kind="fault",
+        cell_id=f"{app}|{mode}|s{seed}",
+        params={
+            "app": app,
+            "mode": mode,
+            "seed": seed,
+            "size": size,
+            "n_threads": n_threads,
+            "watchdog_us": watchdog_us,
+        },
+        wall_timeout_s=wall_timeout_s,
+    )
+
+
+def fault_grid(
+    apps: Sequence[str],
+    modes: Sequence[str],
+    seeds: Sequence[int],
+    *,
+    size: str = "test",
+    n_threads: int = 2,
+    watchdog_us: Optional[float] = None,
+    wall_timeout_s: Optional[float] = None,
+) -> List[RunSpec]:
+    """The campaign grid, app-major like ``run_campaign`` sweeps it."""
+    return [
+        fault_cell(
+            app,
+            mode,
+            seed,
+            size=size,
+            n_threads=n_threads,
+            watchdog_us=watchdog_us,
+            wall_timeout_s=wall_timeout_s,
+        )
+        for app in apps
+        for mode in modes
+        for seed in seeds
+    ]
+
+
+def call_cell(
+    target: str,
+    kwargs: Optional[Dict[str, Any]] = None,
+    *,
+    cell_id: Optional[str] = None,
+    wall_timeout_s: Optional[float] = None,
+) -> RunSpec:
+    """A ``'pkg.module:function'`` cell with JSON-able kwargs."""
+    if ":" not in target:
+        raise ValueError(
+            f"call target must look like 'pkg.module:function', got {target!r}"
+        )
+    return RunSpec(
+        kind="call",
+        cell_id=cell_id or target,
+        params={"target": target, "kwargs": dict(kwargs or {})},
+        wall_timeout_s=wall_timeout_s,
+    )
+
+
+def check_unique_cell_ids(specs: Sequence[RunSpec]) -> None:
+    seen: Dict[str, int] = {}
+    for spec in specs:
+        seen[spec.cell_id] = seen.get(spec.cell_id, 0) + 1
+    duplicates = sorted(cell for cell, count in seen.items() if count > 1)
+    if duplicates:
+        raise ValueError(f"duplicate cell_id(s) in grid: {', '.join(duplicates)}")
+
+
+def load_spec_file(path: str) -> List[RunSpec]:
+    """Load a grid from a JSON list of spec dicts, or JSONL (one/line)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"spec file {path!r} is empty")
+    if stripped.startswith("["):
+        entries = json.loads(text)
+    else:
+        entries = [json.loads(line) for line in text.splitlines() if line.strip()]
+    specs = [spec_from_dict(entry) for entry in entries]
+    check_unique_cell_ids(specs)
+    return specs

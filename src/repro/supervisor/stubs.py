@@ -1,0 +1,67 @@
+"""Deliberately misbehaving cells for supervisor self-tests.
+
+The fault-injection framework (:mod:`repro.faults`) breaks *simulated*
+runs; these stubs break the *host process* -- the failure modes only a
+process-isolated supervisor can contain.  They are ``call``-kind spec
+targets (``repro.supervisor.stubs:<name>``) used by the test suite and
+the CI kill-and-resume smoke job; none of them is imported by
+production code paths.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+def ok_cell(value: int = 0) -> dict:
+    """Completes immediately."""
+    return {"summary": f"ok (value={value})"}
+
+
+def sleep_cell(wall_s: float = 0.2) -> dict:
+    """Completes after ``wall_s`` real seconds (resume-test pacing)."""
+    time.sleep(wall_s)
+    return {"summary": f"slept {wall_s:g} s"}
+
+
+def busy_cell() -> dict:  # pragma: no cover - killed by the watchdog
+    """A kernel stuck in host Python: burns CPU, never advances virtual
+    time, so only the wall-clock watchdog can stop it."""
+    while True:
+        pass
+
+
+def crash_cell(sig: int = signal.SIGKILL) -> dict:  # pragma: no cover
+    """Dies by signal without reporting -- the parent classifies it."""
+    os.kill(os.getpid(), sig)
+    time.sleep(60)  # never reached; belt for non-fatal signals
+    return {"summary": "unreachable"}
+
+
+def error_cell(message: str = "deterministic failure") -> dict:
+    """Raises the same exception every attempt (must NOT be retried)."""
+    raise ValueError(message)
+
+
+def oom_cell() -> dict:
+    """Simulates an allocation failure (retryable ``oom`` outcome)."""
+    raise MemoryError("simulated allocation failure")
+
+
+def flaky_cell(marker: str) -> dict:
+    """Crashes on the first attempt, succeeds on the next.
+
+    ``marker`` is a scratch-file path: its absence means "first
+    attempt", in which case the cell leaves the marker and SIGKILLs
+    itself -- exactly the transient-failure shape retry-with-backoff
+    exists for.
+    """
+    if os.path.exists(marker):
+        return {"summary": "recovered on retry"}
+    with open(marker, "w", encoding="utf-8") as handle:
+        handle.write(str(os.getpid()))
+    os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(60)  # pragma: no cover - never reached
+    return {"summary": "unreachable"}  # pragma: no cover

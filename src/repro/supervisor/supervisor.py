@@ -1,0 +1,436 @@
+"""The crash-safe run supervisor.
+
+Executes a grid of :class:`~repro.supervisor.spec.RunSpec` cells in
+isolated worker subprocesses (``--jobs`` at a time), each under a
+wall-clock deadline enforced twice -- ``SIGALRM`` inside the worker,
+kill-from-parent as the backstop -- with bounded retry + exponential
+backoff for transient outcomes (``crash``/``timeout``/``oom``; a
+deterministic ``error`` is never retried), journaling every attempt
+write-ahead to an fsync'd JSONL file so that a SIGKILL of any worker
+*or of the supervisor itself* loses at most the in-flight cells:
+``resume=True`` replays the journal, emits completed cells from it, and
+re-runs only the rest.  ``KeyboardInterrupt`` drains workers, flushes
+the journal, and returns the partial results instead of losing them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional, Sequence
+
+from repro.supervisor.backoff import BackoffPolicy
+from repro.supervisor.journal import (
+    RETRYABLE_OUTCOMES,
+    TERMINAL_OUTCOMES,
+    Journal,
+    JournalState,
+    load_journal,
+)
+from repro.supervisor.spec import RunSpec, check_unique_cell_ids
+from repro.supervisor.worker import worker_main
+
+
+@dataclass
+class CellResult:
+    """Final word on one cell, after retries and/or resume."""
+
+    cell_id: str
+    #: ok | partial | error | timeout | crash | oom | interrupted | pending
+    outcome: str
+    ok: bool
+    status: str
+    summary: str
+    attempts: int = 1
+    error: Optional[str] = None
+    duration_s: float = 0.0
+    #: True when replayed from the journal instead of re-executed
+    cached: bool = False
+
+
+@dataclass
+class SupervisorReport:
+    """Everything one supervisor invocation produced."""
+
+    results: List[CellResult] = field(default_factory=list)
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.interrupted and all(r.ok for r in self.results)
+
+    def result_for(self, cell_id: str) -> Optional[CellResult]:
+        for result in self.results:
+            if result.cell_id == cell_id:
+                return result
+        return None
+
+
+@dataclass
+class _Running:
+    spec: RunSpec
+    attempt: int  # global attempt number (monotone across resumes)
+    round: int  # attempt number within THIS invocation's retry budget
+    proc: object
+    conn: object
+    started: float
+    deadline: Optional[float]
+    limit: Optional[float]
+
+
+class Supervisor:
+    """Run a spec grid to completion, surviving everything short of the
+    journal's filesystem disappearing."""
+
+    def __init__(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        jobs: int = 1,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        backoff: Optional[BackoffPolicy] = None,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        start_method: Optional[str] = None,
+    ):
+        self.specs = list(specs)
+        check_unique_cell_ids(self.specs)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s!r}")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.journal_path = journal_path
+        self.resume = resume
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SupervisorReport:
+        journal = Journal(self.journal_path) if self.journal_path else None
+        state = (
+            load_journal(self.journal_path)
+            if self.resume and self.journal_path
+            else JournalState()
+        )
+        results: Dict[str, CellResult] = {}
+        attempts_seen: Dict[str, int] = dict(state.attempts)
+        pending = deque()  # (spec, global_attempt, round)
+        delayed: List[tuple] = []  # (due_monotonic, spec, global_attempt, round)
+        running: List[_Running] = []
+        interrupted = False
+
+        completed = state.completed
+        for spec in self.specs:
+            if spec.cell_id in completed:
+                results[spec.cell_id] = self._cached_result(
+                    spec, state.results[spec.cell_id], attempts_seen
+                )
+            else:
+                pending.append((spec, attempts_seen.get(spec.cell_id, 0) + 1, 1))
+
+        if journal is not None:
+            journal.meta(len(self.specs))
+        try:
+            while pending or delayed or running:
+                now = time.monotonic()
+                if delayed:
+                    due = [entry for entry in delayed if entry[0] <= now]
+                    delayed = [entry for entry in delayed if entry[0] > now]
+                    for _, spec, attempt, rnd in due:
+                        pending.append((spec, attempt, rnd))
+                while pending and len(running) < self.jobs:
+                    spec, attempt, rnd = pending.popleft()
+                    running.append(self._launch(journal, spec, attempt, rnd))
+                    attempts_seen[spec.cell_id] = attempt
+                if not running:
+                    next_due = min(entry[0] for entry in delayed)
+                    time.sleep(min(0.05, max(0.0, next_due - time.monotonic())))
+                    continue
+                self._poll(running, journal, results, delayed, attempts_seen)
+        except KeyboardInterrupt:
+            interrupted = True
+            self._drain(running, journal, results)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        if interrupted:
+            for spec in self.specs:
+                if spec.cell_id not in results:
+                    results[spec.cell_id] = CellResult(
+                        cell_id=spec.cell_id,
+                        outcome="pending",
+                        ok=False,
+                        status="pending",
+                        summary="not started before the interrupt "
+                        "(re-run with --resume)",
+                        attempts=attempts_seen.get(spec.cell_id, 0),
+                    )
+        ordered = [
+            results[spec.cell_id] for spec in self.specs if spec.cell_id in results
+        ]
+        return SupervisorReport(results=ordered, interrupted=interrupted)
+
+    # ------------------------------------------------------------------
+    def _cached_result(
+        self, spec: RunSpec, record: dict, attempts_seen: Dict[str, int]
+    ) -> CellResult:
+        return CellResult(
+            cell_id=spec.cell_id,
+            outcome=record.get("outcome", "ok"),
+            ok=bool(record.get("ok", False)),
+            status=record.get("status", ""),
+            summary=record.get("summary", ""),
+            attempts=attempts_seen.get(spec.cell_id, int(record.get("attempt", 1))),
+            error=record.get("error"),
+            duration_s=float(record.get("duration_s", 0.0)),
+            cached=True,
+        )
+
+    def _launch(
+        self, journal: Optional[Journal], spec: RunSpec, attempt: int, rnd: int
+    ) -> _Running:
+        limit = spec.wall_timeout_s if spec.wall_timeout_s is not None else self.timeout_s
+        if journal is not None:
+            journal.start(spec.cell_id, attempt)  # write-ahead
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(send_conn, spec.to_dict(), limit),
+            name=f"repro-cell-{spec.cell_id}",
+            daemon=True,
+        )
+        started = time.monotonic()
+        proc.start()
+        send_conn.close()  # child's end; keeping it open would mask EOF
+        # The parent-side deadline is a backstop behind the worker's own
+        # SIGALRM, so it gets a grace period on top of the limit.
+        deadline = None
+        if limit is not None:
+            deadline = started + limit + max(0.5, 0.25 * limit)
+        return _Running(
+            spec=spec,
+            attempt=attempt,
+            round=rnd,
+            proc=proc,
+            conn=recv_conn,
+            started=started,
+            deadline=deadline,
+            limit=limit,
+        )
+
+    def _poll(
+        self,
+        running: List[_Running],
+        journal: Optional[Journal],
+        results: Dict[str, CellResult],
+        delayed: List[tuple],
+        attempts_seen: Dict[str, int],
+    ) -> None:
+        now = time.monotonic()
+        wait_s = 0.1
+        for entry in running:
+            if entry.deadline is not None:
+                wait_s = min(wait_s, max(0.0, entry.deadline - now))
+        handles = [r.conn for r in running] + [r.proc.sentinel for r in running]
+        connection_wait(handles, timeout=wait_s)
+        now = time.monotonic()
+
+        finished: List[tuple] = []
+        for entry in running:
+            payload = None
+            if entry.conn.poll():
+                try:
+                    payload = entry.conn.recv()
+                except (EOFError, OSError):
+                    payload = None
+            if payload is not None:
+                self._reap(entry)
+                finished.append((entry, payload))
+            elif not entry.proc.is_alive():
+                self._reap(entry)
+                finished.append((entry, self._crash_payload(entry)))
+            elif entry.deadline is not None and now >= entry.deadline:
+                self._kill(entry)
+                finished.append(
+                    (
+                        entry,
+                        {
+                            "outcome": "timeout",
+                            "ok": False,
+                            "status": "timeout",
+                            "summary": f"worker exceeded its wall-clock limit "
+                            f"of {entry.limit:g} s and was killed",
+                            "error": "WallClockTimeout: killed by supervisor",
+                        },
+                    )
+                )
+
+        for entry, payload in finished:
+            running.remove(entry)
+            payload = dict(payload)
+            payload.setdefault("outcome", "error")
+            payload.setdefault("ok", False)
+            payload.setdefault("status", payload["outcome"])
+            payload.setdefault("summary", "")
+            payload.setdefault("error", None)
+            payload["duration_s"] = round(time.monotonic() - entry.started, 6)
+            if journal is not None:
+                journal.result(entry.spec.cell_id, entry.attempt, payload)
+            retryable = payload["outcome"] in RETRYABLE_OUTCOMES
+            if retryable and entry.round < self.retries + 1:
+                delay = self.backoff.delay(entry.round, key=entry.spec.cell_id)
+                delayed.append(
+                    (
+                        time.monotonic() + delay,
+                        entry.spec,
+                        entry.attempt + 1,
+                        entry.round + 1,
+                    )
+                )
+            else:
+                results[entry.spec.cell_id] = CellResult(
+                    cell_id=entry.spec.cell_id,
+                    outcome=payload["outcome"],
+                    ok=bool(payload["ok"]),
+                    status=payload["status"],
+                    summary=payload["summary"],
+                    attempts=entry.attempt,
+                    error=payload["error"],
+                    duration_s=payload["duration_s"],
+                )
+
+    @staticmethod
+    def _crash_payload(entry: _Running) -> dict:
+        code = entry.proc.exitcode
+        if code is not None and code < 0:
+            try:
+                reason = f"signal {signal.Signals(-code).name}"
+            except ValueError:  # pragma: no cover - unknown signal number
+                reason = f"signal {-code}"
+        else:
+            reason = f"exit code {code}"
+        return {
+            "outcome": "crash",
+            "ok": False,
+            "status": "crash",
+            "summary": f"worker died ({reason}) without reporting a result",
+            "error": f"WorkerCrash: {reason}",
+        }
+
+    @staticmethod
+    def _reap(entry: _Running) -> None:
+        entry.proc.join(timeout=5.0)
+        if entry.proc.is_alive():  # pragma: no cover - wedged after result
+            entry.proc.kill()
+            entry.proc.join(timeout=5.0)
+        try:
+            entry.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    @staticmethod
+    def _kill(entry: _Running) -> None:
+        entry.proc.terminate()
+        entry.proc.join(timeout=0.5)
+        if entry.proc.is_alive():
+            entry.proc.kill()
+            entry.proc.join(timeout=5.0)
+        try:
+            entry.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _drain(
+        self,
+        running: List[_Running],
+        journal: Optional[Journal],
+        results: Dict[str, CellResult],
+    ) -> None:
+        """Ctrl-C: stop workers, journal the partial state, keep results."""
+        previous = None
+        in_main = threading.current_thread() is threading.main_thread()
+        if in_main:  # a second Ctrl-C must not break the cleanup
+            previous = signal.signal(signal.SIGINT, signal.SIG_IGN)
+        try:
+            for entry in running:
+                self._kill(entry)
+                payload = {
+                    "outcome": "interrupted",
+                    "ok": False,
+                    "status": "interrupted",
+                    "summary": "killed by KeyboardInterrupt mid-attempt "
+                    "(re-run with --resume)",
+                    "error": "KeyboardInterrupt",
+                    "duration_s": round(time.monotonic() - entry.started, 6),
+                }
+                if journal is not None:
+                    journal.result(entry.spec.cell_id, entry.attempt, payload)
+                results[entry.spec.cell_id] = CellResult(
+                    cell_id=entry.spec.cell_id,
+                    outcome="interrupted",
+                    ok=False,
+                    status="interrupted",
+                    summary=payload["summary"],
+                    attempts=entry.attempt,
+                    error="KeyboardInterrupt",
+                    duration_s=payload["duration_s"],
+                )
+            running.clear()
+            if journal is not None:
+                completed = sum(
+                    1 for r in results.values() if r.outcome in TERMINAL_OUTCOMES
+                )
+                journal.interrupt(completed)
+        finally:
+            if in_main:
+                signal.signal(signal.SIGINT, previous)
+
+
+def run_supervised(specs: Sequence[RunSpec], **kwargs) -> SupervisorReport:
+    """One-shot convenience: build a :class:`Supervisor` and run it."""
+    return Supervisor(specs, **kwargs).run()
+
+
+def outcome_table(report: SupervisorReport) -> str:
+    """Fixed-width per-cell outcome table (attempts, salvage status)."""
+    lines = [
+        f"{'cell':<28} {'outcome':<12} {'att':>3}  summary",
+        "-" * 78,
+    ]
+    for r in report.results:
+        cached = " (cached)" if r.cached else ""
+        lines.append(
+            f"{r.cell_id:<28} {r.outcome:<12} {r.attempts:>3}  {r.summary}{cached}"
+        )
+    ok = sum(1 for r in report.results if r.ok)
+    cached = sum(1 for r in report.results if r.cached)
+    retried = sum(1 for r in report.results if not r.cached and r.attempts > 1)
+    lines.append("-" * 78)
+    lines.append(
+        f"{ok}/{len(report.results)} cells ok "
+        f"({cached} replayed from journal, {retried} retried)"
+    )
+    if report.interrupted:
+        lines.append(
+            "campaign interrupted: completed cells are journaled; "
+            "re-run with --resume to finish the grid"
+        )
+    return "\n".join(lines)

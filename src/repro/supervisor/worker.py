@@ -1,0 +1,178 @@
+"""The supervised worker: run one :class:`RunSpec` in a child process.
+
+The worker is the isolation boundary.  It enforces the *wall-clock*
+watchdog (``RuntimeConfig.wall_timeout_s`` / ``RunSpec.wall_timeout_s``)
+with ``SIGALRM``, which the in-process runtime cannot do -- a kernel
+busy-looping in host Python never advances virtual time, so the
+virtual-time ``watchdog_us`` never fires, and only a signal (or the
+parent killing the process) gets control back.  Every failure is folded
+into a small JSON-able payload with an ``outcome``:
+
+====================  =============================================
+outcome               meaning
+====================  =============================================
+``ok``                cell completed, healthy
+``partial``           cell completed degraded (salvaged profile)
+``error``             deterministic failure -- never retried
+``timeout``           wall-clock limit hit (retried)
+``oom``               ``MemoryError`` (retried)
+``crash``             the process died; classified by the *parent*
+====================  =============================================
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict
+
+from repro.errors import ReproError, WallClockTimeout
+from repro.supervisor.spec import RunSpec, spec_from_dict
+
+
+@contextmanager
+def wall_clock_guard(seconds):
+    """Raise :class:`WallClockTimeout` after ``seconds`` of real time.
+
+    A no-op when ``seconds`` is None/0, when ``SIGALRM`` does not exist
+    (Windows), or off the main thread (signals cannot be delivered
+    there); the parent-side kill remains the backstop in those cases.
+    """
+    usable = (
+        seconds
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _fire(_signum, _frame):
+        raise WallClockTimeout(
+            f"wall-clock limit of {seconds:g} s exceeded (virtual-time "
+            f"watchdog cannot catch a kernel stuck without advancing "
+            f"virtual µs)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Spec dispatch
+# ----------------------------------------------------------------------
+def _run_fault_cell(params: Dict[str, Any]) -> dict:
+    from repro.faults.campaign import DEFAULT_WATCHDOG_US, run_tolerant
+    from repro.faults.plan import plan_for_mode
+
+    mode = params.get("mode", "none")
+    plan = None if mode in (None, "none") else plan_for_mode(mode, seed=params["seed"])
+    watchdog_us = params.get("watchdog_us")
+    outcome = run_tolerant(
+        params["app"],
+        size=params.get("size", "test"),
+        n_threads=params.get("n_threads", 2),
+        seed=params.get("seed", 0),
+        plan=plan,
+        watchdog_us=DEFAULT_WATCHDOG_US if watchdog_us is None else watchdog_us,
+    )
+    summary = (
+        outcome.salvage.summary()
+        if outcome.salvage is not None
+        else "profile complete: no salvage needed"
+    )
+    return {
+        "outcome": "ok" if outcome.status == "complete" else "partial",
+        "ok": outcome.ok,
+        "status": outcome.status,
+        "summary": summary,
+        "error": outcome.error,
+    }
+
+
+def _run_call_cell(params: Dict[str, Any]) -> dict:
+    import importlib
+
+    target = params["target"]
+    module_name, _, attr = target.partition(":")
+    if not module_name or not attr:
+        raise ValueError(
+            f"call target must look like 'pkg.module:function', got {target!r}"
+        )
+    fn = getattr(importlib.import_module(module_name), attr)
+    value = fn(**params.get("kwargs", {}))
+    payload = {
+        "outcome": "ok",
+        "ok": True,
+        "status": "complete",
+        "summary": f"{target} returned",
+        "error": None,
+    }
+    if isinstance(value, dict):
+        payload.update(value)
+    return payload
+
+
+_DISPATCH = {"fault": _run_fault_cell, "call": _run_call_cell}
+
+
+def execute_spec(spec: RunSpec, wall_timeout_s=None) -> dict:
+    """Run one spec to a result payload; never raises (except Ctrl-C).
+
+    ``wall_timeout_s`` is the effective limit (the spec's own, or the
+    supervisor default the parent passed down).
+    """
+    try:
+        with wall_clock_guard(wall_timeout_s):
+            return _DISPATCH[spec.kind](spec.params)
+    except WallClockTimeout as exc:
+        return {
+            "outcome": "timeout",
+            "ok": False,
+            "status": "timeout",
+            "summary": str(exc),
+            "error": f"WallClockTimeout: {exc}",
+        }
+    except MemoryError as exc:
+        return {
+            "outcome": "oom",
+            "ok": False,
+            "status": "oom",
+            "summary": "worker ran out of memory",
+            "error": f"MemoryError: {exc}",
+        }
+    except KeyboardInterrupt:
+        raise
+    except (ReproError, Exception) as exc:  # deterministic: not retried
+        return {
+            "outcome": "error",
+            "ok": False,
+            "status": "error",
+            "summary": f"{type(exc).__name__}: {exc}",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+def worker_main(conn, spec_dict: dict, wall_timeout_s=None) -> None:
+    """Subprocess entry point: run the spec, send the payload, exit.
+
+    SIGINT is ignored so a terminal Ctrl-C (delivered to the whole
+    process group) reaches only the supervisor, which then drains its
+    workers deliberately via SIGTERM and journals the partial state.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    payload = execute_spec(spec_from_dict(spec_dict), wall_timeout_s)
+    try:
+        conn.send(payload)
+        conn.close()
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+        pass

@@ -9,7 +9,12 @@ while strict mode keeps raising the precise error type.
 import pytest
 
 from repro.analysis.experiment import run_app
-from repro.errors import FaultInjectionError, ValidationError, WatchdogTimeout
+from repro.errors import (
+    CampaignInterrupted,
+    FaultInjectionError,
+    ValidationError,
+    WatchdogTimeout,
+)
 from repro.events.validate import validate_program_trace
 from repro.faults import plan_for_mode, run_campaign, run_tolerant
 from repro.faults.campaign import campaign_table
@@ -106,6 +111,52 @@ def test_campaign_grid_degrades_gracefully():
     table = campaign_table(results)
     assert "6/6 cells degraded gracefully" in table
     assert "drop_events" in table and "task_exception" in table
+
+
+def test_keyboard_interrupt_preserves_completed_cells(monkeypatch):
+    import repro.faults.campaign as campaign_mod
+
+    real_run_tolerant = campaign_mod.run_tolerant
+    calls = {"n": 0}
+
+    def interrupt_on_second(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise KeyboardInterrupt
+        return real_run_tolerant(*args, **kwargs)
+
+    monkeypatch.setattr(campaign_mod, "run_tolerant", interrupt_on_second)
+    with pytest.raises(CampaignInterrupted) as excinfo:
+        run_campaign(apps=("fib",), modes=("drop_events",), seeds=(0, 1, 2))
+    results = excinfo.value.results
+    assert len(results) == 1  # the finished cell survived the Ctrl-C
+    assert results[0].seed == 0 and results[0].ok
+    assert "1 of 3" in str(excinfo.value)
+    campaign_table(results)  # partial table renders
+
+
+def test_supervised_campaign_matches_sequential(tmp_path):
+    kwargs = dict(apps=("fib",), modes=("task_exception", "drop_events"),
+                  seeds=(0,))
+    sequential = run_campaign(**kwargs)
+    supervised = run_campaign(
+        **kwargs,
+        supervised=True,
+        jobs=2,
+        journal_path=str(tmp_path / "journal.jsonl"),
+    )
+    assert len(supervised) == len(sequential) == 2
+    cell = lambda r: (r.app, r.mode, r.seed, r.status, r.ok, r.summary)
+    assert sorted(map(cell, supervised)) == sorted(map(cell, sequential))
+    assert all(r.attempts == 1 for r in supervised)
+    # the same journal resumes to the same table without re-running
+    resumed = run_campaign(
+        **kwargs,
+        supervised=True,
+        journal_path=str(tmp_path / "journal.jsonl"),
+        resume=True,
+    )
+    assert sorted(map(cell, resumed)) == sorted(map(cell, sequential))
 
 
 def test_tolerant_runs_are_deterministic():

@@ -1,0 +1,75 @@
+"""Run specs: serialization, grid builders, spec files."""
+
+import json
+
+import pytest
+
+from repro.supervisor.spec import (
+    RunSpec,
+    call_cell,
+    check_unique_cell_ids,
+    fault_cell,
+    fault_grid,
+    load_spec_file,
+    spec_from_dict,
+)
+
+
+def test_spec_roundtrips_through_dict():
+    spec = fault_cell("fib", "drop_events", 3, size="test", wall_timeout_s=2.5)
+    clone = spec_from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.cell_id == "fib|drop_events|s3"
+
+
+def test_fault_grid_is_app_major_and_unique():
+    grid = fault_grid(["fib", "nqueens"], ["drop_events", "none"], [0, 1])
+    assert len(grid) == 8
+    assert grid[0].cell_id == "fib|drop_events|s0"
+    assert grid[-1].cell_id == "nqueens|none|s1"
+    check_unique_cell_ids(grid)  # must not raise
+
+
+def test_duplicate_cell_ids_rejected():
+    grid = [call_cell("m:f", cell_id="same"), call_cell("m:g", cell_id="same")]
+    with pytest.raises(ValueError, match="duplicate"):
+        check_unique_cell_ids(grid)
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError, match="kind"):
+        RunSpec(kind="nope", cell_id="x")
+    with pytest.raises(ValueError, match="cell_id"):
+        RunSpec(kind="call", cell_id="")
+    with pytest.raises(ValueError, match="wall_timeout_s"):
+        RunSpec(kind="call", cell_id="x", wall_timeout_s=0)
+    with pytest.raises(ValueError, match="target"):
+        call_cell("not-a-dotted-target")
+
+
+def test_load_spec_file_json_list(tmp_path):
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps([
+        {"kind": "call", "cell_id": "a", "params": {"target": "m:f"}},
+        {"kind": "fault", "cell_id": "b",
+         "params": {"app": "fib", "mode": "none", "seed": 0}},
+    ]))
+    specs = load_spec_file(str(path))
+    assert [s.cell_id for s in specs] == ["a", "b"]
+    assert specs[1].kind == "fault"
+
+
+def test_load_spec_file_jsonl(tmp_path):
+    path = tmp_path / "grid.jsonl"
+    path.write_text(
+        '{"kind": "call", "cell_id": "a", "params": {"target": "m:f"}}\n'
+        '{"kind": "call", "cell_id": "b", "params": {"target": "m:g"}}\n'
+    )
+    assert [s.cell_id for s in load_spec_file(str(path))] == ["a", "b"]
+
+
+def test_load_spec_file_empty_rejected(tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text("  \n")
+    with pytest.raises(ValueError, match="empty"):
+        load_spec_file(str(path))

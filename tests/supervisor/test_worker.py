@@ -1,0 +1,75 @@
+"""The worker: spec dispatch, outcome classification, wall-clock guard.
+
+``execute_spec`` runs in-process here (the tests are the "worker"), so
+the SIGALRM guard genuinely interrupts a busy loop in the pytest main
+thread -- exactly what it must do inside a worker subprocess.
+"""
+
+import pytest
+
+from repro.errors import WallClockTimeout
+from repro.supervisor.spec import call_cell, fault_cell
+from repro.supervisor.worker import execute_spec, wall_clock_guard
+
+
+def test_wall_clock_guard_interrupts_a_busy_loop():
+    with pytest.raises(WallClockTimeout, match="wall-clock limit"):
+        with wall_clock_guard(0.1):
+            while True:  # no virtual time, no yields: watchdog_us is blind
+                pass
+
+
+def test_wall_clock_guard_noop_when_disabled():
+    with wall_clock_guard(None):
+        pass
+    with wall_clock_guard(0):
+        pass
+
+
+def test_busy_kernel_stub_reports_timeout_not_hang():
+    spec = call_cell("repro.supervisor.stubs:busy_cell", wall_timeout_s=0.1)
+    payload = execute_spec(spec, wall_timeout_s=spec.wall_timeout_s)
+    assert payload["outcome"] == "timeout"
+    assert not payload["ok"]
+    assert "WallClockTimeout" in payload["error"]
+
+
+def test_deterministic_exception_classified_as_error():
+    spec = call_cell("repro.supervisor.stubs:error_cell",
+                     {"message": "boom"})
+    payload = execute_spec(spec)
+    assert payload["outcome"] == "error"
+    assert "ValueError: boom" in payload["summary"]
+
+
+def test_memory_error_classified_as_oom():
+    payload = execute_spec(call_cell("repro.supervisor.stubs:oom_cell"))
+    assert payload["outcome"] == "oom"
+    assert "MemoryError" in payload["error"]
+
+
+def test_bad_call_target_is_an_error_payload():
+    payload = execute_spec(call_cell("repro.no_such_module:fn"))
+    assert payload["outcome"] == "error"
+    assert "ModuleNotFoundError" in payload["summary"]
+
+
+def test_healthy_fault_cell_is_ok():
+    payload = execute_spec(fault_cell("fib", "none", 0))
+    assert payload["outcome"] == "ok"
+    assert payload["ok"] and payload["status"] == "complete"
+
+
+def test_faulty_cell_degrades_to_partial():
+    payload = execute_spec(fault_cell("fib", "task_exception", 0))
+    assert payload["outcome"] == "partial"
+    assert payload["ok"]  # degraded gracefully, salvage accounted
+    assert "FaultInjectionError" in payload["error"]
+
+
+def test_call_cell_merges_returned_dict():
+    payload = execute_spec(
+        call_cell("repro.supervisor.stubs:ok_cell", {"value": 9})
+    )
+    assert payload["outcome"] == "ok"
+    assert payload["summary"] == "ok (value=9)"
