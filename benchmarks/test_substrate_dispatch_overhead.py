@@ -1,0 +1,110 @@
+"""Wall-clock overhead of multi-substrate dispatch.
+
+The substrate refactor replaced the single hard-wired profiler listener
+with a :class:`~repro.substrates.manager.SubstrateManager` fan-out.  The
+CI smoke gate: *dispatching* to several substrates must stay within 5 %
+of the single-listener baseline on the fib kernel (plus a small absolute
+slack so sub-100 ms runs do not flake on scheduler jitter).  The gated
+configuration uses no-op consumers so the measurement isolates fan-out
+cost; a configuration with a real extra consumer (``stats``) is timed
+and reported but not gated -- its counting work is genuine consumer
+cost, not dispatch overhead.
+
+Interleaved min-of-N timing: alternating baseline/multi repeats shares
+any machine-wide noise between the configurations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime import RuntimeConfig
+from repro.runtime.runtime import run_parallel
+from repro.substrates import Substrate
+
+REPEATS = 5
+RELATIVE_BUDGET = 1.05
+ABSOLUTE_SLACK_S = 0.02
+
+
+def fib(ctx, n):
+    if n < 2:
+        yield ctx.compute(1.0)
+        return n
+    a = yield ctx.spawn(fib, n - 1)
+    b = yield ctx.spawn(fib, n - 2)
+    yield ctx.taskwait()
+    yield ctx.compute(0.5)
+    return a.result + b.result
+
+
+def fib_region(ctx, n=13):
+    if (yield ctx.single()):
+        root = yield ctx.spawn(fib, n)
+        yield ctx.taskwait()
+        return root.result
+    return None
+
+
+class NoOpSubstrate(Substrate):
+    """A consumer that declares no callbacks: measures pure fan-out cost
+    (the manager's dispatch tables should make it nearly free)."""
+
+    essential = False
+
+    def __init__(self, name):
+        self.name = name
+
+
+def _timed_run(substrates):
+    config = RuntimeConfig(
+        n_threads=2, instrument=True, seed=0, substrates=substrates
+    )
+    start = time.perf_counter()
+    result = run_parallel(fib_region, config=config, name="fib-bench")
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def test_multi_substrate_dispatch_overhead(report):
+    configs = {
+        "baseline": ("profiling",),
+        "fanout": (
+            "profiling",
+            NoOpSubstrate("noop-a"),
+            NoOpSubstrate("noop-b"),
+            NoOpSubstrate("noop-c"),
+        ),
+        "stats": ("profiling", "stats"),
+    }
+    times = {key: [] for key in configs}
+    events = {}
+    # Interleave repeats so machine-wide drift hits every config equally.
+    for _ in range(REPEATS):
+        for key, substrates in configs.items():
+            elapsed, result = _timed_run(substrates)
+            times[key].append(elapsed)
+            events[key] = result.events_dispatched
+    # Same simulated run regardless of who listens.
+    assert events["fanout"] == events["baseline"]
+    assert events["stats"] == events["baseline"]
+
+    base = min(times["baseline"])
+    fanout = min(times["fanout"])
+    stats = min(times["stats"])
+    budget = base * RELATIVE_BUDGET + ABSOLUTE_SLACK_S
+
+    report.section("Substrate dispatch overhead (fib, 2 threads)")
+    report(f"events per run                : {events['baseline']}")
+    report(f"single listener  (min of {REPEATS})  : {base * 1e3:8.2f} ms")
+    report(f"4-substrate fan-out (gated)   : {fanout * 1e3:8.2f} ms  "
+           f"({(fanout / base - 1.0) * 100.0:+.1f} %)")
+    report(f"+stats consumer (informational): {stats * 1e3:8.2f} ms  "
+           f"({(stats / base - 1.0) * 100.0:+.1f} %)")
+    report(f"budget (5 % + {ABSOLUTE_SLACK_S * 1e3:.0f} ms slack)    : {budget * 1e3:8.2f} ms")
+
+    assert fanout <= budget, (
+        f"multi-substrate dispatch {fanout * 1e3:.2f} ms exceeds budget "
+        f"{budget * 1e3:.2f} ms ({(fanout / base - 1.0) * 100.0:+.1f} % over a "
+        f"{base * 1e3:.2f} ms baseline)"
+    )

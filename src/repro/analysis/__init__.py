@@ -20,9 +20,11 @@
 from repro.analysis.experiment import ExperimentResult, run_app, run_program
 from repro.analysis.overhead import (
     OverheadPoint,
+    event_cost_attribution,
     measure_overhead,
     overhead_sweep,
     runtime_scaling,
+    substrate_overhead_rows,
 )
 from repro.analysis.taskstats import TaskStatsRow, task_statistics
 from repro.analysis.concurrency import max_concurrent_tasks
@@ -59,6 +61,8 @@ __all__ = [
     "measure_overhead",
     "overhead_sweep",
     "runtime_scaling",
+    "substrate_overhead_rows",
+    "event_cost_attribution",
     "TaskStatsRow",
     "task_statistics",
     "max_concurrent_tasks",

@@ -104,6 +104,7 @@ def advise(
                 RegionType.BARRIER,
                 RegionType.IMPLICIT_BARRIER,
                 RegionType.TASKWAIT,
+                RegionType.TASKYIELD,
             ):
                 continue
             total = node.metrics.inclusive_time

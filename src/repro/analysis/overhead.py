@@ -161,3 +161,61 @@ def classify_bimodal(
     if largest < gap_factor:
         return None
     return ordered[: index + 1], ordered[index + 1 :]
+
+
+# ----------------------------------------------------------------------
+# Per-substrate overhead attribution (measurement substrate architecture)
+# ----------------------------------------------------------------------
+def substrate_overhead_rows(result) -> List[dict]:
+    """Per-substrate dispatch/overhead accounting of one run.
+
+    ``result`` is a :class:`~repro.runtime.runtime.ParallelResult` (or an
+    ``ExperimentResult`` carrying one as ``.parallel``).  Returns one row
+    per attached substrate -- events received, declared per-event cost,
+    charged virtual µs, and that charge as a share of the total
+    instrumentation bucket -- so the paper's Section V overhead becomes
+    attributable per consumer.
+    """
+    parallel = getattr(result, "parallel", result)
+    report = parallel.extra.get("substrates") or {}
+    instr_total = parallel.total("instr")
+    rows = []
+    for name, info in report.items():
+        charged = info["charged_us"]
+        rows.append(
+            {
+                "substrate": name,
+                "events": info["events"],
+                "per_event_cost": info["per_event_cost"],
+                "charged_us": charged,
+                "share_of_instr": (charged / instr_total) if instr_total > 0 else 0.0,
+                "quarantined": info["quarantined"],
+                "error": info["error"],
+            }
+        )
+    return rows
+
+
+def event_cost_attribution(stats_artifact: dict, per_event_cost: float) -> dict:
+    """Split a per-event cost across event kinds and threads.
+
+    ``stats_artifact`` is the :class:`~repro.substrates.stats.StatsSubstrate`
+    artifact (``total_events`` / ``per_kind`` / ``per_thread``).  With the
+    run's effective per-event cost this turns raw counts into the
+    overhead breakdown the paper's Section V reasons about: which event
+    kinds (task management vs region bracketing) and which threads paid
+    for the measurement.
+    """
+    per_kind = {
+        kind: count * per_event_cost
+        for kind, count in stats_artifact.get("per_kind", {}).items()
+        if kind != "metric"  # metrics piggyback: no cost of their own
+    }
+    per_thread = [
+        count * per_event_cost for count in stats_artifact.get("per_thread", [])
+    ]
+    return {
+        "total_us": stats_artifact.get("total_events", 0) * per_event_cost,
+        "per_kind_us": per_kind,
+        "per_thread_us": per_thread,
+    }

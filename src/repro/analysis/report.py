@@ -112,6 +112,7 @@ def generate_report(result, title: Optional[str] = None) -> str:
                 RegionType.BARRIER,
                 RegionType.IMPLICIT_BARRIER,
                 RegionType.TASKWAIT,
+                RegionType.TASKYIELD,
             ):
                 continue
             total = node.metrics.inclusive_time

@@ -66,6 +66,21 @@ def _unknown_kernel(name: str) -> int:
     return 2
 
 
+def _unknown_substrate(name: str) -> int:
+    """Same contract as :func:`_unknown_kernel` for substrate names."""
+    from repro.substrates import available_substrates
+
+    names = available_substrates()
+    matches = difflib.get_close_matches(name, names, n=3, cutoff=0.5)
+    hint = f"; did you mean {' or '.join(matches)}?" if matches else ""
+    print(
+        f"repro: unknown substrate {name!r}{hint} "
+        f"(available: {', '.join(names)})",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--trace-timeline", action="store_true",
         help="record events and print the per-thread task timeline",
+    )
+    run_parser.add_argument(
+        "--substrate", action="append", dest="substrates", metavar="NAME",
+        help="attach a measurement substrate by registry name (repeatable; "
+             "built-ins: profiling, tracing, validation, stats; default "
+             "wiring derives from --no-instrument / --trace-timeline)",
     )
     tolerance = run_parser.add_mutually_exclusive_group()
     tolerance.add_argument(
@@ -203,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   choices=["test", "small", "medium"])
     supervise_parser.add_argument("--threads", type=int, default=2)
     supervise_parser.add_argument(
+        "--substrates", type=_parse_names, default=None, metavar="NAMES",
+        help="comma-separated substrate names fault cells should attach "
+        "(profiling and tracing are always ensured; ignored with "
+        "--spec-file)",
+    )
+    supervise_parser.add_argument(
         "--watchdog-us", type=float, default=None, metavar="US",
         help="virtual-time watchdog per run (default: 1e6)",
     )
@@ -270,6 +297,7 @@ def _run_tolerant(args, plan) -> int:
             args.watchdog_us if args.watchdog_us is not None else DEFAULT_WATCHDOG_US
         ),
         variant=args.variant,
+        substrates=getattr(args, "substrates", None),
     )
     verified = "n/a" if outcome.verified is None else outcome.verified
     print(f"{args.app}: status={outcome.status}, verified={verified}, "
@@ -288,9 +316,57 @@ def _run_tolerant(args, plan) -> int:
     return 0 if outcome.ok else 1
 
 
+def _print_substrate_report(parallel) -> None:
+    """Per-substrate overhead lines + the non-classic artifacts."""
+    from repro.analysis.overhead import substrate_overhead_rows
+
+    rows = substrate_overhead_rows(parallel)
+    if rows:
+        print("  substrates:")
+        for row in rows:
+            status = "quarantined" if row["quarantined"] else "ok"
+            print(
+                f"    {row['substrate']:<11} events={row['events']:<7d} "
+                f"cost/event={row['per_event_cost']:g} us  "
+                f"charged={row['charged_us']:.1f} us  [{status}]"
+            )
+    trace = parallel.substrate_artifacts.get("tracing")
+    if trace is not None:
+        recorded = sum(len(stream) for stream in trace.streams)
+        print(f"  trace: {recorded} event(s) recorded on {trace.n_threads} stream(s)")
+    stats = parallel.substrate_artifacts.get("stats")
+    if isinstance(stats, dict):
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in stats["per_kind"].items() if count
+        )
+        print(f"  event stats: {stats['total_events']} events ({kinds})")
+    validation = parallel.substrate_artifacts.get("validation")
+    if isinstance(validation, dict):
+        verdict = (
+            "clean"
+            if validation.get("clean")
+            else f"{validation.get('violations')} violation(s)"
+        )
+        print(
+            f"  online validation: {validation.get('events_checked')} "
+            f"event(s) checked, {verdict}"
+        )
+
+
 def cmd_run(args) -> int:
     if args.app not in list_programs():
         return _unknown_kernel(args.app)
+    substrates = list(args.substrates or [])
+    if substrates:
+        from repro.substrates import available_substrates
+
+        for name in substrates:
+            if name not in available_substrates():
+                return _unknown_substrate(name)
+        # The timeline / strict-validation paths read the recorded trace,
+        # so an explicit substrate list must still include the tracer.
+        if (args.trace_timeline or args.strict) and "tracing" not in substrates:
+            substrates.append("tracing")
     plan = None
     if args.fault_mode:
         from repro.faults.plan import plan_for_mode
@@ -300,6 +376,8 @@ def cmd_run(args) -> int:
         return _run_tolerant(args, plan)
 
     overrides = {}
+    if substrates:
+        overrides["substrates"] = tuple(substrates)
     if plan is not None:
         overrides["fault_plan"] = plan
     if args.watchdog_us is not None:
@@ -328,6 +406,8 @@ def cmd_run(args) -> int:
           f"verified={result.verified}, threads={args.threads}")
     for bucket in ("work", "mgmt", "instr", "idle"):
         print(f"  {bucket:6s}: {result.bucket_total(bucket):12.1f} us")
+    if substrates:
+        _print_substrate_report(result.parallel)
     if result.profile is not None:
         print(f"  max concurrent tasks/thread: "
               f"{result.profile.max_concurrent_tasks_per_thread()}")
@@ -576,6 +656,12 @@ def cmd_supervise(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.substrates:
+            from repro.substrates import available_substrates
+
+            for name in args.substrates:
+                if name not in available_substrates():
+                    return _unknown_substrate(name)
         specs = fault_grid(
             args.apps,
             args.modes,
@@ -587,6 +673,7 @@ def cmd_supervise(args) -> int:
                 if args.watchdog_us is not None
                 else DEFAULT_WATCHDOG_US
             ),
+            substrates=args.substrates,
         )
 
     journal_path = args.journal or args.resume

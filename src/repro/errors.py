@@ -93,6 +93,18 @@ class InstrumentationError(ReproError):
     """The instrumentation layer received an inconsistent event sequence."""
 
 
+class SubstrateError(ReproError):
+    """Misuse of the measurement-substrate machinery.
+
+    Examples: requesting an unregistered substrate name, registering a
+    duplicate name, or attaching two substrates with the same name to one
+    :class:`~repro.substrates.manager.SubstrateManager`.  Failures *inside*
+    a substrate's event callbacks are not wrapped in this -- the manager
+    either propagates them (essential substrates) or quarantines the
+    substrate and records the incident (graceful degradation).
+    """
+
+
 class ProfileError(ReproError):
     """The profiler detected a violation of its invariants.
 

@@ -30,6 +30,7 @@ from repro.events.model import (
 )
 from repro.events.stream import EventStream, ProgramTrace
 from repro.events.validate import (
+    TaskStreamChecker,
     Violation,
     collect_nesting_violations,
     collect_task_stream_violations,
@@ -60,6 +61,7 @@ __all__ = [
     "TaskCreateEndEvent",
     "EventStream",
     "ProgramTrace",
+    "TaskStreamChecker",
     "Violation",
     "validate_nesting",
     "validate_task_stream",

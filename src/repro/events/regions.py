@@ -26,6 +26,7 @@ class RegionType(enum.Enum):
     TASK = "task"
     TASK_CREATE = "task_create"
     TASKWAIT = "taskwait"
+    TASKYIELD = "taskyield"
     BARRIER = "barrier"
     IMPLICIT_BARRIER = "implicit_barrier"
     SINGLE = "single"
@@ -52,6 +53,7 @@ _SCHEDULING_POINTS = frozenset(
     {
         RegionType.TASK_CREATE,
         RegionType.TASKWAIT,
+        RegionType.TASKYIELD,
         RegionType.BARRIER,
         RegionType.IMPLICIT_BARRIER,
     }

@@ -189,6 +189,215 @@ class _InstanceState:
         self.bound_thread: Optional[int] = None
 
 
+class TaskStreamChecker:
+    """Incremental (push-based) task-aware validator for one thread's stream.
+
+    The batch validators below iterate a finished stream; this class is the
+    same rule set factored so events can be *fed one at a time while the
+    run is still producing them* -- the engine behind the online-validation
+    measurement substrate (:mod:`repro.substrates.validation`).  Each
+    :meth:`feed` returns the violations that event caused (usually none),
+    with exactly the lenient continuation rules and messages of
+    :func:`collect_task_stream_violations`: offending events are skipped,
+    except that a TaskEnd with open regions force-closes them (the
+    instance still counts as ended) and an attribution mismatch is
+    re-attributed to the actually-current instance.
+
+    ``states`` may be shared/inspected by the caller (it is mutated in
+    place); ``known_active`` may likewise be a live, externally-growing set
+    of instances begun on other threads (untied migration).
+    """
+
+    __slots__ = ("thread_id", "tied", "known_active", "states", "_implicit", "_current", "_index")
+
+    def __init__(
+        self,
+        thread_id: int = 0,
+        tied: bool = True,
+        known_active: Optional[Set[int]] = None,
+        states: Optional[Dict[int, _InstanceState]] = None,
+    ) -> None:
+        self.thread_id = thread_id
+        self.tied = tied
+        self.known_active = known_active
+        self.states: Dict[int, _InstanceState] = states if states is not None else {}
+        self._implicit = implicit_instance_id(thread_id)
+        self._current = self._implicit
+        self._index = 0
+        self._state_of(self._implicit)
+
+    @property
+    def current_instance(self) -> int:
+        """The instance the checker believes the thread is executing in."""
+        return self._current
+
+    @property
+    def events_seen(self) -> int:
+        return self._index
+
+    def _state_of(self, instance: int) -> _InstanceState:
+        state = self.states.get(instance)
+        if state is None:
+            state = _InstanceState()
+            self.states[instance] = state
+            if is_implicit(instance):
+                state.begun = True
+        return state
+
+    def feed(self, event: AnyEvent) -> List[Violation]:
+        """Check one event; return the violations it caused (often empty)."""
+        index = self._index
+        self._index = index + 1
+        out: List[Violation] = []
+        if isinstance(event, TaskBeginEvent):
+            state = self._state_of(event.instance)
+            if state.begun:
+                out.append(
+                    Violation(
+                        index,
+                        "begin-twice",
+                        f"event #{index}: instance {event.instance} begun twice",
+                    )
+                )
+                return out
+            state.begun = True
+            state.bound_thread = self.thread_id
+            self._current = event.instance
+        elif isinstance(event, TaskEndEvent):
+            state = self._state_of(event.instance)
+            if not state.begun or state.ended:
+                out.append(
+                    Violation(
+                        index,
+                        "end-inactive",
+                        f"event #{index}: task_end for instance {event.instance} "
+                        "that is not active",
+                    )
+                )
+                return out
+            if event.instance != self._current:
+                out.append(
+                    Violation(
+                        index,
+                        "end-not-current",
+                        f"event #{index}: task_end for instance {event.instance} "
+                        f"but current instance is {self._current}",
+                    )
+                )
+                # Lenient continuation: pretend the missing switch happened.
+                self._current = event.instance
+            if state.stack:
+                names = ", ".join(r.name for r in state.stack)
+                out.append(
+                    Violation(
+                        index,
+                        "end-open-regions",
+                        f"event #{index}: instance {event.instance} ended with "
+                        f"open region(s): {names}",
+                    )
+                )
+                state.stack.clear()
+            state.ended = True
+            self._current = self._implicit
+        elif isinstance(event, TaskSwitchEvent):
+            target = event.instance
+            state = self.states.get(target)
+            if is_implicit(target):
+                if target != self._implicit:
+                    out.append(
+                        Violation(
+                            index,
+                            "switch-foreign-implicit",
+                            f"event #{index}: switch to foreign implicit task {target}",
+                        )
+                    )
+                    return out
+            else:
+                migrated = (
+                    not self.tied
+                    and self.known_active is not None
+                    and target in self.known_active
+                    and state is None
+                )
+                if migrated:
+                    state = self._state_of(target)
+                    state.begun = True
+                if state is None or not state.begun or state.ended:
+                    out.append(
+                        Violation(
+                            index,
+                            "switch-inactive",
+                            f"event #{index}: switch to inactive instance {target}",
+                        )
+                    )
+                    return out
+                if self.tied and state.bound_thread not in (None, self.thread_id):
+                    out.append(
+                        Violation(
+                            index,
+                            "tied-migration",
+                            f"event #{index}: tied instance {target} resumed on "
+                            f"thread {self.thread_id}, began on {state.bound_thread}",
+                        )
+                    )
+                    return out
+            self._current = target
+        elif isinstance(event, (EnterEvent, TaskCreateBeginEvent)):
+            if event.executing_instance != self._current:
+                out.append(
+                    Violation(
+                        index,
+                        "attribution",
+                        f"event #{index}: event attributed to instance "
+                        f"{event.executing_instance} while instance "
+                        f"{self._current} is current",
+                    )
+                )
+            self._state_of(self._current).stack.append(event.region)
+        elif isinstance(event, (ExitEvent, TaskCreateEndEvent)):
+            if event.executing_instance != self._current:
+                out.append(
+                    Violation(
+                        index,
+                        "attribution",
+                        f"event #{index}: event attributed to instance "
+                        f"{event.executing_instance} while instance "
+                        f"{self._current} is current",
+                    )
+                )
+            stack = self._state_of(self._current).stack
+            if not stack:
+                out.append(
+                    Violation(
+                        index,
+                        "exit-unmatched",
+                        f"event #{index}: exit {event.region.name!r} with no open "
+                        f"region in instance {self._current}",
+                    )
+                )
+                return out
+            top = stack.pop()
+            if top is not event.region:
+                out.append(
+                    Violation(
+                        index,
+                        "exit-mismatch",
+                        f"event #{index}: exit {event.region.name!r} does not match "
+                        f"innermost open region {top.name!r} of instance "
+                        f"{self._current}",
+                    )
+                )
+        else:
+            out.append(
+                Violation(
+                    index,
+                    "unknown-event",
+                    f"unknown event type {type(event).__name__}",
+                )
+            )
+        return out
+
+
 def _task_stream_violations(
     events: Iterable[AnyEvent],
     thread_id: int,
@@ -198,146 +407,14 @@ def _task_stream_violations(
 ) -> Iterator[Violation]:
     """Yield every violation of the task-aware rules on one stream.
 
-    Mutates ``states`` in place so callers see the final per-instance
-    state.  Lenient continuation rules: offending events are skipped,
-    except that a TaskEnd with open regions force-closes them (the
-    instance still counts as ended) and an attribution mismatch is
-    re-attributed to the actually-current instance.
+    Thin batch wrapper over :class:`TaskStreamChecker`.  Mutates ``states``
+    in place so callers see the final per-instance state.
     """
-    implicit = implicit_instance_id(thread_id)
-    current = implicit
-
-    def state_of(instance: int) -> _InstanceState:
-        state = states.get(instance)
-        if state is None:
-            state = _InstanceState()
-            states[instance] = state
-            if is_implicit(instance):
-                state.begun = True
-        return state
-
-    state_of(implicit)
-
-    for index, event in enumerate(events):
-        if isinstance(event, TaskBeginEvent):
-            state = state_of(event.instance)
-            if state.begun:
-                yield Violation(
-                    index,
-                    "begin-twice",
-                    f"event #{index}: instance {event.instance} begun twice",
-                )
-                continue
-            state.begun = True
-            state.bound_thread = thread_id
-            current = event.instance
-        elif isinstance(event, TaskEndEvent):
-            state = state_of(event.instance)
-            if not state.begun or state.ended:
-                yield Violation(
-                    index,
-                    "end-inactive",
-                    f"event #{index}: task_end for instance {event.instance} "
-                    "that is not active",
-                )
-                continue
-            if event.instance != current:
-                yield Violation(
-                    index,
-                    "end-not-current",
-                    f"event #{index}: task_end for instance {event.instance} "
-                    f"but current instance is {current}",
-                )
-                # Lenient continuation: pretend the missing switch happened.
-                current = event.instance
-            if state.stack:
-                names = ", ".join(r.name for r in state.stack)
-                yield Violation(
-                    index,
-                    "end-open-regions",
-                    f"event #{index}: instance {event.instance} ended with "
-                    f"open region(s): {names}",
-                )
-                state.stack.clear()
-            state.ended = True
-            current = implicit
-        elif isinstance(event, TaskSwitchEvent):
-            target = event.instance
-            state = states.get(target)
-            if is_implicit(target):
-                if target != implicit:
-                    yield Violation(
-                        index,
-                        "switch-foreign-implicit",
-                        f"event #{index}: switch to foreign implicit task {target}",
-                    )
-                    continue
-            else:
-                migrated = (
-                    not tied
-                    and known_active is not None
-                    and target in known_active
-                    and state is None
-                )
-                if migrated:
-                    state = state_of(target)
-                    state.begun = True
-                if state is None or not state.begun or state.ended:
-                    yield Violation(
-                        index,
-                        "switch-inactive",
-                        f"event #{index}: switch to inactive instance {target}",
-                    )
-                    continue
-                if tied and state.bound_thread not in (None, thread_id):
-                    yield Violation(
-                        index,
-                        "tied-migration",
-                        f"event #{index}: tied instance {target} resumed on "
-                        f"thread {thread_id}, began on {state.bound_thread}",
-                    )
-                    continue
-            current = target
-        elif isinstance(event, (EnterEvent, TaskCreateBeginEvent)):
-            if event.executing_instance != current:
-                yield Violation(
-                    index,
-                    "attribution",
-                    f"event #{index}: event attributed to instance "
-                    f"{event.executing_instance} while instance {current} is current",
-                )
-            state_of(current).stack.append(event.region)
-        elif isinstance(event, (ExitEvent, TaskCreateEndEvent)):
-            if event.executing_instance != current:
-                yield Violation(
-                    index,
-                    "attribution",
-                    f"event #{index}: event attributed to instance "
-                    f"{event.executing_instance} while instance {current} is current",
-                )
-            stack = state_of(current).stack
-            if not stack:
-                yield Violation(
-                    index,
-                    "exit-unmatched",
-                    f"event #{index}: exit {event.region.name!r} with no open "
-                    f"region in instance {current}",
-                )
-                continue
-            top = stack.pop()
-            if top is not event.region:
-                yield Violation(
-                    index,
-                    "exit-mismatch",
-                    f"event #{index}: exit {event.region.name!r} does not match "
-                    f"innermost open region {top.name!r} of instance {current}",
-                )
-        else:
-            yield Violation(
-                index,
-                "unknown-event",
-                f"unknown event type {type(event).__name__}",
-            )
+    checker = TaskStreamChecker(
+        thread_id=thread_id, tied=tied, known_active=known_active, states=states
+    )
+    for event in events:
+        yield from checker.feed(event)
 
 
 def validate_task_stream(

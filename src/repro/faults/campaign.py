@@ -94,13 +94,25 @@ def run_tolerant(
     watchdog_us: Optional[float] = DEFAULT_WATCHDOG_US,
     variant: str = "optimized",
     wall_timeout_s: Optional[float] = None,
+    substrates: Optional[Sequence] = None,
 ) -> SalvageOutcome:
     """Run a kernel, salvaging a partial profile from whatever survives.
 
     ``wall_timeout_s`` is carried into the config for supervised workers
     (:mod:`repro.supervisor`), which enforce it with ``SIGALRM``; plain
     in-process calls cannot interrupt a non-yielding kernel.
+
+    ``substrates`` optionally names extra measurement substrates to
+    attach; ``profiling`` and ``tracing`` are always ensured -- salvage
+    needs a live profile *and* the recorded trace to reconstruct from.
     """
+    substrate_spec: tuple = ()
+    if substrates:
+        names = list(substrates)
+        for required in ("profiling", "tracing"):
+            if required not in names:
+                names.append(required)
+        substrate_spec = tuple(names)
     program = get_program(name, size=size, variant=variant)
     config = RuntimeConfig(
         n_threads=n_threads,
@@ -110,6 +122,7 @@ def run_tolerant(
         fault_plan=plan if plan is not None and plan.armed else None,
         watchdog_us=watchdog_us,
         wall_timeout_s=wall_timeout_s,
+        substrates=substrate_spec,
     )
     runtime = OpenMPRuntime(config)
     implicit_region = runtime.registry.register(

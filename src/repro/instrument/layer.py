@@ -37,7 +37,10 @@ class InstrumentationLayer:
         region_filter=None,
     ) -> None:
         self.enabled = enabled
-        self.per_event_cost = per_event_cost if enabled else 0.0
+        #: configured per-event cost; the *effective* cost additionally
+        #: depends on ``enabled`` (see :attr:`cost`), so toggling
+        #: ``enabled`` after construction behaves correctly.
+        self.per_event_cost = per_event_cost
         self.listener: Pomp2Listener = listener if listener is not None else NullListener()
         #: total events forwarded (statistics for the overhead analysis)
         self.events_dispatched = 0
@@ -49,7 +52,7 @@ class InstrumentationLayer:
     @property
     def cost(self) -> float:
         """Virtual µs the executing thread pays per event (0 if disabled)."""
-        return self.per_event_cost
+        return self.per_event_cost if self.enabled else 0.0
 
     def region_cost(self, region: Region) -> float:
         """Per-event cost for a region event, honoring the filter."""

@@ -200,6 +200,7 @@ class Profile:
                 RegionType.BARRIER,
                 RegionType.IMPLICIT_BARRIER,
                 RegionType.TASKWAIT,
+                RegionType.TASKYIELD,
             ):
                 stub_time = sum(
                     c.metrics.inclusive_time for c in node.children.values() if c.is_stub

@@ -57,6 +57,16 @@ class RuntimeConfig:
     record_events: bool = False
     seed: int = 0
     costs: CostModel = field(default_factory=CostModel)
+    #: Measurement substrates to attach (Score-P substrate architecture):
+    #: a sequence of registry names (``"profiling"``, ``"tracing"``,
+    #: ``"validation"``, ``"stats"``, or third-party registrations) and/or
+    #: ready-made :class:`~repro.substrates.base.Substrate` instances.
+    #: Empty (the default) keeps the classic behavior: ``instrument``
+    #: attaches the profiling substrate, ``record_events`` the tracing
+    #: substrate.  When non-empty this takes over consumer selection
+    #: completely (``instrument`` then only controls whether the base
+    #: per-event cost is charged and the measurement filter applied).
+    substrates: tuple = ()
     #: Score-P style call-path depth limit; regions entered deeper than
     #: this are folded into the boundary node (None = unlimited).
     max_call_path_depth: int | None = None
@@ -82,6 +92,10 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
+        if not isinstance(self.substrates, tuple):
+            # Accept any iterable (lists read naturally at call sites) but
+            # store a tuple -- the config is frozen and hash-friendly.
+            object.__setattr__(self, "substrates", tuple(self.substrates))
         if self.wall_timeout_s is not None and self.wall_timeout_s <= 0:
             raise ValueError(
                 f"wall_timeout_s must be positive, got {self.wall_timeout_s!r}"
@@ -107,3 +121,7 @@ class RuntimeConfig:
 
     def with_costs(self, costs: CostModel) -> "RuntimeConfig":
         return replace(self, costs=costs)
+
+    def with_substrates(self, *substrates) -> "RuntimeConfig":
+        """Attach measurement substrates (names and/or instances)."""
+        return replace(self, substrates=tuple(substrates))

@@ -16,7 +16,6 @@ from repro.errors import RuntimeModelError, WatchdogTimeout
 from repro.events.regions import Region, RegionRegistry, RegionType
 from repro.events.stream import ProgramTrace
 from repro.instrument.layer import InstrumentationLayer
-from repro.instrument.pomp2 import RecordingListener
 from repro.profiling.profile import Profile
 from repro.profiling.task_profiler import TaskProfiler
 from repro.runtime.config import RuntimeConfig
@@ -51,6 +50,10 @@ class ParallelResult:
     tasks_stolen: int
     profile: Optional[Profile] = None
     trace: Optional[ProgramTrace] = None
+    #: ``{substrate name: artifact}`` for every attached measurement
+    #: substrate (``profile`` and ``trace`` above are the two classic
+    #: artifacts, kept as first-class fields for compatibility)
+    substrate_artifacts: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -99,7 +102,7 @@ class OpenMPRuntime:
 
         # -- shared region handles ---------------------------------------
         self.taskwait_region = self.registry.register("taskwait", RegionType.TASKWAIT)
-        self.taskyield_region = self.registry.register("taskyield", RegionType.TASKWAIT)
+        self.taskyield_region = self.registry.register("taskyield", RegionType.TASKYIELD)
         self.barrier_region = self.registry.register("barrier", RegionType.BARRIER)
         self.implicit_barrier_region = self.registry.register(
             "implicit barrier", RegionType.IMPLICIT_BARRIER
@@ -115,6 +118,8 @@ class OpenMPRuntime:
         self.instr = InstrumentationLayer(enabled=False)
         self.profiler: Optional[TaskProfiler] = None
         self.trace: Optional[ProgramTrace] = None
+        self.substrate_manager = None
+        self._profiling_substrate = None
 
         # -- fault injection ----------------------------------------------
         # The faults package is only imported when a plan is armed, so
@@ -215,6 +220,69 @@ class OpenMPRuntime:
         return task
 
     # ------------------------------------------------------------------
+    # Measurement substrates
+    # ------------------------------------------------------------------
+    def _resolve_substrates(self) -> list:
+        """The substrate instances this run should attach.
+
+        ``config.substrates`` entries may be registry names or ready
+        instances; when empty, the classic flags select the built-ins
+        (``instrument`` -> profiling, ``record_events`` -> tracing).
+        """
+        config = self.config
+        if config.substrates:
+            from repro.substrates import get_substrate
+
+            return [
+                get_substrate(spec) if isinstance(spec, str) else spec
+                for spec in config.substrates
+            ]
+        substrates: list = []
+        if config.instrument:
+            from repro.substrates.profiling import ProfilingSubstrate
+
+            substrates.append(ProfilingSubstrate())
+        if config.record_events:
+            from repro.substrates.tracing import TracingSubstrate
+
+            substrates.append(TracingSubstrate())
+        return substrates
+
+    def _setup_substrates(self, implicit_region: Region):
+        """Build and initialize the run's substrate manager (or ``None``).
+
+        Also re-exposes the two classic consumers as :attr:`profiler` and
+        :attr:`trace` so downstream code (fault injection, salvage,
+        analysis) keeps working unchanged.
+        """
+        substrates = self._resolve_substrates()
+        if not substrates:
+            return None
+        from repro.substrates.manager import SubstrateManager
+        from repro.substrates.profiling import ProfilingSubstrate
+        from repro.substrates.tracing import TracingSubstrate
+
+        for substrate in substrates:
+            # The config-level depth limit applies unless the substrate
+            # was constructed with an explicit one.
+            if (
+                isinstance(substrate, ProfilingSubstrate)
+                and substrate.max_call_path_depth is None
+            ):
+                substrate.max_call_path_depth = self.config.max_call_path_depth
+        manager = SubstrateManager(substrates)
+        manager.initialize(
+            self.registry, self.config.n_threads, self.env.now, implicit_region
+        )
+        self.substrate_manager = manager
+        profiling = manager.find(ProfilingSubstrate)
+        tracing = manager.find(TracingSubstrate)
+        self._profiling_substrate = profiling
+        self.profiler = profiling.profiler if profiling is not None else None
+        self.trace = tracing.trace if tracing is not None else None
+        return manager
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def parallel(
@@ -236,29 +304,24 @@ class OpenMPRuntime:
         n = self.config.n_threads
         implicit_region = self.registry.register(name, RegionType.IMPLICIT_TASK)
 
-        # Measurement setup.
-        if self.config.instrument:
-            self.profiler = TaskProfiler(
-                n,
-                implicit_region,
-                start_time=self.env.now,
-                max_call_path_depth=self.config.max_call_path_depth,
-            )
+        # Measurement setup: resolve the configured consumers into a
+        # substrate manager (Score-P substrate architecture).  The empty
+        # default derives the classic wiring from the instrument /
+        # record_events flags, so the event sequence each consumer sees --
+        # and therefore the cube output -- is identical to the historical
+        # direct profiler/recorder wiring.
+        manager = self._setup_substrates(implicit_region)
+        if manager is not None:
+            base_cost = self.costs.instr_event_us if self.config.instrument else 0.0
             self.instr = InstrumentationLayer(
                 enabled=True,
-                per_event_cost=self.costs.instr_event_us,
-                listener=self.profiler,
-                region_filter=self.config.measurement_filter,
+                per_event_cost=base_cost + manager.extra_cost_per_event,
+                listener=manager,
+                region_filter=(
+                    self.config.measurement_filter if self.config.instrument else None
+                ),
             )
-            if self.config.record_events:
-                self.trace = ProgramTrace(n, self.registry)
-                self.instr.add_listener(RecordingListener(self.trace))
             self.instr.phase_begin(name)
-        elif self.config.record_events:
-            self.trace = ProgramTrace(n, self.registry)
-            self.instr = InstrumentationLayer(
-                enabled=True, per_event_cost=0.0, listener=RecordingListener(self.trace)
-            )
 
         injector = self.fault_injector
         if (
@@ -309,10 +372,25 @@ class OpenMPRuntime:
             )
 
         profile: Optional[Profile] = None
-        if self.profiler is not None:
+        substrate_artifacts: Dict[str, Any] = {}
+        substrate_report: Dict[str, dict] = {}
+        if manager is not None:
             self.instr.phase_end(name)
             self.instr.finish(self.env.now)
-            profile = self.profiler.build_profile()
+            substrate_artifacts = manager.artifacts()
+            substrate_report = manager.report()
+            if self._profiling_substrate is not None:
+                profile = self._profiling_substrate.artifact()
+            if manager.incidents and profile is not None:
+                # Route quarantines through the salvage machinery: the
+                # profile stays usable but carries the what-went-missing
+                # ledger (notes alone do not mark it partial).
+                if profile.salvage is None:
+                    from repro.profiling.salvage import SalvageReport
+
+                    profile.salvage = SalvageReport()
+                for incident in manager.incidents:
+                    profile.salvage.note(str(incident))
 
         return ParallelResult(
             region_name=name,
@@ -332,6 +410,9 @@ class OpenMPRuntime:
                     self.profiler.truncated_enters if self.profiler else 0
                 ),
                 **(
+                    {"substrates": substrate_report} if substrate_report else {}
+                ),
+                **(
                     {"fault_injection": injector.summary()}
                     if injector is not None
                     else {}
@@ -340,6 +421,7 @@ class OpenMPRuntime:
             tasks_stolen=sum(w.tasks_stolen for w in workers),
             profile=profile,
             trace=self.trace,
+            substrate_artifacts=substrate_artifacts,
         )
 
 

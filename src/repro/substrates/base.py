@@ -1,0 +1,126 @@
+"""The measurement-substrate lifecycle contract.
+
+Score-P routes every measurement event through pluggable *substrates*
+(the profiling substrate, the tracing substrate, plugin substrates);
+event production is thereby decoupled from event consumption.  A
+:class:`Substrate` is our analogue: a named consumer with a three-stage
+lifecycle --
+
+1. :meth:`initialize` -- called once, before the team starts, with the
+   run's region registry, team size, virtual start time, and the implicit
+   region handle.
+2. the POMP2 event callbacks (``on_enter`` ... ``on_metric``) -- called
+   for every measurement event the run produces, in virtual-time order
+   per thread.
+3. :meth:`finalize` -- called once with the region's virtual end time;
+   afterwards :meth:`artifact` must return whatever the substrate
+   produced (a :class:`~repro.profiling.profile.Profile`, a
+   :class:`~repro.events.stream.ProgramTrace`, a statistics dict, ...).
+
+All event callbacks default to no-ops so a substrate only implements the
+events it cares about.  Substrates are attached to a run through
+``RuntimeConfig(substrates=[...])`` (names resolved via the registry in
+:mod:`repro.substrates.registry`, or instances passed directly) and are
+driven by the :class:`~repro.substrates.manager.SubstrateManager`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.events.model import InstanceId
+from repro.events.regions import Region, RegionRegistry
+
+
+class Substrate:
+    """Base class for measurement substrates (all callbacks default no-op).
+
+    Class attributes subclasses are expected to override:
+
+    ``name``
+        Unique identifier; also the registry key and the key under which
+        the substrate's artifact and overhead figures are reported.
+    ``essential``
+        If True, an exception from this substrate's callbacks aborts the
+        run (like the built-in profiler always did); if False -- the
+        default -- the manager *quarantines* the substrate: it stops
+        receiving events, the incident is recorded, and the run finishes
+        with every other substrate intact (PR-1 graceful degradation).
+    ``per_event_cost``
+        Extra virtual µs the executing thread pays per dispatched event
+        *for this substrate*, on top of the base instrumentation cost.
+        This is what makes overhead attributable per consumer (paper
+        Section V): the manager sums the active substrates' costs into
+        the instrumentation layer's per-event charge and reports the
+        per-substrate share.
+    """
+
+    name: str = "substrate"
+    essential: bool = False
+    per_event_cost: float = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    def initialize(
+        self,
+        registry: RegionRegistry,
+        n_threads: int,
+        start_time: float,
+        implicit_region: Optional[Region] = None,
+    ) -> None:
+        """Called once before the team starts executing."""
+
+    def finalize(self, time: float) -> None:
+        """Called once with the region's virtual end time."""
+
+    def artifact(self) -> Any:
+        """The substrate's product after :meth:`finalize` (or ``None``)."""
+        return None
+
+    # -- POMP2 event callbacks (no-ops by default) ----------------------
+    def on_enter(
+        self,
+        thread_id: int,
+        region: Region,
+        time: float,
+        parameter: Optional[tuple] = None,
+    ) -> None:
+        pass
+
+    def on_exit(self, thread_id: int, region: Region, time: float) -> None:
+        pass
+
+    def on_task_begin(
+        self,
+        thread_id: int,
+        region: Region,
+        instance: InstanceId,
+        time: float,
+        parameter: Optional[tuple] = None,
+    ) -> None:
+        pass
+
+    def on_task_end(
+        self, thread_id: int, region: Region, instance: InstanceId, time: float
+    ) -> None:
+        pass
+
+    def on_task_switch(self, thread_id: int, instance: InstanceId, time: float) -> None:
+        pass
+
+    def on_metric(self, thread_id: int, counters: dict, time: float) -> None:
+        pass
+
+    def on_phase_begin(self, name: str) -> None:
+        pass
+
+    def on_phase_end(self, name: str) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.essential:
+            flags.append("essential")
+        if self.per_event_cost:
+            flags.append(f"cost={self.per_event_cost:g}us")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        return f"<{type(self).__name__} {self.name!r}{suffix}>"

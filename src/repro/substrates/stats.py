@@ -1,0 +1,93 @@
+"""The statistics substrate: cheap per-type / per-thread event counts.
+
+The lightest useful substrate: it keeps counters, nothing else.  Its
+artifact feeds the overhead analysis
+(:func:`repro.analysis.overhead.event_cost_attribution`): once you know
+how many events of each kind each thread produced, a per-event cost
+turns directly into an attributable per-kind / per-thread overhead
+breakdown (paper Section V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.events.regions import Region, RegionRegistry
+from repro.substrates.base import Substrate
+
+
+class StatsSubstrate(Substrate):
+    """Counts events per kind, per thread, and enters per region type."""
+
+    name = "stats"
+    essential = False
+
+    def __init__(self, per_event_cost: float = 0.0) -> None:
+        self.per_event_cost = per_event_cost
+        self.n_threads = 0
+        self.per_thread: List[int] = []
+        self.per_kind: Dict[str, int] = {
+            "enter": 0,
+            "exit": 0,
+            "task_begin": 0,
+            "task_end": 0,
+            "task_switch": 0,
+            "metric": 0,
+        }
+        #: enter events per region type (the exit mirrors the enter, so
+        #: counting one side keeps region visits un-double-counted)
+        self.per_region_type: Dict[str, int] = {}
+
+    def initialize(
+        self,
+        registry: RegionRegistry,
+        n_threads: int,
+        start_time: float,
+        implicit_region: Optional[Region] = None,
+    ) -> None:
+        self.n_threads = n_threads
+        self.per_thread = [0] * n_threads
+
+    # -- POMP2 callbacks ------------------------------------------------
+    def on_enter(self, thread_id, region, time, parameter=None) -> None:
+        self.per_thread[thread_id] += 1
+        self.per_kind["enter"] += 1
+        rtype = region.region_type.value
+        self.per_region_type[rtype] = self.per_region_type.get(rtype, 0) + 1
+
+    def on_exit(self, thread_id, region, time) -> None:
+        self.per_thread[thread_id] += 1
+        self.per_kind["exit"] += 1
+
+    def on_task_begin(self, thread_id, region, instance, time, parameter=None) -> None:
+        self.per_thread[thread_id] += 1
+        self.per_kind["task_begin"] += 1
+
+    def on_task_end(self, thread_id, region, instance, time) -> None:
+        self.per_thread[thread_id] += 1
+        self.per_kind["task_end"] += 1
+
+    def on_task_switch(self, thread_id, instance, time) -> None:
+        self.per_thread[thread_id] += 1
+        self.per_kind["task_switch"] += 1
+
+    def on_metric(self, thread_id, counters, time) -> None:
+        # Metrics piggyback on an existing event boundary (no cost, not
+        # counted in total_events) but are still interesting traffic.
+        self.per_kind["metric"] += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_events(self) -> int:
+        """Cost-bearing events (everything except piggybacked metrics)."""
+        return sum(
+            count for kind, count in self.per_kind.items() if kind != "metric"
+        )
+
+    def artifact(self) -> dict:
+        return {
+            "total_events": self.total_events,
+            "per_thread": list(self.per_thread),
+            "per_kind": dict(self.per_kind),
+            "per_region_type": dict(sorted(self.per_region_type.items())),
+        }

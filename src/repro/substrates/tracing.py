@@ -1,0 +1,48 @@
+"""The tracing substrate: full event recording as a substrate.
+
+Wraps :class:`~repro.events.stream.ProgramTrace` +
+:class:`~repro.instrument.pomp2.RecordingListener`; like the profiling
+substrate it shadows the recorder's bound methods onto itself at
+:meth:`initialize`, so recording through the manager produces the same
+trace the old ``add_listener`` wiring did.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.regions import Region, RegionRegistry
+from repro.events.stream import ProgramTrace
+from repro.instrument.pomp2 import RecordingListener
+from repro.substrates.base import Substrate
+
+
+class TracingSubstrate(Substrate):
+    """Records every event into a ProgramTrace (the run's ``trace``)."""
+
+    name = "tracing"
+    essential = True
+
+    def __init__(self, per_event_cost: float = 0.0) -> None:
+        self.per_event_cost = per_event_cost
+        self.trace: Optional[ProgramTrace] = None
+        self._recorder: Optional[RecordingListener] = None
+
+    def initialize(
+        self,
+        registry: RegionRegistry,
+        n_threads: int,
+        start_time: float,
+        implicit_region: Optional[Region] = None,
+    ) -> None:
+        self.trace = ProgramTrace(n_threads, registry)
+        recorder = RecordingListener(self.trace)
+        self._recorder = recorder
+        self.on_enter = recorder.on_enter
+        self.on_exit = recorder.on_exit
+        self.on_task_begin = recorder.on_task_begin
+        self.on_task_end = recorder.on_task_end
+        self.on_task_switch = recorder.on_task_switch
+
+    def artifact(self) -> Optional[ProgramTrace]:
+        return self.trace

@@ -80,19 +80,27 @@ def fault_cell(
     n_threads: int = 2,
     watchdog_us: Optional[float] = None,
     wall_timeout_s: Optional[float] = None,
+    substrates: Optional[Sequence[str]] = None,
 ) -> RunSpec:
-    """One fault-campaign cell (``mode='none'`` = healthy run)."""
+    """One fault-campaign cell (``mode='none'`` = healthy run).
+
+    ``substrates`` optionally names extra measurement substrates for the
+    worker to attach (registry names only -- the spec must stay JSON).
+    """
+    params: Dict[str, Any] = {
+        "app": app,
+        "mode": mode,
+        "seed": seed,
+        "size": size,
+        "n_threads": n_threads,
+        "watchdog_us": watchdog_us,
+    }
+    if substrates:
+        params["substrates"] = list(substrates)
     return RunSpec(
         kind="fault",
         cell_id=f"{app}|{mode}|s{seed}",
-        params={
-            "app": app,
-            "mode": mode,
-            "seed": seed,
-            "size": size,
-            "n_threads": n_threads,
-            "watchdog_us": watchdog_us,
-        },
+        params=params,
         wall_timeout_s=wall_timeout_s,
     )
 
@@ -106,6 +114,7 @@ def fault_grid(
     n_threads: int = 2,
     watchdog_us: Optional[float] = None,
     wall_timeout_s: Optional[float] = None,
+    substrates: Optional[Sequence[str]] = None,
 ) -> List[RunSpec]:
     """The campaign grid, app-major like ``run_campaign`` sweeps it."""
     return [
@@ -117,6 +126,7 @@ def fault_grid(
             n_threads=n_threads,
             watchdog_us=watchdog_us,
             wall_timeout_s=wall_timeout_s,
+            substrates=substrates,
         )
         for app in apps
         for mode in modes

@@ -81,6 +81,7 @@ def _run_fault_cell(params: Dict[str, Any]) -> dict:
         seed=params.get("seed", 0),
         plan=plan,
         watchdog_us=DEFAULT_WATCHDOG_US if watchdog_us is None else watchdog_us,
+        substrates=params.get("substrates"),
     )
     summary = (
         outcome.salvage.summary()

@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.bots",
     "repro.analysis",
     "repro.faults",
+    "repro.substrates",
 ]
 
 
@@ -64,10 +65,23 @@ PROMISED = {
         "instrument_source",
         "instrument_function",
     ],
+    "repro.substrates": [
+        "Substrate",
+        "SubstrateManager",
+        "SubstrateIncident",
+        "ProfilingSubstrate",
+        "TracingSubstrate",
+        "OnlineValidationSubstrate",
+        "StatsSubstrate",
+        "register_substrate",
+        "get_substrate",
+        "available_substrates",
+    ],
     "repro.events": [
         "Region",
         "RegionRegistry",
         "RegionType",
+        "TaskStreamChecker",
         "EnterEvent",
         "ExitEvent",
         "TaskBeginEvent",
@@ -115,6 +129,8 @@ PROMISED = {
         "measure_overhead",
         "overhead_sweep",
         "runtime_scaling",
+        "substrate_overhead_rows",
+        "event_cost_attribution",
         "task_statistics",
         "max_concurrent_tasks",
         "nqueens_region_times",
