@@ -1,0 +1,71 @@
+"""Real wall-clock throughput of the content-addressed profile archive.
+
+The archive sits on the hot path of `repro run --archive` and of every
+supervised fault-grid cell, so its absolute cost matters: an archive
+write must stay negligible next to the simulated run it records, and a
+baseline load must stay negligible next to the candidate run the
+sentinel compares.  No paper assertions here -- these are the
+regression-tracking benchmarks of the archive subsystem itself.
+"""
+
+import itertools
+
+from repro.analysis.experiment import run_app
+from repro.archive import ArchiveStore, canonical_profile_bytes, meta_for_result
+
+
+def _fib_result():
+    return run_app("fib", size="test", variant="stress", n_threads=2, seed=0)
+
+
+def test_archive_cold_write_throughput(benchmark, report, tmp_path):
+    result = _fib_result()
+    meta = meta_for_result(result, size="test", variant="stress")
+    payload_bytes = len(canonical_profile_bytes(result.profile))
+    counter = itertools.count()
+
+    def write():
+        store = ArchiveStore(tmp_path / f"a{next(counter)}")
+        return store.put(result.profile, meta)
+
+    record = benchmark(write)
+    assert not record.deduplicated
+    per_put = benchmark.stats.stats.mean
+    report.section("Archive cold write (object + index)")
+    report(f"profile payload: {payload_bytes:,} canonical JSON bytes")
+    report(f"{1.0 / per_put:,.0f} archived runs per second")
+    report(f"{payload_bytes / per_put / 1e6:,.1f} MB/s canonical payload")
+    assert 1.0 / per_put > 20  # sanity floor: well under 50 ms per archive
+
+
+def test_archive_deduplicated_put_throughput(benchmark, report, tmp_path):
+    result = _fib_result()
+    meta = meta_for_result(result, size="test", variant="stress")
+    store = ArchiveStore(tmp_path / "arch")
+    store.put(result.profile, meta)
+
+    record = benchmark(lambda: store.put(result.profile, meta))
+    assert record.deduplicated
+    per_put = benchmark.stats.stats.mean
+    report.section("Archive deduplicated put (content already stored)")
+    report(f"{1.0 / per_put:,.0f} deduplicated puts per second")
+    assert 1.0 / per_put > 20
+
+
+def test_archive_read_throughput(benchmark, report, tmp_path):
+    result = _fib_result()
+    store = ArchiveStore(tmp_path / "arch")
+    record = store.put(
+        result.profile, meta_for_result(result, size="test", variant="stress")
+    )
+    payload_bytes = len(canonical_profile_bytes(result.profile))
+
+    profile = benchmark(lambda: store.load_profile(record.run_id))
+    assert canonical_profile_bytes(profile) == canonical_profile_bytes(
+        result.profile
+    )
+    per_load = benchmark.stats.stats.mean
+    report.section("Archive verified read (decompress + hash check + parse)")
+    report(f"{1.0 / per_load:,.0f} profile loads per second")
+    report(f"{payload_bytes / per_load / 1e6:,.1f} MB/s canonical payload")
+    assert 1.0 / per_load > 50

@@ -39,6 +39,11 @@ from repro.analysis.bottleneck import (
     creation_balance,
     diagnose_creation_bottleneck,
 )
+from repro.analysis.regression import (
+    archive_table,
+    baseline_table,
+    sentinel_table,
+)
 from repro.analysis.report import generate_report
 from repro.analysis.tables import format_table
 from repro.analysis.charts import ascii_bar_chart
@@ -75,6 +80,9 @@ __all__ = [
     "creation_balance",
     "diagnose_creation_bottleneck",
     "generate_report",
+    "archive_table",
+    "baseline_table",
+    "sentinel_table",
     "format_table",
     "ascii_bar_chart",
     "Fragment",

@@ -28,6 +28,9 @@ class ExperimentResult:
     parallel: ParallelResult
     profile: Optional[Profile]
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: the full configuration the run used; the profile archive
+    #: fingerprints it to group repetitions into baselines
+    config: Optional[RuntimeConfig] = None
 
     @property
     def result_value(self) -> Any:
@@ -74,6 +77,7 @@ def run_program(
         parallel=parallel,
         profile=parallel.profile,
         meta=dict(program.meta),
+        config=config,
     )
 
 

@@ -1,0 +1,114 @@
+"""Text rendering of archive baselines and sentinel verdicts.
+
+The archive subsystem (:mod:`repro.archive`) produces structured
+objects; this module turns them into the fixed-width tables the CLI and
+CI logs show, using the same :func:`repro.analysis.tables.format_table`
+the paper-artifact commands use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+
+
+def archive_table(records: Sequence, title: Optional[str] = None) -> str:
+    """One row per archived run (``repro archive list``)."""
+    rows: List[list] = []
+    for record in records:
+        meta = record.meta
+        wall = "" if meta.wall_time_us is None else f"{meta.wall_time_us:.0f}"
+        rows.append(
+            [
+                record.run_id,
+                record.sha256[:12],
+                meta.kernel,
+                meta.size,
+                meta.variant,
+                meta.n_threads,
+                meta.seed,
+                wall,
+                ",".join(record.tags),
+            ]
+        )
+    return format_table(
+        ["run", "sha256", "kernel", "size", "variant", "thr", "seed",
+         "wall [us]", "tags"],
+        rows,
+        title=title,
+    )
+
+
+def baseline_table(baseline, metric: str = "exclusive",
+                   title: Optional[str] = None) -> str:
+    """Per-region baseline statistics (``repro archive baseline``)."""
+    rows: List[list] = []
+    for region in baseline.region_names():
+        stats = baseline.stats(region, metric)
+        if stats is None:
+            continue
+        rows.append(
+            [
+                region,
+                f"{stats.count}/{baseline.n_runs}",
+                f"{stats.mean:.2f}",
+                f"{stats.std:.2f}",
+                f"{stats.minimum:.2f}",
+                f"{stats.maximum:.2f}",
+            ]
+        )
+    if title is None:
+        title = (
+            f"baseline over {baseline.n_runs} run(s) "
+            f"[{metric}, virtual us]"
+        )
+    return format_table(
+        ["region", "runs", "mean", "std", "min", "max"], rows, title=title
+    )
+
+
+def sentinel_table(report, *, include_ok: bool = False,
+                   title: Optional[str] = None) -> str:
+    """The verdict table of one sentinel comparison.
+
+    ``include_ok=False`` (the default) keeps CI logs focused on what
+    changed; the summary line still counts the ok regions.
+    """
+    rows: List[list] = []
+    for verdict in report.verdicts:
+        if verdict.verdict == "ok" and not include_ok:
+            continue
+        if verdict.verdict == "appeared":
+            base = "-"
+            z = "-"
+            ratio = "[new]"
+        elif verdict.verdict == "vanished":
+            base = f"{verdict.mean:.2f}"
+            z = "-"
+            ratio = "[gone]"
+        else:
+            base = f"{verdict.mean:.2f} ± {verdict.std:.2f}"
+            z = "-" if verdict.zscore is None else f"{verdict.zscore:+.1f}"
+            ratio = f"{verdict.ratio:.2f}x"
+        rows.append(
+            [
+                verdict.region,
+                verdict.metric,
+                verdict.verdict,
+                base,
+                f"{verdict.candidate:.2f}",
+                ratio,
+                z,
+            ]
+        )
+    table = format_table(
+        ["region", "metric", "verdict", "baseline", "candidate", "ratio", "z"],
+        rows,
+        title=title,
+    )
+    if not rows:
+        table = "(no regions beyond thresholds)"
+        if title:
+            table = f"{title}\n{table}"
+    return table + "\n" + report.summary()

@@ -1,0 +1,135 @@
+"""Baselines: N archived runs aggregated into per-region statistics.
+
+The sentinel needs more than a single reference run -- scheduling noise
+(steal victims, queue interleavings) moves per-region times between
+repetitions, and a threshold that ignores that variance either cries
+wolf or sleeps through real regressions (Drebes et al., *Automatic
+Detection of Performance Anomalies in Task-Parallel Programs*).  A
+:class:`Baseline` therefore aggregates the flat region view
+(:func:`repro.cube.query.flat_region_profile`) of every constituent run
+into per-region per-metric mean/std/min/max, plus a presence count so a
+region that only appears in some repetitions is not mistaken for a
+structural change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cube.query import flat_region_profile
+
+#: The flat-view metrics a baseline aggregates.
+BASELINE_METRICS = ("exclusive", "inclusive", "visits")
+
+
+@dataclass
+class MetricStats:
+    """Mean/std/min/max/count of one metric over the baseline runs.
+
+    ``count`` is the number of runs the region appeared in; statistics
+    are computed over those runs only (absence is a structural signal,
+    not a zero sample).
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    std: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "MetricStats":
+        n = len(samples)
+        if n == 0:
+            return cls()
+        mean = sum(samples) / n
+        variance = sum((s - mean) ** 2 for s in samples) / n
+        std = math.sqrt(variance)
+        # Identical samples accumulate float residue (std ~ 1e-16);
+        # treat that as the exactly-repeatable case, not real variance.
+        if std <= max(abs(mean), 1.0) * 1e-9:
+            std = 0.0
+        return cls(
+            count=n,
+            mean=mean,
+            std=std,
+            minimum=min(samples),
+            maximum=max(samples),
+        )
+
+    def zscore(self, value: float) -> Optional[float]:
+        """Standard score of ``value``, or None when std is zero."""
+        if self.count == 0 or self.std == 0.0:
+            return None
+        return (value - self.mean) / self.std
+
+
+@dataclass
+class Baseline:
+    """Aggregated statistics over N runs of one configuration."""
+
+    n_runs: int
+    #: region name -> metric name -> stats
+    regions: Dict[str, Dict[str, MetricStats]] = field(default_factory=dict)
+    #: the archive records this baseline was built from (may be empty
+    #: when aggregating in-memory profiles)
+    records: List[object] = field(default_factory=list)
+
+    @classmethod
+    def from_profiles(cls, profiles: Sequence, records: Sequence = ()) -> "Baseline":
+        flats = [flat_region_profile(p) for p in profiles]
+        samples: Dict[str, Dict[str, List[float]]] = {}
+        for flat in flats:
+            for region, metrics in flat.items():
+                per_region = samples.setdefault(region, {})
+                for metric in BASELINE_METRICS:
+                    per_region.setdefault(metric, []).append(
+                        float(metrics.get(metric, 0.0))
+                    )
+        regions = {
+            region: {
+                metric: MetricStats.from_samples(values)
+                for metric, values in sorted(per_region.items())
+            }
+            for region, per_region in sorted(samples.items())
+        }
+        return cls(n_runs=len(flats), regions=regions, records=list(records))
+
+    def region_names(self) -> List[str]:
+        return list(self.regions)
+
+    def stats(self, region: str, metric: str) -> Optional[MetricStats]:
+        return self.regions.get(region, {}).get(metric)
+
+    def presence(self, region: str) -> int:
+        """In how many baseline runs the region appeared."""
+        per_region = self.regions.get(region)
+        if not per_region:
+            return 0
+        return max(stats.count for stats in per_region.values())
+
+    def run_ids(self) -> Tuple[str, ...]:
+        return tuple(
+            getattr(record, "run_id", "?") for record in self.records
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "n_runs": self.n_runs,
+            "runs": list(self.run_ids()),
+            "regions": {
+                region: {
+                    metric: {
+                        "count": stats.count,
+                        "mean": stats.mean,
+                        "std": stats.std,
+                        "min": stats.minimum,
+                        "max": stats.maximum,
+                    }
+                    for metric, stats in per_region.items()
+                }
+                for region, per_region in self.regions.items()
+            },
+        }

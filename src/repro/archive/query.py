@@ -1,0 +1,115 @@
+"""Query layer over the archive index: filter runs, pick baselines."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.archive.baseline import Baseline
+from repro.archive.store import ArchiveRecord, ArchiveStore
+from repro.errors import ArchiveError
+
+
+def find_runs(
+    store: ArchiveStore,
+    *,
+    kernel: Optional[str] = None,
+    size: Optional[str] = None,
+    variant: Optional[str] = None,
+    n_threads: Optional[int] = None,
+    seed: Optional[int] = None,
+    tag: Optional[str] = None,
+    config_hash: Optional[str] = None,
+    source: Optional[str] = None,
+    limit: Optional[int] = None,
+    newest_first: bool = False,
+) -> List[ArchiveRecord]:
+    """Run records matching every given filter (None = don't care).
+
+    ``limit`` keeps the *newest* matches either way; ``newest_first``
+    only controls the order they come back in.
+    """
+    matches = []
+    for record in store.records():
+        meta = record.meta
+        if kernel is not None and meta.kernel != kernel:
+            continue
+        if size is not None and meta.size != size:
+            continue
+        if variant is not None and meta.variant != variant:
+            continue
+        if n_threads is not None and meta.n_threads != n_threads:
+            continue
+        if seed is not None and meta.seed != seed:
+            continue
+        if tag is not None and tag not in record.tags:
+            continue
+        if config_hash is not None and meta.config_hash != config_hash:
+            continue
+        if source is not None and meta.source != source:
+            continue
+        matches.append(record)
+    if limit is not None and limit >= 0:
+        matches = matches[len(matches) - min(limit, len(matches)):]
+    if newest_first:
+        matches = list(reversed(matches))
+    return matches
+
+
+def latest_baseline(
+    store: ArchiveStore,
+    *,
+    kernel: str,
+    size: Optional[str] = None,
+    variant: Optional[str] = None,
+    n_threads: Optional[int] = None,
+    tag: Optional[str] = None,
+    runs: int = 3,
+    min_runs: int = 1,
+) -> Baseline:
+    """Aggregate the newest matching runs into a :class:`Baseline`.
+
+    Raises :class:`~repro.errors.ArchiveError` when fewer than
+    ``min_runs`` matching runs are archived -- a sentinel without a
+    statistical baseline would just be a diff.
+    """
+    if runs < 1:
+        raise ArchiveError(f"baseline needs at least 1 run, asked for {runs}")
+    records = find_runs(
+        store,
+        kernel=kernel,
+        size=size,
+        variant=variant,
+        n_threads=n_threads,
+        tag=tag,
+        limit=runs,
+    )
+    if len(records) < max(min_runs, 1):
+        descr = [f"kernel={kernel}"]
+        if size is not None:
+            descr.append(f"size={size}")
+        if variant is not None:
+            descr.append(f"variant={variant}")
+        if n_threads is not None:
+            descr.append(f"threads={n_threads}")
+        if tag is not None:
+            descr.append(f"tag={tag}")
+        raise ArchiveError(
+            f"baseline needs >= {max(min_runs, 1)} archived run(s) matching "
+            f"{', '.join(descr)}; found {len(records)} "
+            f"(archive more with `repro run --archive`)"
+        )
+    profiles = [store.load_object(record.sha256) for record in records]
+    return Baseline.from_profiles(profiles, records=records)
+
+
+def baselines_available(store: ArchiveStore) -> List[tuple]:
+    """Distinct configuration groups with their run counts, oldest first."""
+    counts: dict = {}
+    order: List[tuple] = []
+    for record in store.records():
+        key = record.meta.group_key()
+        if key not in counts:
+            order.append(key)
+            counts[key] = 0
+        counts[key] += 1
+    return [(key, counts[key]) for key in order]

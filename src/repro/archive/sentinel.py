@@ -1,0 +1,297 @@
+"""The regression sentinel: noise-aware comparison against a baseline.
+
+Replaces the manual Section-VI workflow ("comparison of profiles of
+instrumented runs ... shows") with a machine verdict: each region of a
+candidate profile is classified against the baseline statistics as
+
+* ``ok`` -- within thresholds,
+* ``regressed`` -- slower by both the ratio and (when the baseline has
+  variance) the z-score threshold,
+* ``improved`` -- the mirror image,
+* ``appeared`` / ``vanished`` -- structural changes in the region set.
+
+Two thresholds gate a regression because either alone misfires: a pure
+ratio flags µs-level noise on tiny regions, a pure z-score flags
+perfectly repeatable baselines (std == 0) on any change at all.  The
+noise floor (``min_abs_us``) additionally mutes regions too small to
+matter.  Exit-code semantics (:attr:`SentinelReport.exit_code`) make
+the verdict consumable by CI: 0 clean, 1 regressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.archive.baseline import Baseline
+from repro.cube.query import flat_region_profile
+
+#: Region verdicts, in severity order.
+VERDICTS = ("regressed", "vanished", "appeared", "improved", "ok")
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """Noise-aware thresholds for one metric.
+
+    A region regresses on a metric only when the candidate exceeds the
+    baseline mean by ``ratio`` *and*, when the baseline has variance,
+    by ``zscore`` standard deviations.  Values below ``min_abs`` on both
+    sides are noise-floor-muted.
+    """
+
+    ratio: float = 1.10
+    zscore: float = 3.0
+    min_abs: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 1.0:
+            raise ValueError(f"ratio threshold must be > 1, got {self.ratio}")
+        if self.zscore < 0:
+            raise ValueError(f"zscore threshold must be >= 0, got {self.zscore}")
+
+
+#: Default per-metric policies: exclusive time is the headline metric;
+#: visit counts regress only on exact-ratio changes (they are integral
+#: and deterministic for a fixed input).
+DEFAULT_POLICIES: Mapping[str, MetricPolicy] = {
+    "exclusive": MetricPolicy(),
+}
+
+
+@dataclass(frozen=True)
+class SentinelPolicy:
+    """The complete comparison policy."""
+
+    metrics: Mapping[str, MetricPolicy] = field(
+        default_factory=lambda: dict(DEFAULT_POLICIES)
+    )
+    #: whether structural changes fail the run (exit code 1)
+    fail_on_appeared: bool = False
+    fail_on_vanished: bool = False
+
+    def with_thresholds(
+        self,
+        metric: str,
+        *,
+        ratio: Optional[float] = None,
+        zscore: Optional[float] = None,
+        min_abs: Optional[float] = None,
+    ) -> "SentinelPolicy":
+        current = self.metrics.get(metric, MetricPolicy())
+        updates = {}
+        if ratio is not None:
+            updates["ratio"] = ratio
+        if zscore is not None:
+            updates["zscore"] = zscore
+        if min_abs is not None:
+            updates["min_abs"] = min_abs
+        metrics = dict(self.metrics)
+        metrics[metric] = replace(current, **updates)
+        return replace(self, metrics=metrics)
+
+
+@dataclass
+class RegionVerdict:
+    """One region x metric comparison."""
+
+    region: str
+    metric: str
+    verdict: str
+    candidate: float
+    mean: float
+    std: float
+    #: candidate / baseline mean (inf when the region appeared)
+    ratio: float
+    #: standard score against the baseline (None when std == 0)
+    zscore: Optional[float] = None
+    #: baseline runs the region appeared in / total baseline runs
+    presence: Tuple[int, int] = (0, 0)
+
+    def describe(self) -> str:
+        if self.verdict == "appeared":
+            detail = "not in baseline"
+        elif self.verdict == "vanished":
+            detail = f"baseline mean {self.mean:.2f}"
+        else:
+            z = "n/a" if self.zscore is None else f"{self.zscore:+.1f}"
+            detail = (
+                f"{self.mean:.2f} ± {self.std:.2f} -> {self.candidate:.2f} "
+                f"({self.ratio:.2f}x, z={z})"
+            )
+        return f"{self.region} [{self.metric}] {self.verdict}: {detail}"
+
+
+@dataclass
+class SentinelReport:
+    """The structured verdict of one candidate-vs-baseline comparison."""
+
+    verdicts: List[RegionVerdict]
+    baseline_runs: int
+    policy: SentinelPolicy = field(default_factory=SentinelPolicy)
+    baseline_run_ids: Tuple[str, ...] = ()
+    candidate_label: str = ""
+
+    def by_verdict(self, verdict: str) -> List[RegionVerdict]:
+        return [v for v in self.verdicts if v.verdict == verdict]
+
+    @property
+    def regressions(self) -> List[RegionVerdict]:
+        return self.by_verdict("regressed")
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {verdict: 0 for verdict in VERDICTS}
+        for entry in self.verdicts:
+            counts[entry.verdict] += 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+    @property
+    def exit_code(self) -> int:
+        """CI semantics: 0 clean, 1 regression (or failing structural
+        change under the policy)."""
+        if self.regressions:
+            return 1
+        if self.policy.fail_on_appeared and self.by_verdict("appeared"):
+            return 1
+        if self.policy.fail_on_vanished and self.by_verdict("vanished"):
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        counts = self.counts
+        parts = [
+            f"{counts[v]} {v}" for v in VERDICTS if counts[v] or v == "regressed"
+        ]
+        verdict = "REGRESSED" if self.exit_code else "OK"
+        return (
+            f"sentinel {verdict} vs {self.baseline_runs}-run baseline: "
+            + ", ".join(parts)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "baseline_runs": self.baseline_runs,
+            "baseline_run_ids": list(self.baseline_run_ids),
+            "candidate": self.candidate_label,
+            "counts": self.counts,
+            "verdicts": [
+                {
+                    "region": v.region,
+                    "metric": v.metric,
+                    "verdict": v.verdict,
+                    "candidate": v.candidate,
+                    "mean": v.mean,
+                    "std": v.std,
+                    "ratio": v.ratio,
+                    "zscore": v.zscore,
+                    "presence": list(v.presence),
+                }
+                for v in self.verdicts
+            ],
+        }
+
+
+def _severity(entry: RegionVerdict) -> tuple:
+    rank = VERDICTS.index(entry.verdict)
+    magnitude = abs(entry.zscore) if entry.zscore is not None else 0.0
+    ratio_shift = abs(entry.ratio - 1.0) if entry.ratio != float("inf") else float("inf")
+    return (rank, -ratio_shift, -magnitude, entry.region, entry.metric)
+
+
+def compare_to_baseline(
+    profile,
+    baseline: Baseline,
+    policy: Optional[SentinelPolicy] = None,
+    candidate_label: str = "",
+) -> SentinelReport:
+    """Classify every region of ``profile`` against ``baseline``.
+
+    Structural verdicts (appeared/vanished) are emitted once per region;
+    numeric verdicts once per region x policy metric.  The report is
+    sorted most-severe first.
+    """
+    policy = policy if policy is not None else SentinelPolicy()
+    candidate = flat_region_profile(profile)
+    verdicts: List[RegionVerdict] = []
+    headline = next(iter(policy.metrics), "exclusive")
+    regions = sorted(set(candidate) | set(baseline.regions))
+    for region in regions:
+        presence = baseline.presence(region)
+        in_candidate = region in candidate
+        if presence == 0 and in_candidate:
+            value = float(candidate[region].get(headline, 0.0))
+            verdicts.append(
+                RegionVerdict(
+                    region=region,
+                    metric=headline,
+                    verdict="appeared",
+                    candidate=value,
+                    mean=0.0,
+                    std=0.0,
+                    ratio=float("inf"),
+                    presence=(0, baseline.n_runs),
+                )
+            )
+            continue
+        if presence > 0 and not in_candidate:
+            stats = baseline.stats(region, headline)
+            verdicts.append(
+                RegionVerdict(
+                    region=region,
+                    metric=headline,
+                    verdict="vanished",
+                    candidate=0.0,
+                    mean=stats.mean if stats else 0.0,
+                    std=stats.std if stats else 0.0,
+                    ratio=0.0,
+                    presence=(presence, baseline.n_runs),
+                )
+            )
+            continue
+        for metric, thresholds in policy.metrics.items():
+            stats = baseline.stats(region, metric)
+            value = float(candidate[region].get(metric, 0.0))
+            mean = stats.mean if stats is not None else 0.0
+            std = stats.std if stats is not None else 0.0
+            if value <= thresholds.min_abs and mean <= thresholds.min_abs:
+                verdict, ratio, zscore = "ok", 1.0, None
+            else:
+                ratio = value / mean if mean > 0 else float("inf")
+                zscore = stats.zscore(value) if stats is not None else None
+                verdict = "ok"
+                if ratio >= thresholds.ratio and (
+                    zscore is None or zscore >= thresholds.zscore
+                ):
+                    verdict = "regressed"
+                elif ratio <= 1.0 / thresholds.ratio and (
+                    zscore is None or zscore <= -thresholds.zscore
+                ):
+                    verdict = "improved"
+            verdicts.append(
+                RegionVerdict(
+                    region=region,
+                    metric=metric,
+                    verdict=verdict,
+                    candidate=value,
+                    mean=mean,
+                    std=std,
+                    ratio=ratio,
+                    zscore=zscore,
+                    presence=(presence, baseline.n_runs),
+                )
+            )
+    verdicts.sort(key=_severity)
+    return SentinelReport(
+        verdicts=verdicts,
+        baseline_runs=baseline.n_runs,
+        policy=policy,
+        baseline_run_ids=baseline.run_ids(),
+        candidate_label=candidate_label,
+    )

@@ -1,0 +1,346 @@
+"""The content-addressed profile store.
+
+Layout of an archive directory::
+
+    <root>/
+      objects/<aa>/<sha256>.json.gz   # gzip'd canonical profile JSON
+      index.jsonl                     # append-only run/tag records
+      index.lock                      # advisory lock for index rewrites
+
+**Objects** are immutable and keyed by the sha256 of the *canonical*
+profile JSON (sorted keys, compact separators), so re-archiving an
+identical profile is free: byte-identical content maps to the same key
+and the existing object is reused.  The gzip header is written with a
+zeroed mtime, making the object file itself a pure function of the
+profile content.
+
+**The index** is append-only JSONL.  Every mutation rewrites it through
+:func:`repro.ioutil.atomic_write` under an advisory file lock, so a
+crash mid-write can never leave a torn index (readers see the old or
+the new file, nothing in between) and concurrent supervisor workers
+archiving cells in parallel serialize cleanly.  Loading tolerates
+unparsable lines the same way the supervisor journal does: corruption
+never makes the archive refuse to answer, the worst case is a missing
+record.
+
+Record types::
+
+    {"type":"run","run_id":"r0001","sha256":...,"created":...,"meta":{...}}
+    {"type":"tag","run_id":"r0001","tag":"baseline"}
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gzip
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.cube.export import profile_from_dict, profile_to_dict
+from repro.errors import ArchiveError
+from repro.ioutil import atomic_write
+from repro.archive.meta import RunMeta
+
+INDEX_NAME = "index.jsonl"
+OBJECTS_DIR = "objects"
+
+
+def canonical_profile_bytes(profile) -> bytes:
+    """The canonical serialized form content addresses are computed on."""
+    data = profile_to_dict(profile)
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def content_hash(profile) -> str:
+    return hashlib.sha256(canonical_profile_bytes(profile)).hexdigest()
+
+
+@dataclass
+class ArchiveRecord:
+    """One ``run`` record of the index, with its tags folded in."""
+
+    run_id: str
+    sha256: str
+    created: float
+    meta: RunMeta
+    #: True when ``put`` found the object already present (same content)
+    deduplicated: bool = False
+    extra_tags: List[str] = field(default_factory=list)
+
+    @property
+    def tags(self) -> List[str]:
+        seen = list(self.meta.tags)
+        for tag in self.extra_tags:
+            if tag not in seen:
+                seen.append(tag)
+        return seen
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "run",
+            "run_id": self.run_id,
+            "sha256": self.sha256,
+            "created": self.created,
+            "meta": self.meta.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArchiveRecord":
+        return cls(
+            run_id=data["run_id"],
+            sha256=data["sha256"],
+            created=float(data.get("created", 0.0)),
+            meta=RunMeta.from_dict(data.get("meta") or {}),
+        )
+
+
+@dataclass
+class GcStats:
+    """What one :meth:`ArchiveStore.gc` pass removed."""
+
+    runs_dropped: int = 0
+    objects_deleted: int = 0
+    bytes_freed: int = 0
+
+
+class ArchiveStore:
+    """A content-addressed archive rooted at one directory."""
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, INDEX_NAME)
+
+    def object_path(self, sha256: str) -> str:
+        return os.path.join(self.root, OBJECTS_DIR, sha256[:2], sha256 + ".json.gz")
+
+    # -- locking -------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock serializing index rewrites.
+
+        Best-effort where ``fcntl`` is unavailable (Windows): the write
+        itself stays atomic either way, the lock only serializes
+        concurrent read-modify-write cycles.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        lock_path = os.path.join(self.root, "index.lock")
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX
+            yield
+            return
+        with open(lock_path, "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -- objects -------------------------------------------------------
+    def put_object(self, profile) -> tuple:
+        """Store the profile blob; returns ``(sha256, created)``.
+
+        ``created`` is False when an object with this content already
+        exists -- the content-addressed deduplication path.
+        """
+        payload = canonical_profile_bytes(profile)
+        sha256 = hashlib.sha256(payload).hexdigest()
+        path = self.object_path(sha256)
+        if os.path.exists(path):
+            return sha256, False
+        # mtime=0 keeps the compressed object a pure function of content.
+        blob = gzip.compress(payload, mtime=0)
+        atomic_write(path, blob)
+        return sha256, True
+
+    def has_object(self, sha256: str) -> bool:
+        return os.path.exists(self.object_path(sha256))
+
+    def load_object(self, sha256: str):
+        """Load and verify one object back into a ``Profile``.
+
+        Raises :class:`ArchiveError` when the object is missing or its
+        bytes no longer hash to their name;
+        :class:`~repro.errors.ProfileFormatError` propagates untouched
+        when the entry was written by an incompatible format version.
+        """
+        path = self.object_path(sha256)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            raise ArchiveError(
+                f"archive object {sha256[:12]}… is missing from {self.root!r} "
+                f"(was it gc'd or the directory pruned?)"
+            ) from None
+        try:
+            payload = gzip.decompress(blob)
+        except OSError as exc:
+            raise ArchiveError(
+                f"archive object {sha256[:12]}… is not valid gzip: {exc}"
+            ) from exc
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != sha256:
+            raise ArchiveError(
+                f"archive object {sha256[:12]}… fails verification: content "
+                f"hashes to {actual[:12]}… (on-disk corruption)"
+            )
+        return profile_from_dict(json.loads(payload.decode("utf-8")))
+
+    # -- index ---------------------------------------------------------
+    def _read_index_lines(self) -> List[str]:
+        try:
+            with open(self.index_path, encoding="utf-8") as handle:
+                return handle.read().splitlines()
+        except FileNotFoundError:
+            return []
+
+    def _append_entries(self, entries: List[dict]) -> None:
+        lines = self._read_index_lines()
+        for entry in entries:
+            lines.append(json.dumps(entry, sort_keys=True, separators=(",", ":")))
+        atomic_write(self.index_path, "\n".join(lines) + "\n")
+
+    def records(self) -> List[ArchiveRecord]:
+        """All run records, oldest first, with ``tag`` records folded in."""
+        records: Dict[str, ArchiveRecord] = {}
+        order: List[str] = []
+        for line in self._read_index_lines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn/corrupt line: skip, like the journal does
+            kind = entry.get("type")
+            if kind == "run":
+                try:
+                    record = ArchiveRecord.from_dict(entry)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if record.run_id not in records:
+                    order.append(record.run_id)
+                records[record.run_id] = record
+            elif kind == "tag":
+                record = records.get(entry.get("run_id"))
+                tag = entry.get("tag")
+                if record is not None and tag and tag not in record.extra_tags:
+                    record.extra_tags.append(tag)
+        return [records[run_id] for run_id in order]
+
+    def get_record(self, ref: str) -> ArchiveRecord:
+        """Resolve a run id, full hash, or unambiguous hash prefix."""
+        records = self.records()
+        for record in records:
+            if record.run_id == ref:
+                return record
+        if len(ref) >= 6:
+            matches = [r for r in records if r.sha256.startswith(ref)]
+            unique_shas = {r.sha256 for r in matches}
+            if len(unique_shas) == 1:
+                return matches[-1]
+            if len(unique_shas) > 1:
+                raise ArchiveError(
+                    f"hash prefix {ref!r} is ambiguous "
+                    f"({len(unique_shas)} distinct objects match)"
+                )
+        known = ", ".join(r.run_id for r in records[-8:]) or "none archived yet"
+        raise ArchiveError(
+            f"no archived run matches {ref!r} (recent run ids: {known})"
+        )
+
+    # -- high-level API ------------------------------------------------
+    def put(self, profile, meta: RunMeta) -> ArchiveRecord:
+        """Archive one run: store the blob, append an index record."""
+        sha256, created = self.put_object(profile)
+        with self._locked():
+            n_runs = sum(1 for r in self.records())
+            record = ArchiveRecord(
+                run_id=f"r{n_runs + 1:04d}",
+                sha256=sha256,
+                created=time.time(),
+                meta=meta,
+                deduplicated=not created,
+            )
+            self._append_entries([record.to_dict()])
+        return record
+
+    def load_profile(self, ref: str):
+        return self.load_object(self.get_record(ref).sha256)
+
+    def tag(self, ref: str, tag: str) -> ArchiveRecord:
+        """Append a tag to an existing run record."""
+        if not tag:
+            raise ArchiveError("tag must be a non-empty string")
+        with self._locked():
+            record = self.get_record(ref)
+            if tag not in record.tags:
+                self._append_entries(
+                    [{"type": "tag", "run_id": record.run_id, "tag": tag}]
+                )
+                record.extra_tags.append(tag)
+        return record
+
+    def gc(self, keep_last: Optional[int] = None) -> GcStats:
+        """Prune the archive.
+
+        With ``keep_last=N``, only the newest N runs of each
+        configuration group (:meth:`RunMeta.group_key`) survive in the
+        index.  Objects no longer referenced by any surviving record --
+        including orphans from runs that crashed between the object
+        write and the index append -- are deleted.
+        """
+        stats = GcStats()
+        with self._locked():
+            records = self.records()
+            keep = records
+            if keep_last is not None:
+                if keep_last < 1:
+                    raise ArchiveError(f"keep_last must be >= 1, got {keep_last}")
+                by_group: Dict[tuple, List[ArchiveRecord]] = {}
+                for record in records:
+                    by_group.setdefault(record.meta.group_key(), []).append(record)
+                survivors = set()
+                for group in by_group.values():
+                    survivors.update(id(r) for r in group[-keep_last:])
+                keep = [r for r in records if id(r) in survivors]
+                stats.runs_dropped = len(records) - len(keep)
+            entries: List[dict] = []
+            for record in keep:
+                entries.append(record.to_dict())
+                for tag in record.extra_tags:
+                    entries.append(
+                        {"type": "tag", "run_id": record.run_id, "tag": tag}
+                    )
+            if keep_last is not None:
+                text = "\n".join(
+                    json.dumps(e, sort_keys=True, separators=(",", ":"))
+                    for e in entries
+                )
+                atomic_write(self.index_path, text + "\n" if text else "")
+            referenced = {record.sha256 for record in keep}
+            objects_root = os.path.join(self.root, OBJECTS_DIR)
+            for dirpath, _dirnames, filenames in os.walk(objects_root):
+                for filename in filenames:
+                    if not filename.endswith(".json.gz"):
+                        continue
+                    sha256 = filename[: -len(".json.gz")]
+                    if sha256 in referenced:
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    try:
+                        stats.bytes_freed += os.path.getsize(path)
+                        os.unlink(path)
+                        stats.objects_deleted += 1
+                    except OSError:  # pragma: no cover - racing deletion
+                        pass
+        return stats

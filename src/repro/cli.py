@@ -130,6 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--watchdog-us", type=float, default=None, metavar="US",
         help="abort the parallel region after this much virtual time",
     )
+    run_parser.add_argument(
+        "--instr-cost", type=float, default=None, metavar="US",
+        help="override the per-event instrumentation cost of the cost "
+             "model (regression-injection knob for the sentinel)",
+    )
+    run_parser.add_argument(
+        "--archive", metavar="DIR",
+        help="archive the run's profile into the content-addressed "
+             "store at DIR (see `repro archive` / `repro sentinel`)",
+    )
+    run_parser.add_argument(
+        "--tag", action="append", dest="tags", default=None, metavar="TAG",
+        help="label the archived run (repeatable; requires --archive)",
+    )
 
     overhead_parser = sub.add_parser("overhead", help="instrumented-vs-baseline overhead")
     overhead_parser.add_argument("app", nargs="+")
@@ -271,6 +285,138 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary", metavar="FILE",
         help="also write the outcome table as JSON (atomic temp+rename)",
     )
+    supervise_parser.add_argument(
+        "--archive", metavar="DIR",
+        help="archive each cell's (possibly salvaged) profile into the "
+        "store at DIR; defaults to <journal>.archive when --journal or "
+        "--resume is given",
+    )
+    supervise_parser.add_argument(
+        "--no-archive", action="store_true",
+        help="disable the automatic per-cell profile archiving",
+    )
+
+    archive_parser = sub.add_parser(
+        "archive",
+        help="inspect and maintain a content-addressed profile archive",
+    )
+    archive_sub = archive_parser.add_subparsers(dest="action", required=True)
+
+    list_parser = archive_sub.add_parser("list", help="list archived runs")
+    list_parser.add_argument("dir", help="archive directory")
+    list_parser.add_argument("--kernel")
+    list_parser.add_argument("--size")
+    list_parser.add_argument("--variant")
+    list_parser.add_argument("--threads", type=int, default=None)
+    list_parser.add_argument("--tag")
+    list_parser.add_argument("--limit", type=int, default=None, metavar="N",
+                             help="show only the newest N matches")
+
+    show_parser = archive_sub.add_parser(
+        "show", help="metadata + profile summary of one archived run"
+    )
+    show_parser.add_argument("dir", help="archive directory")
+    show_parser.add_argument("ref", help="run id (rNNNN) or sha256 prefix")
+    show_parser.add_argument("--render", action="store_true",
+                             help="also print the full profile tree")
+    show_parser.add_argument("--max-depth", type=int, default=3)
+
+    gc_parser = archive_sub.add_parser(
+        "gc", help="prune old runs and delete unreferenced objects"
+    )
+    gc_parser.add_argument("dir", help="archive directory")
+    gc_parser.add_argument(
+        "--keep", type=int, default=None, metavar="N",
+        help="keep only the newest N runs per configuration group "
+        "(default: keep all index records, delete orphaned objects only)",
+    )
+
+    tag_parser = archive_sub.add_parser("tag", help="label an archived run")
+    tag_parser.add_argument("dir", help="archive directory")
+    tag_parser.add_argument("ref", help="run id or sha256 prefix")
+    tag_parser.add_argument("tag", help="label to attach")
+
+    abaseline_parser = archive_sub.add_parser(
+        "baseline", help="aggregate archived runs into baseline statistics"
+    )
+    abaseline_parser.add_argument("dir", help="archive directory")
+    abaseline_parser.add_argument("--kernel", required=True)
+    abaseline_parser.add_argument("--size")
+    abaseline_parser.add_argument("--variant")
+    abaseline_parser.add_argument("--threads", type=int, default=None)
+    abaseline_parser.add_argument("--tag")
+    abaseline_parser.add_argument("--runs", type=int, default=3, metavar="N",
+                                  help="newest runs to aggregate (default: 3)")
+    abaseline_parser.add_argument(
+        "--metric", default="exclusive",
+        choices=["exclusive", "inclusive", "visits"],
+    )
+
+    sentinel_parser = sub.add_parser(
+        "sentinel",
+        help="noise-aware regression check of a fresh run (or a profile "
+        "file) against an archived baseline; exit 0 = clean, 1 = regressed",
+    )
+    sentinel_parser.add_argument("app", help="kernel name (see `repro list`)")
+    sentinel_parser.add_argument("--archive", required=True, metavar="DIR",
+                                 help="archive directory holding the baseline")
+    sentinel_parser.add_argument("--size", default="small",
+                                 choices=["test", "small", "medium"])
+    sentinel_parser.add_argument("--variant", default="optimized")
+    sentinel_parser.add_argument("--threads", type=int, default=4)
+    sentinel_parser.add_argument("--seed", type=int, default=0)
+    sentinel_parser.add_argument(
+        "--candidate", metavar="FILE",
+        help="compare this exported profile JSON instead of running "
+        "the kernel",
+    )
+    sentinel_parser.add_argument(
+        "--instr-cost", type=float, default=None, metavar="US",
+        help="override the per-event instrumentation cost for the "
+        "candidate run (regression-injection knob)",
+    )
+    sentinel_parser.add_argument(
+        "--runs", type=int, default=3, metavar="N",
+        help="newest archived runs to build the baseline from (default: 3)",
+    )
+    sentinel_parser.add_argument(
+        "--min-runs", type=int, default=2, metavar="N",
+        help="refuse (exit 2) with fewer matching archived runs "
+        "(default: 2)",
+    )
+    sentinel_parser.add_argument("--tag", default=None,
+                                 help="only use baseline runs with this tag")
+    sentinel_parser.add_argument(
+        "--metric", action="append", dest="metrics", default=None,
+        choices=["exclusive", "inclusive", "visits"],
+        help="metric(s) to compare (repeatable; default: exclusive)",
+    )
+    sentinel_parser.add_argument(
+        "--ratio", type=float, default=None, metavar="X",
+        help="flag regions changed by at least this factor (default: 1.10)",
+    )
+    sentinel_parser.add_argument(
+        "--zscore", type=float, default=None, metavar="Z",
+        help="additionally require this many baseline std-devs when the "
+        "baseline has variance (default: 3.0)",
+    )
+    sentinel_parser.add_argument(
+        "--min-abs", type=float, default=None, metavar="US",
+        help="noise floor: ignore regions below this on both sides "
+        "(default: 1.0)",
+    )
+    sentinel_parser.add_argument("--fail-on-appeared", action="store_true",
+                                 help="new regions also fail the check")
+    sentinel_parser.add_argument("--fail-on-vanished", action="store_true",
+                                 help="vanished regions also fail the check")
+    sentinel_parser.add_argument(
+        "--archive-candidate", action="store_true",
+        help="also archive the candidate run (tagged 'candidate')",
+    )
+    sentinel_parser.add_argument("--include-ok", action="store_true",
+                                 help="show unchanged regions in the table")
+    sentinel_parser.add_argument("--json", metavar="FILE",
+                                 help="write the structured report as JSON")
 
     return parser
 
@@ -282,6 +428,29 @@ def cmd_list(_args) -> int:
     for name in list_programs():
         print(name)
     return 0
+
+
+def _archive_run(archive_dir: str, profile, meta) -> None:
+    """Archive one profile + metadata, reporting id/hash/deduplication."""
+    from repro.archive import ArchiveStore
+
+    record = ArchiveStore(archive_dir).put(profile, meta)
+    dedup = " (deduplicated: identical content already stored)" if (
+        record.deduplicated
+    ) else ""
+    print(
+        f"  archived as {record.run_id} "
+        f"sha256={record.sha256[:12]}…{dedup} -> {archive_dir}"
+    )
+
+
+def _costs_override(args):
+    """CostModel override from ``--instr-cost`` (None = default model)."""
+    if getattr(args, "instr_cost", None) is None:
+        return None
+    from repro.runtime.costs import JUROPA_LIKE
+
+    return JUROPA_LIKE.with_instrumentation_cost(args.instr_cost)
 
 
 def _run_tolerant(args, plan) -> int:
@@ -298,6 +467,7 @@ def _run_tolerant(args, plan) -> int:
         ),
         variant=args.variant,
         substrates=getattr(args, "substrates", None),
+        costs=_costs_override(args),
     )
     verified = "n/a" if outcome.verified is None else outcome.verified
     print(f"{args.app}: status={outcome.status}, verified={verified}, "
@@ -313,6 +483,17 @@ def _run_tolerant(args, plan) -> int:
         if args.json:
             dump_path(outcome.profile, args.json)
             print(f"  profile exported to {args.json}")
+        if args.archive:
+            from repro.archive import meta_for_outcome
+
+            _archive_run(
+                args.archive,
+                outcome.profile,
+                meta_for_outcome(
+                    outcome, size=args.size, variant=args.variant,
+                    seed=args.seed, tags=tuple(args.tags or ()),
+                ),
+            )
     return 0 if outcome.ok else 1
 
 
@@ -390,6 +571,7 @@ def cmd_run(args) -> int:
             n_threads=args.threads,
             instrument=not args.no_instrument,
             seed=args.seed,
+            costs=_costs_override(args),
             record_events=args.trace_timeline or args.strict,
             **overrides,
         )
@@ -417,6 +599,20 @@ def cmd_run(args) -> int:
         if args.json:
             dump_path(result.profile, args.json)
             print(f"  profile exported to {args.json}")
+        if args.archive:
+            from repro.archive import meta_for_result
+
+            _archive_run(
+                args.archive,
+                result.profile,
+                meta_for_result(
+                    result, size=args.size, variant=args.variant,
+                    tags=tuple(args.tags or ()),
+                ),
+            )
+    elif args.archive:
+        print("repro: nothing to archive (run produced no profile)",
+              file=sys.stderr)
     if args.trace_timeline and result.parallel.trace is not None:
         print()
         print(render_timeline(result.parallel.trace))
@@ -625,6 +821,171 @@ def cmd_faults(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def cmd_archive(args) -> int:
+    from repro.analysis.regression import archive_table, baseline_table
+    from repro.archive import ArchiveStore, find_runs, latest_baseline
+    from repro.errors import ArchiveError, ProfileFormatError
+
+    store = ArchiveStore(args.dir)
+    try:
+        if args.action == "list":
+            records = find_runs(
+                store,
+                kernel=args.kernel,
+                size=args.size,
+                variant=args.variant,
+                n_threads=args.threads,
+                tag=args.tag,
+                limit=args.limit,
+            )
+            if not records:
+                print("(no archived runs match)")
+                return 0
+            print(archive_table(records, title=f"archive {args.dir}"))
+        elif args.action == "show":
+            record = store.get_record(args.ref)
+            meta = record.meta
+            print(f"run:      {record.run_id}")
+            print(f"sha256:   {record.sha256}")
+            print(f"kernel:   {meta.kernel} size={meta.size} "
+                  f"variant={meta.variant}")
+            print(f"config:   threads={meta.n_threads} seed={meta.seed} "
+                  f"cutoff={meta.cutoff} "
+                  f"substrates={','.join(meta.substrates) or '-'}")
+            print(f"cfg-hash: {meta.config_hash[:12]}")
+            wall = "n/a" if meta.wall_time_us is None else f"{meta.wall_time_us:.1f} us"
+            print(f"run:      wall={wall} verified={meta.verified} "
+                  f"source={meta.source} tags={','.join(record.tags) or '-'}")
+            profile = store.load_object(record.sha256)
+            from repro.cube.query import top_regions
+
+            print("top regions [exclusive us]:")
+            for region, value in top_regions(profile, limit=5):
+                print(f"  {region:<24} {value:10.1f}")
+            if args.render:
+                print()
+                print(render_profile(profile, max_depth=args.max_depth))
+        elif args.action == "gc":
+            stats = store.gc(keep_last=args.keep)
+            print(
+                f"gc: dropped {stats.runs_dropped} run record(s), deleted "
+                f"{stats.objects_deleted} object(s), freed "
+                f"{stats.bytes_freed} bytes"
+            )
+        elif args.action == "tag":
+            record = store.tag(args.ref, args.tag)
+            print(f"{record.run_id} tags: {','.join(record.tags)}")
+        elif args.action == "baseline":
+            baseline = latest_baseline(
+                store,
+                kernel=args.kernel,
+                size=args.size,
+                variant=args.variant,
+                n_threads=args.threads,
+                tag=args.tag,
+                runs=args.runs,
+                min_runs=1,
+            )
+            print(baseline_table(baseline, metric=args.metric))
+            print(f"built from runs: {', '.join(baseline.run_ids())}")
+    except (ArchiveError, ProfileFormatError) as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_sentinel(args) -> int:
+    from repro.analysis.regression import sentinel_table
+    from repro.archive import (
+        ArchiveStore,
+        SentinelPolicy,
+        compare_to_baseline,
+        latest_baseline,
+        meta_for_result,
+    )
+    from repro.errors import ArchiveError, ProfileFormatError
+
+    if args.app not in list_programs():
+        return _unknown_kernel(args.app)
+    store = ArchiveStore(args.archive)
+    try:
+        baseline = latest_baseline(
+            store,
+            kernel=args.app,
+            size=args.size,
+            variant=args.variant,
+            n_threads=args.threads,
+            tag=args.tag,
+            runs=args.runs,
+            min_runs=args.min_runs,
+        )
+    except (ArchiveError, ProfileFormatError) as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+    policy = SentinelPolicy(
+        metrics={},
+        fail_on_appeared=args.fail_on_appeared,
+        fail_on_vanished=args.fail_on_vanished,
+    )
+    for metric in args.metrics or ["exclusive"]:
+        policy = policy.with_thresholds(
+            metric, ratio=args.ratio, zscore=args.zscore, min_abs=args.min_abs
+        )
+
+    if args.candidate:
+        from repro.cube.export import loads as load_profile
+
+        try:
+            with open(args.candidate) as handle:
+                profile = load_profile(handle.read())
+        except (OSError, ValueError) as exc:
+            print(f"repro: cannot load candidate profile: {exc}",
+                  file=sys.stderr)
+            return 2
+        label = args.candidate
+    else:
+        try:
+            result = run_app(
+                args.app,
+                size=args.size,
+                variant=args.variant,
+                n_threads=args.threads,
+                seed=args.seed,
+                costs=_costs_override(args),
+            )
+        except ReproError as exc:
+            print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 2
+        profile = result.profile
+        if profile is None:
+            print("repro: candidate run produced no profile", file=sys.stderr)
+            return 2
+        label = f"{args.app} seed={args.seed}"
+        if args.archive_candidate:
+            _archive_run(
+                args.archive,
+                profile,
+                meta_for_result(
+                    result, size=args.size, variant=args.variant,
+                    tags=("candidate",), source="sentinel",
+                ),
+            )
+
+    report = compare_to_baseline(
+        profile, baseline, policy=policy, candidate_label=label
+    )
+    print(
+        f"candidate {label} vs baseline runs "
+        f"{', '.join(report.baseline_run_ids)}"
+    )
+    print(sentinel_table(report, include_ok=args.include_ok))
+    if args.json:
+        atomic_write(args.json, json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.json}")
+    return report.exit_code
+
+
 def cmd_supervise(args) -> int:
     from repro.faults.campaign import DEFAULT_WATCHDOG_US
     from repro.supervisor import (
@@ -634,6 +995,16 @@ def cmd_supervise(args) -> int:
         load_spec_file,
         outcome_table,
     )
+
+    # Fault-grid cells auto-archive their (possibly salvaged) profiles
+    # next to the journal, so every supervised campaign leaves a
+    # queryable profile history behind (disable with --no-archive).
+    archive_dir = None
+    if not args.no_archive:
+        archive_dir = args.archive
+        journal_for_archive = args.journal or args.resume
+        if archive_dir is None and journal_for_archive:
+            archive_dir = journal_for_archive + ".archive"
 
     if args.spec_file:
         try:
@@ -674,6 +1045,7 @@ def cmd_supervise(args) -> int:
                 else DEFAULT_WATCHDOG_US
             ),
             substrates=args.substrates,
+            archive_dir=archive_dir,
         )
 
     journal_path = args.journal or args.resume
@@ -688,6 +1060,8 @@ def cmd_supervise(args) -> int:
     ).run()
 
     print(outcome_table(report))
+    if archive_dir and not args.spec_file:
+        print(f"cell profiles archived to {archive_dir}")
     if args.summary:
         import dataclasses
 
@@ -718,6 +1092,8 @@ COMMANDS = {
     "paper": cmd_paper,
     "faults": cmd_faults,
     "supervise": cmd_supervise,
+    "archive": cmd_archive,
+    "sentinel": cmd_sentinel,
 }
 
 

@@ -7,8 +7,9 @@ runs with different numbers of threads shows...").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Tuple
 
 from repro.cube.query import flat_region_profile
 from repro.profiling.profile import Profile
@@ -32,9 +33,15 @@ class DiffEntry:
         return self.after / self.before
 
     def __str__(self) -> str:
+        if self.before == 0 and self.after > 0:
+            change = "[new]"
+        elif self.after == 0 and self.before > 0:
+            change = "[gone]"
+        else:
+            change = f"({self.ratio:.2f}x)"
         return (
             f"{self.region} [{self.metric}]: {self.before:.2f} -> "
-            f"{self.after:.2f} ({self.ratio:.2f}x)"
+            f"{self.after:.2f} {change}"
         )
 
 
@@ -61,14 +68,16 @@ def diff_profiles(
         if b == 0.0 or a == 0.0 or ratio >= min_change_ratio or ratio <= 1 / min_change_ratio:
             entries.append(DiffEntry(region, metric, b, a))
 
-    def sort_key(entry: DiffEntry) -> float:
-        import math
-
+    def sort_key(entry: DiffEntry) -> Tuple[float, str]:
+        # Appeared/vanished regions all rank as infinitely-large movers;
+        # the region-name tie-break keeps their relative order stable.
         if entry.before <= 0 or entry.after <= 0:
-            return float("inf")
-        return abs(math.log(entry.after / entry.before))
+            magnitude = math.inf
+        else:
+            magnitude = abs(math.log(entry.after / entry.before))
+        return (-magnitude, entry.region)
 
-    entries.sort(key=sort_key, reverse=True)
+    entries.sort(key=sort_key)
     return entries
 
 

@@ -12,6 +12,7 @@ import json
 import math
 from typing import Dict, Optional
 
+from repro.errors import ProfileFormatError
 from repro.events.regions import Region, RegionRegistry, RegionType
 from repro.profiling.calltree import CallTreeNode
 from repro.profiling.profile import Profile
@@ -126,7 +127,7 @@ def _node_from_dict(data: dict, regions: Dict[int, Region]) -> CallTreeNode:
 
 def profile_from_dict(data: dict, registry: Optional[RegionRegistry] = None) -> Profile:
     if data.get("format") != FORMAT_VERSION:
-        raise ValueError(f"unsupported profile format {data.get('format')!r}")
+        raise ProfileFormatError(data.get("format"), FORMAT_VERSION)
     registry = registry if registry is not None else RegionRegistry()
     regions: Dict[int, Region] = {}
     for index, info in enumerate(data["regions"]):

@@ -105,6 +105,38 @@ class SubstrateError(ReproError):
     """
 
 
+class ProfileFormatError(ReproError, ValueError):
+    """An exported profile uses a format version this build cannot read.
+
+    Raised by :func:`repro.cube.export.profile_from_dict` instead of a
+    bare ``ValueError`` so the profile archive can surface stale entries
+    cleanly.  ``found`` is the version in the data (possibly ``None``),
+    ``supported`` the one this build writes and reads.  Derives from
+    ``ValueError`` as well for backwards compatibility with callers that
+    caught the old exception.
+    """
+
+    def __init__(self, found, supported):
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"unsupported profile format {found!r} "
+            f"(this build supports version {supported})"
+        )
+
+
+class ArchiveError(ReproError):
+    """The profile archive is missing, inconsistent, or misused.
+
+    Examples: dereferencing an unknown run id or content hash, a content
+    object whose bytes no longer match their sha256 name, or asking for
+    a baseline the index cannot satisfy.  Format-version mismatches when
+    *loading* an archived profile raise :class:`ProfileFormatError`
+    instead, so callers can distinguish "corrupt archive" from "old but
+    intact archive".
+    """
+
+
 class ProfileError(ReproError):
     """The profiler detected a violation of its invariants.
 

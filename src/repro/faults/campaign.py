@@ -74,6 +74,8 @@ class SalvageOutcome:
     duration: Optional[float] = None
     verified: Optional[bool] = None
     error: Optional[str] = None
+    #: the configuration the run used (for archive fingerprinting)
+    config: Optional[RuntimeConfig] = None
 
     @property
     def ok(self) -> bool:
@@ -95,6 +97,7 @@ def run_tolerant(
     variant: str = "optimized",
     wall_timeout_s: Optional[float] = None,
     substrates: Optional[Sequence] = None,
+    costs=None,
 ) -> SalvageOutcome:
     """Run a kernel, salvaging a partial profile from whatever survives.
 
@@ -114,7 +117,7 @@ def run_tolerant(
                 names.append(required)
         substrate_spec = tuple(names)
     program = get_program(name, size=size, variant=variant)
-    config = RuntimeConfig(
+    config_kwargs = dict(
         n_threads=n_threads,
         instrument=True,
         record_events=True,
@@ -124,6 +127,9 @@ def run_tolerant(
         wall_timeout_s=wall_timeout_s,
         substrates=substrate_spec,
     )
+    if costs is not None:
+        config_kwargs["costs"] = costs
+    config = RuntimeConfig(**config_kwargs)
     runtime = OpenMPRuntime(config)
     implicit_region = runtime.registry.register(
         program.label, RegionType.IMPLICIT_TASK
@@ -145,7 +151,7 @@ def run_tolerant(
             report.watchdog_fired = isinstance(exc, WatchdogTimeout)
             return SalvageOutcome(
                 app=name, status="partial", profile=None, salvage=report,
-                error=report.run_error,
+                error=report.run_error, config=config,
             )
         profile, report = salvage_profile_from_trace(
             trace, implicit_region, finish_time=runtime.env.now
@@ -155,7 +161,7 @@ def run_tolerant(
         report.watchdog_fired = isinstance(exc, WatchdogTimeout)
         return SalvageOutcome(
             app=name, status="partial", profile=profile, salvage=report,
-            error=report.run_error,
+            error=report.run_error, config=config,
         )
 
     if injector is not None:
@@ -181,6 +187,7 @@ def run_tolerant(
             salvage=report,
             duration=result.duration,
             verified=program.verify(result),
+            config=config,
         )
 
     profile = result.profile
@@ -193,6 +200,7 @@ def run_tolerant(
         salvage=profile.salvage if profile is not None else None,
         duration=result.duration,
         verified=program.verify(result),
+        config=config,
     )
 
 

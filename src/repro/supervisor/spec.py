@@ -17,6 +17,7 @@ cells by ``cell_id``).  Two kinds cover every grid the evaluation runs:
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -81,11 +82,14 @@ def fault_cell(
     watchdog_us: Optional[float] = None,
     wall_timeout_s: Optional[float] = None,
     substrates: Optional[Sequence[str]] = None,
+    archive_dir: Optional[str] = None,
 ) -> RunSpec:
     """One fault-campaign cell (``mode='none'`` = healthy run).
 
     ``substrates`` optionally names extra measurement substrates for the
     worker to attach (registry names only -- the spec must stay JSON).
+    ``archive_dir`` makes the worker archive the cell's (possibly
+    salvaged) profile into the content-addressed store at that path.
     """
     params: Dict[str, Any] = {
         "app": app,
@@ -97,6 +101,8 @@ def fault_cell(
     }
     if substrates:
         params["substrates"] = list(substrates)
+    if archive_dir:
+        params["archive_dir"] = os.fspath(archive_dir)
     return RunSpec(
         kind="fault",
         cell_id=f"{app}|{mode}|s{seed}",
@@ -115,6 +121,7 @@ def fault_grid(
     watchdog_us: Optional[float] = None,
     wall_timeout_s: Optional[float] = None,
     substrates: Optional[Sequence[str]] = None,
+    archive_dir: Optional[str] = None,
 ) -> List[RunSpec]:
     """The campaign grid, app-major like ``run_campaign`` sweeps it."""
     return [
@@ -127,6 +134,7 @@ def fault_grid(
             watchdog_us=watchdog_us,
             wall_timeout_s=wall_timeout_s,
             substrates=substrates,
+            archive_dir=archive_dir,
         )
         for app in apps
         for mode in modes

@@ -88,12 +88,48 @@ def _run_fault_cell(params: Dict[str, Any]) -> dict:
         if outcome.salvage is not None
         else "profile complete: no salvage needed"
     )
-    return {
+    payload = {
         "outcome": "ok" if outcome.status == "complete" else "partial",
         "ok": outcome.ok,
         "status": outcome.status,
         "summary": summary,
         "error": outcome.error,
+    }
+    archive_dir = params.get("archive_dir")
+    if archive_dir and outcome.profile is not None:
+        payload["archive"] = _archive_outcome(archive_dir, outcome, params)
+    return payload
+
+
+def _archive_outcome(archive_dir: str, outcome, params: Dict[str, Any]) -> dict:
+    """Archive a fault cell's profile; never fails the cell itself.
+
+    The store's index writes are lock-serialized, so parallel workers
+    (``--jobs``) archiving simultaneously is safe.  An archive failure
+    is reported in the payload but does not change the cell outcome --
+    losing a profile copy must not look like losing the run.
+    """
+    from repro.archive import ArchiveStore, meta_for_outcome
+
+    mode = params.get("mode", "none")
+    try:
+        record = ArchiveStore(archive_dir).put(
+            outcome.profile,
+            meta_for_outcome(
+                outcome,
+                size=params.get("size", "test"),
+                variant=params.get("variant", "optimized"),
+                seed=params.get("seed", 0),
+                tags=(f"mode:{mode}",) if mode not in (None, "none") else (),
+                source="supervisor",
+            ),
+        )
+    except Exception as exc:  # pragma: no cover - disk-full etc.
+        return {"error": f"{type(exc).__name__}: {exc}"}
+    return {
+        "run_id": record.run_id,
+        "sha256": record.sha256,
+        "deduplicated": record.deduplicated,
     }
 
 

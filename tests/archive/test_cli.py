@@ -1,0 +1,150 @@
+"""End-to-end CLI tests for `run --archive`, `archive *` and `sentinel`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _archive_run(arch, seed, *extra):
+    return main(
+        [
+            "run", "fib", "--size", "test", "--threads", "2",
+            "--seed", str(seed), "--archive", str(arch), *extra,
+        ]
+    )
+
+
+@pytest.fixture()
+def seeded_archive(tmp_path):
+    arch = tmp_path / "arch"
+    for seed in (0, 1, 2):
+        assert _archive_run(arch, seed, "--tag", "baseline") == 0
+    return arch
+
+
+def _sentinel(arch, *extra):
+    return main(
+        [
+            "sentinel", "fib", "--archive", str(arch),
+            "--size", "test", "--threads", "2", "--seed", "3", *extra,
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# run --archive
+# ----------------------------------------------------------------------
+def test_run_archive_identical_config_deduplicates(tmp_path, capsys):
+    arch = tmp_path / "arch"
+    assert _archive_run(arch, 0) == 0
+    first = capsys.readouterr().out
+    assert "archived as r0001" in first and "sha256=" in first
+    assert _archive_run(arch, 0) == 0
+    second = capsys.readouterr().out
+    assert "archived as r0002" in second
+    assert "deduplicated: identical content already stored" in second
+    sha = [w for w in first.split() if w.startswith("sha256=")][0]
+    assert sha in second  # byte-identical content, same address
+
+
+def test_run_archive_without_profile_warns(tmp_path, capsys):
+    code = main(
+        [
+            "run", "fib", "--size", "test", "--no-instrument",
+            "--archive", str(tmp_path / "arch"),
+        ]
+    )
+    assert code == 0
+    assert "nothing to archive" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# archive subcommands
+# ----------------------------------------------------------------------
+def test_archive_list_show_and_baseline(seeded_archive, capsys):
+    assert main(["archive", "list", str(seeded_archive)]) == 0
+    out = capsys.readouterr().out
+    assert "r0001" in out and "r0003" in out and "baseline" in out
+
+    assert main(["archive", "show", str(seeded_archive), "r0001"]) == 0
+    out = capsys.readouterr().out
+    assert "fib" in out and "sha256" in out
+
+    code = main(
+        ["archive", "baseline", str(seeded_archive), "--kernel", "fib"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "3-run baseline" in out or "n=3" in out or "3 run" in out
+
+
+def test_archive_tag_and_gc(seeded_archive, capsys):
+    assert main(["archive", "tag", str(seeded_archive), "r0002", "pinned"]) == 0
+    capsys.readouterr()
+    assert main(["archive", "gc", str(seeded_archive), "--keep", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "1" in out  # one run dropped
+    assert main(["archive", "list", str(seeded_archive)]) == 0
+    out = capsys.readouterr().out
+    assert "r0001" not in out and "r0002" in out and "pinned" in out
+
+
+def test_archive_errors_exit_2(tmp_path, capsys):
+    code = main(["archive", "show", str(tmp_path / "empty"), "r0001"])
+    assert code == 2
+    assert "no archived run" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# sentinel
+# ----------------------------------------------------------------------
+def test_sentinel_clean_run_exits_zero(seeded_archive, capsys):
+    assert _sentinel(seeded_archive) == 0
+    out = capsys.readouterr().out
+    assert "sentinel OK" in out
+
+
+def test_sentinel_injected_slowdown_exits_nonzero(seeded_archive, tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = _sentinel(
+        seeded_archive, "--instr-cost", "5.0", "--json", str(report_path)
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "sentinel REGRESSED" in out
+    assert "regressed" in out and "fib" in out  # names the regressed regions
+    data = json.loads(report_path.read_text())
+    assert data["exit_code"] == 1
+    assert data["counts"]["regressed"] >= 1
+
+
+def test_sentinel_candidate_file(seeded_archive, tmp_path, capsys):
+    profile_path = tmp_path / "cand.json"
+    assert main(
+        [
+            "run", "fib", "--size", "test", "--threads", "2",
+            "--seed", "5", "--json", str(profile_path),
+        ]
+    ) == 0
+    capsys.readouterr()
+    code = _sentinel(seeded_archive, "--candidate", str(profile_path))
+    assert code == 0
+    assert "sentinel OK" in capsys.readouterr().out
+
+
+def test_sentinel_without_baseline_exits_2(tmp_path, capsys):
+    code = _sentinel(tmp_path / "nothing-here")
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "baseline needs" in err
+
+
+def test_sentinel_archives_candidate_on_request(seeded_archive, capsys):
+    code = _sentinel(seeded_archive, "--archive-candidate")
+    assert code == 0
+    capsys.readouterr()
+    assert main(["archive", "list", str(seeded_archive)]) == 0
+    out = capsys.readouterr().out
+    assert "r0004" in out and "candidate" in out

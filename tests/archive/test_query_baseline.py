@@ -1,0 +1,146 @@
+"""Tests for the query layer and baseline aggregation."""
+
+import pytest
+
+from repro.analysis import run_app
+from repro.archive import (
+    ArchiveStore,
+    Baseline,
+    baselines_available,
+    config_fingerprint,
+    find_runs,
+    latest_baseline,
+    meta_for_result,
+)
+from repro.archive.baseline import MetricStats
+from repro.errors import ArchiveError
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.costs import JUROPA_LIKE
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        run_app("fib", size="test", variant="optimized", n_threads=2, seed=seed)
+        for seed in (0, 1, 2)
+    ]
+
+
+@pytest.fixture()
+def store(tmp_path, results):
+    store = ArchiveStore(tmp_path / "arch")
+    for result in results:
+        store.put(
+            result.profile,
+            meta_for_result(result, size="test", variant="optimized"),
+        )
+    return store
+
+
+# ----------------------------------------------------------------------
+# Configuration fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_ignores_seed_but_not_costs():
+    base = RuntimeConfig(n_threads=2, seed=0)
+    assert config_fingerprint(base) == config_fingerprint(
+        RuntimeConfig(n_threads=2, seed=7)
+    )
+    inflated = RuntimeConfig(
+        n_threads=2, costs=JUROPA_LIKE.with_instrumentation_cost(5.0)
+    )
+    assert config_fingerprint(base) != config_fingerprint(inflated)
+    assert config_fingerprint(base) != config_fingerprint(RuntimeConfig(n_threads=4))
+
+
+# ----------------------------------------------------------------------
+# find_runs
+# ----------------------------------------------------------------------
+def test_find_runs_filters(store):
+    assert len(find_runs(store, kernel="fib")) == 3
+    assert len(find_runs(store, kernel="nqueens")) == 0
+    assert len(find_runs(store, kernel="fib", seed=1)) == 1
+    assert len(find_runs(store, variant="optimized", n_threads=2)) == 3
+    assert find_runs(store, tag="baseline") == []
+
+
+def test_find_runs_limit_keeps_newest(store):
+    newest = find_runs(store, kernel="fib", limit=2)
+    assert [r.run_id for r in newest] == ["r0002", "r0003"]
+    reversed_order = find_runs(store, kernel="fib", limit=2, newest_first=True)
+    assert [r.run_id for r in reversed_order] == ["r0003", "r0002"]
+
+
+def test_find_runs_by_tag_after_tagging(store):
+    store.tag("r0001", "baseline")
+    assert [r.run_id for r in find_runs(store, tag="baseline")] == ["r0001"]
+
+
+# ----------------------------------------------------------------------
+# latest_baseline
+# ----------------------------------------------------------------------
+def test_latest_baseline_aggregates_newest_runs(store):
+    baseline = latest_baseline(store, kernel="fib", runs=3, min_runs=2)
+    assert baseline.n_runs == 3
+    assert baseline.run_ids() == ("r0001", "r0002", "r0003")
+    assert baseline.region_names()  # flat view is non-empty
+    for region in baseline.region_names():
+        assert baseline.presence(region) >= 1
+
+
+def test_latest_baseline_insufficient_runs_is_actionable(store):
+    with pytest.raises(ArchiveError, match="repro run --archive"):
+        latest_baseline(store, kernel="nqueens", min_runs=2)
+    with pytest.raises(ArchiveError, match="found 0"):
+        latest_baseline(store, kernel="fib", tag="no-such-tag", min_runs=1)
+    with pytest.raises(ArchiveError, match="at least 1"):
+        latest_baseline(store, kernel="fib", runs=0)
+
+
+def test_baselines_available_groups(store):
+    groups = baselines_available(store)
+    assert groups == [(("fib", "test", "optimized", 2), 3)]
+
+
+# ----------------------------------------------------------------------
+# Baseline statistics
+# ----------------------------------------------------------------------
+def test_metric_stats_basics():
+    stats = MetricStats.from_samples([10.0, 20.0, 30.0])
+    assert stats.count == 3
+    assert stats.mean == pytest.approx(20.0)
+    assert stats.minimum == 10.0 and stats.maximum == 30.0
+    assert stats.std == pytest.approx(8.1649, rel=1e-3)
+    assert stats.zscore(28.1649) == pytest.approx(1.0, rel=1e-3)
+    assert MetricStats.from_samples([]).count == 0
+
+
+def test_identical_samples_clamp_float_residue_to_zero_std():
+    # Repeatable runs must not produce astronomical z-scores from
+    # 1e-16-level float residue in the variance sum.
+    value = 12345.6789
+    stats = MetricStats.from_samples([value] * 5)
+    assert stats.std == 0.0
+    assert stats.zscore(2 * value) is None
+
+
+def test_baseline_from_deterministic_profiles_has_zero_std(results):
+    baseline = Baseline.from_profiles([r.profile for r in results])
+    assert baseline.n_runs == 3
+    # fib size=test threads=2 is fully deterministic across seeds
+    for region in baseline.region_names():
+        for metric in ("exclusive", "inclusive", "visits"):
+            stats = baseline.stats(region, metric)
+            assert stats is not None and stats.count == 3
+            assert stats.std == 0.0
+            assert stats.minimum == stats.maximum == pytest.approx(stats.mean)
+
+
+def test_baseline_to_dict_is_jsonable(store):
+    import json
+
+    baseline = latest_baseline(store, kernel="fib")
+    data = json.loads(json.dumps(baseline.to_dict()))
+    assert data["n_runs"] == 3
+    assert data["runs"] == ["r0001", "r0002", "r0003"]
+    region = next(iter(data["regions"].values()))
+    assert set(region["exclusive"]) == {"count", "mean", "std", "min", "max"}

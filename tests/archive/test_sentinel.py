@@ -1,0 +1,197 @@
+"""Tests for the noise-aware regression sentinel."""
+
+import pytest
+
+from repro.analysis import run_app
+from repro.analysis.regression import sentinel_table
+from repro.archive import (
+    Baseline,
+    MetricPolicy,
+    SentinelPolicy,
+    compare_to_baseline,
+)
+from repro.archive.baseline import MetricStats
+from repro.runtime.costs import JUROPA_LIKE
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    profiles = [
+        run_app("fib", size="test", variant="optimized", n_threads=2, seed=s).profile
+        for s in (0, 1, 2)
+    ]
+    return Baseline.from_profiles(profiles)
+
+
+@pytest.fixture(scope="module")
+def clean_profile():
+    return run_app(
+        "fib", size="test", variant="optimized", n_threads=2, seed=3
+    ).profile
+
+
+@pytest.fixture(scope="module")
+def slow_profile():
+    return run_app(
+        "fib",
+        size="test",
+        variant="optimized",
+        n_threads=2,
+        seed=3,
+        costs=JUROPA_LIKE.with_instrumentation_cost(5.0),
+    ).profile
+
+
+# ----------------------------------------------------------------------
+# End-to-end verdicts
+# ----------------------------------------------------------------------
+def test_clean_candidate_passes(baseline, clean_profile):
+    report = compare_to_baseline(clean_profile, baseline)
+    assert report.ok and report.exit_code == 0
+    assert not report.regressions
+    assert "OK" in report.summary()
+    counts = report.counts
+    assert counts["ok"] > 0
+    assert counts["appeared"] == counts["vanished"] == 0
+
+
+def test_inflated_instrumentation_cost_regresses(baseline, slow_profile):
+    report = compare_to_baseline(slow_profile, baseline, candidate_label="slow")
+    assert report.exit_code == 1
+    regressed = {v.region for v in report.regressions}
+    assert any("fib" in region for region in regressed)
+    assert "REGRESSED" in report.summary()
+    # most-severe first: a regression leads the verdict list
+    assert report.verdicts[0].verdict == "regressed"
+    for verdict in report.regressions:
+        assert verdict.ratio >= 1.10
+
+
+def test_improvement_is_flagged_but_passes(baseline, clean_profile, slow_profile):
+    slow_baseline = Baseline.from_profiles([slow_profile] * 3)
+    report = compare_to_baseline(clean_profile, slow_baseline)
+    assert report.exit_code == 0
+    assert report.by_verdict("improved")
+
+
+# ----------------------------------------------------------------------
+# Structural changes
+# ----------------------------------------------------------------------
+def test_appeared_and_vanished_regions(clean_profile):
+    ghost = Baseline(
+        n_runs=3,
+        regions={
+            "ghost_region": {
+                "exclusive": MetricStats(count=3, mean=100.0, minimum=100.0,
+                                         maximum=100.0)
+            }
+        },
+    )
+    report = compare_to_baseline(clean_profile, ghost)
+    assert report.by_verdict("appeared")  # every real region is new
+    vanished = report.by_verdict("vanished")
+    assert [v.region for v in vanished] == ["ghost_region"]
+    assert report.exit_code == 0  # structural changes pass by default
+
+    strict = SentinelPolicy(fail_on_vanished=True)
+    assert compare_to_baseline(clean_profile, ghost, strict).exit_code == 1
+    strict = SentinelPolicy(fail_on_appeared=True)
+    assert compare_to_baseline(clean_profile, ghost, strict).exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# Noise-aware gating
+# ----------------------------------------------------------------------
+def _single_region_baseline(mean, std):
+    return Baseline(
+        n_runs=3,
+        regions={
+            "r": {
+                "exclusive": MetricStats(
+                    count=3, mean=mean, std=std, minimum=mean - std,
+                    maximum=mean + std,
+                )
+            }
+        },
+    )
+
+
+def _verdict_for(value, baseline, policy=None):
+    # compare_to_baseline needs a Profile; gate logic is unit-tested via
+    # a fake flat view instead
+    from repro.archive import sentinel as mod
+
+    class FakeProfile:
+        pass
+
+    original = mod.flat_region_profile
+    mod.flat_region_profile = lambda _p: {"r": {"exclusive": value}}
+    try:
+        report = compare_to_baseline(FakeProfile(), baseline, policy)
+    finally:
+        mod.flat_region_profile = original
+    (entry,) = report.verdicts
+    return entry
+
+
+def test_ratio_alone_is_not_enough_when_baseline_is_noisy():
+    noisy = _single_region_baseline(mean=100.0, std=30.0)
+    entry = _verdict_for(120.0, noisy)  # 1.2x but z = 0.67
+    assert entry.verdict == "ok"
+    entry = _verdict_for(300.0, noisy)  # 3.0x and z = 6.67
+    assert entry.verdict == "regressed"
+    assert entry.zscore == pytest.approx(6.67, rel=1e-2)
+
+
+def test_zero_std_baseline_gates_on_ratio_only():
+    exact = _single_region_baseline(mean=100.0, std=0.0)
+    assert _verdict_for(109.0, exact).verdict == "ok"
+    assert _verdict_for(111.0, exact).verdict == "regressed"
+    assert _verdict_for(80.0, exact).verdict == "improved"
+
+
+def test_noise_floor_mutes_tiny_regions():
+    tiny = _single_region_baseline(mean=0.4, std=0.0)
+    policy = SentinelPolicy(metrics={"exclusive": MetricPolicy(min_abs=1.0)})
+    assert _verdict_for(0.9, tiny, policy).verdict == "ok"  # 2.25x but sub-µs
+
+
+def test_with_thresholds_overrides_one_metric():
+    policy = SentinelPolicy().with_thresholds("exclusive", ratio=2.0)
+    assert policy.metrics["exclusive"].ratio == 2.0
+    assert policy.metrics["exclusive"].zscore == 3.0  # untouched
+    exact = _single_region_baseline(mean=100.0, std=0.0)
+    assert _verdict_for(150.0, exact, policy).verdict == "ok"
+
+
+def test_metric_policy_validates_thresholds():
+    with pytest.raises(ValueError, match="ratio"):
+        MetricPolicy(ratio=1.0)
+    with pytest.raises(ValueError, match="zscore"):
+        MetricPolicy(zscore=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Report surface
+# ----------------------------------------------------------------------
+def test_report_to_dict_is_jsonable(baseline, slow_profile):
+    import json
+
+    report = compare_to_baseline(slow_profile, baseline, candidate_label="cand")
+    data = json.loads(json.dumps(report.to_dict()))
+    assert data["exit_code"] == 1 and data["ok"] is False
+    assert data["candidate"] == "cand"
+    assert data["counts"]["regressed"] >= 1
+    entry = data["verdicts"][0]
+    assert set(entry) >= {"region", "metric", "verdict", "ratio", "presence"}
+
+
+def test_sentinel_table_renders(baseline, slow_profile, clean_profile):
+    report = compare_to_baseline(slow_profile, baseline)
+    text = sentinel_table(report)
+    assert "regressed" in text and "sentinel REGRESSED" in text
+    assert "±" in text
+    clean = compare_to_baseline(clean_profile, baseline)
+    text = sentinel_table(clean)
+    assert "no regions beyond thresholds" in text
+    assert "sentinel OK" in text

@@ -165,3 +165,93 @@ def test_diff_summary_renders(fib_profile, fib_cutoff_profile):
     text = summarize_diff(diff_profiles(fib_profile, fib_cutoff_profile), limit=3)
     assert "->" in text
     assert summarize_diff([]) == "(no significant changes)"
+
+
+def test_diff_sort_is_stable_for_appeared_and_vanished(monkeypatch):
+    # Appeared/vanished regions are all "infinite" movers; without the
+    # name tie-break their order depended on float inf comparisons.
+    import repro.cube.diff as diff_mod
+
+    views = [
+        {"m": {"exclusive": 10.0}, "gone_b": {"exclusive": 5.0},
+         "gone_a": {"exclusive": 5.0}},
+        {"m": {"exclusive": 20.0}, "new_b": {"exclusive": 5.0},
+         "new_a": {"exclusive": 5.0}},
+    ]
+    monkeypatch.setattr(diff_mod, "flat_region_profile", lambda p: views[p])
+    entries = diff_mod.diff_profiles(0, 1)
+    assert [e.region for e in entries] == [
+        "gone_a", "gone_b", "new_a", "new_b", "m"
+    ]
+    # and the order is deterministic across repeated calls
+    assert [e.region for e in diff_mod.diff_profiles(0, 1)] == [
+        e.region for e in entries
+    ]
+
+
+def test_diff_entry_renders_new_and_gone_markers():
+    from repro.cube.diff import DiffEntry
+
+    assert str(DiffEntry("r", "exclusive", 0.0, 5.0)).endswith("[new]")
+    assert str(DiffEntry("r", "exclusive", 5.0, 0.0)).endswith("[gone]")
+    assert str(DiffEntry("r", "exclusive", 5.0, 10.0)).endswith("(2.00x)")
+    assert "inf" not in str(DiffEntry("r", "exclusive", 0.0, 5.0))
+
+
+# ----------------------------------------------------------------------
+# Format errors and byte stability
+# ----------------------------------------------------------------------
+def test_unknown_format_raises_structured_error(fib_profile):
+    from repro.errors import ProfileFormatError, ReproError
+
+    data = json.loads(dumps(fib_profile))
+    data["format"] = 99
+    with pytest.raises(ProfileFormatError) as excinfo:
+        profile_from_dict(data)
+    err = excinfo.value
+    assert err.found == 99 and err.supported == 1
+    assert "version 1" in str(err)
+    assert isinstance(err, ReproError) and isinstance(err, ValueError)
+    with pytest.raises(ProfileFormatError, match="supports version 1"):
+        profile_from_dict({"format": None})
+
+
+def _assert_export_byte_stable(profile):
+    first = dumps(profile)
+    second = dumps(profile_from_dict(json.loads(first)))
+    assert first == second
+
+
+def test_export_byte_stable_with_parameters():
+    from repro.analysis import run_app
+
+    result = run_app(
+        "nqueens", size="test", variant="stress", n_threads=2,
+        program_kwargs={"depth_parameter": True},
+    )
+    assert result.profile.task_trees_by_parameter("nqueens_task")
+    _assert_export_byte_stable(result.profile)
+
+
+def test_export_byte_stable_with_counters():
+    from repro.analysis import run_app
+
+    result = run_app("strassen", size="test", n_threads=2)
+    _assert_export_byte_stable(result.profile)
+
+
+def test_export_byte_stable_with_stubs(fib_profile):
+    assert find_task_stub_summary(fib_profile)  # stress fib schedules stubs
+    _assert_export_byte_stable(fib_profile)
+
+
+def test_export_byte_stable_with_salvage_report():
+    from repro.faults.campaign import run_tolerant
+    from repro.faults.plan import plan_for_mode
+
+    outcome = run_tolerant(
+        "fib", plan=plan_for_mode("drop_events", seed=1), seed=1
+    )
+    assert outcome.status == "partial" and outcome.profile is not None
+    assert outcome.profile.salvage is not None
+    _assert_export_byte_stable(outcome.profile)

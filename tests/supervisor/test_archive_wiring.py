@@ -1,0 +1,75 @@
+"""Tests for the supervisor -> profile-archive wiring."""
+
+from repro.archive import ArchiveStore
+from repro.cli import main
+from repro.supervisor.spec import fault_cell, fault_grid
+from repro.supervisor.worker import execute_spec
+
+
+def test_fault_cell_carries_archive_dir(tmp_path):
+    spec = fault_cell("fib", "none", 0, archive_dir=tmp_path / "arch")
+    assert spec.params["archive_dir"] == str(tmp_path / "arch")
+    grid = fault_grid(["fib"], ["none"], [0, 1], archive_dir=tmp_path / "arch")
+    assert all(s.params["archive_dir"] == str(tmp_path / "arch") for s in grid)
+    # without the flag the param is absent, keeping old spec files valid
+    assert "archive_dir" not in fault_cell("fib", "none", 0).params
+
+
+def test_execute_spec_archives_healthy_cell(tmp_path):
+    arch = tmp_path / "arch"
+    spec = fault_cell("fib", "none", 0, archive_dir=arch)
+    payload = execute_spec(spec)
+    assert payload["outcome"] == "ok"
+    info = payload["archive"]
+    assert info["run_id"] == "r0001" and not info["deduplicated"]
+    record = ArchiveStore(arch).get_record(info["run_id"])
+    assert record.sha256 == info["sha256"]
+    assert record.meta.kernel == "fib" and record.meta.source == "supervisor"
+    assert record.meta.tags == ()  # healthy cells carry no mode tag
+
+
+def test_execute_spec_archives_salvaged_cell_with_mode_tags(tmp_path):
+    arch = tmp_path / "arch"
+    spec = fault_cell("fib", "drop_events", 1, archive_dir=arch)
+    payload = execute_spec(spec)
+    assert payload["outcome"] == "partial"
+    record = ArchiveStore(arch).get_record(payload["archive"]["run_id"])
+    assert "mode:drop_events" in record.tags and "partial" in record.tags
+    # the salvaged profile is loadable from the store
+    profile = ArchiveStore(arch).load_profile(record.run_id)
+    assert profile is not None
+
+
+def test_execute_spec_without_archive_dir_adds_no_payload_key(tmp_path):
+    payload = execute_spec(fault_cell("fib", "none", 0))
+    assert "archive" not in payload
+
+
+def test_supervise_cli_archives_next_to_journal(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "supervise", "--apps", "fib", "--modes", "none",
+            "--seeds", "0,1", "--journal", str(journal),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    arch = str(journal) + ".archive"
+    assert f"cell profiles archived to {arch}" in out
+    records = ArchiveStore(arch).records()
+    assert len(records) == 2
+    assert records[0].sha256 == records[1].sha256  # deterministic -> dedup
+
+
+def test_supervise_no_archive_flag_disables(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "supervise", "--apps", "fib", "--modes", "none", "--seeds", "0",
+            "--journal", str(journal), "--no-archive",
+        ]
+    )
+    assert code == 0
+    assert "archived to" not in capsys.readouterr().out
+    assert ArchiveStore(str(journal) + ".archive").records() == []

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.faults",
     "repro.substrates",
+    "repro.archive",
 ]
 
 
@@ -124,6 +125,26 @@ PROMISED = {
         "diff_profiles",
     ],
     "repro.bots": ["get_program", "list_programs", "BotsProgram"],
+    "repro.archive": [
+        "ArchiveStore",
+        "ArchiveRecord",
+        "RunMeta",
+        "config_fingerprint",
+        "content_hash",
+        "meta_for_result",
+        "meta_for_outcome",
+        "find_runs",
+        "latest_baseline",
+        "baselines_available",
+        "Baseline",
+        "MetricStats",
+        "MetricPolicy",
+        "SentinelPolicy",
+        "SentinelReport",
+        "RegionVerdict",
+        "compare_to_baseline",
+        "GcStats",
+    ],
     "repro.analysis": [
         "run_app",
         "measure_overhead",
