@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence
 
 from repro.archive.baseline import Baseline
 from repro.archive.store import ArchiveRecord, ArchiveStore
-from repro.errors import ArchiveError
+from repro.errors import ArchiveError, ArchiveWarning
 
 
 def find_runs(
@@ -65,11 +66,24 @@ def latest_baseline(
     tag: Optional[str] = None,
     runs: int = 3,
     min_runs: int = 1,
+    include_candidates: bool = False,
 ) -> Baseline:
     """Aggregate the newest matching runs into a :class:`Baseline`.
 
+    Two classes of archived runs are kept out of the baseline so the
+    sentinel never compares a candidate against itself:
+
+    * Runs tagged ``candidate`` (``repro sentinel --archive-candidate``
+      stores these) are skipped unless ``include_candidates`` is true or
+      the query explicitly asks for ``tag="candidate"``.
+    * When the matching runs mix configuration fingerprints (e.g. some
+      were archived with an injected cost model), only runs sharing the
+      *newest* fingerprint are aggregated, with an
+      :class:`~repro.errors.ArchiveWarning` naming how many were set
+      aside.
+
     Raises :class:`~repro.errors.ArchiveError` when fewer than
-    ``min_runs`` matching runs are archived -- a sentinel without a
+    ``min_runs`` eligible runs are archived -- a sentinel without a
     statistical baseline would just be a diff.
     """
     if runs < 1:
@@ -81,8 +95,24 @@ def latest_baseline(
         variant=variant,
         n_threads=n_threads,
         tag=tag,
-        limit=runs,
     )
+    if not include_candidates and tag != "candidate":
+        records = [r for r in records if "candidate" not in r.tags]
+    if records:
+        newest_hash = records[-1].meta.config_hash
+        stale = [r for r in records if r.meta.config_hash != newest_hash]
+        if stale:
+            n_hashes = len({r.meta.config_hash for r in records})
+            warnings.warn(
+                f"archived runs for kernel={kernel} mix {n_hashes} "
+                f"configuration fingerprints; baseline uses only the "
+                f"{len(records) - len(stale)} run(s) with the newest "
+                f"fingerprint ({len(stale)} excluded)",
+                ArchiveWarning,
+                stacklevel=2,
+            )
+            records = [r for r in records if r.meta.config_hash == newest_hash]
+    records = records[len(records) - min(runs, len(records)):]
     if len(records) < max(min_runs, 1):
         descr = [f"kernel={kernel}"]
         if size is not None:

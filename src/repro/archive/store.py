@@ -27,6 +27,13 @@ Record types::
 
     {"type":"run","run_id":"r0001","sha256":...,"created":...,"meta":{...}}
     {"type":"tag","run_id":"r0001","tag":"baseline"}
+    {"type":"counter","last_run":7}   # id high-water mark left by gc
+
+Run ids are allocated monotonically: the next id is one past the
+highest serial ever recorded, scanning every raw ``run`` line plus the
+``counter`` high-water record :meth:`ArchiveStore.gc` writes when it
+prunes the index.  Pruned ids are therefore never reused -- a run id
+keeps naming the same run for the archive's whole life.
 """
 
 from __future__ import annotations
@@ -237,6 +244,39 @@ class ArchiveStore:
                     record.extra_tags.append(tag)
         return [records[run_id] for run_id in order]
 
+    def _max_run_serial(self) -> int:
+        """The highest run-id serial the index has ever allocated.
+
+        Scans every raw ``run`` line (not the deduplicated
+        :meth:`records` view, which keeps one entry per id) and any
+        ``counter`` high-water records gc leaves behind when it prunes,
+        so ids stay monotonic even after the records that carried them
+        are gone from the index.
+        """
+        highest = 0
+        for line in self._read_index_lines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            kind = entry.get("type")
+            if kind == "run":
+                run_id = entry.get("run_id")
+                if isinstance(run_id, str) and run_id[:1] == "r":
+                    try:
+                        highest = max(highest, int(run_id[1:]))
+                    except ValueError:
+                        continue
+            elif kind == "counter":
+                try:
+                    highest = max(highest, int(entry.get("last_run", 0)))
+                except (TypeError, ValueError):
+                    continue
+        return highest
+
     def get_record(self, ref: str) -> ArchiveRecord:
         """Resolve a run id, full hash, or unambiguous hash prefix."""
         records = self.records()
@@ -260,12 +300,18 @@ class ArchiveStore:
 
     # -- high-level API ------------------------------------------------
     def put(self, profile, meta: RunMeta) -> ArchiveRecord:
-        """Archive one run: store the blob, append an index record."""
-        sha256, created = self.put_object(profile)
+        """Archive one run: store the blob, append an index record.
+
+        Both the object write and the index append happen under the
+        index lock, so a concurrent :meth:`gc` can never observe the
+        fresh object before its record exists and delete it as an
+        orphan.  Objects are small (gzip'd profile JSON); holding the
+        lock across the write is cheap.
+        """
         with self._locked():
-            n_runs = sum(1 for r in self.records())
+            sha256, created = self.put_object(profile)
             record = ArchiveRecord(
-                run_id=f"r{n_runs + 1:04d}",
+                run_id=f"r{self._max_run_serial() + 1:04d}",
                 sha256=sha256,
                 created=time.time(),
                 meta=meta,
@@ -314,7 +360,11 @@ class ArchiveStore:
                     survivors.update(id(r) for r in group[-keep_last:])
                 keep = [r for r in records if id(r) in survivors]
                 stats.runs_dropped = len(records) - len(keep)
-            entries: List[dict] = []
+            # Preserve the id high-water mark across the rewrite so ids
+            # of pruned runs are never handed out again.
+            entries: List[dict] = [
+                {"type": "counter", "last_run": self._max_run_serial()}
+            ]
             for record in keep:
                 entries.append(record.to_dict())
                 for tag in record.extra_tags:
@@ -326,7 +376,7 @@ class ArchiveStore:
                     json.dumps(e, sort_keys=True, separators=(",", ":"))
                     for e in entries
                 )
-                atomic_write(self.index_path, text + "\n" if text else "")
+                atomic_write(self.index_path, text + "\n")
             referenced = {record.sha256 for record in keep}
             objects_root = os.path.join(self.root, OBJECTS_DIR)
             for dirpath, _dirnames, filenames in os.walk(objects_root):

@@ -137,6 +137,16 @@ class ArchiveError(ReproError):
     """
 
 
+class ArchiveWarning(UserWarning):
+    """The archive answered, but something about the query was fishy.
+
+    Emitted (via :mod:`warnings`) rather than raised: e.g. a baseline
+    group whose archived runs mix configuration fingerprints, where the
+    query layer silently aggregating them would blend incomparable
+    measurements into one baseline.
+    """
+
+
 class ProfileError(ReproError):
     """The profiler detected a violation of its invariants.
 

@@ -96,6 +96,48 @@ def test_latest_baseline_insufficient_runs_is_actionable(store):
         latest_baseline(store, kernel="fib", runs=0)
 
 
+def test_latest_baseline_excludes_candidate_tagged_runs(store, results):
+    # `repro sentinel --archive-candidate` stores candidates tagged
+    # 'candidate'; they must never become part of the next baseline.
+    store.put(
+        results[0].profile,
+        meta_for_result(
+            results[0], size="test", variant="optimized",
+            tags=("candidate",), source="sentinel",
+        ),
+    )
+    baseline = latest_baseline(store, kernel="fib", runs=4)
+    assert baseline.run_ids() == ("r0001", "r0002", "r0003")
+    # explicit opt-ins still see them
+    assert latest_baseline(store, kernel="fib", tag="candidate").run_ids() == (
+        "r0004",
+    )
+    assert latest_baseline(
+        store, kernel="fib", runs=4, include_candidates=True
+    ).run_ids() == ("r0001", "r0002", "r0003", "r0004")
+
+
+def test_latest_baseline_warns_and_restricts_on_mixed_fingerprints(
+    store, results
+):
+    import dataclasses as dc
+
+    from repro.errors import ArchiveWarning
+
+    meta = meta_for_result(results[0], size="test", variant="optimized")
+    store.put(  # same group, different (newer) configuration fingerprint
+        results[0].profile, dc.replace(meta, config_hash="deadbeef", seed=99)
+    )
+    with pytest.warns(ArchiveWarning, match="fingerprints"):
+        baseline = latest_baseline(store, kernel="fib", runs=4)
+    assert baseline.run_ids() == ("r0004",)
+
+
+def test_latest_baseline_clean_group_does_not_warn(store, recwarn):
+    latest_baseline(store, kernel="fib", runs=3)
+    assert not [w for w in recwarn.list if issubclass(w.category, Warning)]
+
+
 def test_baselines_available_groups(store):
     groups = baselines_available(store)
     assert groups == [(("fib", "test", "optimized", 2), 3)]

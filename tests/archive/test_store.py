@@ -174,3 +174,58 @@ def test_gc_removes_unreferenced_orphan_objects(tmp_path, fib_result, stress_res
 def test_gc_rejects_nonpositive_keep(tmp_path):
     with pytest.raises(ArchiveError, match="keep_last"):
         ArchiveStore(tmp_path / "arch").gc(keep_last=0)
+
+
+def test_gc_never_reuses_pruned_run_ids(tmp_path, fib_result, stress_result):
+    # Regression: ids used to be derived from the surviving-record count,
+    # so puts after a gc collided with (and silently shadowed) kept runs.
+    store = ArchiveStore(tmp_path / "arch")
+    for _ in range(3):
+        _put(store, fib_result)  # r0001..r0003
+    _put(store, stress_result, variant="stress")  # r0004
+    store.gc(keep_last=1)  # keeps r0003 + r0004
+    assert _put(store, fib_result).run_id == "r0005"
+    assert _put(store, fib_result).run_id == "r0006"
+    assert [r.run_id for r in store.records()] == [
+        "r0003", "r0004", "r0005", "r0006",
+    ]
+    # the high-water mark survives a second prune as well
+    store.gc(keep_last=1)
+    assert _put(store, fib_result).run_id == "r0007"
+
+
+def test_concurrent_put_and_gc_keep_records_loadable(
+    tmp_path, fib_result, stress_result
+):
+    # put() writes object + index record under the same lock gc holds,
+    # so gc can never delete a fresh object as an orphan mid-put.
+    import threading
+
+    store = ArchiveStore(tmp_path / "arch")
+    _put(store, fib_result)
+    failures = []
+
+    def putter():
+        try:
+            for _ in range(5):
+                _put(store, stress_result, variant="stress")
+        except Exception as exc:  # pragma: no cover - failure path
+            failures.append(exc)
+
+    def collector():
+        try:
+            for _ in range(5):
+                store.gc(keep_last=1)
+        except Exception as exc:  # pragma: no cover - failure path
+            failures.append(exc)
+
+    threads = [threading.Thread(target=putter), threading.Thread(target=collector)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures
+    records = store.records()
+    assert records
+    for record in records:  # every surviving record's blob must load
+        store.load_object(record.sha256)
