@@ -60,6 +60,13 @@ def config_fingerprint(config) -> str:
         "fault_plan": config.fault_plan is not None,
         "costs": dataclasses.asdict(config.costs),
     }
+    if getattr(config, "memory_budget", None) is not None:
+        # Only present when a budget is armed, so every fingerprint ever
+        # computed for an ungoverned configuration stays byte-identical.
+        budget = config.memory_budget
+        payload["memory_budget"] = (
+            budget.to_dict() if hasattr(budget, "to_dict") else budget
+        )
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -125,6 +132,17 @@ def meta_for_result(
     """
     kernel, _, label_variant = result.program_label.partition("/")
     config = getattr(result, "config", None)
+    run_tags = tuple(tags)
+    profile = getattr(result, "profile", None)
+    salvage = getattr(profile, "salvage", None)
+    if (
+        salvage is not None
+        and getattr(salvage, "degraded", False)
+        and "degraded" not in run_tags
+    ):
+        # Degraded runs are tagged so latest_baseline/sentinel keep them
+        # out of baselines, like candidates.
+        run_tags = run_tags + ("degraded",)
     return RunMeta(
         kernel=kernel,
         size=size,
@@ -136,7 +154,7 @@ def meta_for_result(
         config_hash=config_fingerprint(config) if config is not None else "",
         wall_time_us=result.kernel_time,
         verified=result.verified,
-        tags=tuple(tags),
+        tags=run_tags,
         source=source,
     )
 
@@ -149,6 +167,8 @@ def meta_for_outcome(
     status_tags = tuple(tags)
     if outcome.status != "complete" and "partial" not in status_tags:
         status_tags = status_tags + ("partial",)
+    if getattr(outcome, "degraded", False) and "degraded" not in status_tags:
+        status_tags = status_tags + ("degraded",)
     return RunMeta(
         kernel=outcome.app,
         size=size,

@@ -76,6 +76,10 @@ def latest_baseline(
     * Runs tagged ``candidate`` (``repro sentinel --archive-candidate``
       stores these) are skipped unless ``include_candidates`` is true or
       the query explicitly asks for ``tag="candidate"``.
+    * Runs tagged ``degraded`` (the resource governor reduced their
+      measurement fidelity under a memory budget) are skipped unless the
+      query explicitly asks for ``tag="degraded"`` -- degraded numbers
+      must never anchor a regression baseline.
     * When the matching runs mix configuration fingerprints (e.g. some
       were archived with an injected cost model), only runs sharing the
       *newest* fingerprint are aggregated, with an
@@ -98,6 +102,8 @@ def latest_baseline(
     )
     if not include_candidates and tag != "candidate":
         records = [r for r in records if "candidate" not in r.tags]
+    if tag != "degraded":
+        records = [r for r in records if "degraded" not in r.tags]
     if records:
         newest_hash = records[-1].meta.config_hash
         stale = [r for r in records if r.meta.config_hash != newest_hash]

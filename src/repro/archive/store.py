@@ -112,6 +112,9 @@ class GcStats:
     runs_dropped: int = 0
     objects_deleted: int = 0
     bytes_freed: int = 0
+    #: unreferenced objects that could not be unlinked (OSError); they
+    #: stay on disk as garbage a later gc pass can re-collect
+    objects_failed: int = 0
 
 
 class ArchiveStore:
@@ -361,7 +364,12 @@ class ArchiveStore:
                 keep = [r for r in records if id(r) in survivors]
                 stats.runs_dropped = len(records) - len(keep)
             # Preserve the id high-water mark across the rewrite so ids
-            # of pruned runs are never handed out again.
+            # of pruned runs are never handed out again.  The index --
+            # counter record first -- is written *before* any object is
+            # deleted: an OSError (ENOSPC, permissions) mid-prune then
+            # leaves a consistent index whose surviving records all still
+            # have their objects; undeleted garbage is re-collectable by
+            # a later gc.
             entries: List[dict] = [
                 {"type": "counter", "last_run": self._max_run_serial()}
             ]
@@ -388,9 +396,14 @@ class ArchiveStore:
                         continue
                     path = os.path.join(dirpath, filename)
                     try:
-                        stats.bytes_freed += os.path.getsize(path)
+                        size = os.path.getsize(path)
                         os.unlink(path)
-                        stats.objects_deleted += 1
-                    except OSError:  # pragma: no cover - racing deletion
-                        pass
+                    except OSError:
+                        # Racing deletion or a failing filesystem: skip
+                        # the object (and its stats -- only what was
+                        # actually unlinked is counted) and keep pruning.
+                        stats.objects_failed += 1
+                        continue
+                    stats.bytes_freed += size
+                    stats.objects_deleted += 1
         return stats

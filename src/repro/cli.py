@@ -81,6 +81,22 @@ def _unknown_substrate(name: str) -> int:
     return 2
 
 
+def _add_budget_arguments(parser) -> None:
+    """The governor flags shared by ``run`` (and mirrored by ``governor``)."""
+    parser.add_argument(
+        "--memory-budget", type=int, default=None, metavar="N",
+        help="arm the resource governor: cap concurrently live "
+             "task-instance trees at N and degrade measurement fidelity "
+             "instead of failing (see `repro governor`)",
+    )
+    parser.add_argument(
+        "--on-pressure", choices=["degrade", "stop"], default="degrade",
+        help="policy above the budget: walk the degradation ladder "
+             "(degrade, default) or salvage-and-stop (stop); needs "
+             "--memory-budget",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -143,6 +159,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--tag", action="append", dest="tags", default=None, metavar="TAG",
         help="label the archived run (repeatable; requires --archive)",
+    )
+    _add_budget_arguments(run_parser)
+
+    governor_parser = sub.add_parser(
+        "governor",
+        help="run one kernel under a memory budget and report the "
+             "degradation ladder",
+    )
+    governor_parser.add_argument("app", help="kernel name (see `repro list`)")
+    governor_parser.add_argument(
+        "--size", default="test", choices=["test", "small", "medium"]
+    )
+    governor_parser.add_argument("--variant", default="optimized")
+    governor_parser.add_argument("--threads", type=int, default=2)
+    governor_parser.add_argument("--seed", type=int, default=0)
+    governor_parser.add_argument(
+        "--memory-budget", type=int, required=True, metavar="N",
+        help="cap on concurrently live task-instance trees",
+    )
+    governor_parser.add_argument(
+        "--on-pressure", choices=["degrade", "stop"], default="degrade",
+        help="policy above the budget: walk the degradation ladder "
+             "(degrade, default) or salvage-and-stop at the hard "
+             "watermark (stop)",
+    )
+    governor_parser.add_argument(
+        "--json", metavar="FILE",
+        help="write the governor report (budget, ladder, incidents) as JSON",
     )
 
     overhead_parser = sub.add_parser("overhead", help="instrumented-vs-baseline overhead")
@@ -453,6 +497,51 @@ def _costs_override(args):
     return JUROPA_LIKE.with_instrumentation_cost(args.instr_cost)
 
 
+def _memory_budget(args):
+    """A :class:`MemoryBudget` from ``--memory-budget``/``--on-pressure``.
+
+    Returns None when no budget was requested, so ungoverned runs build
+    the exact same configuration they always did.
+    """
+    if getattr(args, "memory_budget", None) is None:
+        return None
+    from repro.governor import MemoryBudget
+
+    return MemoryBudget(
+        max_live_instances=args.memory_budget,
+        on_pressure=getattr(args, "on_pressure", "degrade"),
+    )
+
+
+def _print_governor_report(report) -> None:
+    """Ladder level + one line per PressureIncident, CLI-style."""
+    if not report:
+        return
+    level = report.get("level", 0)
+    incidents = report.get("incidents", ())
+    if level == 0 and not incidents:
+        print("  governor: budget never under pressure (stayed at L0)")
+        return
+    stubbed = report.get("stubbed_tasks", 0)
+    created = report.get("created_tasks", 0)
+    print(
+        f"  governor: degradation level L{level} "
+        f"({report.get('level_name', '?')}), peak live instances "
+        f"{report.get('peak_live_instances', 0)}, "
+        f"{stubbed}/{created} task(s) stub-accounted"
+    )
+    for incident in incidents:
+        level = incident.get("level", "?")
+        print(
+            f"    L{level} {incident.get('name', '?')}: "
+            f"{incident.get('trigger', '?')} "
+            f"{incident.get('value', 0)}/{incident.get('limit', 0)} "
+            f"at t={incident.get('time_us', 0.0):.1f} us "
+            f"({incident.get('tasks_affected', 0)} task(s) live) -- "
+            f"{incident.get('action', '')}"
+        )
+
+
 def _run_tolerant(args, plan) -> int:
     from repro.faults.campaign import DEFAULT_WATCHDOG_US, run_tolerant
 
@@ -468,12 +557,15 @@ def _run_tolerant(args, plan) -> int:
         variant=args.variant,
         substrates=getattr(args, "substrates", None),
         costs=_costs_override(args),
+        memory_budget=_memory_budget(args),
     )
     verified = "n/a" if outcome.verified is None else outcome.verified
     print(f"{args.app}: status={outcome.status}, verified={verified}, "
           f"threads={args.threads}")
     if outcome.salvage is not None:
         print(f"  {outcome.salvage.summary()}")
+    if outcome.governor_report is not None:
+        _print_governor_report(outcome.governor_report)
     if outcome.error:
         print(f"  run error: {outcome.error}")
     if outcome.profile is not None:
@@ -553,6 +645,7 @@ def cmd_run(args) -> int:
         from repro.faults.plan import plan_for_mode
 
         plan = plan_for_mode(args.fault_mode, seed=args.seed)
+    budget = _memory_budget(args)
     if args.tolerate_errors:
         return _run_tolerant(args, plan)
 
@@ -563,6 +656,8 @@ def cmd_run(args) -> int:
         overrides["fault_plan"] = plan
     if args.watchdog_us is not None:
         overrides["watchdog_us"] = args.watchdog_us
+    if budget is not None:
+        overrides["memory_budget"] = budget
     try:
         result = run_app(
             args.app,
@@ -590,6 +685,8 @@ def cmd_run(args) -> int:
         print(f"  {bucket:6s}: {result.bucket_total(bucket):12.1f} us")
     if substrates:
         _print_substrate_report(result.parallel)
+    if budget is not None:
+        _print_governor_report(result.parallel.extra.get("governor"))
     if result.profile is not None:
         print(f"  max concurrent tasks/thread: "
               f"{result.profile.max_concurrent_tasks_per_thread()}")
@@ -619,6 +716,46 @@ def cmd_run(args) -> int:
         ratio = management_ratio(result.parallel.trace)
         print(f"  management/execution ratio: {ratio['ratio']:.2f}")
     return 0 if result.verified else 1
+
+
+def cmd_governor(args) -> int:
+    """Run one kernel under a memory budget and report the ladder walk.
+
+    Always runs in tolerant mode: even a ``stop``-policy budget that
+    fires at L4 salvages a partial profile and reports the incidents
+    rather than surfacing a traceback.
+    """
+    from repro.faults.campaign import DEFAULT_WATCHDOG_US, run_tolerant
+    from repro.governor import MemoryBudget
+
+    if args.app not in list_programs():
+        return _unknown_kernel(args.app)
+    budget = MemoryBudget(
+        max_live_instances=args.memory_budget, on_pressure=args.on_pressure
+    )
+    print(f"budget: {budget.describe()}")
+    outcome = run_tolerant(
+        args.app,
+        size=args.size,
+        n_threads=args.threads,
+        seed=args.seed,
+        watchdog_us=DEFAULT_WATCHDOG_US,
+        variant=args.variant,
+        memory_budget=budget,
+    )
+    verified = "n/a" if outcome.verified is None else outcome.verified
+    print(f"{args.app}: status={outcome.status}, verified={verified}, "
+          f"threads={args.threads}")
+    if outcome.salvage is not None:
+        print(f"  {outcome.salvage.summary()}")
+    report = outcome.governor_report or {}
+    _print_governor_report(report)
+    if outcome.error:
+        print(f"  run error: {outcome.error}")
+    if args.json:
+        atomic_write(args.json, json.dumps(report, indent=2))
+        print(f"governor report written to {args.json}")
+    return 0 if outcome.ok else 1
 
 
 def cmd_overhead(args) -> int:
@@ -1084,6 +1221,7 @@ def cmd_supervise(args) -> int:
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
+    "governor": cmd_governor,
     "overhead": cmd_overhead,
     "report": cmd_report,
     "scaling": cmd_scaling,

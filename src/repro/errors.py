@@ -67,6 +67,19 @@ class CampaignInterrupted(ReproError):
         self.results = list(results)
 
 
+class MemoryPressureStop(ReproError):
+    """The resource governor reached ladder level L4 (controlled stop).
+
+    Raised from a task-creation scheduling point when measurement memory
+    pressure exceeds the configured stop watermark (or the hard watermark
+    with ``on_pressure="stop"``).  Unlike a real OOM kill the profile
+    built so far is intact: the tolerant runner's salvage path catches
+    this like any other :class:`ReproError` and flushes a partial profile
+    whose :class:`~repro.profiling.salvage.SalvageReport` carries the
+    :class:`~repro.governor.PressureIncident` history.
+    """
+
+
 class FaultInjectionError(ReproError):
     """An injected fault fired (task-body exception from a FaultPlan).
 

@@ -76,6 +76,8 @@ class SalvageOutcome:
     error: Optional[str] = None
     #: the configuration the run used (for archive fingerprinting)
     config: Optional[RuntimeConfig] = None
+    #: the resource governor's final report, when one was armed
+    governor_report: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -85,6 +87,29 @@ class SalvageOutcome:
         if self.status == "complete":
             return True
         return self.salvage is not None and self.salvage.partial
+
+    @property
+    def degraded(self) -> bool:
+        """The governor reduced measurement fidelity during the run."""
+        return self.salvage is not None and self.salvage.degraded
+
+
+def _fold_governor(report: Optional[SalvageReport], runtime) -> Optional[dict]:
+    """Copy the governor's incidents into ``report``; return its report.
+
+    Idempotent: the runtime folds incidents itself on the healthy path,
+    so this only fills reports built offline (salvage reconstruction).
+    """
+    governor = runtime.governor
+    if governor is None:
+        return None
+    if (
+        report is not None
+        and not report.pressure_incidents
+        and governor.incidents
+    ):
+        report.pressure_incidents.extend(i.to_dict() for i in governor.incidents)
+    return governor.report()
 
 
 def run_tolerant(
@@ -98,6 +123,7 @@ def run_tolerant(
     wall_timeout_s: Optional[float] = None,
     substrates: Optional[Sequence] = None,
     costs=None,
+    memory_budget=None,
 ) -> SalvageOutcome:
     """Run a kernel, salvaging a partial profile from whatever survives.
 
@@ -108,6 +134,10 @@ def run_tolerant(
     ``substrates`` optionally names extra measurement substrates to
     attach; ``profiling`` and ``tracing`` are always ensured -- salvage
     needs a live profile *and* the recorded trace to reconstruct from.
+
+    ``memory_budget`` arms the resource governor (an int, dict, or
+    :class:`~repro.governor.MemoryBudget`); a plan with
+    ``pressure_budget`` set (the ``pressure`` fault mode) arms it too.
     """
     substrate_spec: tuple = ()
     if substrates:
@@ -117,6 +147,8 @@ def run_tolerant(
                 names.append(required)
         substrate_spec = tuple(names)
     program = get_program(name, size=size, variant=variant)
+    if memory_budget is None and plan is not None and plan.pressure_budget is not None:
+        memory_budget = plan.pressure_budget
     config_kwargs = dict(
         n_threads=n_threads,
         instrument=True,
@@ -126,6 +158,7 @@ def run_tolerant(
         watchdog_us=watchdog_us,
         wall_timeout_s=wall_timeout_s,
         substrates=substrate_spec,
+        memory_budget=memory_budget,
     )
     if costs is not None:
         config_kwargs["costs"] = costs
@@ -152,6 +185,7 @@ def run_tolerant(
             return SalvageOutcome(
                 app=name, status="partial", profile=None, salvage=report,
                 error=report.run_error, config=config,
+                governor_report=_fold_governor(report, runtime),
             )
         profile, report = salvage_profile_from_trace(
             trace, implicit_region, finish_time=runtime.env.now
@@ -162,6 +196,7 @@ def run_tolerant(
         return SalvageOutcome(
             app=name, status="partial", profile=profile, salvage=report,
             error=report.run_error, config=config,
+            governor_report=_fold_governor(report, runtime),
         )
 
     if injector is not None:
@@ -188,6 +223,7 @@ def run_tolerant(
             duration=result.duration,
             verified=program.verify(result),
             config=config,
+            governor_report=_fold_governor(report, runtime),
         )
 
     profile = result.profile
@@ -201,6 +237,9 @@ def run_tolerant(
         duration=result.duration,
         verified=program.verify(result),
         config=config,
+        governor_report=_fold_governor(
+            profile.salvage if profile is not None else None, runtime
+        ),
     )
 
 
@@ -215,8 +254,9 @@ class CampaignResult:
     ok: bool
     summary: str
     error: Optional[str] = None
-    #: supervisor outcome class (``ok``/``partial``/``error``/``timeout``/
-    #: ``crash``/``oom``); in-process cells derive it from ``status``
+    #: supervisor outcome class (``ok``/``partial``/``degraded``/``error``/
+    #: ``timeout``/``crash``/``oom``); in-process cells derive it from
+    #: ``status`` (or the governor's degradation state)
     outcome: str = ""
     #: how many worker attempts this cell took (1 = no retries)
     attempts: int = 1
@@ -286,6 +326,7 @@ def run_campaign(
                     ok=outcome.ok,
                     summary=summary,
                     error=outcome.error,
+                    outcome="degraded" if outcome.degraded else "",
                 )
             )
     except KeyboardInterrupt:

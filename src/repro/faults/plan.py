@@ -19,6 +19,7 @@ FAULT_MODES: Tuple[str, ...] = (
     "reorder_events",
     "truncate_stream",
     "clock_skew",
+    "pressure",
 )
 
 
@@ -50,6 +51,10 @@ class FaultPlan:
     clock_skew_us: float = 25.0
     #: record at most this many events program-wide, then drop the rest
     truncate_after: Optional[int] = None
+    # -- pressure fault (starve the *measurement*, not the program) ----
+    #: arm the resource governor with this cap on live task-instance
+    #: trees; drives the degradation ladder instead of killing the run
+    pressure_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -65,6 +70,10 @@ class FaultPlan:
                 raise ValueError(f"{name} must be in [0, 1], got {value!r}")
         if self.truncate_after is not None and self.truncate_after < 0:
             raise ValueError(f"truncate_after must be >= 0, got {self.truncate_after!r}")
+        if self.pressure_budget is not None and self.pressure_budget < 1:
+            raise ValueError(
+                f"pressure_budget must be >= 1, got {self.pressure_budget!r}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -80,6 +89,12 @@ class FaultPlan:
             or self.clock_skew_rate > 0.0
             or self.truncate_after is not None
         )
+
+    @property
+    def wants_pressure(self) -> bool:
+        """Memory-pressure fault: armed through the governor, not the
+        injector, so it deliberately does not make the plan ``armed``."""
+        return self.pressure_budget is not None
 
     @property
     def armed(self) -> bool:
@@ -104,6 +119,8 @@ class FaultPlan:
             parts.append(f"clock_skew={self.clock_skew_rate:g}")
         if self.truncate_after is not None:
             parts.append(f"truncate_after={self.truncate_after}")
+        if self.pressure_budget is not None:
+            parts.append(f"pressure_budget={self.pressure_budget}")
         body = ", ".join(parts) if parts else "no faults"
         return f"FaultPlan(seed={self.seed}: {body})"
 
@@ -129,6 +146,11 @@ def plan_for_mode(mode: str, seed: int = 0, intensity: float = 0.05) -> FaultPla
         return FaultPlan(seed=seed, truncate_after=120)
     if mode == "clock_skew":
         return FaultPlan(seed=seed, clock_skew_rate=intensity)
+    if mode == "pressure":
+        # Below the test-size kernels' unbounded concurrency peak, so the
+        # ladder demonstrably engages; the run completes degraded instead
+        # of being killed and retried as an oom.
+        return FaultPlan(seed=seed, pressure_budget=4)
     raise ValueError(
         f"unknown fault mode {mode!r}; known modes: {', '.join(FAULT_MODES)}"
     )

@@ -1,0 +1,34 @@
+"""Resource governor: bounded measurement memory via a degradation ladder.
+
+See :mod:`repro.governor.governor` for the ladder semantics and
+:mod:`repro.governor.budget` for the budget/watermark configuration.
+Arm it with ``RuntimeConfig(memory_budget=MemoryBudget(...))`` or
+``repro run --memory-budget N``.
+"""
+
+from repro.governor.budget import MemoryBudget, PRESSURE_POLICIES
+from repro.governor.governor import (
+    L0_NORMAL,
+    L1_EAGER_RELEASE,
+    L2_AGGREGATES_ONLY,
+    L3_STUB_ONLY,
+    L4_STOP,
+    LEVEL_ACTIONS,
+    LEVEL_NAMES,
+    PressureIncident,
+    ResourceGovernor,
+)
+
+__all__ = [
+    "MemoryBudget",
+    "PRESSURE_POLICIES",
+    "PressureIncident",
+    "ResourceGovernor",
+    "LEVEL_NAMES",
+    "LEVEL_ACTIONS",
+    "L0_NORMAL",
+    "L1_EAGER_RELEASE",
+    "L2_AGGREGATES_ONLY",
+    "L3_STUB_ONLY",
+    "L4_STOP",
+]

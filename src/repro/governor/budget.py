@@ -1,0 +1,131 @@
+"""Memory-budget description for the resource governor.
+
+A :class:`MemoryBudget` is pure configuration: absolute caps on the three
+measurement-memory metrics the paper's Section V-B identifies (live
+task-instance trees, node-pool volume, event-buffer depth) plus the
+watermark fractions that position the degradation ladder's rungs inside
+those caps.  The :class:`~repro.governor.governor.ResourceGovernor` does
+the actual tracking; the budget never changes during a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+#: What to do when pressure crosses the hard watermark.
+PRESSURE_POLICIES = ("degrade", "stop")
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Caps and watermarks for one run's measurement memory.
+
+    Attributes
+    ----------
+    max_live_instances:
+        Cap on concurrently-live task-instance trees summed over threads
+        (the quantity ``ConcurrencyTracker`` measures per thread and
+        Table II reports the maximum of).  ``None`` = unlimited.
+    max_pool_nodes:
+        Cap on total node-pool volume (live + free) summed over threads.
+    max_events:
+        Cap on buffered trace events summed over per-thread streams
+        (only meaningful when a tracing substrate is attached).
+    soft_fraction / hard_fraction:
+        Watermarks as fractions of the binding cap: crossing ``soft``
+        enters ladder level L1, crossing ``hard`` enters L2; reaching
+        the cap itself (ratio 1.0) enters L3.  ``stop_fraction`` (>= 1)
+        is where L4 -- controlled stop -- fires in ``degrade`` mode;
+        L3's stub-only accounting normally keeps pressure from ever
+        getting there.
+    on_pressure:
+        ``"degrade"`` walks the full ladder; ``"stop"`` skips it and
+        raises :class:`~repro.errors.MemoryPressureStop` as soon as the
+        hard watermark is crossed (for runs where degraded numbers are
+        worse than no numbers).
+    l2_max_free:
+        Free-list size each per-thread node pool is trimmed to when the
+        ladder reaches L2 (and caps further pooling from then on).
+    """
+
+    max_live_instances: Optional[int] = None
+    max_pool_nodes: Optional[int] = None
+    max_events: Optional[int] = None
+    soft_fraction: float = 0.5
+    hard_fraction: float = 0.8
+    stop_fraction: float = 2.0
+    on_pressure: str = "degrade"
+    l2_max_free: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("max_live_instances", "max_pool_nodes", "max_events"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {value!r}")
+        if not (0.0 < self.soft_fraction <= self.hard_fraction <= 1.0):
+            raise ValueError(
+                "need 0 < soft_fraction <= hard_fraction <= 1, got "
+                f"soft={self.soft_fraction!r} hard={self.hard_fraction!r}"
+            )
+        if self.stop_fraction < 1.0:
+            raise ValueError(
+                f"stop_fraction must be >= 1, got {self.stop_fraction!r}"
+            )
+        if self.on_pressure not in PRESSURE_POLICIES:
+            raise ValueError(
+                f"on_pressure must be one of {PRESSURE_POLICIES}, "
+                f"got {self.on_pressure!r}"
+            )
+        if self.l2_max_free < 0:
+            raise ValueError(f"l2_max_free must be >= 0, got {self.l2_max_free!r}")
+
+    @property
+    def armed(self) -> bool:
+        """True when at least one cap is set (a budget with no caps is inert)."""
+        return (
+            self.max_live_instances is not None
+            or self.max_pool_nodes is not None
+            or self.max_events is not None
+        )
+
+    # ------------------------------------------------------------------
+    def caps(self) -> dict:
+        """Metric name -> absolute cap, for every cap that is set."""
+        out = {}
+        if self.max_live_instances is not None:
+            out["live_instances"] = self.max_live_instances
+        if self.max_pool_nodes is not None:
+            out["pool_nodes"] = self.max_pool_nodes
+        if self.max_events is not None:
+            out["event_buffer"] = self.max_events
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "max_live_instances": self.max_live_instances,
+            "max_pool_nodes": self.max_pool_nodes,
+            "max_events": self.max_events,
+            "soft_fraction": self.soft_fraction,
+            "hard_fraction": self.hard_fraction,
+            "stop_fraction": self.stop_fraction,
+            "on_pressure": self.on_pressure,
+            "l2_max_free": self.l2_max_free,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemoryBudget":
+        return cls(**data)
+
+    def describe(self) -> str:
+        caps = self.caps()
+        if not caps:
+            return "memory budget: no caps (inert)"
+        parts = [f"{name}<={cap}" for name, cap in caps.items()]
+        parts.append(
+            f"watermarks soft={self.soft_fraction:g} hard={self.hard_fraction:g} "
+            f"stop={self.stop_fraction:g}"
+        )
+        parts.append(f"on_pressure={self.on_pressure}")
+        return "memory budget: " + ", ".join(parts)

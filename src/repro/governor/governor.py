@@ -1,0 +1,282 @@
+"""Per-run resource governor: watermark ladder over measurement memory.
+
+The paper's memory evaluation (Section V-B, Table II) shows the profiler's
+footprint is bounded only by the maximum number of *concurrently active*
+task instances -- a quantity the profiled program controls, not the
+profiler.  The governor closes that hole: it tracks live instance trees,
+node-pool volume, and event-buffer depth against a
+:class:`~repro.governor.budget.MemoryBudget` and walks a deterministic
+degradation ladder as pressure rises:
+
+========  =================  ==============================================
+ level     name               action
+========  =================  ==============================================
+ L0        normal             full per-instance profiling
+ L1        eager-release      completed instance trees merged immediately;
+                              node pools stop retaining freed nodes
+ L2        aggregates-only    new instances drop per-instance parameter
+                              splits; pool free lists trimmed
+ L3        stub-only          new tasks get creation accounting only
+                              (single stub node, no instance tree)
+ L4        stop               controlled stop; salvageable profile flushed
+========  =================  ==============================================
+
+The ladder ratchets: the level never decreases during a run, so a profile
+is characterised by the *worst* level it reached and every transition is
+recorded as a :class:`PressureIncident`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MemoryPressureStop
+from repro.governor.budget import MemoryBudget
+
+#: Ladder levels.
+L0_NORMAL = 0
+L1_EAGER_RELEASE = 1
+L2_AGGREGATES_ONLY = 2
+L3_STUB_ONLY = 3
+L4_STOP = 4
+
+LEVEL_NAMES = {
+    L0_NORMAL: "normal",
+    L1_EAGER_RELEASE: "eager-release",
+    L2_AGGREGATES_ONLY: "aggregates-only",
+    L3_STUB_ONLY: "stub-only",
+    L4_STOP: "stop",
+}
+
+#: One-line description of what entering each level changes.
+LEVEL_ACTIONS = {
+    L1_EAGER_RELEASE: "stop retaining freed pool nodes",
+    L2_AGGREGATES_ONLY: "drop per-instance parameter splits; trim pool free lists",
+    L3_STUB_ONLY: "stub-node-only accounting for new tasks",
+    L4_STOP: "controlled stop; flush salvageable profile",
+}
+
+
+@dataclass(frozen=True)
+class PressureIncident:
+    """One ladder transition: the governor entered ``level`` at ``time_us``.
+
+    ``trigger`` names the binding metric (``live_instances``,
+    ``pool_nodes``, or ``event_buffer``); ``value``/``limit``/``ratio``
+    record where it stood against its cap; ``tasks_affected`` is how many
+    tasks had been created when the transition fired (everything created
+    afterwards runs under the new level).
+    """
+
+    level: int
+    trigger: str
+    value: int
+    limit: int
+    ratio: float
+    time_us: float
+    tasks_affected: int
+    action: str
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "name": LEVEL_NAMES.get(self.level, str(self.level)),
+            "trigger": self.trigger,
+            "value": self.value,
+            "limit": self.limit,
+            "ratio": self.ratio,
+            "time_us": self.time_us,
+            "tasks_affected": self.tasks_affected,
+            "action": self.action,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PressureIncident":
+        return cls(
+            level=data["level"],
+            trigger=data["trigger"],
+            value=data["value"],
+            limit=data["limit"],
+            ratio=data["ratio"],
+            time_us=data["time_us"],
+            tasks_affected=data["tasks_affected"],
+            action=data["action"],
+        )
+
+    def describe(self) -> str:
+        name = LEVEL_NAMES.get(self.level, str(self.level))
+        return (
+            f"t={self.time_us:.2f}us L{self.level}({name}): "
+            f"{self.trigger}={self.value}/{self.limit} "
+            f"({self.ratio:.0%}) -> {self.action}"
+        )
+
+
+class ResourceGovernor:
+    """Tracks measurement-memory pressure and drives the degradation ladder.
+
+    The runtime consults the governor at task-creation scheduling points
+    (:meth:`on_task_created`); the task profiler reports instance-tree
+    lifecycle (:meth:`note_instance_begun` / :meth:`note_instance_completed`)
+    and registers ladder actions (:meth:`on_level`).  Metrics the governor
+    cannot count itself -- pool volume, event-buffer depth -- are attached
+    as gauges (:meth:`attach_gauge`) and polled at each check.
+    """
+
+    def __init__(self, budget: MemoryBudget) -> None:
+        self.budget = budget
+        #: current ladder level; ratchets upward only
+        self.level: int = L0_NORMAL
+        #: every transition, in order
+        self.incidents: List[PressureIncident] = []
+        #: live full instance trees (stub instances tracked separately:
+        #: their footprint is one node, which the pool gauge sees)
+        self.live_instances: int = 0
+        self.peak_live: int = 0
+        #: live stub-only instances
+        self.stub_instances: int = 0
+        #: tasks admitted at creation scheduling points
+        self.created_tasks: int = 0
+        #: tasks created at level >= L3 (creation counted, no tree)
+        self.stubbed_tasks: int = 0
+        self._gauges: Dict[str, Callable[[], int]] = {}
+        self._actions: Dict[int, List[Callable[[], None]]] = {}
+
+    # ------------------------------------------------------------------
+    def attach_gauge(self, name: str, fn: Callable[[], int]) -> None:
+        """Register a callable polled for metric ``name`` at each check."""
+        self._gauges[name] = fn
+
+    def on_level(self, level: int, callback: Callable[[], None]) -> None:
+        """Register a ladder action fired once when ``level`` is entered."""
+        self._actions.setdefault(level, []).append(callback)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, int]:
+        """Current value of every metric a cap exists for."""
+        out: Dict[str, int] = {}
+        caps = self.budget.caps()
+        if "live_instances" in caps:
+            out["live_instances"] = self.live_instances
+        for name in ("pool_nodes", "event_buffer"):
+            if name in caps:
+                gauge = self._gauges.get(name)
+                out[name] = int(gauge()) if gauge is not None else 0
+        return out
+
+    def pressure(self) -> Tuple[float, str, int, int]:
+        """(ratio, trigger metric, value, cap) for the most-loaded metric."""
+        worst = (0.0, "live_instances", 0, 0)
+        caps = self.budget.caps()
+        for name, value in self.metrics().items():
+            cap = caps[name]
+            ratio = value / cap
+            if ratio > worst[0]:
+                worst = (ratio, name, value, cap)
+        return worst
+
+    def _target_level(self, ratio: float) -> int:
+        b = self.budget
+        if b.on_pressure == "stop":
+            return L4_STOP if ratio >= b.hard_fraction else L0_NORMAL
+        if ratio >= b.stop_fraction:
+            return L4_STOP
+        if ratio >= 1.0:
+            return L3_STUB_ONLY
+        if ratio >= b.hard_fraction:
+            return L2_AGGREGATES_ONLY
+        if ratio >= b.soft_fraction:
+            return L1_EAGER_RELEASE
+        return L0_NORMAL
+
+    # ------------------------------------------------------------------
+    def check(self, now: float) -> int:
+        """Re-evaluate pressure, walking the ladder one rung at a time.
+
+        Every rung between the current level and the target emits its own
+        :class:`PressureIncident` and fires its registered actions, so the
+        report always shows the complete ladder walk even when pressure
+        jumps several watermarks between two checks.  Raises
+        :class:`~repro.errors.MemoryPressureStop` on entering L4.
+        """
+        if not self.budget.armed:
+            return self.level
+        ratio, trigger, value, cap = self.pressure()
+        target = self._target_level(ratio)
+        while target > self.level:
+            entered = self.level + 1
+            self.level = entered
+            incident = PressureIncident(
+                level=entered,
+                trigger=trigger,
+                value=value,
+                limit=cap,
+                ratio=ratio,
+                time_us=now,
+                tasks_affected=self.created_tasks,
+                action=LEVEL_ACTIONS.get(entered, ""),
+            )
+            self.incidents.append(incident)
+            for action in self._actions.get(entered, ()):
+                action()
+            if entered >= L4_STOP:
+                raise MemoryPressureStop(
+                    f"memory budget exhausted: {trigger}={value} "
+                    f"vs cap {cap} ({ratio:.0%}); "
+                    f"{len(self.incidents)} pressure incident(s), "
+                    f"profile salvaged at degradation level L4"
+                )
+        return self.level
+
+    # -- runtime hooks --------------------------------------------------
+    def on_task_created(self, now: float) -> int:
+        """Admission check at a task-creation scheduling point."""
+        self.created_tasks += 1
+        level = self.check(now)
+        if level >= L3_STUB_ONLY:
+            self.stubbed_tasks += 1
+        return level
+
+    # -- profiler hooks -------------------------------------------------
+    def note_instance_begun(self, now: float, stub: bool = False) -> None:
+        if stub:
+            self.stub_instances += 1
+        else:
+            self.live_instances += 1
+            if self.live_instances > self.peak_live:
+                self.peak_live = self.live_instances
+        self.check(now)
+
+    def note_instance_completed(self, stub: bool = False) -> None:
+        # Salvage quarantine may drop an end event; never go negative.
+        if stub:
+            if self.stub_instances > 0:
+                self.stub_instances -= 1
+        elif self.live_instances > 0:
+            self.live_instances -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True once fidelity is reduced (aggregates-only or worse)."""
+        return self.level >= L2_AGGREGATES_ONLY
+
+    def report(self) -> dict:
+        ratio, trigger, value, cap = self.pressure()
+        return {
+            "budget": self.budget.to_dict(),
+            "level": self.level,
+            "level_name": LEVEL_NAMES.get(self.level, str(self.level)),
+            "degraded": self.degraded,
+            "pressure": {
+                "ratio": ratio,
+                "trigger": trigger,
+                "value": value,
+                "limit": cap,
+            },
+            "created_tasks": self.created_tasks,
+            "stubbed_tasks": self.stubbed_tasks,
+            "peak_live_instances": self.peak_live,
+            "incidents": [i.to_dict() for i in self.incidents],
+        }

@@ -25,7 +25,17 @@ NodeKey = Tuple[Region, Optional[tuple]]
 class CallTreeNode:
     """One node of a call-path profile tree."""
 
-    __slots__ = ("region", "parameter", "parent", "children", "metrics", "is_stub")
+    # __weakref__ keeps nodes weak-referenceable so reclaimability of
+    # trimmed pool nodes is testable without sacrificing the slots layout.
+    __slots__ = (
+        "region",
+        "parameter",
+        "parent",
+        "children",
+        "metrics",
+        "is_stub",
+        "__weakref__",
+    )
 
     def __init__(
         self,

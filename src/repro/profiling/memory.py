@@ -13,6 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+#: Synthetic phase name instances begun outside any parallel region are
+#: attributed to, so ``phase_max`` never under-reads ``overall_max``.
+NO_PHASE = "<no-phase>"
+
 
 class ConcurrencyTracker:
     """Per-thread counter of live task-instance trees with per-phase maxima."""
@@ -45,8 +49,12 @@ class ConcurrencyTracker:
         self.total_instances += 1
         if self.current > self.overall_max:
             self.overall_max = self.current
-        if self._phase is not None and self.current > self.phase_max[self._phase]:
-            self.phase_max[self._phase] = self.current
+        # Outside a phase the maximum is still recorded, under a synthetic
+        # name: max(phase_max.values()) must never under-read overall_max
+        # (governor watermarks are computed from it).
+        phase = self._phase if self._phase is not None else NO_PHASE
+        if self.current > self.phase_max.get(phase, 0):
+            self.phase_max[phase] = self.current
 
     def instance_completed(self) -> None:
         if self.current <= 0:

@@ -21,7 +21,7 @@ from repro.profiling.calltree import CallTreeNode
 class NodePool:
     """Per-thread free-list of :class:`CallTreeNode` objects."""
 
-    __slots__ = ("_free", "allocated", "reused", "released")
+    __slots__ = ("_free", "allocated", "reused", "released", "trimmed", "max_free")
 
     def __init__(self) -> None:
         self._free: List[CallTreeNode] = []
@@ -31,6 +31,11 @@ class NodePool:
         self.reused: int = 0
         #: nodes returned to the free list
         self.released: int = 0
+        #: nodes dropped from the free list by trim()/max_free
+        self.trimmed: int = 0
+        #: cap on the free list (None = unbounded, the classic behavior);
+        #: the governor's ladder sets this at L1/L2
+        self.max_free: Optional[int] = None
 
     # ------------------------------------------------------------------
     def acquire(
@@ -70,7 +75,25 @@ class NodePool:
             self._free.append(node)
             count += 1
         self.released += count
+        if self.max_free is not None and len(self._free) > self.max_free:
+            self.trim(self.max_free)
         return count
+
+    def trim(self, max_free: int = 0) -> int:
+        """Drop free-list nodes beyond ``max_free``; returns how many.
+
+        The only reference the pool holds on a released node is the
+        free-list entry, so trimming makes ``released - reused`` memory
+        actually reclaimable by the collector (ladder level L2).
+        """
+        if max_free < 0:
+            raise ValueError(f"max_free must be >= 0, got {max_free!r}")
+        excess = len(self._free) - max_free
+        if excess <= 0:
+            return 0
+        del self._free[max_free:]
+        self.trimmed += excess
+        return excess
 
     # ------------------------------------------------------------------
     @property
@@ -87,12 +110,15 @@ class NodePool:
         return self.allocated + self.reused - self.released
 
     def stats(self) -> dict:
-        return {
+        out = {
             "allocated": self.allocated,
             "reused": self.reused,
             "released": self.released,
             "free": self.free_count,
         }
+        if self.trimmed:
+            out["trimmed"] = self.trimmed
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

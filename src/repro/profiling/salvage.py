@@ -36,8 +36,20 @@ class SalvageReport:
     fault_summary: Optional[str] = None
     #: the error that aborted the live run, if it did not complete
     run_error: Optional[str] = None
+    #: resource-governor ladder transitions (PressureIncident dicts, in
+    #: order); non-empty whenever a memory budget forced degradation
+    pressure_incidents: List[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True once the governor reduced fidelity (L2 aggregates-only+).
+
+        L1 (eager pool release) changes only allocator behavior, not the
+        numbers, so it does not mark the profile degraded.
+        """
+        return any(i.get("level", 0) >= 2 for i in self.pressure_incidents)
+
     @property
     def partial(self) -> bool:
         """True unless the profile is indistinguishable from a strict one."""
@@ -47,6 +59,7 @@ class SalvageReport:
             or self.instances_quarantined
             or self.watchdog_fired
             or self.run_error
+            or self.degraded
         )
 
     def note(self, message: str) -> None:
@@ -76,6 +89,12 @@ class SalvageReport:
         ]
         if self.watchdog_fired:
             bits.append("watchdog fired")
+        if self.pressure_incidents:
+            worst = max(i.get("level", 0) for i in self.pressure_incidents)
+            bits.append(
+                f"{len(self.pressure_incidents)} pressure incident(s), "
+                f"degradation level L{worst}"
+            )
         if self.run_error:
             bits.append(f"run aborted: {self.run_error}")
         return "partial profile (" + ", ".join(bits) + ")"
@@ -84,7 +103,7 @@ class SalvageReport:
     # Export round-trip (consumed by cube/export.py)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "events_seen": self.events_seen,
             "events_dropped": self.events_dropped,
             "events_repaired": self.events_repaired,
@@ -96,6 +115,12 @@ class SalvageReport:
             "run_error": self.run_error,
             "partial": self.partial,
         }
+        # Conditional so exports from ungoverned runs stay byte-identical
+        # to earlier builds.
+        if self.pressure_incidents:
+            out["pressure_incidents"] = [dict(i) for i in self.pressure_incidents]
+            out["degraded"] = self.degraded
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "SalvageReport":
@@ -109,4 +134,5 @@ class SalvageReport:
             watchdog_fired=data.get("watchdog_fired", False),
             fault_summary=data.get("fault_summary"),
             run_error=data.get("run_error"),
+            pressure_incidents=[dict(i) for i in data.get("pressure_incidents", ())],
         )

@@ -97,6 +97,7 @@ class InstanceData:
         "home_thread",
         "home_tracker",
         "home_pool",
+        "stub_only",
     )
 
     def __init__(
@@ -124,6 +125,9 @@ class InstanceData:
         # thread (the pointer migrates with the task, Section IV-D1).
         self.home_tracker = home_tracker
         self.home_pool = home_pool
+        # Governor ladder level >= L3: the instance keeps only its root
+        # node; every interior region is folded into it (depth limit 1).
+        self.stub_only = False
 
     def current_node(self) -> CallTreeNode:
         return self.frames[-1].node if self.frames else self.root
@@ -188,10 +192,12 @@ class ThreadTaskProfiler:
     def enter(self, region: Region, time: float, parameter: Optional[tuple] = None) -> CallTreeNode:
         """Enter a region in the context of the current task."""
         frames = self._frames()
-        if (
-            self.max_call_path_depth is not None
-            and len(frames) >= self.max_call_path_depth
-        ):
+        limit = self.max_call_path_depth
+        if self.current is not None and self.current.stub_only:
+            # Governor stub-only accounting: the instance is its root node;
+            # interior regions fold into it, preserving inclusive time.
+            limit = 1
+        if limit is not None and len(frames) >= limit:
             # Depth limit: fold this region into the boundary node.  The
             # folded frame keeps nesting balanced; its time is already
             # inside the boundary node's inclusive time.
@@ -419,6 +425,7 @@ class TaskProfiler:
         start_time: float = 0.0,
         max_call_path_depth: Optional[int] = None,
         strict: bool = True,
+        governor=None,
     ) -> None:
         self.n_threads = n_threads
         self.implicit_region = implicit_region
@@ -448,6 +455,26 @@ class TaskProfiler:
             self.on_task_switch = self._salvage_on_task_switch  # type: ignore[method-assign]
             self.on_task_end = self._salvage_on_task_end  # type: ignore[method-assign]
             self.on_finish = self._salvage_on_finish  # type: ignore[method-assign]
+        self.governor = governor
+        if governor is not None:
+            # Governed wrappers compose on top of whichever handlers are
+            # installed (strict class methods or lenient instance
+            # attributes); with no governor nothing here runs and the
+            # hot path stays byte-identical.
+            self._gov_live: set = set()
+            self._gov_stub: set = set()
+            self._base_on_task_begin = self.on_task_begin
+            self._base_on_task_end = self.on_task_end
+            self.on_task_begin = self._governed_on_task_begin  # type: ignore[method-assign]
+            self.on_task_end = self._governed_on_task_end  # type: ignore[method-assign]
+            from repro.governor import L1_EAGER_RELEASE, L2_AGGREGATES_ONLY
+
+            governor.attach_gauge(
+                "pool_nodes",
+                lambda: sum(t.pool.live_count + t.pool.free_count for t in self.threads),
+            )
+            governor.on_level(L1_EAGER_RELEASE, self._ladder_eager_release)
+            governor.on_level(L2_AGGREGATES_ONLY, self._ladder_aggregates_only)
 
     @property
     def truncated_enters(self) -> int:
@@ -569,6 +596,54 @@ class TaskProfiler:
             thread.salvage_finish(time)
         self.finished = True
         self._finish_time = time
+
+    # -- governed listener variants ----------------------------------------
+    # Installed as instance attributes by __init__(governor=...); they wrap
+    # whatever task_begin/task_end handlers were installed below them
+    # (strict or lenient) and apply the degradation ladder to new instances.
+    def _ladder_eager_release(self) -> None:
+        """L1: pools stop retaining freed nodes (eager reclamation)."""
+        for thread in self.threads:
+            thread.pool.max_free = 0
+            thread.pool.trim(0)
+
+    def _ladder_aggregates_only(self) -> None:
+        """L2: trim pool free lists down to the configured residue."""
+        max_free = self.governor.budget.l2_max_free
+        for thread in self.threads:
+            thread.pool.max_free = max_free
+            thread.pool.trim(max_free)
+
+    def _governed_on_task_begin(self, thread_id, region, instance, time, parameter=None) -> None:
+        from repro.governor import L2_AGGREGATES_ONLY, L3_STUB_ONLY
+
+        governor = self.governor
+        level = governor.check(time)  # may raise MemoryPressureStop (L4)
+        stub = level >= L3_STUB_ONLY
+        if level >= L2_AGGREGATES_ONLY:
+            # Aggregates-only: drop the per-instance parameter split so
+            # all instances of the construct merge into one subtree.
+            parameter = None
+        self._base_on_task_begin(thread_id, region, instance, time, parameter)
+        data = self.instance_table.get(instance)
+        if data is None:
+            # Lenient base handler dropped/quarantined the begin.
+            return
+        governor.note_instance_begun(time, stub=stub)
+        if stub:
+            data.stub_only = True
+            self._gov_stub.add(instance)
+        else:
+            self._gov_live.add(instance)
+
+    def _governed_on_task_end(self, thread_id, region, instance, time) -> None:
+        self._base_on_task_end(thread_id, region, instance, time)
+        if instance in self._gov_stub:
+            self._gov_stub.discard(instance)
+            self.governor.note_instance_completed(stub=True)
+        elif instance in self._gov_live:
+            self._gov_live.discard(instance)
+            self.governor.note_instance_completed(stub=False)
 
     # -- results -----------------------------------------------------------
     def build_profile(self):

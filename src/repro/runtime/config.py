@@ -77,6 +77,10 @@ class RuntimeConfig:
     #: Armed :class:`~repro.faults.plan.FaultPlan` (None = no faults; the
     #: fault machinery is then never imported, let alone invoked).
     fault_plan: object | None = None
+    #: Armed :class:`~repro.governor.MemoryBudget` (None = no governor;
+    #: the governor machinery is then never imported, let alone invoked,
+    #: and measurement behavior is byte-identical to earlier builds).
+    memory_budget: object | None = None
     #: Virtual-time watchdog: if set, ``parallel()`` raises
     #: :class:`~repro.errors.WatchdogTimeout` when the region has not
     #: completed within this many virtual µs (stuck-task detection).
@@ -125,3 +129,7 @@ class RuntimeConfig:
     def with_substrates(self, *substrates) -> "RuntimeConfig":
         """Attach measurement substrates (names and/or instances)."""
         return replace(self, substrates=tuple(substrates))
+
+    def with_memory_budget(self, budget) -> "RuntimeConfig":
+        """Arm the resource governor with a MemoryBudget (or None)."""
+        return replace(self, memory_budget=budget)

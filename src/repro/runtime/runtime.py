@@ -130,6 +130,22 @@ class OpenMPRuntime:
 
             self.fault_injector = FaultInjector(self.config.fault_plan)
 
+        # -- resource governor --------------------------------------------
+        # Same lazy pattern: without a budget the governor package is
+        # never imported and measurement is byte-identical to a build
+        # without it.  ``memory_budget`` may be a MemoryBudget, a dict of
+        # its fields, or a bare int (cap on live instance trees).
+        self.governor = None
+        if self.config.memory_budget is not None:
+            from repro.governor import MemoryBudget, ResourceGovernor
+
+            budget = self.config.memory_budget
+            if isinstance(budget, int):
+                budget = MemoryBudget(max_live_instances=budget)
+            elif isinstance(budget, dict):
+                budget = MemoryBudget.from_dict(budget)
+            self.governor = ResourceGovernor(budget)
+
     # ------------------------------------------------------------------
     # Region management
     # ------------------------------------------------------------------
@@ -217,6 +233,11 @@ class OpenMPRuntime:
         )
         if self.fault_injector is not None:
             self.fault_injector.on_new_task(task)
+        if self.governor is not None:
+            # Admission control at the task-creation scheduling point:
+            # the governor re-evaluates pressure (and may raise
+            # MemoryPressureStop) before the new task enters the pool.
+            self.governor.on_task_created(self.env.now)
         return task
 
     # ------------------------------------------------------------------
@@ -258,18 +279,27 @@ class OpenMPRuntime:
         substrates = self._resolve_substrates()
         if not substrates:
             return None
+        from repro.substrates.governor import GovernorSubstrate
         from repro.substrates.manager import SubstrateManager
         from repro.substrates.profiling import ProfilingSubstrate
         from repro.substrates.tracing import TracingSubstrate
 
+        if self.governor is not None and not any(
+            isinstance(s, GovernorSubstrate) for s in substrates
+        ):
+            # An armed governor always reports through its substrate.
+            substrates.append(GovernorSubstrate())
         for substrate in substrates:
             # The config-level depth limit applies unless the substrate
             # was constructed with an explicit one.
-            if (
-                isinstance(substrate, ProfilingSubstrate)
-                and substrate.max_call_path_depth is None
-            ):
-                substrate.max_call_path_depth = self.config.max_call_path_depth
+            if isinstance(substrate, ProfilingSubstrate):
+                if substrate.max_call_path_depth is None:
+                    substrate.max_call_path_depth = self.config.max_call_path_depth
+                if substrate.governor is None:
+                    substrate.governor = self.governor
+            elif isinstance(substrate, GovernorSubstrate):
+                if substrate.governor is None:
+                    substrate.governor = self.governor
         manager = SubstrateManager(substrates)
         manager.initialize(
             self.registry, self.config.n_threads, self.env.now, implicit_region
@@ -280,6 +310,11 @@ class OpenMPRuntime:
         self._profiling_substrate = profiling
         self.profiler = profiling.profiler if profiling is not None else None
         self.trace = tracing.trace if tracing is not None else None
+        if self.governor is not None and self.trace is not None:
+            trace = self.trace
+            self.governor.attach_gauge(
+                "event_buffer", lambda: sum(len(s) for s in trace.streams)
+            )
         return manager
 
     # ------------------------------------------------------------------
@@ -391,6 +426,21 @@ class OpenMPRuntime:
                     profile.salvage = SalvageReport()
                 for incident in manager.incidents:
                     profile.salvage.note(str(incident))
+            if (
+                self.governor is not None
+                and self.governor.incidents
+                and profile is not None
+            ):
+                # Ladder transitions travel with the profile: degraded
+                # numbers must never be mistaken for full-fidelity ones.
+                if profile.salvage is None:
+                    from repro.profiling.salvage import SalvageReport
+
+                    profile.salvage = SalvageReport()
+                if not profile.salvage.pressure_incidents:
+                    profile.salvage.pressure_incidents.extend(
+                        i.to_dict() for i in self.governor.incidents
+                    )
 
         return ParallelResult(
             region_name=name,
@@ -415,6 +465,11 @@ class OpenMPRuntime:
                 **(
                     {"fault_injection": injector.summary()}
                     if injector is not None
+                    else {}
+                ),
+                **(
+                    {"governor": self.governor.report()}
+                    if self.governor is not None
                     else {}
                 ),
             },

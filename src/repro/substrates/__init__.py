@@ -20,10 +20,12 @@ subpackage reproduces that architecture for the simulated runtime:
 Built-ins: ``profiling`` (the paper's Fig. 12 profiler), ``tracing``
 (full event recording), ``validation`` (the task-aware stream checks
 running online, during execution), ``stats`` (per-kind/per-thread event
-counts feeding the overhead analysis).
+counts feeding the overhead analysis), ``governor`` (resource-governor
+ladder report; see :mod:`repro.governor`).
 """
 
 from repro.substrates.base import Substrate
+from repro.substrates.governor import GovernorSubstrate
 from repro.substrates.manager import SubstrateIncident, SubstrateManager
 from repro.substrates.profiling import ProfilingSubstrate
 from repro.substrates.registry import (
@@ -41,6 +43,7 @@ register_substrate("profiling", ProfilingSubstrate, replace=True)
 register_substrate("tracing", TracingSubstrate, replace=True)
 register_substrate("validation", OnlineValidationSubstrate, replace=True)
 register_substrate("stats", StatsSubstrate, replace=True)
+register_substrate("governor", GovernorSubstrate, replace=True)
 
 __all__ = [
     "Substrate",
@@ -48,6 +51,7 @@ __all__ = [
     "SubstrateIncident",
     "ProfilingSubstrate",
     "TracingSubstrate",
+    "GovernorSubstrate",
     "OnlineValidationSubstrate",
     "StatsSubstrate",
     "register_substrate",

@@ -36,10 +36,14 @@ class ProfilingSubstrate(Substrate):
         max_call_path_depth: Optional[int] = None,
         strict: bool = True,
         per_event_cost: float = 0.0,
+        governor=None,
     ) -> None:
         self.max_call_path_depth = max_call_path_depth
         self.strict = strict
         self.per_event_cost = per_event_cost
+        #: armed :class:`~repro.governor.ResourceGovernor`; the runtime
+        #: injects its own when a memory budget is configured
+        self.governor = governor
         self.profiler: Optional[TaskProfiler] = None
         self._profile: Optional[Profile] = None
 
@@ -60,6 +64,7 @@ class ProfilingSubstrate(Substrate):
             start_time=start_time,
             max_call_path_depth=self.max_call_path_depth,
             strict=self.strict,
+            governor=self.governor,
         )
         self.profiler = profiler
         # Short-circuit dispatch: the profiler's (possibly salvage-mode)

@@ -30,9 +30,10 @@ from typing import Dict, Optional, Set
 JOURNAL_VERSION = 1
 
 #: Outcomes that settle a cell: re-running cannot improve on them.
-#: ``ok``/``partial`` degraded gracefully; ``error`` is a deterministic
-#: failure that would simply reproduce.
-TERMINAL_OUTCOMES = frozenset({"ok", "partial", "error"})
+#: ``ok``/``partial`` degraded gracefully; ``degraded`` completed under
+#: a memory budget (deterministic ladder, so a retry would only degrade
+#: again); ``error`` is a deterministic failure that would reproduce.
+TERMINAL_OUTCOMES = frozenset({"ok", "partial", "degraded", "error"})
 #: Transient outcomes worth retrying (and re-running on resume).
 RETRYABLE_OUTCOMES = frozenset({"crash", "timeout", "oom"})
 

@@ -41,7 +41,8 @@ class CellResult:
     """Final word on one cell, after retries and/or resume."""
 
     cell_id: str
-    #: ok | partial | error | timeout | crash | oom | interrupted | pending
+    #: ok | partial | degraded | error | timeout | crash | oom |
+    #: interrupted | pending
     outcome: str
     ok: bool
     status: str

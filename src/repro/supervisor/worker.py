@@ -13,11 +13,19 @@ outcome               meaning
 ====================  =============================================
 ``ok``                cell completed, healthy
 ``partial``           cell completed degraded (salvaged profile)
+``degraded``          cell completed under memory pressure (governor
+                      ladder engaged; deterministic, never retried)
 ``error``             deterministic failure -- never retried
 ``timeout``           wall-clock limit hit (retried)
 ``oom``               ``MemoryError`` (retried)
 ``crash``             the process died; classified by the *parent*
 ====================  =============================================
+
+``degraded`` is deliberately distinct from ``oom``: an out-of-memory
+*kill* is transient (another attempt may fit), while a governor-degraded
+run is the deterministic product of its memory budget -- retrying it
+would only reproduce the same ladder walk, so the partial-but-honest
+profile is kept and no retry is consumed.
 """
 
 from __future__ import annotations
@@ -88,8 +96,14 @@ def _run_fault_cell(params: Dict[str, Any]) -> dict:
         if outcome.salvage is not None
         else "profile complete: no salvage needed"
     )
+    if outcome.degraded:
+        kind = "degraded"
+    elif outcome.status == "complete":
+        kind = "ok"
+    else:
+        kind = "partial"
     payload = {
-        "outcome": "ok" if outcome.status == "complete" else "partial",
+        "outcome": kind,
         "ok": outcome.ok,
         "status": outcome.status,
         "summary": summary,

@@ -194,6 +194,48 @@ def test_gc_never_reuses_pruned_run_ids(tmp_path, fib_result, stress_result):
     assert _put(store, fib_result).run_id == "r0007"
 
 
+def test_gc_survives_failing_unlink_with_consistent_index(
+    tmp_path, fib_result, stress_result, monkeypatch
+):
+    # Fault injection: the filesystem refuses deletions mid-prune
+    # (ENOSPC-style OSError).  The index -- rewritten, counter record
+    # first, *before* any object is deleted -- must stay consistent:
+    # surviving records loadable, pruned ids never reused, and the
+    # undeleted garbage re-collectable by a later healthy gc.
+    store = ArchiveStore(tmp_path / "arch")
+    for _ in range(3):
+        _put(store, fib_result)  # r0001..r0003, one shared object
+    orphan_sha, _ = store.put_object(stress_result.profile)
+
+    real_unlink = os.unlink
+
+    def failing_unlink(path, *args, **kwargs):
+        if str(path).endswith(".json.gz"):
+            raise OSError(28, "No space left on device", str(path))
+        return real_unlink(path, *args, **kwargs)
+
+    monkeypatch.setattr(os, "unlink", failing_unlink)
+    stats = store.gc(keep_last=1)
+    monkeypatch.setattr(os, "unlink", real_unlink)
+
+    assert stats.runs_dropped == 2
+    assert stats.objects_deleted == 0
+    assert stats.bytes_freed == 0  # only what was actually unlinked counts
+    assert stats.objects_failed == 1  # the orphan we could not remove
+    # index is consistent: the surviving record still has its object...
+    (record,) = store.records()
+    assert record.run_id == "r0003"
+    store.load_object(record.sha256)
+    # ...and the id high-water counter was written before deletion, so
+    # pruned ids are still never handed out again.
+    assert _put(store, fib_result).run_id == "r0004"
+    # the stranded orphan is garbage a later healthy gc re-collects
+    assert store.has_object(orphan_sha)
+    retry = store.gc()
+    assert retry.objects_deleted == 1 and retry.objects_failed == 0
+    assert not store.has_object(orphan_sha)
+
+
 def test_concurrent_put_and_gc_keep_records_loadable(
     tmp_path, fib_result, stress_result
 ):

@@ -22,7 +22,9 @@ def test_plan_rejects_out_of_range_rates():
 def test_plan_for_mode_covers_every_mode():
     for mode in FAULT_MODES:
         plan = plan_for_mode(mode, seed=7)
-        assert plan.armed, mode
+        # pressure is armed through the governor, not the injector, so
+        # it deliberately keeps plan.armed false
+        assert plan.armed or plan.wants_pressure, mode
         assert plan.seed == 7
         assert "no faults" not in plan.describe()
 

@@ -1,0 +1,68 @@
+"""Unit tests for :class:`repro.governor.MemoryBudget`."""
+
+import pytest
+
+from repro.governor import PRESSURE_POLICIES, MemoryBudget
+
+
+def test_default_budget_is_inert():
+    budget = MemoryBudget()
+    assert not budget.armed
+    assert budget.caps() == {}
+    assert "inert" in budget.describe()
+
+
+def test_any_cap_arms_the_budget():
+    assert MemoryBudget(max_live_instances=8).armed
+    assert MemoryBudget(max_pool_nodes=100).armed
+    assert MemoryBudget(max_events=1000).armed
+
+
+def test_caps_maps_metric_names():
+    budget = MemoryBudget(max_live_instances=8, max_pool_nodes=64, max_events=512)
+    assert budget.caps() == {
+        "live_instances": 8,
+        "pool_nodes": 64,
+        "event_buffer": 512,
+    }
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_live_instances": 0},
+        {"max_pool_nodes": -1},
+        {"max_events": 0},
+        {"soft_fraction": 0.0},
+        {"soft_fraction": 0.9, "hard_fraction": 0.5},
+        {"hard_fraction": 1.5},
+        {"stop_fraction": 0.5},
+        {"on_pressure": "panic"},
+        {"l2_max_free": -1},
+    ],
+)
+def test_invalid_budgets_rejected(kwargs):
+    with pytest.raises(ValueError):
+        MemoryBudget(**kwargs)
+
+
+def test_policies_are_documented():
+    assert PRESSURE_POLICIES == ("degrade", "stop")
+
+
+def test_dict_round_trip():
+    budget = MemoryBudget(
+        max_live_instances=8,
+        soft_fraction=0.25,
+        hard_fraction=0.75,
+        stop_fraction=3.0,
+        on_pressure="stop",
+        l2_max_free=4,
+    )
+    assert MemoryBudget.from_dict(budget.to_dict()) == budget
+
+
+def test_describe_names_caps_and_policy():
+    text = MemoryBudget(max_live_instances=8, on_pressure="stop").describe()
+    assert "live_instances<=8" in text
+    assert "on_pressure=stop" in text

@@ -1,0 +1,171 @@
+"""Unit tests for the :class:`ResourceGovernor` degradation ladder."""
+
+import pytest
+
+from repro.errors import MemoryPressureStop
+from repro.governor import (
+    L0_NORMAL,
+    L1_EAGER_RELEASE,
+    L2_AGGREGATES_ONLY,
+    L3_STUB_ONLY,
+    L4_STOP,
+    LEVEL_ACTIONS,
+    LEVEL_NAMES,
+    MemoryBudget,
+    PressureIncident,
+    ResourceGovernor,
+)
+
+
+def _governor(cap=10, **kwargs):
+    return ResourceGovernor(MemoryBudget(max_live_instances=cap, **kwargs))
+
+
+def test_no_pressure_stays_at_l0():
+    gov = _governor()
+    gov.live_instances = 4  # 0.4 < soft watermark 0.5
+    assert gov.check(now=1.0) == L0_NORMAL
+    assert gov.incidents == []
+    assert not gov.degraded
+
+
+def test_watermarks_position_the_rungs():
+    gov = _governor()
+    gov.live_instances = 5  # soft: 0.5
+    assert gov.check(1.0) == L1_EAGER_RELEASE
+    gov.live_instances = 8  # hard: 0.8
+    assert gov.check(2.0) == L2_AGGREGATES_ONLY
+    gov.live_instances = 10  # cap itself
+    assert gov.check(3.0) == L3_STUB_ONLY
+    assert [i.level for i in gov.incidents] == [1, 2, 3]
+
+
+def test_pressure_jump_emits_one_incident_per_rung():
+    gov = _governor()
+    gov.live_instances = 10  # straight from L0 to L3
+    assert gov.check(5.0) == L3_STUB_ONLY
+    assert [i.level for i in gov.incidents] == [1, 2, 3]
+    for incident in gov.incidents:
+        assert incident.trigger == "live_instances"
+        assert incident.value == 10 and incident.limit == 10
+        assert incident.time_us == 5.0
+        assert incident.action == LEVEL_ACTIONS[incident.level]
+
+
+def test_ladder_ratchets_never_recovers():
+    gov = _governor()
+    gov.live_instances = 8
+    assert gov.check(1.0) == L2_AGGREGATES_ONLY
+    gov.live_instances = 0  # pressure fully relieved
+    assert gov.check(2.0) == L2_AGGREGATES_ONLY
+    assert len(gov.incidents) == 2  # no new transitions either
+
+
+def test_level_actions_fire_once_on_entry():
+    gov = _governor()
+    fired = []
+    gov.on_level(L1_EAGER_RELEASE, lambda: fired.append("l1"))
+    gov.on_level(L2_AGGREGATES_ONLY, lambda: fired.append("l2"))
+    gov.live_instances = 8
+    gov.check(1.0)
+    gov.check(2.0)  # still at L2: actions must not re-fire
+    assert fired == ["l1", "l2"]
+
+
+def test_degrade_mode_stops_at_stop_fraction():
+    gov = _governor()  # stop_fraction=2.0 -> 20 live instances
+    gov.live_instances = 20
+    with pytest.raises(MemoryPressureStop, match="L4"):
+        gov.check(9.0)
+    assert gov.level == L4_STOP
+    assert [i.level for i in gov.incidents] == [1, 2, 3, 4]
+
+
+def test_stop_policy_fires_at_hard_watermark():
+    gov = _governor(on_pressure="stop")
+    gov.live_instances = 7  # 0.7 < hard 0.8: stop policy ignores soft
+    assert gov.check(1.0) == L0_NORMAL
+    gov.live_instances = 8
+    with pytest.raises(MemoryPressureStop):
+        gov.check(2.0)
+    assert gov.level == L4_STOP
+    assert gov.incidents[-1].level == L4_STOP
+
+
+def test_unarmed_budget_never_checks():
+    gov = ResourceGovernor(MemoryBudget())
+    gov.live_instances = 10 ** 6
+    assert gov.check(1.0) == L0_NORMAL
+    assert gov.incidents == []
+
+
+def test_on_task_created_counts_stubbed_tasks_at_l3():
+    gov = _governor(cap=2)
+    assert gov.on_task_created(1.0) == L0_NORMAL
+    gov.note_instance_begun(1.0)
+    gov.note_instance_begun(1.5)  # at cap: L3 after the walk
+    assert gov.level == L3_STUB_ONLY
+    assert gov.on_task_created(2.0) == L3_STUB_ONLY
+    assert gov.created_tasks == 2
+    assert gov.stubbed_tasks == 1
+
+
+def test_instance_accounting_tracks_peak_and_stub_split():
+    gov = _governor(cap=100)
+    gov.note_instance_begun(1.0)
+    gov.note_instance_begun(1.1)
+    gov.note_instance_begun(1.2, stub=True)
+    assert gov.live_instances == 2
+    assert gov.stub_instances == 1
+    assert gov.peak_live == 2
+    gov.note_instance_completed()
+    gov.note_instance_completed(stub=True)
+    assert gov.live_instances == 1
+    assert gov.stub_instances == 0
+    assert gov.peak_live == 2
+
+
+def test_completion_never_goes_negative():
+    # Salvage quarantine can drop an end event for an instance the
+    # governor never saw begin; the counters must saturate at zero.
+    gov = _governor()
+    gov.note_instance_completed()
+    gov.note_instance_completed(stub=True)
+    assert gov.live_instances == 0
+    assert gov.stub_instances == 0
+
+
+def test_gauges_feed_pressure():
+    gov = ResourceGovernor(MemoryBudget(max_live_instances=100, max_pool_nodes=10))
+    gov.attach_gauge("pool_nodes", lambda: 9)
+    ratio, trigger, value, cap = gov.pressure()
+    assert trigger == "pool_nodes"
+    assert (value, cap) == (9, 10)
+    assert gov.check(1.0) == L2_AGGREGATES_ONLY
+    assert gov.incidents[0].trigger == "pool_nodes"
+
+
+def test_incident_dict_round_trip_and_describe():
+    gov = _governor()
+    gov.live_instances = 5
+    gov.check(3.5)
+    incident = gov.incidents[0]
+    data = incident.to_dict()
+    assert data["name"] == LEVEL_NAMES[incident.level]
+    assert PressureIncident.from_dict(data) == incident
+    text = incident.describe()
+    assert "L1" in text and "live_instances" in text
+
+
+def test_report_shape():
+    gov = _governor()
+    gov.on_task_created(0.5)
+    gov.live_instances = 8
+    gov.check(1.0)
+    report = gov.report()
+    assert report["level"] == L2_AGGREGATES_ONLY
+    assert report["level_name"] == "aggregates-only"
+    assert report["degraded"] is True
+    assert report["created_tasks"] == 1
+    assert len(report["incidents"]) == 2
+    assert report["budget"]["max_live_instances"] == 10

@@ -1,0 +1,58 @@
+"""Unit tests for :class:`ConcurrencyTracker` (paper Section V-B)."""
+
+import pytest
+
+from repro.profiling.memory import NO_PHASE, ConcurrencyTracker
+
+
+def test_phase_maxima_track_per_phase_peaks():
+    tracker = ConcurrencyTracker()
+    tracker.start_phase("region_a")
+    tracker.instance_created()
+    tracker.instance_created()
+    tracker.instance_completed()
+    tracker.end_phase()
+    tracker.start_phase("region_b")
+    tracker.instance_created()
+    tracker.end_phase()
+    assert tracker.phase_max == {"region_a": 2, "region_b": 2}
+    assert tracker.overall_max == 2
+    assert tracker.total_instances == 3
+
+
+def test_instance_outside_phase_attributed_to_synthetic_phase():
+    # Regression: an instance begun outside any parallel region used to
+    # vanish from phase_max, so max(phase_max.values()) under-read
+    # overall_max -- the quantity governor watermarks are computed from.
+    tracker = ConcurrencyTracker()
+    tracker.instance_created()
+    tracker.instance_created()
+    assert tracker.phase_max == {NO_PHASE: 2}
+    assert max(tracker.phase_max.values()) == tracker.overall_max
+
+
+def test_no_phase_resumes_after_phase_ends():
+    tracker = ConcurrencyTracker()
+    tracker.start_phase("region")
+    tracker.instance_created()
+    tracker.end_phase()
+    tracker.instance_created()  # still live: current == 2 outside a phase
+    assert tracker.phase_max["region"] == 1
+    assert tracker.phase_max[NO_PHASE] == 2
+    assert tracker.overall_max == 2
+
+
+def test_completion_below_zero_raises():
+    with pytest.raises(ValueError, match="no live instances"):
+        ConcurrencyTracker().instance_completed()
+
+
+def test_as_dict_round_trip_fields():
+    tracker = ConcurrencyTracker()
+    tracker.instance_created()
+    data = tracker.as_dict()
+    assert data == {
+        "overall_max": 1,
+        "total_instances": 1,
+        "phase_max": {NO_PHASE: 1},
+    }

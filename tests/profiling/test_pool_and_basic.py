@@ -61,6 +61,70 @@ def test_pool_stats_dict(reg):
     assert pool.stats() == {"allocated": 1, "reused": 0, "released": 1, "free": 1}
 
 
+def _release_n(pool, region, n):
+    for _ in range(n):
+        pool.release_tree(pool.acquire(region))
+
+
+def test_trim_drops_free_nodes_beyond_cap(reg):
+    pool = NodePool()
+    task = reg.register("task", RegionType.TASK)
+    for _ in range(5):  # five distinct nodes on the free list
+        nodes = [pool.acquire(task) for _ in range(5)]
+    for node in nodes:
+        pool.release_tree(node)
+    assert pool.free_count == 5
+    assert pool.trim(2) == 3
+    assert pool.free_count == 2
+    assert pool.trimmed == 3
+    assert pool.trim(2) == 0  # already within the cap: no-op
+    assert pool.stats()["trimmed"] == 3
+
+
+def test_trim_rejects_negative_cap(reg):
+    with pytest.raises(ValueError, match="max_free"):
+        NodePool().trim(-1)
+
+
+def test_max_free_caps_future_pooling(reg):
+    # The governor's L1/L2 actions set max_free so release_tree itself
+    # keeps the free list bounded from then on.
+    pool = NodePool()
+    task = reg.register("task", RegionType.TASK)
+    pool.max_free = 1
+    nodes = [pool.acquire(task) for _ in range(4)]
+    for node in nodes:
+        pool.release_tree(node)
+    assert pool.free_count == 1
+    assert pool.trimmed == 3
+
+
+def test_trim_makes_released_memory_actually_reclaimable(reg):
+    # Regression: "released - reused" nodes stayed pinned by the free
+    # list forever; after trim() the collector must be able to free them.
+    import gc
+    import weakref
+
+    pool = NodePool()
+    task = reg.register("task", RegionType.TASK)
+    node = pool.acquire(task)
+    ref = weakref.ref(node)
+    pool.release_tree(node)
+    del node
+    gc.collect()
+    assert ref() is not None  # classic behavior: free list keeps it alive
+    pool.trim(0)
+    gc.collect()
+    assert ref() is None  # the only reference was the free-list entry
+
+
+def test_untrimmed_stats_have_no_trimmed_key(reg):
+    # Byte-stability of exported memory stats for ungoverned runs.
+    pool = NodePool()
+    pool.release_tree(pool.acquire(reg.register("t", RegionType.TASK)))
+    assert "trimmed" not in pool.stats()
+
+
 # ----------------------------------------------------------------------
 # ClassicProfiler
 # ----------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""`degraded` is a terminal outcome: archived, never retried.
+
+A governor-degraded cell is the deterministic product of its memory
+budget -- retrying it would only reproduce the same ladder walk -- so it
+must be treated like ``ok``/``partial``, not like the transient ``oom``
+(an out-of-memory *kill*, where another attempt may fit).
+"""
+
+from repro.archive import ArchiveStore
+from repro.supervisor import FAST_BACKOFF, call_cell, run_supervised
+from repro.supervisor.journal import RETRYABLE_OUTCOMES, TERMINAL_OUTCOMES
+from repro.supervisor.spec import fault_cell
+from repro.supervisor.worker import execute_spec
+
+
+def test_outcome_taxonomy_separates_degraded_from_oom():
+    assert "degraded" in TERMINAL_OUTCOMES
+    assert "degraded" not in RETRYABLE_OUTCOMES
+    assert "oom" in RETRYABLE_OUTCOMES
+
+
+def test_pressure_cell_reports_degraded_and_archives_partial_profile(tmp_path):
+    arch = tmp_path / "arch"
+    payload = execute_spec(fault_cell("fib", "pressure", 0, archive_dir=arch))
+    assert payload["outcome"] == "degraded"
+    assert payload["ok"]  # completed: the ladder kept it alive
+    assert payload["status"] == "complete"
+    record = ArchiveStore(arch).get_record(payload["archive"]["run_id"])
+    assert "degraded" in record.tags
+    assert "mode:pressure" in record.tags
+    # the degraded profile itself is loadable from the store
+    assert ArchiveStore(arch).load_profile(record.run_id) is not None
+
+
+def test_degraded_cell_consumes_no_retry(tmp_path):
+    report = run_supervised(
+        [fault_cell("fib", "pressure", 0, archive_dir=tmp_path / "arch")],
+        retries=3,
+        backoff=FAST_BACKOFF,
+    )
+    result = report.results[0]
+    assert result.outcome == "degraded"
+    assert result.ok
+    assert result.attempts == 1  # deterministic: a retry would only repeat it
+
+
+def test_oom_cell_is_still_retried_in_the_same_grid(tmp_path):
+    # Contrast in one grid: the oom stub burns every retry while the
+    # pressure cell settles on attempt one.
+    report = run_supervised(
+        [
+            fault_cell("fib", "pressure", 0),
+            call_cell("repro.supervisor.stubs:oom_cell", cell_id="oom"),
+        ],
+        jobs=2,
+        retries=1,
+        backoff=FAST_BACKOFF,
+    )
+    pressure = report.result_for("fib|pressure|s0")
+    oom = report.result_for("oom")
+    assert pressure.outcome == "degraded" and pressure.attempts == 1
+    assert oom.outcome == "oom" and oom.attempts == 2
+
+
+def test_degraded_cell_not_rerun_on_resume(tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    specs = [fault_cell("fib", "pressure", 0)]
+    first = run_supervised(specs, journal_path=str(journal))
+    assert first.results[0].outcome == "degraded"
+    second = run_supervised(specs, journal_path=str(journal), resume=True)
+    cached = second.results[0]
+    assert cached.cached  # journaled terminal outcome: no new attempt
+    assert cached.outcome == "degraded"
+    assert cached.attempts == first.results[0].attempts

@@ -69,7 +69,7 @@ def test_missing_journal_is_empty_state(tmp_path):
 
 
 def test_terminal_outcomes_are_the_not_worth_retrying_set():
-    assert TERMINAL_OUTCOMES == {"ok", "partial", "error"}
+    assert TERMINAL_OUTCOMES == {"ok", "partial", "degraded", "error"}
 
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.faults",
     "repro.substrates",
     "repro.archive",
+    "repro.governor",
 ]
 
 
@@ -125,6 +126,13 @@ PROMISED = {
         "diff_profiles",
     ],
     "repro.bots": ["get_program", "list_programs", "BotsProgram"],
+    "repro.governor": [
+        "MemoryBudget",
+        "ResourceGovernor",
+        "PressureIncident",
+        "LEVEL_NAMES",
+        "PRESSURE_POLICIES",
+    ],
     "repro.archive": [
         "ArchiveStore",
         "ArchiveRecord",
