@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import time
 
+from repro.fabric import AdmissionPolicy, BreakerPolicy
 from repro.faults.campaign import run_campaign
-from repro.supervisor import FAST_BACKOFF, call_cell, run_supervised
+from repro.supervisor import FAST_BACKOFF, Supervisor, call_cell, run_supervised
 from repro.supervisor.worker import execute_spec
 
 N_CELLS = 12
+HARDENED_RELATIVE_BUDGET = 1.05
+HARDENED_ABSOLUTE_SLACK_S = 0.25  # fork/scheduler jitter on short grids
 
 
 def _stub_grid():
@@ -55,6 +58,70 @@ def test_supervisor_per_cell_overhead(report, tmp_path):
     # Fork + pipe + 2 fsync'd journal records + reap must stay well under
     # the cost of any real campaign cell.
     assert per_cell_ms < 500.0, f"supervisor overhead {per_cell_ms:.0f} ms/cell"
+
+
+def test_hardened_path_overhead(report, tmp_path):
+    """Heartbeats + admission + a disarmed breaker must stay within 5 %.
+
+    The fabric hardening is always-on machinery: every healthy cell
+    pays for the heartbeat thread, the admission gate, and the breaker
+    bookkeeping even when nothing ever trips.  Gate: a hardened run of
+    the stub grid within 5 % of the plain supervised run (plus an
+    absolute slack so fork jitter on a sub-second grid cannot flake the
+    ratio).  Interleaved min-of-N shares machine noise between the two
+    configurations.
+    """
+    repeats = 3
+
+    def plain_run(tag):
+        return run_supervised(
+            _stub_grid(),
+            jobs=2,
+            backoff=FAST_BACKOFF,
+            journal_path=str(tmp_path / f"plain-{tag}.jsonl"),
+        )
+
+    def hardened_run(tag):
+        return Supervisor(
+            _stub_grid(),
+            jobs=2,
+            backoff=FAST_BACKOFF,
+            journal_path=str(tmp_path / f"hard-{tag}.jsonl"),
+            heartbeat_s=0.05,  # 10x the default rate: worst case
+            deadline_s=3600.0,
+            breaker=BreakerPolicy(threshold=1000),
+            admission=AdmissionPolicy(max_pending=N_CELLS * 2),
+        ).run()
+
+    plain_s, hardened_s = [], []
+    for tag in range(repeats):
+        start = time.perf_counter()
+        assert plain_run(tag).ok
+        plain_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        result = hardened_run(tag)
+        hardened_s.append(time.perf_counter() - start)
+        assert result.ok
+        assert not any(  # armed, never tripped
+            s["opened"] for s in result.breaker_summary.values()
+        )
+        assert result.admission_stats["admitted"] == N_CELLS
+
+    plain, hardened = min(plain_s), min(hardened_s)
+    budget = plain * HARDENED_RELATIVE_BUDGET + HARDENED_ABSOLUTE_SLACK_S
+    report.section("hardened path: heartbeats + admission + disarmed breaker")
+    report(f"cells: {N_CELLS}, jobs: 2, heartbeat: 50 ms, min of {repeats}")
+    report(f"plain supervised:    {plain * 1e3:8.1f} ms")
+    report(f"hardened supervised: {hardened * 1e3:8.1f} ms")
+    report(
+        f"budget (5 % + {HARDENED_ABSOLUTE_SLACK_S * 1e3:.0f} ms slack): "
+        f"{budget * 1e3:8.1f} ms"
+    )
+    assert hardened <= budget, (
+        f"hardened path {hardened * 1e3:.1f} ms exceeds "
+        f"{budget * 1e3:.1f} ms budget"
+    )
 
 
 def test_supervised_campaign_overhead(report, tmp_path):

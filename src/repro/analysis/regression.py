@@ -112,3 +112,45 @@ def sentinel_table(report, *, include_ok: bool = False,
         if title:
             table = f"{title}\n{table}"
     return table + "\n" + report.summary()
+
+
+def fsck_table(report, title: Optional[str] = None) -> str:
+    """Per-issue fsck verdicts (``repro archive fsck``)."""
+    rows: List[list] = []
+    for issue in report.issues:
+        rows.append(
+            [
+                issue.kind,
+                issue.run_id or "",
+                (issue.sha256 or "")[:12],
+                issue.action or ("-" if issue.repaired else "unrepaired"),
+                issue.detail,
+            ]
+        )
+    table = format_table(
+        ["issue", "run", "sha256", "action", "detail"],
+        rows,
+        title=title,
+    )
+    if not rows:
+        table = "(archive is clean)"
+        if title:
+            table = f"{title}\n{table}"
+    counts = report.counts()
+    summary = (
+        f"fsck: {report.objects_checked} object(s), "
+        f"{report.records_checked} record(s) checked; "
+        + (
+            ", ".join(f"{counts[kind]} {kind}" for kind in sorted(counts))
+            if counts
+            else "no issues"
+        )
+    )
+    if report.repair:
+        left = len(report.unrepaired)
+        summary += (
+            "; all issues repaired" if not left else f"; {left} unrepaired"
+        )
+        if report.index_rewritten:
+            summary += " (index rebuilt)"
+    return table + "\n" + summary

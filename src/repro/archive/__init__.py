@@ -18,13 +18,18 @@ this subpackage makes that workflow persistent and machine-checkable:
 * :mod:`~repro.archive.sentinel` -- the noise-aware regression
   sentinel: ratio + z-score thresholds per metric, region verdicts
   (ok/regressed/improved/appeared/vanished), CI exit-code semantics.
+* :mod:`~repro.archive.fsck` -- integrity audit & repair: verifies
+  every object's sha256, quarantines corrupt blobs, deletes orphans,
+  drops dangling/torn index records, rebuilds the index while
+  preserving run-id monotonicity.
 
 Surfaced on the CLI as ``repro run --archive``, ``repro archive
-{list,show,gc,baseline}`` and ``repro sentinel``; supervised fault
-grids auto-archive each cell's profile next to their journal.
+{list,show,gc,tag,baseline,fsck}`` and ``repro sentinel``; supervised
+fault grids auto-archive each cell's profile next to their journal.
 """
 
 from repro.archive.baseline import BASELINE_METRICS, Baseline, MetricStats
+from repro.archive.fsck import FSCK_ISSUE_KINDS, FsckIssue, FsckReport, fsck
 from repro.archive.meta import (
     RunMeta,
     config_fingerprint,
@@ -54,6 +59,10 @@ __all__ = [
     "BASELINE_METRICS",
     "Baseline",
     "DEFAULT_POLICIES",
+    "FSCK_ISSUE_KINDS",
+    "FsckIssue",
+    "FsckReport",
+    "fsck",
     "GcStats",
     "MetricPolicy",
     "MetricStats",

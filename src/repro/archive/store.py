@@ -54,6 +54,8 @@ from repro.archive.meta import RunMeta
 
 INDEX_NAME = "index.jsonl"
 OBJECTS_DIR = "objects"
+QUARANTINE_DIR = "quarantine"
+GZIP_MAGIC = b"\x1f\x8b"
 
 
 def canonical_profile_bytes(profile) -> bytes:
@@ -155,16 +157,37 @@ class ArchiveStore:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     # -- objects -------------------------------------------------------
+    @staticmethod
+    def _object_intact(path: str) -> bool:
+        """Cheap on-disk sanity: the file starts with the gzip magic.
+
+        A bare ``os.path.exists`` would happily trust a zero-byte or
+        truncated-header file (the residue of a crash on a filesystem
+        without atomic rename, or of outside interference) and make
+        ``put`` dedup against garbage forever.  Reading two bytes rules
+        out the empty/torn-header cases; full payload verification
+        (decompress + sha256) stays in :meth:`load_object` and
+        :func:`~repro.archive.fsck.fsck`, which are the paths that pay
+        for reading the whole blob anyway.
+        """
+        try:
+            with open(path, "rb") as handle:
+                return handle.read(2) == GZIP_MAGIC
+        except OSError:
+            return False
+
     def put_object(self, profile) -> tuple:
         """Store the profile blob; returns ``(sha256, created)``.
 
-        ``created`` is False when an object with this content already
-        exists -- the content-addressed deduplication path.
+        ``created`` is False when an intact object with this content
+        already exists -- the content-addressed deduplication path.  An
+        existing but non-intact file (empty, truncated header) is
+        rewritten rather than trusted.
         """
         payload = canonical_profile_bytes(profile)
         sha256 = hashlib.sha256(payload).hexdigest()
         path = self.object_path(sha256)
-        if os.path.exists(path):
+        if os.path.exists(path) and self._object_intact(path):
             return sha256, False
         # mtime=0 keeps the compressed object a pure function of content.
         blob = gzip.compress(payload, mtime=0)
@@ -172,7 +195,8 @@ class ArchiveStore:
         return sha256, True
 
     def has_object(self, sha256: str) -> bool:
-        return os.path.exists(self.object_path(sha256))
+        path = self.object_path(sha256)
+        return os.path.exists(path) and self._object_intact(path)
 
     def load_object(self, sha256: str):
         """Load and verify one object back into a ``Profile``.

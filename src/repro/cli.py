@@ -37,7 +37,7 @@ from repro.analysis.traces import management_ratio, render_timeline
 from repro.bots.registry import list_programs
 from repro.cube.export import dump_path
 from repro.cube.render import render_profile
-from repro.errors import CampaignInterrupted, ReproError
+from repro.errors import CampaignInterrupted, JournalVersionError, ReproError
 from repro.faults.plan import FAULT_MODES
 from repro.ioutil import atomic_write
 
@@ -339,6 +339,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-archive", action="store_true",
         help="disable the automatic per-cell profile archiving",
     )
+    supervise_parser.add_argument(
+        "--heartbeat-s", type=float, default=0.5, metavar="S",
+        help="worker liveness heartbeat interval; a worker alive but "
+        "silent past --stall-factor intervals is killed as 'stuck' "
+        "(default: 0.5)",
+    )
+    supervise_parser.add_argument(
+        "--no-heartbeat", action="store_true",
+        help="disable heartbeats and stuck detection",
+    )
+    supervise_parser.add_argument(
+        "--stall-factor", type=float, default=6.0, metavar="F",
+        help="missed heartbeat intervals before a worker counts as "
+        "stuck (default: 6)",
+    )
+    supervise_parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="campaign wall-clock budget: stop launching when it "
+        "expires, drain running cells, journal the rest as cancelled "
+        "(resumable)",
+    )
+    supervise_parser.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="arm a per-class circuit breaker: short-circuit a "
+        "(kernel, config) class after N consecutive "
+        "crash/timeout/oom/stuck outcomes (default: off)",
+    )
+    supervise_parser.add_argument(
+        "--breaker-probes", type=int, default=2, metavar="N",
+        help="half-open probe cells an open class may spend re-closing "
+        "(default: 2)",
+    )
+    supervise_parser.add_argument(
+        "--breaker-probe-after", type=int, default=4, metavar="N",
+        help="short-circuited cells between probes (default: 4)",
+    )
+    supervise_parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="arm admission control: bound the not-yet-running queue "
+        "at N cells (default: off)",
+    )
+    supervise_parser.add_argument(
+        "--admission-policy", default="block",
+        choices=["block", "reject", "shed"],
+        help="overload behavior at the queue's high watermark: pace "
+        "launches (block), journal overflow as cancelled (reject), or "
+        "evict the oldest pending cell (shed) (default: block)",
+    )
 
     archive_parser = sub.add_parser(
         "archive",
@@ -373,6 +421,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep", type=int, default=None, metavar="N",
         help="keep only the newest N runs per configuration group "
         "(default: keep all index records, delete orphaned objects only)",
+    )
+
+    fsck_parser = archive_sub.add_parser(
+        "fsck",
+        help="verify archive integrity (object hashes, index records); "
+        "exit 0 = clean/repaired, 1 = unrepaired issues",
+    )
+    fsck_parser.add_argument("dir", help="archive directory")
+    fsck_parser.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt objects, delete orphans, rebuild the "
+        "index without dangling/torn records",
+    )
+    fsck_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable report instead of the table",
     )
 
     tag_parser = archive_sub.add_parser("tag", help="label an archived run")
@@ -1009,6 +1073,16 @@ def cmd_archive(args) -> int:
                 f"{stats.objects_deleted} object(s), freed "
                 f"{stats.bytes_freed} bytes"
             )
+        elif args.action == "fsck":
+            from repro.analysis.regression import fsck_table
+            from repro.archive import fsck
+
+            fsck_report = fsck(store, repair=args.repair)
+            if args.as_json:
+                print(json.dumps(fsck_report.to_dict(), indent=2))
+            else:
+                print(fsck_table(fsck_report, title=f"fsck {args.dir}"))
+            return 0 if not fsck_report.unrepaired else 1
         elif args.action == "tag":
             record = store.tag(args.ref, args.tag)
             print(f"{record.run_id} tags: {','.join(record.tags)}")
@@ -1185,16 +1259,42 @@ def cmd_supervise(args) -> int:
             archive_dir=archive_dir,
         )
 
+    breaker = None
+    if args.breaker_threshold is not None:
+        from repro.fabric import BreakerPolicy
+
+        breaker = BreakerPolicy(
+            threshold=args.breaker_threshold,
+            max_probes=args.breaker_probes,
+            probe_after=args.breaker_probe_after,
+        )
+    admission = None
+    if args.max_pending is not None:
+        from repro.fabric import AdmissionPolicy
+
+        admission = AdmissionPolicy(
+            max_pending=args.max_pending, policy=args.admission_policy
+        )
+
     journal_path = args.journal or args.resume
-    report = Supervisor(
-        specs,
-        jobs=args.jobs,
-        timeout_s=args.timeout_s,
-        retries=args.retries,
-        backoff=BackoffPolicy(base_s=args.backoff_s),
-        journal_path=journal_path,
-        resume=args.resume is not None,
-    ).run()
+    try:
+        report = Supervisor(
+            specs,
+            jobs=args.jobs,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            backoff=BackoffPolicy(base_s=args.backoff_s),
+            journal_path=journal_path,
+            resume=args.resume is not None,
+            heartbeat_s=None if args.no_heartbeat else args.heartbeat_s,
+            stall_factor=args.stall_factor,
+            deadline_s=args.deadline_s,
+            breaker=breaker,
+            admission=admission,
+        ).run()
+    except JournalVersionError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
     print(outcome_table(report))
     if archive_dir and not args.spec_file:

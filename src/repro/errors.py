@@ -80,6 +80,40 @@ class MemoryPressureStop(ReproError):
     """
 
 
+class AdmissionRejected(ReproError):
+    """The admission controller refused new work (``reject`` policy).
+
+    Raised by :meth:`repro.fabric.AdmissionController.submit` when the
+    pending queue is above its high watermark (or a per-tag quota is
+    exhausted) and the policy says overload should fail fast at the
+    submitter instead of growing the queue without bound.  ``tag`` names
+    the quota that refused, when one did.
+    """
+
+    def __init__(self, message: str, tag=None):
+        super().__init__(message)
+        self.tag = tag
+
+
+class JournalVersionError(ReproError):
+    """A supervisor journal was written by an incompatible format.
+
+    Raised by :func:`repro.supervisor.load_journal` when the journal's
+    ``meta`` header declares a schema version newer than this build
+    understands, so ``--resume`` fails with a clear message instead of a
+    ``KeyError`` halfway through replaying records it cannot interpret.
+    """
+
+    def __init__(self, found, supported):
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"journal schema version {found!r} is newer than this build "
+            f"supports (<= {supported}); re-run with a matching version "
+            f"or start a fresh journal"
+        )
+
+
 class FaultInjectionError(ReproError):
     """An injected fault fired (task-body exception from a FaultPlan).
 

@@ -1,0 +1,67 @@
+"""Campaign fabric: the robustness layer for unattended fleets of runs.
+
+The supervisor (:mod:`repro.supervisor`) makes *one* grid crash-safe;
+this subpackage adds the controls that make the supervisor + archive
+pair safe to put a service on -- thousands of campaigns submitted by
+callers who cannot be trusted to size their grids, containing cells
+that Tuft et al. ("Detrimental task execution patterns in mainstream
+OpenMP runtimes") show will inevitably hang, thrash, or serialize:
+
+* :mod:`~repro.fabric.admission` -- :class:`AdmissionController`: a
+  bounded pending queue with high/low watermarks, ``block``/``reject``/
+  ``shed`` overload policies and per-tag quotas, so overload produces
+  backpressure (or a fast, explicit refusal) instead of unbounded
+  queues.
+* :mod:`~repro.fabric.breaker` -- :class:`CircuitBreaker`: per-class
+  failure tracking keyed by ``(kernel, config fingerprint)``; after a
+  threshold of consecutive crash/timeout/oom/stuck outcomes the class
+  is *opened* and its remaining cells fail fast as ``short_circuited``
+  instead of burning worker launches and retry budget, re-closing via
+  seeded half-open probe cells.
+* :mod:`~repro.fabric.heartbeat` -- worker liveness: periodic
+  heartbeats over the result pipe plus a parent-side
+  :class:`LivenessTracker` that distinguishes ``stuck`` (alive but
+  silent -- SIGALRM can be defeated by native or signal-masked code)
+  from merely slow, so escalation (SIGTERM then SIGKILL) fires on
+  evidence, not guesswork.
+
+All policies are frozen dataclasses styled after the governor's
+:class:`~repro.governor.MemoryBudget`: pure configuration, validated on
+construction, inert until armed.
+"""
+
+from repro.fabric.admission import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionStats,
+)
+from repro.fabric.breaker import (
+    BREAKER_FAILURE_OUTCOMES,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.fabric.heartbeat import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_STALL_FACTOR,
+    LivenessTracker,
+    heartbeat_message,
+    is_heartbeat,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionStats",
+    "BREAKER_FAILURE_OUTCOMES",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_STALL_FACTOR",
+    "LivenessTracker",
+    "heartbeat_message",
+    "is_heartbeat",
+]

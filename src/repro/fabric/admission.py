@@ -1,0 +1,301 @@
+"""Admission control: a bounded pending queue with overload policies.
+
+The roadmap's service surface ("thousands of concurrent campaigns,
+backpressure instead of failure") needs one primitive the supervisor
+never had: a hard bound on how much *not-yet-running* work the fabric
+will hold, and a declared answer for what happens to work beyond it.
+
+:class:`AdmissionPolicy` is that declaration -- frozen configuration in
+the style of the governor's :class:`~repro.governor.MemoryBudget`:
+
+* ``max_pending`` caps the queue; the **high watermark** (a fraction of
+  the cap) is where overload handling engages, the **low watermark** is
+  where a saturated queue is considered drained again.  The hysteresis
+  gap keeps the controller from flapping between "full" and "open"
+  on every pop.
+* ``policy`` picks the overload behavior: ``block`` parks the submitter
+  until the queue drains below the low watermark (classic
+  backpressure), ``reject`` raises
+  :class:`~repro.errors.AdmissionRejected` at the submitter (fail fast),
+  ``shed`` admits the new item but evicts the *oldest* pending work to
+  make room (freshness wins under overload).
+* ``tag_quotas`` bound pending work per tag (kernel name, tenant, ...)
+  so one hot tag cannot starve the rest of the queue even while the
+  global cap still has room.
+
+:class:`AdmissionController` enforces the policy.  It is thread-safe:
+the blocking ``submit`` path is what a service front-end calls from
+request handlers, while the non-blocking ``offer``/``pop`` pair is what
+the single-threaded supervisor loop uses to drain a batch backlog
+through the same bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import AdmissionRejected
+
+#: Overload policies: park the submitter, refuse the item, or evict the
+#: oldest pending item to admit the new one.
+ADMISSION_POLICIES = ("block", "reject", "shed")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Frozen description of one queue's admission rules.
+
+    Attributes
+    ----------
+    max_pending:
+        Hard cap on queued (admitted but not yet started) items.
+    high_fraction / low_fraction:
+        Watermarks as fractions of ``max_pending``: reaching
+        ``high_fraction`` saturates the queue (overload handling
+        engages); a saturated queue stays saturated until it drains to
+        ``low_fraction`` (hysteresis).
+    policy:
+        One of :data:`ADMISSION_POLICIES`.
+    tag_quotas:
+        Optional per-tag pending caps; a tag at quota triggers the same
+        overload policy for that tag only.
+    """
+
+    max_pending: int = 256
+    high_fraction: float = 1.0
+    low_fraction: float = 0.5
+    policy: str = "block"
+    tag_quotas: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending!r}")
+        if not (0.0 < self.low_fraction <= self.high_fraction <= 1.0):
+            raise ValueError(
+                "need 0 < low_fraction <= high_fraction <= 1, got "
+                f"low={self.low_fraction!r} high={self.high_fraction!r}"
+            )
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {ADMISSION_POLICIES}, got {self.policy!r}"
+            )
+        for tag, quota in dict(self.tag_quotas).items():
+            if quota < 1:
+                raise ValueError(
+                    f"tag quota for {tag!r} must be >= 1, got {quota!r}"
+                )
+
+    @property
+    def high_watermark(self) -> int:
+        """Absolute queue depth at which overload handling engages."""
+        return max(1, int(self.max_pending * self.high_fraction))
+
+    @property
+    def low_watermark(self) -> int:
+        """Absolute depth a saturated queue must drain to before reopening."""
+        return max(0, min(int(self.max_pending * self.low_fraction),
+                          self.high_watermark - 1))
+
+    def quota_for(self, tag: Optional[str]) -> Optional[int]:
+        if tag is None:
+            return None
+        return dict(self.tag_quotas).get(tag)
+
+    def describe(self) -> str:
+        parts = [
+            f"pending<={self.max_pending}",
+            f"watermarks high={self.high_watermark} low={self.low_watermark}",
+            f"policy={self.policy}",
+        ]
+        quotas = dict(self.tag_quotas)
+        if quotas:
+            parts.append(
+                "quotas "
+                + ",".join(f"{tag}<={cap}" for tag, cap in sorted(quotas.items()))
+            )
+        return "admission: " + ", ".join(parts)
+
+
+@dataclass
+class AdmissionStats:
+    """Counters one controller accumulated over its lifetime."""
+
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    #: offers answered "deferred" (block policy, queue saturated)
+    deferred: int = 0
+    #: times a blocking submit actually had to wait
+    blocked: int = 0
+    peak_pending: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "deferred": self.deferred,
+            "blocked": self.blocked,
+            "peak_pending": self.peak_pending,
+        }
+
+
+class AdmissionController:
+    """Thread-safe bounded queue enforcing one :class:`AdmissionPolicy`."""
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.stats = AdmissionStats()
+        self._cond = threading.Condition()
+        self._queue: deque = deque()  # (item, tag)
+        self._per_tag: Dict[str, int] = {}
+        #: hysteresis latch: set at the high watermark, cleared at the low
+        self._saturated = False
+        self._saturated_tags: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def pending_for(self, tag: str) -> int:
+        with self._cond:
+            return self._per_tag.get(tag, 0)
+
+    # ------------------------------------------------------------------
+    def _tag_saturated(self, tag: Optional[str]) -> bool:
+        """Per-tag quota check with the same hysteresis as the queue."""
+        quota = self.policy.quota_for(tag)
+        if quota is None:
+            return False
+        count = self._per_tag.get(tag, 0)
+        if count >= quota:
+            self._saturated_tags[tag] = True
+        elif count <= max(0, int(quota * self.policy.low_fraction)):
+            self._saturated_tags[tag] = False
+        return self._saturated_tags.get(tag, False)
+
+    def _queue_saturated(self) -> bool:
+        depth = len(self._queue)
+        if depth >= self.policy.high_watermark:
+            self._saturated = True
+        elif depth <= self.policy.low_watermark:
+            self._saturated = False
+        return self._saturated
+
+    def _admit(self, item: Any, tag: Optional[str]) -> None:
+        self._queue.append((item, tag))
+        if tag is not None:
+            self._per_tag[tag] = self._per_tag.get(tag, 0) + 1
+        self.stats.admitted += 1
+        self.stats.peak_pending = max(self.stats.peak_pending, len(self._queue))
+
+    def _shed_oldest(self, tag: Optional[str]) -> Optional[Tuple[Any, Any]]:
+        """Evict the oldest pending item (preferring the offending tag)."""
+        victim_index = None
+        if tag is not None and self._per_tag.get(tag, 0) > 0 and self._tag_saturated(tag):
+            for i, (_, item_tag) in enumerate(self._queue):
+                if item_tag == tag:
+                    victim_index = i
+                    break
+        if victim_index is None:
+            victim_index = 0 if self._queue else None
+        if victim_index is None:
+            return None
+        self._queue.rotate(-victim_index)
+        victim = self._queue.popleft()
+        self._queue.rotate(victim_index)
+        if victim[1] is not None:
+            self._per_tag[victim[1]] = max(0, self._per_tag.get(victim[1], 0) - 1)
+        self.stats.shed += 1
+        return victim
+
+    # ------------------------------------------------------------------
+    def offer(self, item: Any, *, tag: Optional[str] = None):
+        """Non-blocking admission attempt.
+
+        Returns ``(verdict, shed)`` where ``verdict`` is ``"admitted"``,
+        ``"deferred"`` (block policy: saturated, try again after the
+        queue drains) or ``"rejected"``, and ``shed`` is the list of
+        evicted ``(item, tag)`` pairs (``shed`` policy only).
+        """
+        with self._cond:
+            saturated = self._queue_saturated() or self._tag_saturated(tag)
+            if not saturated:
+                self._admit(item, tag)
+                return "admitted", []
+            if self.policy.policy == "block":
+                self.stats.deferred += 1
+                return "deferred", []
+            if self.policy.policy == "reject":
+                self.stats.rejected += 1
+                return "rejected", []
+            # shed: evict the oldest pending work to admit the new item.
+            shed = []
+            victim = self._shed_oldest(tag)
+            if victim is not None:
+                shed.append(victim)
+            self._admit(item, tag)
+            return "admitted", shed
+
+    def submit(self, item: Any, *, tag: Optional[str] = None,
+               timeout: Optional[float] = None) -> List[Tuple[Any, Any]]:
+        """Blocking admission for streaming submitters.
+
+        ``block`` policy waits (up to ``timeout`` seconds) for the queue
+        to drain below the low watermark; ``reject`` raises
+        :class:`~repro.errors.AdmissionRejected`; ``shed`` returns the
+        evicted items so the caller can account for them.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        waited = False
+        with self._cond:
+            while True:
+                saturated = self._queue_saturated() or self._tag_saturated(tag)
+                if not saturated:
+                    self._admit(item, tag)
+                    return []
+                if self.policy.policy == "reject":
+                    self.stats.rejected += 1
+                    raise AdmissionRejected(
+                        f"admission queue refused new work "
+                        f"({len(self._queue)} pending, {self.policy.describe()})",
+                        tag=tag if self._tag_saturated(tag) else None,
+                    )
+                if self.policy.policy == "shed":
+                    shed = []
+                    victim = self._shed_oldest(tag)
+                    if victim is not None:
+                        shed.append(victim)
+                    self._admit(item, tag)
+                    return shed
+                # block: park until a pop drains the hysteresis gap open.
+                if not waited:
+                    self.stats.blocked += 1
+                    waited = True
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        raise AdmissionRejected(
+                            f"admission wait timed out after {timeout:g} s "
+                            f"({len(self._queue)} pending)"
+                        )
+                else:
+                    self._cond.wait()
+
+    def pop(self) -> Optional[Tuple[Any, Any]]:
+        """Take the oldest admitted item, or None when the queue is empty."""
+        with self._cond:
+            if not self._queue:
+                return None
+            item, tag = self._queue.popleft()
+            if tag is not None:
+                self._per_tag[tag] = max(0, self._per_tag.get(tag, 0) - 1)
+            # Wake blocked submitters only once the hysteresis gap opens.
+            if not self._queue_saturated():
+                self._cond.notify_all()
+            return item, tag

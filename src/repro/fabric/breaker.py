@@ -1,0 +1,208 @@
+"""Per-class circuit breakers: stop paying for a known-bad configuration.
+
+A large campaign grid multiplies every pathological configuration --
+Tuft et al. catalogue task-runtime setups that reliably hang, thrash,
+or serialize, and a grid crossing kernels x configs x seeds runs each
+of them many times.  Retry-with-backoff, the supervisor's per-cell
+answer, is exactly wrong for that shape of failure: every seed of a
+bad (kernel, configuration) class burns its full launch + retry budget
+rediscovering the same defect.
+
+The breaker tracks outcomes per **class** -- cells sharing a
+:meth:`~repro.supervisor.spec.RunSpec.class_key`, i.e. the same kernel
+and the same seed-excluded parameter fingerprint (the archive's
+:func:`~repro.archive.meta.config_fingerprint` convention).  After
+``threshold`` *consecutive* infrastructure failures (crash / timeout /
+oom / stuck -- a deterministic ``error`` means the worker ran fine and
+does not count), the class **opens**: subsequent cells are refused
+without launching a worker and journaled with the terminal
+``short_circuited`` outcome.  An open breaker re-closes through
+**half-open probes**: after a seeded number of short-circuits, one cell
+is let through as a probe; if it succeeds the class closes and runs
+normally again, if it fails the breaker re-opens.  ``max_probes``
+bounds the total probes, so a permanently-bad class costs at most
+``threshold + max_probes`` worker launches no matter how many cells
+the grid contains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Outcomes that count as infrastructure failures for the breaker.
+#: ``error`` is absent deliberately: a deterministic exception proves the
+#: worker launched, ran, and reported -- the runtime is healthy even if
+#: the cell is not.
+BREAKER_FAILURE_OUTCOMES = frozenset({"crash", "timeout", "oom", "stuck"})
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Frozen breaker configuration (inert until attached).
+
+    Attributes
+    ----------
+    threshold:
+        Consecutive failures that open a class.
+    max_probes:
+        Total half-open probe cells an open class may spend trying to
+        re-close; with the opening launches this bounds the class's
+        worker launches at ``threshold + max_probes``.
+    probe_after:
+        Short-circuited cells between probes (the cool-down, measured in
+        refused cells rather than wall time so a paused campaign does
+        not silently re-arm).
+    probe_jitter:
+        Extra, per-class deterministic spacing in ``[0, probe_jitter]``
+        derived from ``seed`` and the class key, so grids sweeping many
+        bad classes do not probe in lockstep.
+    seed:
+        Seed for the per-class jitter.
+    """
+
+    threshold: int = 3
+    max_probes: int = 2
+    probe_after: int = 4
+    probe_jitter: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold!r}")
+        if self.max_probes < 0:
+            raise ValueError(f"max_probes must be >= 0, got {self.max_probes!r}")
+        if self.probe_after < 0:
+            raise ValueError(f"probe_after must be >= 0, got {self.probe_after!r}")
+        if self.probe_jitter < 0:
+            raise ValueError(
+                f"probe_jitter must be >= 0, got {self.probe_jitter!r}"
+            )
+
+    def spacing_for(self, key: str) -> int:
+        """Deterministic probe spacing for one class (seeded jitter)."""
+        if self.probe_jitter == 0:
+            return self.probe_after
+        digest = hashlib.sha256(f"{self.seed}:{key}".encode("utf-8")).digest()
+        return self.probe_after + digest[0] % (self.probe_jitter + 1)
+
+    def describe(self) -> str:
+        return (
+            f"breaker: open after {self.threshold} consecutive failures, "
+            f"{self.max_probes} probe(s) every {self.probe_after}+ refusals"
+        )
+
+
+@dataclass
+class BreakerState:
+    """Mutable per-class bookkeeping."""
+
+    #: ``closed`` | ``open`` | ``half_open`` (a probe is in flight)
+    state: str = "closed"
+    consecutive_failures: int = 0
+    probes_used: int = 0
+    short_circuited: int = 0
+    #: times this class has transitioned closed -> open
+    opened: int = 0
+    #: refusals since the class opened / since the last probe launched
+    since_probe: int = 0
+    last_failure: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "probes_used": self.probes_used,
+            "short_circuited": self.short_circuited,
+            "opened": self.opened,
+            "last_failure": self.last_failure,
+        }
+
+
+class CircuitBreaker:
+    """Track outcomes per class and gate launches accordingly.
+
+    The supervisor asks :meth:`admit` before every worker launch and
+    reports every settled attempt through :meth:`record`; everything
+    else is internal state.  Single-threaded by design -- the supervisor
+    loop is the only caller.
+    """
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None):
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self._classes: Dict[str, BreakerState] = {}
+
+    def state_of(self, key: str) -> BreakerState:
+        state = self._classes.get(key)
+        if state is None:
+            state = self._classes[key] = BreakerState()
+        return state
+
+    # ------------------------------------------------------------------
+    def admit(self, key: str) -> str:
+        """Gate one launch: ``run`` | ``probe`` | ``short_circuit``."""
+        state = self.state_of(key)
+        if state.state == "closed":
+            return "run"
+        if state.state == "half_open":
+            # One probe at a time: everything else stays refused until
+            # the in-flight probe settles.
+            state.short_circuited += 1
+            state.since_probe += 1
+            return "short_circuit"
+        # open
+        if (
+            state.probes_used < self.policy.max_probes
+            and state.since_probe >= self.policy.spacing_for(key)
+        ):
+            state.state = "half_open"
+            state.probes_used += 1
+            state.since_probe = 0
+            return "probe"
+        state.short_circuited += 1
+        state.since_probe += 1
+        return "short_circuit"
+
+    def record(self, key: str, outcome: str, *, probe: bool = False) -> None:
+        """Fold one settled attempt's outcome into the class state."""
+        state = self.state_of(key)
+        if outcome in BREAKER_FAILURE_OUTCOMES:
+            state.consecutive_failures += 1
+            state.last_failure = outcome
+            if probe or state.state == "half_open":
+                # Failed probe: straight back to open, cool-down restarts.
+                state.state = "open"
+                state.since_probe = 0
+            elif (
+                state.state == "closed"
+                and state.consecutive_failures >= self.policy.threshold
+            ):
+                state.state = "open"
+                state.opened += 1
+                state.since_probe = 0
+        else:
+            # Any completed run -- ok, partial, degraded, even a
+            # deterministic error -- proves the class launches fine.
+            state.state = "closed"
+            state.consecutive_failures = 0
+            state.probes_used = 0
+            state.since_probe = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def open_classes(self) -> Dict[str, BreakerState]:
+        return {
+            key: state
+            for key, state in self._classes.items()
+            if state.state in ("open", "half_open")
+        }
+
+    def total_short_circuited(self) -> int:
+        return sum(s.short_circuited for s in self._classes.values())
+
+    def summary(self) -> Dict[str, dict]:
+        """JSON-able per-class state (stable key order)."""
+        return {
+            key: self._classes[key].to_dict() for key in sorted(self._classes)
+        }

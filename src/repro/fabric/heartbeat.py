@@ -1,0 +1,99 @@
+"""Worker liveness: heartbeats on the result pipe, stall detection.
+
+The supervisor's two existing watchdogs both have a blind spot.  The
+in-worker ``SIGALRM`` guard can be defeated by code that masks signals
+or never returns to the interpreter (native extensions, a deadlocked
+C library, a SIGSTOP'd process), and the parent-side wall-clock kill
+cannot tell *wedged* from *slow* -- it fires at the deadline whether
+the worker was one instruction from finishing or frozen since launch.
+
+Heartbeats close the gap.  The worker emits a small ``heartbeat``
+record over the same pipe its result travels on (no extra file
+descriptors, ordering guaranteed); the parent's
+:class:`LivenessTracker` timestamps arrivals and flags a worker whose
+beats *stop* -- alive but silent -- as ``stuck``, long before the wall
+deadline.  Stuck workers are escalated: SIGTERM first (a cooperative
+chance to die cleanly), SIGKILL if that is ignored -- which it will be
+by the very failure modes that motivate this (a stopped or wedged
+process does not run signal handlers, but SIGKILL needs none).
+
+The outcome taxonomy this feeds:
+
+* ``timeout`` -- wall-clock limit reached, heartbeats were still
+  flowing: the cell is slow, not dead.
+* ``stuck`` -- heartbeats stopped while the process lived: the worker
+  is wedged.  Retryable, like ``timeout``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+#: Default interval between worker heartbeats (seconds).  Small enough
+#: that stall detection reacts in single-digit seconds, large enough
+#: that the pipe traffic is noise (a heartbeat is a ~40-byte pickle).
+DEFAULT_HEARTBEAT_S = 0.5
+
+#: A worker is declared stuck after this many missed intervals.  The
+#: factor absorbs scheduler jitter and GIL contention in a busy worker;
+#: a genuinely wedged process misses *every* interval, so the exact
+#: value only tunes detection latency.
+DEFAULT_STALL_FACTOR = 6.0
+
+
+def heartbeat_message(seq: int) -> dict:
+    """The record a worker sends every interval."""
+    return {"type": "heartbeat", "seq": seq}
+
+
+def is_heartbeat(message) -> bool:
+    return isinstance(message, dict) and message.get("type") == "heartbeat"
+
+
+class LivenessTracker:
+    """Parent-side bookkeeping: who beat when, and who has gone silent.
+
+    Pure bookkeeping over caller-supplied timestamps (``time.monotonic``
+    by default), so stall classification is unit-testable without
+    processes or sleeps.
+    """
+
+    def __init__(self, interval_s: float, stall_factor: float = DEFAULT_STALL_FACTOR):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s!r}")
+        if stall_factor < 2.0:
+            raise ValueError(
+                f"stall_factor must be >= 2 (one missed beat is jitter, "
+                f"not a stall), got {stall_factor!r}"
+            )
+        self.interval_s = interval_s
+        self.stall_after_s = interval_s * stall_factor
+        self._last_beat: Dict[str, float] = {}
+        self._beats: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def started(self, key: str, now: Optional[float] = None) -> None:
+        """Launch counts as the first sign of life."""
+        self._last_beat[key] = time.monotonic() if now is None else now
+        self._beats[key] = 0
+
+    def beat(self, key: str, now: Optional[float] = None) -> None:
+        self._last_beat[key] = time.monotonic() if now is None else now
+        self._beats[key] = self._beats.get(key, 0) + 1
+
+    def beats(self, key: str) -> int:
+        return self._beats.get(key, 0)
+
+    def silent_for(self, key: str, now: Optional[float] = None) -> float:
+        now = time.monotonic() if now is None else now
+        last = self._last_beat.get(key)
+        return 0.0 if last is None else max(0.0, now - last)
+
+    def stalled(self, key: str, now: Optional[float] = None) -> bool:
+        """True when the worker has been silent past the stall window."""
+        return self.silent_for(key, now) > self.stall_after_s
+
+    def forget(self, key: str) -> None:
+        self._last_beat.pop(key, None)
+        self._beats.pop(key, None)

@@ -16,6 +16,10 @@ gracefully:
 * :mod:`repro.faults.campaign` -- the salvage pipeline (run -> repair ->
   replay -> partial profile + SalvageReport) and seeded fault campaigns
   over the BOTS kernels, surfaced as the ``repro faults`` CLI command.
+* :mod:`repro.faults.crash` -- the crash-consistency harness: SIGKILLs
+  real ``put()`` subprocesses mid-archive-write and injects the seeded
+  :data:`~repro.faults.crash.CORRUPTION_CLASSES` that ``repro archive
+  fsck`` must detect and repair.
 """
 
 from repro.faults.plan import FaultPlan, FAULT_MODES, plan_for_mode
@@ -25,6 +29,13 @@ from repro.faults.campaign import (
     SalvageOutcome,
     run_campaign,
     run_tolerant,
+)
+from repro.faults.crash import (
+    CORRUPTION_CLASSES,
+    corrupt_archive,
+    crash_put_cycle,
+    synthetic_meta,
+    synthetic_profile,
 )
 
 __all__ = [
@@ -36,4 +47,9 @@ __all__ = [
     "SalvageOutcome",
     "run_campaign",
     "run_tolerant",
+    "CORRUPTION_CLASSES",
+    "corrupt_archive",
+    "crash_put_cycle",
+    "synthetic_meta",
+    "synthetic_profile",
 ]

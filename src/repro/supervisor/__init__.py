@@ -18,8 +18,10 @@ one cell" and "run thousands of cells unattended":
   write-ahead journal that makes campaigns resumable after SIGKILL.
 * :mod:`~repro.supervisor.supervisor` -- the orchestration loop:
   parallel workers (``jobs``), deadline enforcement, retry
-  classification (transient ``crash``/``timeout``/``oom`` vs
-  deterministic ``error``), graceful Ctrl-C drain, ``resume``.
+  classification (transient ``crash``/``timeout``/``oom``/``stuck`` vs
+  deterministic ``error``), graceful Ctrl-C drain, ``resume``, plus the
+  optional :mod:`repro.fabric` layers: heartbeat liveness, per-class
+  circuit breakers, admission control, and campaign deadlines.
 
 Surfaced as ``repro supervise`` on the CLI and as the
 ``supervised=True`` path of :func:`repro.faults.run_campaign`.
@@ -27,6 +29,8 @@ Surfaced as ``repro supervise`` on the CLI and as the
 
 from repro.supervisor.backoff import FAST_BACKOFF, BackoffPolicy
 from repro.supervisor.journal import (
+    JOURNAL_VERSION,
+    RESUMABLE_OUTCOMES,
     RETRYABLE_OUTCOMES,
     TERMINAL_OUTCOMES,
     Journal,
@@ -56,6 +60,8 @@ __all__ = [
     "Journal",
     "JournalState",
     "load_journal",
+    "JOURNAL_VERSION",
+    "RESUMABLE_OUTCOMES",
     "RETRYABLE_OUTCOMES",
     "TERMINAL_OUTCOMES",
     "RunSpec",

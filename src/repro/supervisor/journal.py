@@ -10,11 +10,19 @@ is what makes ``--resume`` safe after a crash of the supervisor itself.
 
 Record types::
 
-    {"type":"meta","version":1,"cells":N}
+    {"type":"meta","version":2,"cells":N}
     {"type":"start","cell":ID,"attempt":K}
     {"type":"result","cell":ID,"attempt":K,"outcome":...,"ok":...,
      "status":...,"summary":...,"error":...,"duration_s":...}
     {"type":"interrupt","completed":N}
+
+The ``meta`` record doubles as the schema-version header: replaying a
+journal whose declared version is *newer* than this build raises
+:class:`~repro.errors.JournalVersionError` up front, so ``--resume``
+against a future-format journal fails with one clear message instead
+of a ``KeyError`` halfway through records it cannot interpret.  Older
+versions load fine (the format only ever gains record types and
+outcome values).
 
 Only the supervisor process writes the journal; workers report through
 a pipe, so an orphaned worker can never corrupt it.
@@ -27,15 +35,28 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
-JOURNAL_VERSION = 1
+from repro.errors import JournalVersionError
+
+#: Version 2 added the fabric outcomes (``short_circuited``,
+#: ``cancelled``, ``stuck``) and made the meta record an enforced
+#: schema-version header.
+JOURNAL_VERSION = 2
 
 #: Outcomes that settle a cell: re-running cannot improve on them.
 #: ``ok``/``partial`` degraded gracefully; ``degraded`` completed under
 #: a memory budget (deterministic ladder, so a retry would only degrade
-#: again); ``error`` is a deterministic failure that would reproduce.
-TERMINAL_OUTCOMES = frozenset({"ok", "partial", "degraded", "error"})
+#: again); ``error`` is a deterministic failure that would reproduce;
+#: ``short_circuited`` was refused by an open circuit breaker whose
+#: class already failed deterministically often enough to prove itself.
+TERMINAL_OUTCOMES = frozenset({"ok", "partial", "degraded", "error",
+                               "short_circuited"})
 #: Transient outcomes worth retrying (and re-running on resume).
-RETRYABLE_OUTCOMES = frozenset({"crash", "timeout", "oom"})
+#: ``stuck`` -- alive but silent past the heartbeat stall window -- is
+#: transient like ``timeout``: the wedge may be a scheduling accident.
+RETRYABLE_OUTCOMES = frozenset({"crash", "timeout", "oom", "stuck"})
+#: Outcomes that mean "the campaign stopped, not the cell": never
+#: retried in-run, re-run by ``--resume``.
+RESUMABLE_OUTCOMES = frozenset({"interrupted", "cancelled", "pending"})
 
 
 class Journal:
@@ -108,7 +129,11 @@ def load_journal(path: str) -> JournalState:
     A partial trailing line is the expected residue of a supervisor
     killed mid-append; it is counted in ``skipped_lines`` and otherwise
     ignored, as is any line that fails to parse (corruption never makes
-    resume refuse to run -- the worst case is re-running a cell).
+    resume refuse to run -- the worst case is re-running a cell).  The
+    one deliberate refusal is a ``meta`` header declaring a *newer*
+    schema version than this build writes: that raises
+    :class:`~repro.errors.JournalVersionError` instead of guessing at
+    records this code predates.
     """
     state = JournalState()
     try:
@@ -126,7 +151,11 @@ def load_journal(path: str) -> JournalState:
                 state.skipped_lines += 1
                 continue
             kind = entry.get("type")
-            if kind == "start":
+            if kind == "meta":
+                version = entry.get("version")
+                if not isinstance(version, int) or version > JOURNAL_VERSION:
+                    raise JournalVersionError(version, JOURNAL_VERSION)
+            elif kind == "start":
                 cell = entry.get("cell")
                 state.attempts[cell] = max(
                     state.attempts.get(cell, 0), int(entry.get("attempt", 0))

@@ -16,12 +16,19 @@ cells by ``cell_id``).  Two kinds cover every grid the evaluation runs:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 SPEC_KINDS = ("fault", "call")
+
+#: Parameters excluded from :meth:`RunSpec.class_key`: the seed is what
+#: varies between repetitions of one configuration (the archive's
+#: ``config_fingerprint`` convention), and the archive directory is
+#: deployment plumbing, not behavior.
+_CLASS_KEY_EXCLUDED = ("seed", "archive_dir")
 
 
 @dataclass(frozen=True)
@@ -58,6 +65,45 @@ class RunSpec:
         if self.wall_timeout_s is not None:
             data["wall_timeout_s"] = self.wall_timeout_s
         return data
+
+    # ------------------------------------------------------------------
+    # Fabric keys
+    # ------------------------------------------------------------------
+    @property
+    def admission_tag(self) -> str:
+        """Coarse grouping tag for per-tag admission quotas.
+
+        The kernel name for fault cells, the call target otherwise --
+        the granularity at which "one hot workload must not starve the
+        queue" is a meaningful statement.
+        """
+        if self.kind == "fault":
+            return str(self.params.get("app", "fault"))
+        return str(self.params.get("target", "call"))
+
+    def class_key(self) -> str:
+        """The circuit-breaker class: (kernel, seed-excluded fingerprint).
+
+        Cells of one class are repetitions of the same configuration
+        under different seeds, mirroring the archive's
+        :func:`~repro.archive.meta.config_fingerprint` grouping; a
+        class that crashes for one seed is overwhelmingly likely to
+        crash for the rest, which is precisely the bet the breaker
+        makes when it short-circuits them.
+        """
+        payload = {
+            key: value
+            for key, value in self.params.items()
+            if key not in _CLASS_KEY_EXCLUDED
+        }
+        canonical = json.dumps(
+            {"kind": self.kind, "params": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return f"{self.admission_tag}|{digest[:12]}"
 
 
 def spec_from_dict(data: dict) -> RunSpec:

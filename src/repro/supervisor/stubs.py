@@ -50,6 +50,55 @@ def oom_cell() -> dict:
     raise MemoryError("simulated allocation failure")
 
 
+def stalled_cell(grace_s: float = 60.0) -> dict:  # pragma: no cover
+    """Alive but silent: SIGSTOPs itself.
+
+    A stopped process defeats every cooperative watchdog -- SIGALRM is
+    queued but never delivered, heartbeat threads freeze with the rest
+    of the process -- yet ``is_alive()`` stays True.  Only the parent's
+    heartbeat-stall detection can classify this as ``stuck``, and only
+    SIGKILL (which needs no handler to run) can clear it.
+    """
+    os.kill(os.getpid(), signal.SIGSTOP)
+    time.sleep(grace_s)  # reached only if something SIGCONTs us
+    return {"summary": "resumed from SIGSTOP"}
+
+
+def crash_while_missing(marker: str) -> dict:
+    """Crashes until ``marker`` exists -- a whole *class* gone bad.
+
+    Unlike :func:`flaky_cell` (one cell, transient), every cell calling
+    this with the same marker crashes until the file appears: the shape
+    a circuit breaker opens on, and -- once a test creates the marker --
+    the shape a half-open probe re-closes on.
+    """
+    if os.path.exists(marker):
+        return {"summary": "class recovered"}
+    os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(60)  # pragma: no cover - never reached
+    return {"summary": "unreachable"}  # pragma: no cover
+
+
+def crash_until_attempts(scratch: str, need: int = 3) -> dict:
+    """Crashes until ``need`` attempts have been burned on the class.
+
+    Every attempt drops a unique file into ``scratch`` before
+    SIGKILLing itself; once the directory holds ``need`` corpses the
+    class "recovers".  Lets a test script the exact launch count at
+    which a half-open probe will find the class healthy again.
+    """
+    import tempfile
+
+    os.makedirs(scratch, exist_ok=True)
+    if len(os.listdir(scratch)) >= need:
+        return {"summary": "class recovered"}
+    fd, _path = tempfile.mkstemp(dir=scratch)
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(60)  # pragma: no cover - never reached
+    return {"summary": "unreachable"}  # pragma: no cover
+
+
 def flaky_cell(marker: str) -> dict:
     """Crashes on the first attempt, succeeds on the next.
 

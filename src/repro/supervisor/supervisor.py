@@ -4,13 +4,34 @@ Executes a grid of :class:`~repro.supervisor.spec.RunSpec` cells in
 isolated worker subprocesses (``--jobs`` at a time), each under a
 wall-clock deadline enforced twice -- ``SIGALRM`` inside the worker,
 kill-from-parent as the backstop -- with bounded retry + exponential
-backoff for transient outcomes (``crash``/``timeout``/``oom``; a
-deterministic ``error`` is never retried), journaling every attempt
+backoff for transient outcomes (``crash``/``timeout``/``oom``/``stuck``;
+a deterministic ``error`` is never retried), journaling every attempt
 write-ahead to an fsync'd JSONL file so that a SIGKILL of any worker
 *or of the supervisor itself* loses at most the in-flight cells:
 ``resume=True`` replays the journal, emits completed cells from it, and
 re-runs only the rest.  ``KeyboardInterrupt`` drains workers, flushes
 the journal, and returns the partial results instead of losing them.
+
+On top of that crash-safety core sit the fabric layers
+(:mod:`repro.fabric`), each optional and inert by default:
+
+* **heartbeats** (``heartbeat_s``): workers pulse liveness records over
+  the result pipe; a worker whose beats stop while its process lives is
+  classified ``stuck`` (vs ``timeout`` for slow-but-beating) and
+  escalated SIGTERM then SIGKILL.
+* **circuit breakers** (``breaker=BreakerPolicy(...)``): cells sharing
+  a :meth:`~repro.supervisor.spec.RunSpec.class_key` that fail
+  ``threshold`` times consecutively are short-circuited -- journaled
+  terminal ``short_circuited`` without launching -- until a half-open
+  probe cell proves the class healthy again.
+* **admission control** (``admission=AdmissionPolicy(...)``): the
+  backlog drains through a bounded queue with block/reject/shed
+  overload policies and per-tag quotas; rejected or shed cells are
+  journaled ``cancelled`` (resumable), not lost.
+* **campaign deadline** (``deadline_s``): when the budget expires the
+  supervisor stops launching, lets running cells finish, and journals
+  everything still queued as ``cancelled`` -- the grid stays
+  ``--resume``-able.
 """
 
 from __future__ import annotations
@@ -24,6 +45,13 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Dict, List, Optional, Sequence
 
+from repro.fabric.admission import AdmissionController, AdmissionPolicy
+from repro.fabric.breaker import BreakerPolicy, CircuitBreaker
+from repro.fabric.heartbeat import (
+    DEFAULT_STALL_FACTOR,
+    LivenessTracker,
+    is_heartbeat,
+)
 from repro.supervisor.backoff import BackoffPolicy
 from repro.supervisor.journal import (
     RETRYABLE_OUTCOMES,
@@ -41,8 +69,8 @@ class CellResult:
     """Final word on one cell, after retries and/or resume."""
 
     cell_id: str
-    #: ok | partial | degraded | error | timeout | crash | oom |
-    #: interrupted | pending
+    #: ok | partial | degraded | error | timeout | crash | oom | stuck |
+    #: short_circuited | cancelled | interrupted | pending
     outcome: str
     ok: bool
     status: str
@@ -60,6 +88,13 @@ class SupervisorReport:
 
     results: List[CellResult] = field(default_factory=list)
     interrupted: bool = False
+    #: True when the campaign deadline expired and queued cells were
+    #: journaled as ``cancelled``
+    deadline_hit: bool = False
+    #: per-class circuit-breaker state at the end of the run
+    breaker_summary: Dict[str, dict] = field(default_factory=dict)
+    #: admission-controller counters (None when admission was off)
+    admission_stats: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -82,6 +117,8 @@ class _Running:
     started: float
     deadline: Optional[float]
     limit: Optional[float]
+    #: this launch is a half-open circuit-breaker probe
+    probe: bool = False
 
 
 class Supervisor:
@@ -99,6 +136,11 @@ class Supervisor:
         journal_path: Optional[str] = None,
         resume: bool = False,
         start_method: Optional[str] = None,
+        heartbeat_s: Optional[float] = None,
+        stall_factor: float = DEFAULT_STALL_FACTOR,
+        deadline_s: Optional[float] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ):
         self.specs = list(specs)
         check_unique_cell_ids(self.specs)
@@ -108,12 +150,21 @@ class Supervisor:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s!r}")
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be positive, got {heartbeat_s!r}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s!r}")
         self.jobs = jobs
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self.journal_path = journal_path
         self.resume = resume
+        self.heartbeat_s = heartbeat_s
+        self.stall_factor = stall_factor
+        self.deadline_s = deadline_s
+        self.breaker_policy = breaker
+        self.admission_policy = admission
         if start_method is None:
             start_method = (
                 "fork"
@@ -132,10 +183,29 @@ class Supervisor:
         )
         results: Dict[str, CellResult] = {}
         attempts_seen: Dict[str, int] = dict(state.attempts)
-        pending = deque()  # (spec, global_attempt, round)
+        backlog = deque()  # fresh cells awaiting admission
+        pending = deque()  # (spec, global_attempt, round): ready to launch
         delayed: List[tuple] = []  # (due_monotonic, spec, global_attempt, round)
         running: List[_Running] = []
         interrupted = False
+        deadline_hit = False
+
+        breaker = (
+            CircuitBreaker(self.breaker_policy) if self.breaker_policy else None
+        )
+        admission = (
+            AdmissionController(self.admission_policy)
+            if self.admission_policy
+            else None
+        )
+        liveness = (
+            LivenessTracker(self.heartbeat_s, self.stall_factor)
+            if self.heartbeat_s
+            else None
+        )
+        deadline_at = (
+            time.monotonic() + self.deadline_s if self.deadline_s else None
+        )
 
         completed = state.completed
         for spec in self.specs:
@@ -144,27 +214,69 @@ class Supervisor:
                     spec, state.results[spec.cell_id], attempts_seen
                 )
             else:
-                pending.append((spec, attempts_seen.get(spec.cell_id, 0) + 1, 1))
+                item = (spec, attempts_seen.get(spec.cell_id, 0) + 1, 1)
+                (backlog if admission is not None else pending).append(item)
 
         if journal is not None:
             journal.meta(len(self.specs))
         try:
-            while pending or delayed or running:
+            while backlog or pending or delayed or running or (
+                admission is not None and len(admission)
+            ):
                 now = time.monotonic()
+                if deadline_at is not None and not deadline_hit and now >= deadline_at:
+                    deadline_hit = True
+                    self._cancel_queued(
+                        journal,
+                        results,
+                        self._drain_queues(backlog, pending, delayed, admission),
+                        f"campaign deadline of {self.deadline_s:g} s expired "
+                        f"before this cell started (re-run with --resume)",
+                    )
                 if delayed:
                     due = [entry for entry in delayed if entry[0] <= now]
                     delayed = [entry for entry in delayed if entry[0] > now]
                     for _, spec, attempt, rnd in due:
                         pending.append((spec, attempt, rnd))
-                while pending and len(running) < self.jobs:
-                    spec, attempt, rnd = pending.popleft()
-                    running.append(self._launch(journal, spec, attempt, rnd))
+                if admission is not None:
+                    self._feed_admission(admission, backlog, journal, results)
+                while len(running) < self.jobs:
+                    item = self._take_next(pending, admission)
+                    if item is None:
+                        break
+                    spec, attempt, rnd = item
+                    decision = (
+                        breaker.admit(spec.class_key()) if breaker else "run"
+                    )
+                    if decision == "short_circuit":
+                        self._finalize_short_circuit(
+                            journal, results, breaker, spec, attempt
+                        )
+                        continue
+                    entry = self._launch(
+                        journal, spec, attempt, rnd, probe=decision == "probe"
+                    )
+                    running.append(entry)
                     attempts_seen[spec.cell_id] = attempt
+                    if liveness is not None:
+                        liveness.started(spec.cell_id, now=entry.started)
                 if not running:
-                    next_due = min(entry[0] for entry in delayed)
-                    time.sleep(min(0.05, max(0.0, next_due - time.monotonic())))
+                    if delayed:
+                        next_due = min(entry[0] for entry in delayed)
+                        time.sleep(min(0.05, max(0.0, next_due - time.monotonic())))
+                    elif backlog or (admission is not None and len(admission)):
+                        time.sleep(0.005)  # admission hysteresis re-check
                     continue
-                self._poll(running, journal, results, delayed, attempts_seen)
+                self._poll(
+                    running,
+                    journal,
+                    results,
+                    delayed,
+                    attempts_seen,
+                    liveness=liveness,
+                    breaker=breaker,
+                    no_retries=deadline_hit,
+                )
         except KeyboardInterrupt:
             interrupted = True
             self._drain(running, journal, results)
@@ -187,7 +299,158 @@ class Supervisor:
         ordered = [
             results[spec.cell_id] for spec in self.specs if spec.cell_id in results
         ]
-        return SupervisorReport(results=ordered, interrupted=interrupted)
+        return SupervisorReport(
+            results=ordered,
+            interrupted=interrupted,
+            deadline_hit=deadline_hit,
+            breaker_summary=breaker.summary() if breaker is not None else {},
+            admission_stats=(
+                admission.stats.to_dict() if admission is not None else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _take_next(pending: deque, admission: Optional[AdmissionController]):
+        """Next launchable item: retries first, then the admitted queue."""
+        if pending:
+            return pending.popleft()
+        if admission is not None:
+            popped = admission.pop()
+            if popped is not None:
+                return popped[0]
+        return None
+
+    def _feed_admission(
+        self,
+        admission: AdmissionController,
+        backlog: deque,
+        journal: Optional[Journal],
+        results: Dict[str, CellResult],
+    ) -> None:
+        """Drain the backlog through the admission controller.
+
+        ``deferred`` items stay in the backlog (the block policy applied
+        to a batch grid is pure pacing -- they are re-offered once the
+        queue drains past the low watermark); ``rejected`` and shed
+        items become resumable ``cancelled`` results, not lost cells.
+        """
+        leftover = deque()
+        while backlog:
+            item = backlog.popleft()
+            verdict, shed = admission.offer(item, tag=item[0].admission_tag)
+            if verdict == "deferred":
+                leftover.append(item)
+            elif verdict == "rejected":
+                self._cancel_queued(
+                    journal,
+                    results,
+                    [item],
+                    "rejected by admission control: pending queue at its "
+                    "high watermark (re-run with --resume)",
+                )
+            for victim, _tag in shed:
+                self._cancel_queued(
+                    journal,
+                    results,
+                    [victim],
+                    "shed by admission control to admit fresher work "
+                    "(re-run with --resume)",
+                )
+        backlog.extend(leftover)
+
+    @staticmethod
+    def _drain_queues(
+        backlog: deque,
+        pending: deque,
+        delayed: List[tuple],
+        admission: Optional[AdmissionController],
+    ) -> List[tuple]:
+        """Empty every not-yet-running queue; returns the drained items."""
+        items = list(backlog) + list(pending)
+        backlog.clear()
+        pending.clear()
+        items.extend((spec, attempt, rnd) for _, spec, attempt, rnd in delayed)
+        delayed.clear()
+        if admission is not None:
+            while True:
+                popped = admission.pop()
+                if popped is None:
+                    break
+                items.append(popped[0])
+        return items
+
+    def _cancel_queued(
+        self,
+        journal: Optional[Journal],
+        results: Dict[str, CellResult],
+        items: Sequence[tuple],
+        reason: str,
+    ) -> None:
+        """Journal queued-but-never-launched cells as ``cancelled``.
+
+        ``cancelled`` is resumable, not terminal: a later ``--resume``
+        re-runs exactly these cells and replays everything else.
+        """
+        for spec, attempt, _rnd in items:
+            payload = {
+                "outcome": "cancelled",
+                "ok": False,
+                "status": "cancelled",
+                "summary": reason,
+                "error": None,
+                "duration_s": 0.0,
+            }
+            if journal is not None:
+                journal.result(spec.cell_id, attempt, payload)
+            results[spec.cell_id] = CellResult(
+                cell_id=spec.cell_id,
+                outcome="cancelled",
+                ok=False,
+                status="cancelled",
+                summary=reason,
+                attempts=attempt - 1,  # this attempt never launched
+                error=None,
+                duration_s=0.0,
+            )
+
+    def _finalize_short_circuit(
+        self,
+        journal: Optional[Journal],
+        results: Dict[str, CellResult],
+        breaker: CircuitBreaker,
+        spec: RunSpec,
+        attempt: int,
+    ) -> None:
+        """Refuse a cell of an open class without launching a worker."""
+        state = breaker.state_of(spec.class_key())
+        reason = (
+            f"short-circuited: class {spec.class_key()} is open after "
+            f"{state.consecutive_failures} consecutive "
+            f"{state.last_failure or 'failure'}(s); no worker launched"
+        )
+        payload = {
+            "outcome": "short_circuited",
+            "ok": False,
+            "status": "short_circuited",
+            "summary": reason,
+            "error": f"ShortCircuited: {state.last_failure or 'failure'}",
+            "duration_s": 0.0,
+        }
+        if journal is not None:
+            journal.result(spec.cell_id, attempt, payload)
+        results[spec.cell_id] = CellResult(
+            cell_id=spec.cell_id,
+            outcome="short_circuited",
+            ok=False,
+            status="short_circuited",
+            summary=reason,
+            attempts=attempt - 1,  # refused before launching
+            error=payload["error"],
+            duration_s=0.0,
+        )
 
     # ------------------------------------------------------------------
     def _cached_result(
@@ -206,7 +469,12 @@ class Supervisor:
         )
 
     def _launch(
-        self, journal: Optional[Journal], spec: RunSpec, attempt: int, rnd: int
+        self,
+        journal: Optional[Journal],
+        spec: RunSpec,
+        attempt: int,
+        rnd: int,
+        probe: bool = False,
     ) -> _Running:
         limit = spec.wall_timeout_s if spec.wall_timeout_s is not None else self.timeout_s
         if journal is not None:
@@ -214,7 +482,7 @@ class Supervisor:
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=worker_main,
-            args=(send_conn, spec.to_dict(), limit),
+            args=(send_conn, spec.to_dict(), limit, self.heartbeat_s),
             name=f"repro-cell-{spec.cell_id}",
             daemon=True,
         )
@@ -235,6 +503,7 @@ class Supervisor:
             started=started,
             deadline=deadline,
             limit=limit,
+            probe=probe,
         )
 
     def _poll(
@@ -244,6 +513,9 @@ class Supervisor:
         results: Dict[str, CellResult],
         delayed: List[tuple],
         attempts_seen: Dict[str, int],
+        liveness: Optional[LivenessTracker] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        no_retries: bool = False,
     ) -> None:
         now = time.monotonic()
         wait_s = 0.1
@@ -256,18 +528,34 @@ class Supervisor:
 
         finished: List[tuple] = []
         for entry in running:
-            payload = None
-            if entry.conn.poll():
-                try:
-                    payload = entry.conn.recv()
-                except (EOFError, OSError):
-                    payload = None
+            payload = self._receive(entry, liveness, now)
             if payload is not None:
                 self._reap(entry)
                 finished.append((entry, payload))
             elif not entry.proc.is_alive():
                 self._reap(entry)
                 finished.append((entry, self._crash_payload(entry)))
+            elif (
+                liveness is not None
+                and liveness.stalled(entry.spec.cell_id, now)
+            ):
+                silent = liveness.silent_for(entry.spec.cell_id, now)
+                self._kill(entry)  # SIGTERM first, SIGKILL if ignored
+                finished.append(
+                    (
+                        entry,
+                        {
+                            "outcome": "stuck",
+                            "ok": False,
+                            "status": "stuck",
+                            "summary": f"worker alive but silent for "
+                            f"{silent:.1f} s (heartbeat interval "
+                            f"{self.heartbeat_s:g} s); escalated SIGTERM "
+                            f"then SIGKILL",
+                            "error": "WorkerStuck: heartbeats stopped",
+                        },
+                    )
+                )
             elif entry.deadline is not None and now >= entry.deadline:
                 self._kill(entry)
                 finished.append(
@@ -286,7 +574,10 @@ class Supervisor:
 
         for entry, payload in finished:
             running.remove(entry)
+            if liveness is not None:
+                liveness.forget(entry.spec.cell_id)
             payload = dict(payload)
+            payload.pop("type", None)  # worker tags results when beating
             payload.setdefault("outcome", "error")
             payload.setdefault("ok", False)
             payload.setdefault("status", payload["outcome"])
@@ -295,8 +586,12 @@ class Supervisor:
             payload["duration_s"] = round(time.monotonic() - entry.started, 6)
             if journal is not None:
                 journal.result(entry.spec.cell_id, entry.attempt, payload)
+            if breaker is not None:
+                breaker.record(
+                    entry.spec.class_key(), payload["outcome"], probe=entry.probe
+                )
             retryable = payload["outcome"] in RETRYABLE_OUTCOMES
-            if retryable and entry.round < self.retries + 1:
+            if retryable and not no_retries and entry.round < self.retries + 1:
                 delay = self.backoff.delay(entry.round, key=entry.spec.cell_id)
                 delayed.append(
                     (
@@ -317,6 +612,28 @@ class Supervisor:
                     error=payload["error"],
                     duration_s=payload["duration_s"],
                 )
+
+    @staticmethod
+    def _receive(
+        entry: _Running, liveness: Optional[LivenessTracker], now: float
+    ) -> Optional[dict]:
+        """Drain the pipe: fold heartbeats into liveness, return a result.
+
+        Heartbeats and the final payload share one pipe, so several
+        records may be queued by the time we poll; everything that is
+        not a heartbeat is the worker's result.
+        """
+        try:
+            while entry.conn.poll():
+                message = entry.conn.recv()
+                if is_heartbeat(message):
+                    if liveness is not None:
+                        liveness.beat(entry.spec.cell_id, now=now)
+                    continue
+                return message
+        except (EOFError, OSError):
+            pass
+        return None
 
     @staticmethod
     def _crash_payload(entry: _Running) -> dict:
@@ -429,6 +746,32 @@ def outcome_table(report: SupervisorReport) -> str:
         f"{ok}/{len(report.results)} cells ok "
         f"({cached} replayed from journal, {retried} retried)"
     )
+    fabric_counts = [
+        f"{count} {name}"
+        for name in ("short_circuited", "cancelled", "stuck")
+        if (count := sum(1 for r in report.results if r.outcome == name))
+    ]
+    if fabric_counts:
+        lines.append("fabric: " + ", ".join(fabric_counts))
+    open_classes = {
+        key: state
+        for key, state in report.breaker_summary.items()
+        if state.get("state") in ("open", "half_open")
+    }
+    if open_classes:
+        lines.append(
+            "breaker: "
+            + "; ".join(
+                f"{key} {state['state']} "
+                f"(last failure: {state.get('last_failure') or '?'})"
+                for key, state in sorted(open_classes.items())
+            )
+        )
+    if report.deadline_hit:
+        lines.append(
+            "campaign deadline hit: queued cells journaled as cancelled; "
+            "re-run with --resume to finish the grid"
+        )
     if report.interrupted:
         lines.append(
             "campaign interrupted: completed cells are journaled; "

@@ -16,10 +16,25 @@ outcome               meaning
 ``degraded``          cell completed under memory pressure (governor
                       ladder engaged; deterministic, never retried)
 ``error``             deterministic failure -- never retried
-``timeout``           wall-clock limit hit (retried)
+``timeout``           wall-clock limit hit, heartbeats still flowing
+                      (slow, not dead; retried)
 ``oom``               ``MemoryError`` (retried)
 ``crash``             the process died; classified by the *parent*
+``stuck``             alive but heartbeats stopped; classified by the
+                      *parent*, escalated SIGTERM then SIGKILL
+                      (retried)
+``short_circuited``   never launched: an open circuit breaker refused
+                      the cell's class (terminal; parent-side)
+``cancelled``         never launched: the campaign deadline expired
+                      (parent-side; re-run with ``--resume``)
 ====================  =============================================
+
+Heartbeats: when the parent asks for them (``heartbeat_s``), a daemon
+thread sends a tiny ``{"type": "heartbeat"}`` record over the result
+pipe every interval.  The SIGALRM watchdog above can be defeated by
+native or signal-masked code; heartbeats cannot be *faked* by such
+code, only stopped -- which is exactly the signal the parent needs to
+tell a wedged worker from a slow one.
 
 ``degraded`` is deliberately distinct from ``oom``: an out-of-memory
 *kill* is transient (another attempt may fit), while a governor-degraded
@@ -210,20 +225,60 @@ def execute_spec(spec: RunSpec, wall_timeout_s=None) -> dict:
         }
 
 
-def worker_main(conn, spec_dict: dict, wall_timeout_s=None) -> None:
+def _start_heartbeats(conn, send_lock, interval_s):
+    """Start the heartbeat daemon thread; returns its stop event.
+
+    The thread shares the result pipe with the main thread, so every
+    send -- beats here, the final payload in :func:`worker_main` --
+    holds ``send_lock``; ``Connection.send`` is not atomic across
+    threads and an interleaved pickle would tear the stream.
+    """
+    from repro.fabric.heartbeat import heartbeat_message
+
+    stop = threading.Event()
+
+    def _pulse() -> None:
+        seq = 0
+        while not stop.wait(interval_s):
+            seq += 1
+            try:
+                with send_lock:
+                    if stop.is_set():  # result already sent; pipe is done
+                        return
+                    conn.send(heartbeat_message(seq))
+            except (BrokenPipeError, OSError):  # parent died; nothing to tell
+                return
+
+    thread = threading.Thread(target=_pulse, name="repro-heartbeat", daemon=True)
+    thread.start()
+    return stop
+
+
+def worker_main(conn, spec_dict: dict, wall_timeout_s=None, heartbeat_s=None) -> None:
     """Subprocess entry point: run the spec, send the payload, exit.
 
     SIGINT is ignored so a terminal Ctrl-C (delivered to the whole
     process group) reaches only the supervisor, which then drains its
     workers deliberately via SIGTERM and journals the partial state.
+
+    When ``heartbeat_s`` is set, a daemon thread pulses liveness records
+    over the pipe while the spec runs; the final result is sent under
+    the same lock, tagged ``{"type": "result", ...}`` so the parent can
+    split the streams.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+    send_lock = threading.Lock()
+    stop = _start_heartbeats(conn, send_lock, heartbeat_s) if heartbeat_s else None
     payload = execute_spec(spec_from_dict(spec_dict), wall_timeout_s)
     try:
-        conn.send(payload)
+        with send_lock:
+            if stop is not None:
+                stop.set()
+                payload = dict(payload, type="result")
+            conn.send(payload)
         conn.close()
     except (BrokenPipeError, OSError):  # pragma: no cover - parent died
         pass

@@ -1,0 +1,130 @@
+"""Admission controller: watermarks, hysteresis, quotas, overload policies."""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionRejected
+from repro.fabric import AdmissionController, AdmissionPolicy
+
+
+def test_policy_validates():
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_pending=0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(low_fraction=0.9, high_fraction=0.5)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(policy="explode")
+    with pytest.raises(ValueError):
+        AdmissionPolicy(tag_quotas={"fib": 0})
+
+
+def test_watermarks_and_describe():
+    policy = AdmissionPolicy(max_pending=10, high_fraction=0.8, low_fraction=0.3)
+    assert policy.high_watermark == 8
+    assert policy.low_watermark == 3
+    text = policy.describe()
+    assert "pending<=10" in text and "high=8" in text and "low=3" in text
+
+
+def test_admits_until_high_watermark_then_defers():
+    ctl = AdmissionController(AdmissionPolicy(max_pending=4, policy="block"))
+    for i in range(4):
+        verdict, shed = ctl.offer(i)
+        assert verdict == "admitted" and shed == []
+    verdict, _ = ctl.offer(99)
+    assert verdict == "deferred"
+    assert ctl.stats.admitted == 4 and ctl.stats.deferred == 1
+
+
+def test_hysteresis_stays_saturated_until_low_watermark():
+    policy = AdmissionPolicy(max_pending=4, high_fraction=1.0, low_fraction=0.5)
+    ctl = AdmissionController(policy)
+    for i in range(4):
+        ctl.offer(i)
+    assert ctl.offer(90)[0] == "deferred"
+    ctl.pop()  # depth 3 > low watermark 2: still latched
+    assert ctl.offer(91)[0] == "deferred"
+    ctl.pop()  # depth 2 == low watermark: unlatched
+    assert ctl.offer(92)[0] == "admitted"
+
+
+def test_reject_policy_raises_on_submit():
+    ctl = AdmissionController(AdmissionPolicy(max_pending=2, policy="reject"))
+    ctl.submit("a")
+    ctl.submit("b")
+    with pytest.raises(AdmissionRejected):
+        ctl.submit("c")
+    assert ctl.stats.rejected == 1
+
+
+def test_shed_policy_evicts_oldest():
+    ctl = AdmissionController(AdmissionPolicy(max_pending=2, policy="shed"))
+    ctl.submit("old")
+    ctl.submit("mid")
+    shed = ctl.submit("new")
+    assert [item for item, _tag in shed] == ["old"]
+    assert ctl.pop()[0] == "mid"
+    assert ctl.pop()[0] == "new"
+    assert ctl.stats.shed == 1
+
+
+def test_tag_quota_limits_one_tag_without_starving_others():
+    policy = AdmissionPolicy(
+        max_pending=10, policy="block", tag_quotas={"fib": 2}
+    )
+    ctl = AdmissionController(policy)
+    assert ctl.offer("f1", tag="fib")[0] == "admitted"
+    assert ctl.offer("f2", tag="fib")[0] == "admitted"
+    assert ctl.offer("f3", tag="fib")[0] == "deferred"  # fib at quota
+    assert ctl.offer("n1", tag="nqueens")[0] == "admitted"  # others fine
+    assert ctl.pending_for("fib") == 2
+
+
+def test_shed_prefers_the_offending_tag():
+    policy = AdmissionPolicy(max_pending=10, policy="shed", tag_quotas={"fib": 2})
+    ctl = AdmissionController(policy)
+    ctl.offer("other", tag="nqueens")
+    ctl.offer("f1", tag="fib")
+    ctl.offer("f2", tag="fib")
+    _verdict, shed = ctl.offer("f3", tag="fib")
+    # The oldest *fib* item goes, not the older nqueens one.
+    assert [item for item, _ in shed] == ["f1"]
+    assert ctl.pending_for("nqueens") == 1
+
+
+def test_blocking_submit_wakes_when_queue_drains():
+    ctl = AdmissionController(
+        AdmissionPolicy(max_pending=2, high_fraction=1.0, low_fraction=0.5)
+    )
+    ctl.submit("a")
+    ctl.submit("b")
+    admitted = threading.Event()
+
+    def _submitter():
+        ctl.submit("c", timeout=5.0)
+        admitted.set()
+
+    thread = threading.Thread(target=_submitter, daemon=True)
+    thread.start()
+    assert not admitted.wait(0.1)  # genuinely parked
+    ctl.pop()  # drains to the low watermark -> wakes the submitter
+    assert admitted.wait(5.0)
+    thread.join(timeout=5.0)
+    assert ctl.stats.blocked == 1
+
+
+def test_blocking_submit_times_out():
+    ctl = AdmissionController(AdmissionPolicy(max_pending=1))
+    ctl.submit("a")
+    with pytest.raises(AdmissionRejected):
+        ctl.submit("b", timeout=0.05)
+
+
+def test_pop_empty_returns_none_and_peak_tracked():
+    ctl = AdmissionController(AdmissionPolicy(max_pending=8))
+    assert ctl.pop() is None
+    for i in range(5):
+        ctl.offer(i)
+    assert ctl.stats.peak_pending == 5
+    assert len(ctl) == 5

@@ -1,0 +1,121 @@
+"""Circuit breaker state machine: open, short-circuit, probe, re-close."""
+
+import pytest
+
+from repro.fabric import BREAKER_FAILURE_OUTCOMES, BreakerPolicy, CircuitBreaker
+
+KEY = "fib|deadbeef0123"
+
+
+def test_policy_validates():
+    with pytest.raises(ValueError):
+        BreakerPolicy(threshold=0)
+    with pytest.raises(ValueError):
+        BreakerPolicy(max_probes=-1)
+    with pytest.raises(ValueError):
+        BreakerPolicy(probe_after=-1)
+
+
+def test_closed_until_threshold_consecutive_failures():
+    breaker = CircuitBreaker(BreakerPolicy(threshold=3))
+    for _ in range(2):
+        assert breaker.admit(KEY) == "run"
+        breaker.record(KEY, "crash")
+    assert breaker.admit(KEY) == "run"  # 2 < threshold: still closed
+    breaker.record(KEY, "crash")  # third consecutive: opens
+    assert breaker.admit(KEY) == "short_circuit"
+    assert breaker.state_of(KEY).state == "open"
+    assert breaker.state_of(KEY).opened == 1
+
+
+def test_success_resets_the_consecutive_count():
+    breaker = CircuitBreaker(BreakerPolicy(threshold=3))
+    breaker.record(KEY, "crash")
+    breaker.record(KEY, "crash")
+    breaker.record(KEY, "ok")  # streak broken
+    breaker.record(KEY, "crash")
+    breaker.record(KEY, "crash")
+    assert breaker.admit(KEY) == "run"  # never reached 3 in a row
+
+
+def test_deterministic_error_counts_as_success():
+    # The worker ran and reported: the runtime is healthy, whatever the
+    # cell thinks of its own arguments.
+    assert "error" not in BREAKER_FAILURE_OUTCOMES
+    breaker = CircuitBreaker(BreakerPolicy(threshold=2))
+    breaker.record(KEY, "crash")
+    breaker.record(KEY, "error")
+    breaker.record(KEY, "crash")
+    assert breaker.admit(KEY) == "run"
+
+
+def test_probe_offered_after_cooldown_and_success_recloses():
+    policy = BreakerPolicy(threshold=2, max_probes=2, probe_after=3)
+    breaker = CircuitBreaker(policy)
+    breaker.record(KEY, "timeout")
+    breaker.record(KEY, "timeout")  # open
+    for _ in range(3):  # cool-down: refused cells accumulate
+        assert breaker.admit(KEY) == "short_circuit"
+    assert breaker.admit(KEY) == "probe"
+    assert breaker.state_of(KEY).state == "half_open"
+    # While the probe is in flight everything else stays refused.
+    assert breaker.admit(KEY) == "short_circuit"
+    breaker.record(KEY, "ok", probe=True)
+    assert breaker.state_of(KEY).state == "closed"
+    assert breaker.admit(KEY) == "run"
+
+
+def test_failed_probe_reopens_and_max_probes_bounds_launches():
+    policy = BreakerPolicy(threshold=2, max_probes=1, probe_after=1)
+    breaker = CircuitBreaker(policy)
+    breaker.record(KEY, "crash")
+    breaker.record(KEY, "crash")  # open
+    assert breaker.admit(KEY) == "short_circuit"  # cool-down
+    assert breaker.admit(KEY) == "probe"
+    breaker.record(KEY, "crash", probe=True)  # probe fails: back to open
+    assert breaker.state_of(KEY).state == "open"
+    # Probe budget spent: everything is refused forever after.
+    for _ in range(20):
+        assert breaker.admit(KEY) == "short_circuit"
+    # Total launches for the class: threshold (2) + max_probes (1).
+
+
+def test_launch_bound_holds_for_a_large_grid():
+    policy = BreakerPolicy(threshold=3, max_probes=2, probe_after=2)
+    breaker = CircuitBreaker(policy)
+    launches = 0
+    for _ in range(100):
+        decision = breaker.admit(KEY)
+        if decision == "short_circuit":
+            continue
+        launches += 1  # "run" or "probe" costs a worker
+        breaker.record(KEY, "crash", probe=decision == "probe")
+    assert launches <= policy.threshold + policy.max_probes
+    assert breaker.total_short_circuited() == 100 - launches
+
+
+def test_classes_are_independent():
+    breaker = CircuitBreaker(BreakerPolicy(threshold=1))
+    breaker.record("bad|aaa", "crash")
+    assert breaker.admit("bad|aaa") == "short_circuit"
+    assert breaker.admit("good|bbb") == "run"
+    assert set(breaker.open_classes) == {"bad|aaa"}
+
+
+def test_seeded_probe_jitter_is_deterministic_and_bounded():
+    policy = BreakerPolicy(probe_after=4, probe_jitter=3, seed=7)
+    spacing = policy.spacing_for(KEY)
+    assert spacing == policy.spacing_for(KEY)  # stable
+    assert 4 <= spacing <= 7
+    other = policy.spacing_for("nqueens|0123456789ab")
+    assert 4 <= other <= 7
+
+
+def test_summary_is_json_able():
+    import json
+
+    breaker = CircuitBreaker(BreakerPolicy(threshold=1))
+    breaker.record(KEY, "oom")
+    summary = breaker.summary()
+    assert json.loads(json.dumps(summary))[KEY]["state"] == "open"
+    assert summary[KEY]["last_failure"] == "oom"

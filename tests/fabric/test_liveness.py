@@ -1,0 +1,68 @@
+"""Liveness tracker: pure-bookkeeping stall classification."""
+
+import pytest
+
+from repro.fabric import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_STALL_FACTOR,
+    LivenessTracker,
+    heartbeat_message,
+    is_heartbeat,
+)
+
+
+def test_heartbeat_message_round_trip():
+    msg = heartbeat_message(3)
+    assert is_heartbeat(msg) and msg["seq"] == 3
+    assert not is_heartbeat({"outcome": "ok"})
+    assert not is_heartbeat("heartbeat")
+    assert not is_heartbeat(None)
+
+
+def test_tracker_validates():
+    with pytest.raises(ValueError):
+        LivenessTracker(0.0)
+    with pytest.raises(ValueError):
+        LivenessTracker(0.5, stall_factor=1.0)  # one missed beat is jitter
+    assert DEFAULT_STALL_FACTOR >= 2.0 and DEFAULT_HEARTBEAT_S > 0
+
+
+def test_stall_window_is_interval_times_factor():
+    tracker = LivenessTracker(0.5, stall_factor=4.0)
+    assert tracker.stall_after_s == pytest.approx(2.0)
+
+
+def test_beats_keep_a_worker_alive():
+    tracker = LivenessTracker(1.0, stall_factor=2.0)
+    tracker.started("cell", now=0.0)
+    assert not tracker.stalled("cell", now=1.9)
+    tracker.beat("cell", now=1.9)
+    assert not tracker.stalled("cell", now=3.5)  # silent 1.6 < 2.0
+    assert tracker.beats("cell") == 1
+    assert tracker.silent_for("cell", now=3.5) == pytest.approx(1.6)
+
+
+def test_silence_past_the_window_is_a_stall():
+    tracker = LivenessTracker(1.0, stall_factor=2.0)
+    tracker.started("cell", now=0.0)
+    tracker.beat("cell", now=1.0)
+    assert not tracker.stalled("cell", now=3.0)  # exactly at the window
+    assert tracker.stalled("cell", now=3.01)
+
+
+def test_launch_counts_as_first_sign_of_life():
+    # A worker that never beats must still get its full window after
+    # launch before being declared stuck (slow import, cold start).
+    tracker = LivenessTracker(0.5, stall_factor=6.0)
+    tracker.started("cell", now=10.0)
+    assert not tracker.stalled("cell", now=12.9)
+    assert tracker.stalled("cell", now=13.1)
+
+
+def test_forget_clears_state_and_unknown_keys_never_stall():
+    tracker = LivenessTracker(0.5)
+    tracker.started("cell", now=0.0)
+    tracker.forget("cell")
+    assert not tracker.stalled("cell", now=1e9)
+    assert tracker.beats("cell") == 0
+    assert tracker.silent_for("cell", now=5.0) == 0.0

@@ -69,7 +69,15 @@ def test_missing_journal_is_empty_state(tmp_path):
 
 
 def test_terminal_outcomes_are_the_not_worth_retrying_set():
-    assert TERMINAL_OUTCOMES == {"ok", "partial", "degraded", "error"}
+    assert TERMINAL_OUTCOMES == {
+        "ok", "partial", "degraded", "error", "short_circuited"
+    }
+    # and the retryable/resumable sets never overlap the terminal one
+    from repro.supervisor.journal import RESUMABLE_OUTCOMES, RETRYABLE_OUTCOMES
+
+    assert not TERMINAL_OUTCOMES & RETRYABLE_OUTCOMES
+    assert not TERMINAL_OUTCOMES & RESUMABLE_OUTCOMES
+    assert not RETRYABLE_OUTCOMES & RESUMABLE_OUTCOMES
 
 
 # ----------------------------------------------------------------------

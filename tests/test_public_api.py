@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.substrates",
     "repro.archive",
     "repro.governor",
+    "repro.fabric",
 ]
 
 
@@ -126,6 +127,21 @@ PROMISED = {
         "diff_profiles",
     ],
     "repro.bots": ["get_program", "list_programs", "BotsProgram"],
+    "repro.fabric": [
+        "AdmissionController",
+        "AdmissionPolicy",
+        "AdmissionStats",
+        "ADMISSION_POLICIES",
+        "BreakerPolicy",
+        "BreakerState",
+        "CircuitBreaker",
+        "BREAKER_FAILURE_OUTCOMES",
+        "LivenessTracker",
+        "heartbeat_message",
+        "is_heartbeat",
+        "DEFAULT_HEARTBEAT_S",
+        "DEFAULT_STALL_FACTOR",
+    ],
     "repro.governor": [
         "MemoryBudget",
         "ResourceGovernor",
@@ -152,6 +168,10 @@ PROMISED = {
         "RegionVerdict",
         "compare_to_baseline",
         "GcStats",
+        "fsck",
+        "FsckReport",
+        "FsckIssue",
+        "FSCK_ISSUE_KINDS",
     ],
     "repro.analysis": [
         "run_app",
