@@ -1,0 +1,111 @@
+"""Wall-clock overhead of durable event recording.
+
+The recorder substrate spills every measurement event to sealed
+CRC32-checksummed chunks and periodically checkpoints the live
+profiler.  The hot path is a ``list.append`` per event -- encoding,
+CRC, and I/O happen only at chunk-seal boundaries -- so the CI gate:
+a recording-enabled run must stay within 5 % of plain profiling on the
+fib kernel (plus a small absolute slack so sub-100 ms runs do not
+flake on scheduler jitter).  A checkpoint-heavy configuration (every
+256 events, forcing many seal+fsync+checkpoint cycles) is timed and
+reported but not gated -- its durability work is the point, not
+overhead.
+
+Interleaved min-of-N timing: alternating baseline/recorded repeats
+shares any machine-wide noise between the configurations.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.runtime import RuntimeConfig
+from repro.runtime.runtime import run_parallel
+from repro.substrates.recorder import RecorderSubstrate
+
+REPEATS = 5
+RELATIVE_BUDGET = 1.05
+ABSOLUTE_SLACK_S = 0.02
+
+
+def fib(ctx, n):
+    if n < 2:
+        yield ctx.compute(1.0)
+        return n
+    a = yield ctx.spawn(fib, n - 1)
+    b = yield ctx.spawn(fib, n - 2)
+    yield ctx.taskwait()
+    yield ctx.compute(0.5)
+    return a.result + b.result
+
+
+def fib_region(ctx, n=13):
+    if (yield ctx.single()):
+        root = yield ctx.spawn(fib, n)
+        yield ctx.taskwait()
+        return root.result
+    return None
+
+
+def _timed_run(extra_substrate=None):
+    substrates = ("profiling",)
+    if extra_substrate is not None:
+        substrates = substrates + (extra_substrate,)
+    config = RuntimeConfig(
+        n_threads=2, instrument=True, seed=0, substrates=substrates
+    )
+    # Checkpoint snapshots collect eagerly mid-run; start every timed
+    # run from the same collector state so no config inherits (or
+    # prepays) another's garbage.
+    gc.collect()
+    start = time.perf_counter()
+    result = run_parallel(fib_region, config=config, name="fib-bench")
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def test_recording_overhead_gate(report, tmp_path):
+    times = {"baseline": [], "recorded": [], "checkpoint-heavy": []}
+    events = {}
+    run_index = 0
+    # Interleave repeats so machine-wide drift hits every config equally;
+    # every recorded run gets a fresh directory so generation rotation
+    # never bills warm-start I/O to the hot path.
+    for _ in range(REPEATS):
+        for key in times:
+            if key == "baseline":
+                recorder = None
+            elif key == "recorded":
+                recorder = RecorderSubstrate(str(tmp_path / f"r{run_index}"))
+            else:
+                recorder = RecorderSubstrate(
+                    str(tmp_path / f"r{run_index}"), checkpoint_every=256
+                )
+            run_index += 1
+            elapsed, result = _timed_run(recorder)
+            times[key].append(elapsed)
+            events[key] = result.events_dispatched
+    # Same simulated run regardless of who listens.
+    assert events["recorded"] == events["baseline"]
+    assert events["checkpoint-heavy"] == events["baseline"]
+
+    base = min(times["baseline"])
+    recorded = min(times["recorded"])
+    heavy = min(times["checkpoint-heavy"])
+    budget = base * RELATIVE_BUDGET + ABSOLUTE_SLACK_S
+
+    report.section("Durable recording overhead (fib, 2 threads)")
+    report(f"events per run                 : {events['baseline']}")
+    report(f"plain profiling  (min of {REPEATS})   : {base * 1e3:8.2f} ms")
+    report(f"+recorder (gated)              : {recorded * 1e3:8.2f} ms  "
+           f"({(recorded / base - 1.0) * 100.0:+.1f} %)")
+    report(f"+checkpoint-every-256 (info)   : {heavy * 1e3:8.2f} ms  "
+           f"({(heavy / base - 1.0) * 100.0:+.1f} %)")
+    report(f"budget (5 % + {ABSOLUTE_SLACK_S * 1e3:.0f} ms slack)     : {budget * 1e3:8.2f} ms")
+
+    assert recorded <= budget, (
+        f"recording-enabled run {recorded * 1e3:.2f} ms exceeds budget "
+        f"{budget * 1e3:.2f} ms ({(recorded / base - 1.0) * 100.0:+.1f} % over a "
+        f"{base * 1e3:.2f} ms baseline)"
+    )

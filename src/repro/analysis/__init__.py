@@ -42,6 +42,7 @@ from repro.analysis.bottleneck import (
 from repro.analysis.regression import (
     archive_table,
     baseline_table,
+    replay_table,
     sentinel_table,
 )
 from repro.analysis.report import generate_report
@@ -82,6 +83,7 @@ __all__ = [
     "generate_report",
     "archive_table",
     "baseline_table",
+    "replay_table",
     "sentinel_table",
     "format_table",
     "ascii_bar_chart",

@@ -154,3 +154,33 @@ def fsck_table(report, title: Optional[str] = None) -> str:
         if report.index_rewritten:
             summary += " (index rebuilt)"
     return table + "\n" + summary
+
+
+def replay_table(report, title: Optional[str] = None) -> str:
+    """One :class:`~repro.recorder.replay.DivergenceReport` as a table.
+
+    Shaped like the sentinel verdicts (``repro verify`` shares its exit
+    semantics): a fact table, the reasons/differences, and a one-line
+    verdict the CI logs can grep for.
+    """
+    rows = [
+        ["records", str(report.records)],
+        ["chunks", str(report.chunks)],
+        ["stream", "complete" if report.complete else "partial"],
+        ["replay", "strict" if report.strict else "lenient"],
+        ["expected", (report.expected_sha or "-")[:12]],
+        ["replayed", (report.actual_sha or "-")[:12]],
+    ]
+    table = format_table(["fact", "value"], rows, title=title)
+    lines = [table]
+    for reason in report.reasons:
+        lines.append(f"  note: {reason}")
+    for difference in report.differences:
+        lines.append(f"  diff: {difference}")
+    if not report.usable:
+        verdict = "verify: UNUSABLE (recording cannot answer the question)"
+    elif report.matched:
+        verdict = "verify: MATCH (replay reproduces the cube byte-identically)"
+    else:
+        verdict = "verify: DIVERGED (silent corruption or nondeterminism)"
+    return "\n".join(lines + [verdict])

@@ -160,7 +160,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--tag", action="append", dest="tags", default=None, metavar="TAG",
         help="label the archived run (repeatable; requires --archive)",
     )
+    run_parser.add_argument(
+        "--record", metavar="DIR",
+        help="durably record the event stream into DIR (sealed CRC32 "
+             "chunks + periodic checkpoints; see `repro replay` / "
+             "`repro verify`)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint profiler state every N recorded events "
+             "(requires --record)",
+    )
     _add_budget_arguments(run_parser)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="reconstruct a profile from a recorded event stream alone",
+    )
+    replay_parser.add_argument("record_dir", help="recording directory (--record)")
+    replay_parser.add_argument(
+        "--strict", action="store_true",
+        help="require a complete stream (sealed FIN record); default is "
+             "lenient, replaying whatever sealed prefix survives",
+    )
+    replay_parser.add_argument("--render", action="store_true",
+                               help="print the reconstructed profile tree")
+    replay_parser.add_argument("--max-depth", type=int, default=3)
+    replay_parser.add_argument("--json", metavar="FILE",
+                               help="export the reconstructed profile as JSON")
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="replay a recording and cross-check it byte-identically "
+             "against the live profile; exit 0 = match, 1 = divergence, "
+             "2 = recording unusable",
+    )
+    verify_parser.add_argument("record_dir", help="recording directory (--record)")
+    verify_parser.add_argument(
+        "--against", metavar="REF",
+        help="archived run (run id or sha256 prefix) to compare against "
+             "instead of the recording's own manifest hash",
+    )
+    verify_parser.add_argument(
+        "--archive", metavar="DIR",
+        help="archive directory holding --against (required with it)",
+    )
+    verify_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable divergence report",
+    )
 
     governor_parser = sub.add_parser(
         "governor",
@@ -387,6 +435,12 @@ def build_parser() -> argparse.ArgumentParser:
         "launches (block), journal overflow as cancelled (reject), or "
         "evict the oldest pending cell (shed) (default: block)",
     )
+    supervise_parser.add_argument(
+        "--record-dir", metavar="DIR",
+        help="durably record every cell's event stream under "
+        "DIR/<app>.<mode>.s<seed>; terminally failed cells are salvaged "
+        "from their recording into partial-tagged archived profiles",
+    )
 
     archive_parser = sub.add_parser(
         "archive",
@@ -412,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
     show_parser.add_argument("--render", action="store_true",
                              help="also print the full profile tree")
     show_parser.add_argument("--max-depth", type=int, default=3)
+    show_parser.add_argument(
+        "--verify", action="store_true",
+        help="recompute the object's sha256 on read and fail (exit 2) "
+             "when the bytes no longer hash to their name",
+    )
 
     gc_parser = archive_sub.add_parser(
         "gc", help="prune old runs and delete unreferenced objects"
@@ -609,6 +668,7 @@ def _print_governor_report(report) -> None:
 def _run_tolerant(args, plan) -> int:
     from repro.faults.campaign import DEFAULT_WATCHDOG_US, run_tolerant
 
+    record_dir = getattr(args, "record", None)
     outcome = run_tolerant(
         args.app,
         size=args.size,
@@ -622,10 +682,15 @@ def _run_tolerant(args, plan) -> int:
         substrates=getattr(args, "substrates", None),
         costs=_costs_override(args),
         memory_budget=_memory_budget(args),
+        record_dir=record_dir,
+        checkpoint_every=getattr(args, "checkpoint_every", None),
     )
     verified = "n/a" if outcome.verified is None else outcome.verified
     print(f"{args.app}: status={outcome.status}, verified={verified}, "
           f"threads={args.threads}")
+    if record_dir:
+        print(f"  recording: {record_dir} "
+              f"(check it with `repro verify {record_dir}`)")
     if outcome.salvage is not None:
         print(f"  {outcome.salvage.summary()}")
     if outcome.governor_report is not None:
@@ -713,9 +778,30 @@ def cmd_run(args) -> int:
     if args.tolerate_errors:
         return _run_tolerant(args, plan)
 
+    recorder = None
+    if args.record:
+        if args.no_instrument:
+            print("repro: --record needs the profiler (drop --no-instrument)",
+                  file=sys.stderr)
+            return 2
+        from repro.substrates.recorder import RecorderSubstrate
+
+        recorder_kwargs = {"record_dir": args.record}
+        if args.checkpoint_every is not None:
+            recorder_kwargs["checkpoint_every"] = args.checkpoint_every
+        recorder = RecorderSubstrate(**recorder_kwargs)
+        if not substrates:
+            # An explicit substrate tuple replaces the default wiring, so
+            # rebuild it around the recorder.
+            substrates = ["profiling"]
+            if args.trace_timeline or args.strict:
+                substrates.append("tracing")
+
     overrides = {}
-    if substrates:
-        overrides["substrates"] = tuple(substrates)
+    if substrates or recorder is not None:
+        overrides["substrates"] = tuple(substrates) + (
+            (recorder,) if recorder is not None else ()
+        )
     if plan is not None:
         overrides["fault_plan"] = plan
     if args.watchdog_us is not None:
@@ -751,6 +837,18 @@ def cmd_run(args) -> int:
         _print_substrate_report(result.parallel)
     if budget is not None:
         _print_governor_report(result.parallel.extra.get("governor"))
+    if recorder is not None:
+        chunks = recorder.writer.sealed_chunks if recorder.writer else 0
+        print(f"  recorded {recorder.records} event(s) in {chunks} chunk(s) "
+              f"-> {args.record}")
+        if result.profile is not None:
+            from repro.recorder import record_live_profile
+
+            try:
+                record_live_profile(args.record, result.profile)
+            except OSError as exc:
+                print(f"  recording manifest not stamped: {exc}",
+                      file=sys.stderr)
     if result.profile is not None:
         print(f"  max concurrent tasks/thread: "
               f"{result.profile.max_concurrent_tasks_per_thread()}")
@@ -780,6 +878,69 @@ def cmd_run(args) -> int:
         ratio = management_ratio(result.parallel.trace)
         print(f"  management/execution ratio: {ratio['ratio']:.2f}")
     return 0 if result.verified else 1
+
+
+def cmd_replay(args) -> int:
+    """Rebuild a profile from recorded bytes alone and show it."""
+    from repro.errors import ProfileError, RecordingError
+    from repro.recorder import replay_recording
+
+    try:
+        profile, stream = replay_recording(
+            args.record_dir, strict=True if args.strict else None
+        )
+    except (RecordingError, ProfileError, OSError) as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    state = "complete" if stream.complete else "partial (no FIN record)"
+    print(f"replayed {len(stream.records)} record(s) from "
+          f"{stream.chunks} sealed chunk(s): stream {state}")
+    for note in stream.notes:
+        print(f"  note: {note}")
+    if profile.salvage is not None and profile.salvage.partial:
+        print(f"  {profile.salvage.summary()}")
+    if args.render:
+        print()
+        print(render_profile(profile, max_depth=args.max_depth))
+    if args.json:
+        dump_path(profile, args.json)
+        print(f"  profile exported to {args.json}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Replay + cross-check a recording; sentinel-style exit codes."""
+    from repro.errors import ArchiveError, ProfileFormatError
+    from repro.recorder import verify_recording
+
+    if args.against and not args.archive:
+        print("repro: --against needs --archive DIR to resolve the run",
+              file=sys.stderr)
+        return 2
+    expected_dict = None
+    if args.against:
+        from repro.archive import ArchiveStore
+        from repro.cube.export import profile_to_dict
+
+        try:
+            expected_dict = profile_to_dict(
+                ArchiveStore(args.archive).load_profile(args.against)
+            )
+        except (ArchiveError, ProfileFormatError) as exc:
+            print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = verify_recording(args.record_dir, expected_dict=expected_dict)
+    except OSError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    from repro.analysis.regression import replay_table
+
+    print(replay_table(report, title=f"verify {args.record_dir}"))
+    return report.exit_code
 
 
 def cmd_governor(args) -> int:
@@ -1057,7 +1218,13 @@ def cmd_archive(args) -> int:
             wall = "n/a" if meta.wall_time_us is None else f"{meta.wall_time_us:.1f} us"
             print(f"run:      wall={wall} verified={meta.verified} "
                   f"source={meta.source} tags={','.join(record.tags) or '-'}")
+            # load_object always recomputes the content hash; --verify
+            # makes the (otherwise silent) success explicit.  A mismatch
+            # raises ArchiveError below -> exit 2.
             profile = store.load_object(record.sha256)
+            if args.verify:
+                print(f"verify:   object bytes re-hash to {record.sha256[:12]} "
+                      f"-- intact")
             from repro.cube.query import top_regions
 
             print("top regions [exclusive us]:")
@@ -1257,6 +1424,7 @@ def cmd_supervise(args) -> int:
             ),
             substrates=args.substrates,
             archive_dir=archive_dir,
+            record_root=args.record_dir,
         )
 
     breaker = None
@@ -1321,6 +1489,8 @@ def cmd_supervise(args) -> int:
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
+    "replay": cmd_replay,
+    "verify": cmd_verify,
     "governor": cmd_governor,
     "overhead": cmd_overhead,
     "report": cmd_report,

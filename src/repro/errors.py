@@ -194,6 +194,34 @@ class ArchiveWarning(UserWarning):
     """
 
 
+class RecordingError(ReproError):
+    """A recorded event stream is structurally invalid.
+
+    Raised by the :mod:`repro.recorder` codec when record payloads are
+    malformed (truncated varints, unknown record kinds, references to
+    undefined region ids) and by the replay engine when a stream lacks
+    the ``init`` record replay needs.  Torn *tails* are not errors --
+    chunk recovery truncates those silently -- so this surfacing means
+    corruption inside a CRC-valid chunk or misuse of the codec.
+    """
+
+
+class ReplayDivergence(ReproError):
+    """Replaying a recorded stream did not reproduce the live profile.
+
+    Carries the structured :class:`~repro.recorder.replay.DivergenceReport`
+    as ``report``: expected/actual content hashes plus a bounded diff of
+    the canonical profile dictionaries.  A divergence on a complete
+    stream means silent corruption or nondeterminism somewhere between
+    the event stream and the cube -- exactly the class of bug that
+    otherwise ships wrong numbers without a sound.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class ProfileError(ReproError):
     """The profiler detected a violation of its invariants.
 

@@ -37,6 +37,13 @@ from repro.faults.crash import (
     synthetic_meta,
     synthetic_profile,
 )
+from repro.faults.recording import (
+    RECORDING_CORRUPTION_CLASSES,
+    DieAtRecordSubstrate,
+    corrupt_recording,
+    crash_recorded_run,
+    record_until_killed,
+)
 
 __all__ = [
     "FaultPlan",
@@ -52,4 +59,9 @@ __all__ = [
     "crash_put_cycle",
     "synthetic_meta",
     "synthetic_profile",
+    "RECORDING_CORRUPTION_CLASSES",
+    "DieAtRecordSubstrate",
+    "corrupt_recording",
+    "crash_recorded_run",
+    "record_until_killed",
 ]

@@ -124,6 +124,9 @@ def run_tolerant(
     substrates: Optional[Sequence] = None,
     costs=None,
     memory_budget=None,
+    record_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    chunk_records: Optional[int] = None,
 ) -> SalvageOutcome:
     """Run a kernel, salvaging a partial profile from whatever survives.
 
@@ -138,10 +141,30 @@ def run_tolerant(
     ``memory_budget`` arms the resource governor (an int, dict, or
     :class:`~repro.governor.MemoryBudget`); a plan with
     ``pressure_budget`` set (the ``pressure`` fault mode) arms it too.
+
+    ``record_dir`` attaches the durable recording substrate
+    (:mod:`repro.recorder`): the event stream is spilled to sealed
+    chunks there, checkpointed every ``checkpoint_every`` records, and
+    on a clean run the manifest is stamped with the live cube's content
+    hash so ``repro verify`` can replay-check it byte-identically.
     """
+    recorder = None
+    substrate_list = list(substrates) if substrates else []
+    if record_dir is not None:
+        from repro.substrates.recorder import RecorderSubstrate
+
+        recorder_kwargs = {"record_dir": record_dir}
+        if checkpoint_every is not None:
+            recorder_kwargs["checkpoint_every"] = checkpoint_every
+        if chunk_records is not None:
+            recorder_kwargs["chunk_records"] = chunk_records
+        recorder = RecorderSubstrate(**recorder_kwargs)
+        # A configured instance supersedes any bare "recorder" name.
+        substrate_list = [s for s in substrate_list if s != "recorder"]
+        substrate_list.append(recorder)
     substrate_spec: tuple = ()
-    if substrates:
-        names = list(substrates)
+    if substrate_list:
+        names = list(substrate_list)
         for required in ("profiling", "tracing"):
             if required not in names:
                 names.append(required)
@@ -229,6 +252,15 @@ def run_tolerant(
     profile = result.profile
     if profile is not None and profile.salvage is None and fault_summary:
         profile.salvage = SalvageReport(fault_summary=fault_summary)
+    if recorder is not None and profile is not None:
+        # Stamp the verification target: repro verify replays the
+        # recorded stream and must reproduce exactly this cube.
+        from repro.recorder import record_live_profile
+
+        try:
+            record_live_profile(record_dir, profile)
+        except OSError:
+            pass  # recording is best-effort; never fail a healthy run
     return SalvageOutcome(
         app=name,
         status="complete",

@@ -1,0 +1,269 @@
+"""Sealed, checksummed chunk framing for the recorded event stream.
+
+Layout of ``events.chunks``::
+
+    b"RPRC" | version u8          -- file header (5 bytes)
+    [ seq u32 | length u32 | crc32 u32 | payload ... ]*   -- sealed chunks
+
+Each chunk payload is a batch of records encoded by
+:class:`repro.recorder.codec.RecordEncoder`.  Sequence numbers are
+consecutive from zero and the CRC covers the payload, so a reader can
+always answer "which prefix of this file is trustworthy?":
+
+* short header / short payload  -> torn tail (the write was cut off)
+* CRC mismatch                  -> torn or corrupted tail
+* sequence gap or absurd length -> corrupted tail
+
+Recovery (:func:`recover_chunks`) stops at the first such defect and,
+when asked, truncates the file back to the last sealed chunk -- the only
+repair a kill -9 ever requires, because the writer appends whole chunks
+with a single buffered write + flush.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import RecordingError
+from repro.recorder.codec import KIND_FIN, RecordDecoder, RecordEncoder
+
+MAGIC = b"RPRC"
+FORMAT_VERSION = 1
+HEADER = MAGIC + bytes([FORMAT_VERSION])
+
+_CHUNK_HEADER = struct.Struct("<III")  # seq, payload length, crc32
+
+#: Upper bound on a single chunk payload; anything larger in a header is
+#: treated as corruption rather than an allocation request.
+MAX_CHUNK_BYTES = 64 * 1024 * 1024
+
+
+class ChunkWriter:
+    """Appends records, sealing them into checksummed chunks.
+
+    The hot path is one ``list.append`` per record; encoding, framing,
+    and the write happen only when a chunk seals.  ``flush()`` after
+    every seal means a SIGKILL loses at most the *unsealed* buffer;
+    ``sync()`` (fsync) is reserved for checkpoints and close so the
+    steady-state cost stays an in-process flush.
+    """
+
+    def __init__(self, path: str, *, chunk_records: int = 512) -> None:
+        if chunk_records < 1:
+            raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
+        self.path = path
+        self.chunk_records = chunk_records
+        self.sealed_chunks = 0
+        self.sealed_records = 0
+        #: Unsealed record buffer.  Public and identity-stable (``seal``
+        #: clears it in place) so hot callers can append to it directly
+        #: and skip a method call per record.
+        self.buffer: List[tuple] = []
+        self._encoder = RecordEncoder()
+        self._handle = open(path, "wb")
+        try:
+            self._handle.write(HEADER)
+            self._handle.flush()
+        except Exception:
+            self._handle.close()
+            raise
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    @property
+    def pending_records(self) -> int:
+        return len(self.buffer)
+
+    def append(self, record: tuple) -> None:
+        self.buffer.append(record)
+        if len(self.buffer) >= self.chunk_records:
+            self.seal()
+
+    def seal(self) -> None:
+        """Encode and write the buffered records as one sealed chunk."""
+        buffered = self.buffer
+        if not buffered:
+            return
+        payload = self._encoder.encode(buffered)
+        header = _CHUNK_HEADER.pack(
+            self.sealed_chunks, len(payload), zlib.crc32(payload)
+        )
+        self._handle.write(header + payload)
+        self._handle.flush()
+        self.sealed_records += len(buffered)
+        self.sealed_chunks += 1
+        buffered.clear()
+
+    def sync(self) -> None:
+        """Seal and fsync -- the durability point checkpoints rely on."""
+        self.seal()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def cursor(self) -> dict:
+        """Position of the sealed prefix (what recovery can rebuild)."""
+        return {"chunks": self.sealed_chunks, "records": self.sealed_records}
+
+    def close(self, finish_time: Optional[float] = None) -> None:
+        """Seal the tail and close; with ``finish_time``, append the FIN
+        record that marks the stream complete for strict replay."""
+        if self._handle.closed:
+            return
+        if finish_time is not None:
+            self.append(("fin", finish_time, self.sealed_records + len(self.buffer)))
+        try:
+            self.sync()
+        finally:
+            self._handle.close()
+
+    def abort(self) -> None:
+        """Close without sealing (used when initialization fails)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+@dataclass
+class RecoveredStream:
+    """Result of reading an ``events.chunks`` file defensively."""
+
+    records: List[tuple] = field(default_factory=list)
+    chunks: int = 0
+    good_bytes: int = 0
+    total_bytes: int = 0
+    header_ok: bool = True
+    truncated: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def torn_bytes(self) -> int:
+        return self.total_bytes - self.good_bytes
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.records) and self.records[-1][0] == "fin"
+
+    @property
+    def finish_time(self) -> Optional[float]:
+        if self.complete:
+            return self.records[-1][1]
+        return None
+
+    def summary(self) -> dict:
+        return {
+            "records": len(self.records),
+            "chunks": self.chunks,
+            "complete": self.complete,
+            "good_bytes": self.good_bytes,
+            "torn_bytes": self.torn_bytes,
+            "notes": list(self.notes),
+        }
+
+
+def recover_chunks(path: str) -> RecoveredStream:
+    """Read the trustworthy prefix of a chunk file.
+
+    Never raises on damaged input: whatever defect ends the scan is
+    described in ``notes`` and everything before it is returned.  A
+    missing or mangled file header makes the whole file untrustworthy
+    (``header_ok=False``, zero records).
+    """
+    stream = RecoveredStream()
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        stream.header_ok = False
+        stream.notes.append(f"unreadable stream: {exc}")
+        return stream
+    stream.total_bytes = len(data)
+    if len(data) < len(HEADER) or data[: len(MAGIC)] != MAGIC:
+        stream.header_ok = False
+        stream.notes.append("missing or torn file header")
+        return stream
+    if data[len(MAGIC)] != FORMAT_VERSION:
+        stream.header_ok = False
+        stream.notes.append(
+            f"unsupported stream version {data[len(MAGIC)]} "
+            f"(supported: {FORMAT_VERSION})"
+        )
+        return stream
+    offset = len(HEADER)
+    stream.good_bytes = offset
+    decoder = RecordDecoder()
+    while offset < len(data):
+        if offset + _CHUNK_HEADER.size > len(data):
+            stream.notes.append("torn chunk header at tail")
+            break
+        seq, length, crc = _CHUNK_HEADER.unpack_from(data, offset)
+        if seq != stream.chunks:
+            stream.notes.append(
+                f"sequence gap: expected chunk {stream.chunks}, found {seq}"
+            )
+            break
+        if length > MAX_CHUNK_BYTES:
+            stream.notes.append(f"implausible chunk length {length}")
+            break
+        start = offset + _CHUNK_HEADER.size
+        end = start + length
+        if end > len(data):
+            stream.notes.append(f"torn chunk payload in chunk {seq}")
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            stream.notes.append(f"crc mismatch in chunk {seq}")
+            break
+        try:
+            records = decoder.decode(payload)
+        except RecordingError as exc:
+            stream.notes.append(f"undecodable chunk {seq}: {exc}")
+            break
+        stream.records.extend(records)
+        stream.chunks += 1
+        offset = end
+        stream.good_bytes = offset
+    return stream
+
+
+def read_records(path: str, *, truncate: bool = False) -> RecoveredStream:
+    """Recover the sealed prefix; optionally truncate the torn tail.
+
+    Truncation rewinds the file to the last sealed chunk so later
+    readers (and warm-started writers rotating the file aside) see a
+    clean stream.  A file with a bad header is left untouched -- there
+    is no trustworthy prefix to truncate *to*.
+    """
+    stream = recover_chunks(path)
+    if truncate and stream.header_ok and stream.torn_bytes > 0:
+        try:
+            with open(path, "rb+") as handle:
+                handle.truncate(stream.good_bytes)
+            stream.truncated = True
+            stream.notes.append(f"truncated {stream.torn_bytes} torn tail bytes")
+            stream.total_bytes = stream.good_bytes
+        except OSError as exc:
+            stream.notes.append(f"failed to truncate torn tail: {exc}")
+    return stream
+
+
+def stream_has_fin(records: List[tuple]) -> bool:
+    return bool(records) and records[-1][0] == "fin"
+
+
+__all__ = [
+    "ChunkWriter",
+    "RecoveredStream",
+    "recover_chunks",
+    "read_records",
+    "stream_has_fin",
+    "MAGIC",
+    "FORMAT_VERSION",
+    "HEADER",
+    "MAX_CHUNK_BYTES",
+    "KIND_FIN",
+]

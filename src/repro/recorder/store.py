@@ -1,0 +1,163 @@
+"""On-disk layout of a recording directory.
+
+A recording lives in one directory per run attempt family::
+
+    <record_dir>/
+        events.chunks        -- sealed chunk stream (repro.recorder.chunks)
+        checkpoint.json      -- latest profiler snapshot + stream cursor
+        manifest.json        -- stream identity, completeness, live sha256
+        events.chunks.<N>    -- streams rotated aside by warm-started retries
+        checkpoint.json.<N>  -- their matching checkpoints
+
+All JSON artifacts are canonical (sorted keys, compact separators) and
+written via :func:`repro.ioutil.atomic_write`, so a kill -9 never leaves
+a half-written manifest or checkpoint -- the worst case is a stale one.
+Retries never overwrite salvageable state: a warm-started recorder
+rotates the previous attempt's stream/checkpoint to the next free
+``.<N>`` suffix (a *generation*) before opening a fresh stream, and
+salvage walks generations newest-first until it finds usable bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import List, Optional
+
+from repro.ioutil import atomic_write
+
+EVENTS_NAME = "events.chunks"
+CHECKPOINT_NAME = "checkpoint.json"
+MANIFEST_NAME = "manifest.json"
+CHECKPOINT_VERSION = 1
+MANIFEST_VERSION = 1
+
+_GENERATION_RE = re.compile(r"^events\.chunks\.(\d+)$")
+
+
+def events_path(record_dir: str) -> str:
+    return os.path.join(record_dir, EVENTS_NAME)
+
+
+def checkpoint_path(record_dir: str) -> str:
+    return os.path.join(record_dir, CHECKPOINT_NAME)
+
+
+def manifest_path(record_dir: str) -> str:
+    return os.path.join(record_dir, MANIFEST_NAME)
+
+
+def _canonical(data: dict) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _load_json(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def write_manifest(record_dir: str, data: dict) -> None:
+    payload = dict(data)
+    payload.setdefault("version", MANIFEST_VERSION)
+    atomic_write(manifest_path(record_dir), _canonical(payload))
+
+
+def load_manifest(record_dir: str) -> Optional[dict]:
+    return _load_json(manifest_path(record_dir))
+
+
+def update_manifest(record_dir: str, **fields) -> Optional[dict]:
+    """Merge ``fields`` into the manifest (no-op if none exists yet)."""
+    manifest = load_manifest(record_dir)
+    if manifest is None:
+        return None
+    manifest.update(fields)
+    write_manifest(record_dir, manifest)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Checkpoint
+# ----------------------------------------------------------------------
+def write_checkpoint(record_dir: str, data: dict) -> None:
+    payload = dict(data)
+    payload.setdefault("version", CHECKPOINT_VERSION)
+    atomic_write(checkpoint_path(record_dir), _canonical(payload))
+
+
+def load_checkpoint(record_dir: str, generation: Optional[int] = None) -> Optional[dict]:
+    path = checkpoint_path(record_dir)
+    if generation is not None:
+        path = f"{path}.{generation}"
+    data = _load_json(path)
+    if data is None or data.get("version") != CHECKPOINT_VERSION:
+        return None
+    return data
+
+
+# ----------------------------------------------------------------------
+# Generations (warm-start rotation)
+# ----------------------------------------------------------------------
+def list_generations(record_dir: str) -> List[int]:
+    """Rotated-aside stream generations, oldest first."""
+    try:
+        names = os.listdir(record_dir)
+    except OSError:
+        return []
+    found = []
+    for name in names:
+        match = _GENERATION_RE.match(name)
+        if match:
+            found.append(int(match.group(1)))
+    return sorted(found)
+
+
+def rotate_generation(record_dir: str) -> Optional[int]:
+    """Move the current stream + checkpoint aside to the next ``.<N>``.
+
+    Returns the generation number used, or ``None`` if there was nothing
+    to rotate.  The stream and its checkpoint rotate *together* so a
+    checkpoint cursor never points into a different attempt's stream.
+    """
+    src_events = events_path(record_dir)
+    if not os.path.exists(src_events):
+        return None
+    generations = list_generations(record_dir)
+    generation = (generations[-1] + 1) if generations else 0
+    os.replace(src_events, f"{src_events}.{generation}")
+    src_checkpoint = checkpoint_path(record_dir)
+    if os.path.exists(src_checkpoint):
+        os.replace(src_checkpoint, f"{src_checkpoint}.{generation}")
+    return generation
+
+
+def generation_events_path(record_dir: str, generation: int) -> str:
+    return f"{events_path(record_dir)}.{generation}"
+
+
+__all__ = [
+    "EVENTS_NAME",
+    "CHECKPOINT_NAME",
+    "MANIFEST_NAME",
+    "CHECKPOINT_VERSION",
+    "MANIFEST_VERSION",
+    "events_path",
+    "checkpoint_path",
+    "manifest_path",
+    "write_manifest",
+    "load_manifest",
+    "update_manifest",
+    "write_checkpoint",
+    "load_checkpoint",
+    "list_generations",
+    "rotate_generation",
+    "generation_events_path",
+]

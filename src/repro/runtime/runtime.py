@@ -310,6 +310,13 @@ class OpenMPRuntime:
         self._profiling_substrate = profiling
         self.profiler = profiling.profiler if profiling is not None else None
         self.trace = tracing.trace if tracing is not None else None
+        from repro.substrates.recorder import RecorderSubstrate
+
+        recorder = manager.find(RecorderSubstrate)
+        if recorder is not None and self.profiler is not None:
+            # Checkpoints snapshot the live profiler; injected here
+            # because the profiler only exists after manager init.
+            recorder.profiler = self.profiler
         if self.governor is not None and self.trace is not None:
             trace = self.trace
             self.governor.attach_gauge(

@@ -28,6 +28,7 @@ from repro.substrates.base import Substrate
 from repro.substrates.governor import GovernorSubstrate
 from repro.substrates.manager import SubstrateIncident, SubstrateManager
 from repro.substrates.profiling import ProfilingSubstrate
+from repro.substrates.recorder import RecorderSubstrate
 from repro.substrates.registry import (
     available_substrates,
     get_substrate,
@@ -44,6 +45,7 @@ register_substrate("tracing", TracingSubstrate, replace=True)
 register_substrate("validation", OnlineValidationSubstrate, replace=True)
 register_substrate("stats", StatsSubstrate, replace=True)
 register_substrate("governor", GovernorSubstrate, replace=True)
+register_substrate("recorder", RecorderSubstrate, replace=True)
 
 __all__ = [
     "Substrate",
@@ -52,6 +54,7 @@ __all__ = [
     "ProfilingSubstrate",
     "TracingSubstrate",
     "GovernorSubstrate",
+    "RecorderSubstrate",
     "OnlineValidationSubstrate",
     "StatsSubstrate",
     "register_substrate",

@@ -37,6 +37,7 @@ from repro.supervisor.journal import (
     JournalState,
     load_journal,
 )
+from repro.supervisor.salvage import SALVAGEABLE_OUTCOMES, attempt_cell_salvage
 from repro.supervisor.spec import (
     RunSpec,
     call_cell,
@@ -64,6 +65,8 @@ __all__ = [
     "RESUMABLE_OUTCOMES",
     "RETRYABLE_OUTCOMES",
     "TERMINAL_OUTCOMES",
+    "SALVAGEABLE_OUTCOMES",
+    "attempt_cell_salvage",
     "RunSpec",
     "call_cell",
     "fault_cell",

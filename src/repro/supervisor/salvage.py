@@ -1,0 +1,118 @@
+"""Parent-side salvage: turn a dead cell's recording into a profile.
+
+When a supervised cell fails *terminally* (no retry budget left) with an
+outcome that killed the worker before it could report a profile --
+``crash``, ``timeout``, ``oom``, ``stuck`` -- the worker's in-memory
+state is gone, but its recording directory is not.  The supervisor calls
+:func:`attempt_cell_salvage` from ``_poll``: recover the sealed chunk
+prefix (truncating the torn tail), leniently replay it (or fall back to
+the last checkpoint's cube partial), and archive the result as a
+``partial`` + ``salvaged``-tagged run so the campaign never ends
+empty-handed.
+
+Salvage is strictly best-effort: every failure path returns a
+description instead of raising, because a salvage bug must never take
+down the supervisor that is busy finishing everyone else's cells.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+#: Outcomes where the worker died without reporting a profile -- the
+#: only cases where the recording knows more than the result payload.
+SALVAGEABLE_OUTCOMES = ("crash", "timeout", "oom", "stuck")
+
+
+def _spec_value(params: Dict[str, Any], key: str, default: Any = None) -> Any:
+    """Look up ``key`` in the params, or inside a call cell's kwargs."""
+    value = params.get(key)
+    if value is not None:
+        return value
+    kwargs = params.get("kwargs")
+    if isinstance(kwargs, dict):
+        value = kwargs.get(key)
+        if value is not None:
+            return value
+    return default
+
+
+def attempt_cell_salvage(spec, outcome: str) -> Optional[dict]:
+    """Salvage ``spec``'s recording into an archived partial profile.
+
+    Returns a JSON-able description of what was recovered (folded into
+    the cell's journal payload and summary), or ``None`` when the spec
+    has no recording directory / nothing recoverable.  Never raises.
+    """
+    params = spec.params
+    record_dir = _spec_value(params, "record_dir")
+    if not record_dir or not os.path.isdir(record_dir):
+        return None
+    try:
+        from repro.recorder.salvage import salvage_recording
+
+        result = salvage_recording(record_dir)
+    except Exception as exc:  # pragma: no cover - defensive
+        return {"error": f"{type(exc).__name__}: {exc}"}
+    if result is None:
+        return {"error": "no recoverable recording state"}
+    info = result.describe()
+    info["record_dir"] = record_dir
+    archive_dir = _spec_value(params, "archive_dir")
+    if archive_dir:
+        info.update(
+            _archive_salvaged(archive_dir, result, spec, outcome)
+        )
+    return info
+
+
+def _archive_salvaged(archive_dir: str, result, spec, outcome: str) -> dict:
+    """Archive the salvaged profile with partial/salvaged provenance tags.
+
+    The profile itself is left exactly as the replay produced it (a pure
+    function of the recorded bytes) so ``repro verify --against`` the
+    archived run can re-derive it byte-identically; the failure context
+    lives in the run metadata instead.
+    """
+    try:
+        from repro.archive.meta import RunMeta
+        from repro.archive.store import ArchiveStore
+
+        params = spec.params
+        mode = _spec_value(params, "mode")
+        meta = RunMeta(
+            kernel=str(_spec_value(params, "app") or spec.cell_id),
+            size=str(_spec_value(params, "size") or "test"),
+            variant=str(_spec_value(params, "variant") or "optimized"),
+            n_threads=int(_spec_value(params, "n_threads") or 0),
+            seed=int(_spec_value(params, "seed", 0)),
+            config_hash="",
+            wall_time_us=None,
+            verified=None,
+            tags=(
+                "partial",
+                "salvaged",
+                f"outcome:{outcome}",
+                f"source:{result.source}",
+            )
+            + ((f"mode:{mode}",) if mode not in (None, "none") else ()),
+            source="salvage",
+            extra={
+                "cell_id": spec.cell_id,
+                "records": result.records,
+                "chunks": result.chunks,
+                "generation": result.generation,
+            },
+        )
+        record = ArchiveStore(archive_dir).put(result.profile, meta)
+    except Exception as exc:
+        return {"archive_error": f"{type(exc).__name__}: {exc}"}
+    return {
+        "run_id": record.run_id,
+        "sha256": record.sha256,
+        "deduplicated": record.deduplicated,
+    }
+
+
+__all__ = ["SALVAGEABLE_OUTCOMES", "attempt_cell_salvage"]

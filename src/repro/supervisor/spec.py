@@ -26,9 +26,9 @@ SPEC_KINDS = ("fault", "call")
 
 #: Parameters excluded from :meth:`RunSpec.class_key`: the seed is what
 #: varies between repetitions of one configuration (the archive's
-#: ``config_fingerprint`` convention), and the archive directory is
-#: deployment plumbing, not behavior.
-_CLASS_KEY_EXCLUDED = ("seed", "archive_dir")
+#: ``config_fingerprint`` convention), and the archive/record
+#: directories are deployment plumbing, not behavior.
+_CLASS_KEY_EXCLUDED = ("seed", "archive_dir", "record_dir")
 
 
 @dataclass(frozen=True)
@@ -129,6 +129,7 @@ def fault_cell(
     wall_timeout_s: Optional[float] = None,
     substrates: Optional[Sequence[str]] = None,
     archive_dir: Optional[str] = None,
+    record_dir: Optional[str] = None,
 ) -> RunSpec:
     """One fault-campaign cell (``mode='none'`` = healthy run).
 
@@ -136,6 +137,9 @@ def fault_cell(
     worker to attach (registry names only -- the spec must stay JSON).
     ``archive_dir`` makes the worker archive the cell's (possibly
     salvaged) profile into the content-addressed store at that path.
+    ``record_dir`` arms durable event recording (:mod:`repro.recorder`)
+    in the worker; on crash/timeout/oom/stuck the supervisor salvages a
+    partial profile from that directory, and retries warm-start from it.
     """
     params: Dict[str, Any] = {
         "app": app,
@@ -149,6 +153,8 @@ def fault_cell(
         params["substrates"] = list(substrates)
     if archive_dir:
         params["archive_dir"] = os.fspath(archive_dir)
+    if record_dir:
+        params["record_dir"] = os.fspath(record_dir)
     return RunSpec(
         kind="fault",
         cell_id=f"{app}|{mode}|s{seed}",
@@ -168,8 +174,14 @@ def fault_grid(
     wall_timeout_s: Optional[float] = None,
     substrates: Optional[Sequence[str]] = None,
     archive_dir: Optional[str] = None,
+    record_root: Optional[str] = None,
 ) -> List[RunSpec]:
-    """The campaign grid, app-major like ``run_campaign`` sweeps it."""
+    """The campaign grid, app-major like ``run_campaign`` sweeps it.
+
+    ``record_root`` gives every cell its own recording directory
+    ``<record_root>/<app>.<mode>.s<seed>`` (cells must never share a
+    stream; the layout matches ``cell_id`` for findability).
+    """
     return [
         fault_cell(
             app,
@@ -181,6 +193,11 @@ def fault_grid(
             wall_timeout_s=wall_timeout_s,
             substrates=substrates,
             archive_dir=archive_dir,
+            record_dir=(
+                os.path.join(record_root, f"{app}.{mode}.s{seed}")
+                if record_root
+                else None
+            ),
         )
         for app in apps
         for mode in modes

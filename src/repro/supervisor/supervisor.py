@@ -584,14 +584,37 @@ class Supervisor:
             payload.setdefault("summary", "")
             payload.setdefault("error", None)
             payload["duration_s"] = round(time.monotonic() - entry.started, 6)
+            retryable = payload["outcome"] in RETRYABLE_OUTCOMES
+            will_retry = (
+                retryable and not no_retries and entry.round < self.retries + 1
+            )
+            if not will_retry:
+                # Terminal failure of a worker that died without handing
+                # back a profile: salvage what its recording preserved.
+                from repro.supervisor.salvage import (
+                    SALVAGEABLE_OUTCOMES,
+                    attempt_cell_salvage,
+                )
+
+                if payload["outcome"] in SALVAGEABLE_OUTCOMES:
+                    salvage = attempt_cell_salvage(
+                        entry.spec, payload["outcome"]
+                    )
+                    if salvage is not None:
+                        payload["salvage"] = salvage
+                        if "error" not in salvage:
+                            payload["summary"] = (
+                                f"{payload['summary']}; salvaged "
+                                f"{salvage['records']} recorded events "
+                                f"from {salvage['source']}"
+                            ).lstrip("; ")
             if journal is not None:
                 journal.result(entry.spec.cell_id, entry.attempt, payload)
             if breaker is not None:
                 breaker.record(
                     entry.spec.class_key(), payload["outcome"], probe=entry.probe
                 )
-            retryable = payload["outcome"] in RETRYABLE_OUTCOMES
-            if retryable and not no_retries and entry.round < self.retries + 1:
+            if will_retry:
                 delay = self.backoff.delay(entry.round, key=entry.spec.cell_id)
                 delayed.append(
                     (

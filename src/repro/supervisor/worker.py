@@ -105,6 +105,8 @@ def _run_fault_cell(params: Dict[str, Any]) -> dict:
         plan=plan,
         watchdog_us=DEFAULT_WATCHDOG_US if watchdog_us is None else watchdog_us,
         substrates=params.get("substrates"),
+        record_dir=params.get("record_dir"),
+        checkpoint_every=params.get("checkpoint_every"),
     )
     summary = (
         outcome.salvage.summary()

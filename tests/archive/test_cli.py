@@ -97,6 +97,33 @@ def test_archive_errors_exit_2(tmp_path, capsys):
     assert "no archived run" in capsys.readouterr().err
 
 
+def test_archive_show_verify_reports_intact(seeded_archive, capsys):
+    assert main(["archive", "show", str(seeded_archive), "r0001", "--verify"]) == 0
+    assert "intact" in capsys.readouterr().out
+
+
+def test_archive_show_verify_fails_on_corrupt_object(seeded_archive, capsys):
+    """`show --verify` must recompute the sha256 on read and exit
+    non-zero when the object bytes no longer hash to their name."""
+    import gzip
+    import os
+
+    objects_dir = seeded_archive / "objects"
+    path = next(
+        os.path.join(root, name)
+        for root, _, names in os.walk(objects_dir)
+        for name in names
+    )
+    payload = gzip.decompress(open(path, "rb").read())
+    with open(path, "wb") as handle:
+        handle.write(gzip.compress(payload + b" ", mtime=0))
+
+    code = main(["archive", "show", str(seeded_archive), "r0001", "--verify"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "fails verification" in err
+
+
 # ----------------------------------------------------------------------
 # sentinel
 # ----------------------------------------------------------------------

@@ -1,0 +1,136 @@
+"""Supervisor-side salvage: dead cells yield partial archived profiles.
+
+The acceptance scenario of the recording tentpole: SIGKILL a recording
+worker mid-run, and the supervisor must archive a ``partial``-tagged
+profile salvaged from the sealed chunk prefix -- then ``repro verify
+--against`` that archived run must re-derive it byte-identically.
+"""
+
+import pytest
+
+from repro.archive import ArchiveStore
+from repro.cube.export import profile_to_dict
+from repro.recorder import verify_recording
+from repro.supervisor import (
+    SALVAGEABLE_OUTCOMES,
+    Supervisor,
+    attempt_cell_salvage,
+    call_cell,
+    fault_cell,
+)
+from repro.supervisor.backoff import BackoffPolicy
+
+
+def _kill_cell(record_dir, archive_dir=None, **kwargs):
+    spec_kwargs = {
+        "record_dir": str(record_dir),
+        "die_after_records": 1500,
+        "app": "fib",
+        "size": "small",
+    }
+    if archive_dir is not None:
+        spec_kwargs["archive_dir"] = str(archive_dir)
+    spec_kwargs.update(kwargs)
+    return call_cell(
+        "repro.faults.recording:record_until_killed",
+        spec_kwargs,
+        cell_id="kill-mid-record",
+    )
+
+
+# ----------------------------------------------------------------------
+# Unit behavior of attempt_cell_salvage
+# ----------------------------------------------------------------------
+def test_no_record_dir_means_no_salvage():
+    spec = fault_cell("fib", "none", 0)
+    assert attempt_cell_salvage(spec, "crash") is None
+
+
+def test_missing_directory_means_no_salvage(tmp_path):
+    spec = fault_cell("fib", "none", 0, record_dir=str(tmp_path / "never"))
+    assert attempt_cell_salvage(spec, "crash") is None
+
+
+def test_empty_directory_reports_error_not_raise(tmp_path):
+    spec = fault_cell("fib", "none", 0, record_dir=str(tmp_path))
+    info = attempt_cell_salvage(spec, "crash")
+    assert info == {"error": "no recoverable recording state"}
+
+
+def test_call_cell_kwargs_are_searched_for_record_dir(tmp_path):
+    spec = _kill_cell(tmp_path / "never")
+    assert attempt_cell_salvage(spec, "crash") is None  # dir doesn't exist
+
+
+def test_salvageable_outcomes_are_the_worker_death_modes():
+    assert set(SALVAGEABLE_OUTCOMES) == {"crash", "timeout", "oom", "stuck"}
+
+
+# ----------------------------------------------------------------------
+# End-to-end: SIGKILL mid-record -> salvaged partial archived profile
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def killed_campaign(tmp_path_factory):
+    root = tmp_path_factory.mktemp("salvage")
+    record_dir = root / "rec"
+    archive_dir = root / "arch"
+    report = Supervisor(
+        [_kill_cell(record_dir, archive_dir)],
+        jobs=1,
+        retries=0,
+        timeout_s=60.0,
+    ).run()
+    return report, record_dir, archive_dir
+
+
+def test_killed_cell_is_salvaged_not_discarded(killed_campaign):
+    report, _, _ = killed_campaign
+    result = report.results[0]
+    assert result.outcome == "crash"
+    assert "salvaged" in result.summary
+    assert "recorded events" in result.summary
+
+
+def test_salvaged_profile_is_archived_partial(killed_campaign):
+    _, _, archive_dir = killed_campaign
+    records = ArchiveStore(str(archive_dir)).records()
+    assert len(records) == 1
+    record = records[0]
+    tags = set(record.tags)
+    assert {"partial", "salvaged", "outcome:crash"} <= tags
+    assert any(tag.startswith("source:") for tag in tags)
+    assert record.meta.source == "salvage"
+    assert record.meta.kernel == "fib"
+    assert record.meta.extra["records"] > 0
+
+
+def test_salvaged_archive_verifies_against_the_recording(killed_campaign):
+    _, record_dir, archive_dir = killed_campaign
+    profile = ArchiveStore(str(archive_dir)).load_profile("r0001")
+    report = verify_recording(
+        str(record_dir), expected_dict=profile_to_dict(profile)
+    )
+    assert report.usable and report.matched
+    assert report.exit_code == 0
+    assert not report.complete  # it really was a partial prefix
+
+
+def test_retry_warm_starts_then_terminal_attempt_salvages(tmp_path):
+    from repro.recorder.store import list_generations
+
+    record_dir = tmp_path / "rec"
+    archive_dir = tmp_path / "arch"
+    report = Supervisor(
+        [_kill_cell(record_dir, archive_dir)],
+        jobs=1,
+        retries=1,
+        backoff=BackoffPolicy(base_s=0.01),
+        timeout_s=60.0,
+    ).run()
+    result = report.results[0]
+    assert result.attempts == 2
+    assert result.outcome == "crash"
+    assert "salvaged" in result.summary
+    # the first attempt's stream was rotated aside, not clobbered
+    assert list_generations(str(record_dir)) == [0]
+    assert len(ArchiveStore(str(archive_dir)).records()) == 1

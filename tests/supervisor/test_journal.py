@@ -112,3 +112,38 @@ def test_atomic_write_accepts_bytes(tmp_path):
     target = tmp_path / "blob.bin"
     atomic_write(target, b"\x00\x01")
     assert target.read_bytes() == b"\x00\x01"
+
+
+def test_atomic_write_fsyncs_file_then_rename_then_directory(tmp_path, monkeypatch):
+    """Durability order regression test: the *file* is fsync'd before the
+    rename (content reaches disk before it becomes visible), and the
+    *parent directory* is fsync'd after it (the rename itself survives
+    power loss).  Skipping the directory fsync was a real recorder bug
+    class: the checkpoint exists in memory-cached metadata but vanishes
+    on replay after a crash."""
+    import stat
+
+    calls = []
+    real_fsync, real_replace = os.fsync, os.replace
+
+    def spy_fsync(fd):
+        is_dir = stat.S_ISDIR(os.fstat(fd).st_mode)
+        calls.append("fsync-dir" if is_dir else "fsync-file")
+        return real_fsync(fd)
+
+    def spy_replace(src, dst):
+        calls.append("rename")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "fsync", spy_fsync)
+    monkeypatch.setattr(os, "replace", spy_replace)
+    atomic_write(tmp_path / "checkpoint.json", "{}")
+    assert calls == ["fsync-file", "rename", "fsync-dir"]
+
+
+def test_atomic_write_durable_false_skips_fsync(tmp_path, monkeypatch):
+    calls = []
+    monkeypatch.setattr(os, "fsync", lambda fd: calls.append("fsync"))
+    atomic_write(tmp_path / "scratch.json", "{}", durable=False)
+    assert calls == []
+    assert (tmp_path / "scratch.json").read_text() == "{}"
