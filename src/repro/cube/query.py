@@ -7,6 +7,38 @@ from typing import Dict, List, Optional, Tuple
 from repro.profiling.calltree import CallTreeNode
 from repro.profiling.profile import Profile
 
+try:  # numpy backs the flat aggregations; the dict path is exact too
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+    _np = None
+
+
+def _flat_by_handle(profile: Profile, include_stubs: bool):
+    """Group the profile's flat metric columns by region handle.
+
+    Returns ``(regions, exclusive, inclusive, visits)`` where ``regions``
+    is handle -> Region in first-encounter order and the three arrays are
+    indexable by handle.  ``np.bincount`` accumulates each bin in row
+    order (a sequential C fold), so the per-handle sums are bit-identical
+    to the dict accumulation the pure-Python path performs.  Returns
+    ``None`` when numpy is unavailable or the profile is empty.
+    """
+    if _np is None:
+        return None
+    handles, regions, exclusive, inclusive, visits = profile.flat_metric_columns(
+        include_stubs
+    )
+    if not handles:
+        return None
+    h = _np.asarray(handles, dtype=_np.int64)
+    minlength = int(h.max()) + 1
+    excl = _np.bincount(h, weights=_np.asarray(exclusive), minlength=minlength)
+    incl = _np.bincount(h, weights=_np.asarray(inclusive), minlength=minlength)
+    vis = _np.bincount(
+        h, weights=_np.asarray(visits, dtype=_np.float64), minlength=minlength
+    )
+    return regions, excl, incl, vis
+
 
 def hot_path(node: CallTreeNode) -> List[CallTreeNode]:
     """Follow the heaviest-inclusive child from ``node`` to a leaf.
@@ -34,19 +66,32 @@ def top_regions(
     limit: int = 10,
     include_stubs: bool = False,
 ) -> List[Tuple[str, float]]:
-    """Program-wide region ranking by summed exclusive (or inclusive) time."""
+    """Program-wide region ranking by summed exclusive (or inclusive) time.
+
+    Array-backed: the per-handle sums come from one ``bincount`` over the
+    profile's flat metric columns; names combine handle subtotals in
+    first-encounter order, so results match the row-by-row dict fold
+    exactly (the numpy-less fallback below).
+    """
     if metric not in ("exclusive", "inclusive"):
         raise ValueError(f"unknown metric {metric!r}")
     totals: Dict[str, float] = {}
-    roots: List[CallTreeNode] = list(profile.main_trees)
-    for per_thread in profile.task_trees:
-        roots.extend(per_thread.values())
-    for root in roots:
-        for node in root.walk():
-            if node.is_stub and not include_stubs:
-                continue
-            value = node.exclusive_time if metric == "exclusive" else node.metrics.inclusive_time
-            totals[node.region.name] = totals.get(node.region.name, 0.0) + value
+    grouped = _flat_by_handle(profile, include_stubs)
+    if grouped is not None:
+        regions, excl, incl, _vis = grouped
+        column = excl if metric == "exclusive" else incl
+        for handle, region in regions.items():
+            totals[region.name] = totals.get(region.name, 0.0) + float(column[handle])
+    else:
+        roots: List[CallTreeNode] = list(profile.main_trees)
+        for per_thread in profile.task_trees:
+            roots.extend(per_thread.values())
+        for root in roots:
+            for node in root.walk():
+                if node.is_stub and not include_stubs:
+                    continue
+                value = node.exclusive_time if metric == "exclusive" else node.metrics.inclusive_time
+                totals[node.region.name] = totals.get(node.region.name, 0.0) + value
     ranked = sorted(totals.items(), key=lambda kv: kv[1], reverse=True)
     return ranked[:limit]
 
@@ -56,9 +101,22 @@ def flat_region_profile(profile: Profile) -> Dict[str, Dict[str, float]]:
 
     Returns ``region name -> {exclusive, inclusive, visits}`` summed over
     every occurrence in every tree (stub nodes excluded, since their time
-    is an alternate attribution of task execution).
+    is an alternate attribution of task execution).  Array-backed via the
+    profile's flat metric columns, falling back to the original dict fold
+    when numpy is unavailable.
     """
     flat: Dict[str, Dict[str, float]] = {}
+    grouped = _flat_by_handle(profile, include_stubs=False)
+    if grouped is not None:
+        regions, excl, incl, vis = grouped
+        for handle, region in regions.items():
+            entry = flat.setdefault(
+                region.name, {"exclusive": 0.0, "inclusive": 0.0, "visits": 0}
+            )
+            entry["exclusive"] += float(excl[handle])
+            entry["inclusive"] += float(incl[handle])
+            entry["visits"] += int(vis[handle])
+        return flat
     roots: List[CallTreeNode] = list(profile.main_trees)
     for per_thread in profile.task_trees:
         roots.extend(per_thread.values())

@@ -129,15 +129,35 @@ class RegionRegistry:
         region_type: RegionType,
         file: Optional[str] = None,
         line: Optional[int] = None,
+        handle: Optional[int] = None,
     ) -> Region:
-        """Return the unique region for this key, creating it on first use."""
+        """Return the unique region for this key, creating it on first use.
+
+        ``handle`` pins the new region to a specific handle value: the
+        record-stream decoder uses this so a replayed registry agrees
+        with the live one about region ids (the recorder writes live
+        handles to the wire -- one shared intern table end to end).
+        Pinning an occupied or stale handle raises ``ValueError``.
+        """
         key: RegionKey = (name, region_type, file, line)
         region = self._by_key.get(key)
         if region is None:
-            region = Region(self._next_handle, name, region_type, file, line)
+            if handle is None:
+                handle = self._next_handle
+            elif handle in self._by_handle:
+                raise ValueError(
+                    f"region handle {handle} already registered "
+                    f"({self._by_handle[handle]!r})"
+                )
+            region = Region(handle, name, region_type, file, line)
             self._by_key[key] = region
-            self._by_handle[region.handle] = region
-            self._next_handle += 1
+            self._by_handle[handle] = region
+            self._next_handle = max(self._next_handle, handle + 1)
+        elif handle is not None and region.handle != handle:
+            raise ValueError(
+                f"region {name!r} already interned as handle "
+                f"{region.handle}, cannot re-pin to {handle}"
+            )
         return region
 
     def lookup(self, handle: int) -> Region:

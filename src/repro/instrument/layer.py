@@ -19,6 +19,19 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.events.batch import (
+    F_PAYLOAD,
+    K_ENTER,
+    K_EXIT,
+    K_METRIC,
+    K_TASK_BEGIN,
+    K_TASK_END,
+    K_TASK_SWITCH,
+    RID_SHIFT,
+    TID_SHIFT,
+    EventBatch,
+    zigzag,
+)
 from repro.events.model import InstanceId
 from repro.events.regions import Region
 from repro.instrument.pomp2 import MulticastListener, NullListener, Pomp2Listener
@@ -138,4 +151,208 @@ class InstrumentationLayer:
 
     def finish(self, time: float) -> None:
         if self.enabled:
+            self.listener.on_finish(time)
+
+    # ------------------------------------------------------------------
+    # Batch protocol stubs (no-ops on the legacy per-event layer, so the
+    # runtime can call them unconditionally at scheduling points)
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        pass
+
+    def sched_point(self) -> None:
+        pass
+
+
+class BatchedInstrumentationLayer(InstrumentationLayer):
+    """Columnar-fill variant: events append to an :class:`EventBatch`.
+
+    Instead of forwarding every event as a listener method call, this
+    layer packs it into the batch's two flat columns (one int append,
+    one float append) and defers dispatch until :meth:`flush` hands the
+    whole batch to ``listener.on_batch`` -- the listener must therefore
+    implement the batch protocol (the
+    :class:`~repro.substrates.manager.SubstrateManager` does).
+
+    Flush boundaries:
+
+    * **scheduling points** -- once the batch passes ``flush_threshold``
+      it drains at the next task-scheduling point (task begin/end/
+      switch, or a scheduling-point region enter; the runtime also calls
+      :meth:`sched_point` at taskwait/taskyield/barrier/spawn).  Task
+      scheduling decisions made by consumers (the governor's gauges, the
+      profiler's concurrency tracker) therefore never see state older
+      than the current batch.
+    * **hard capacity** -- at ``capacity`` events the batch drains
+      wherever it is, bounding memory.
+    * **structural boundaries** -- phase begin/end and finish always
+      flush first, so phase markers and finalization observe a fully
+      drained stream.
+
+    ``events_dispatched`` counts *individual events*, exactly as the
+    per-event layer does -- batching changes when events are consumed,
+    never how many were measured.
+    """
+
+    __slots__ = ("batch", "flush_threshold", "capacity")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        per_event_cost: float = 0.0,
+        listener: Optional[Pomp2Listener] = None,
+        region_filter=None,
+        *,
+        registry=None,
+        flush_threshold: int = 1024,
+        capacity: int = 8192,
+    ) -> None:
+        super().__init__(enabled, per_event_cost, listener, region_filter)
+        if flush_threshold < 1 or capacity < flush_threshold:
+            raise ValueError(
+                "need 1 <= flush_threshold <= capacity, got "
+                f"flush_threshold={flush_threshold} capacity={capacity}"
+            )
+        self.batch = EventBatch(registry)
+        self.flush_threshold = flush_threshold
+        self.capacity = capacity
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Hand the filled batch to the listener, then reset it in place."""
+        batch = self.batch
+        if batch.codes:
+            self.listener.on_batch(batch)
+            batch.clear()
+
+    def sched_point(self) -> None:
+        """Scheduling-point hook: drain if past the soft threshold."""
+        if len(self.batch.codes) >= self.flush_threshold:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Columnar fill (overrides the forwarding dispatch methods)
+    # ------------------------------------------------------------------
+    def enter(
+        self, thread_id: int, region: Region, time: float, parameter: Optional[tuple] = None
+    ) -> None:
+        if not self.enabled:
+            return
+        if self.filter is not None and not self.filter.measures(region):
+            self.filter.note_suppressed()
+            return
+        self.events_dispatched += 1
+        batch = self.batch
+        code = K_ENTER | (thread_id << TID_SHIFT) | (region.handle << RID_SHIFT)
+        if parameter is not None:
+            batch.payloads[len(batch.codes)] = parameter
+            code |= F_PAYLOAD
+        batch.codes.append(code)
+        batch.times.append(time)
+        batch.counted += 1
+        n = len(batch.codes)
+        if n >= self.capacity or (
+            n >= self.flush_threshold and region.is_scheduling_point
+        ):
+            self.flush()
+
+    def exit(self, thread_id: int, region: Region, time: float) -> None:
+        if not self.enabled:
+            return
+        if self.filter is not None and not self.filter.measures(region):
+            self.filter.note_suppressed()
+            return
+        self.events_dispatched += 1
+        batch = self.batch
+        batch.codes.append(
+            K_EXIT | (thread_id << TID_SHIFT) | (region.handle << RID_SHIFT)
+        )
+        batch.times.append(time)
+        batch.counted += 1
+        if len(batch.codes) >= self.capacity:
+            self.flush()
+
+    def task_begin(
+        self,
+        thread_id: int,
+        region: Region,
+        instance: InstanceId,
+        time: float,
+        parameter: Optional[tuple] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.events_dispatched += 1
+        batch = self.batch
+        code = (
+            K_TASK_BEGIN
+            | (thread_id << TID_SHIFT)
+            | (region.handle << RID_SHIFT)
+            | (zigzag(instance) << 34)
+        )
+        if parameter is not None:
+            batch.payloads[len(batch.codes)] = parameter
+            code |= F_PAYLOAD
+        batch.codes.append(code)
+        batch.times.append(time)
+        batch.counted += 1
+        # task begin is a scheduling boundary: soft-drain here
+        if len(batch.codes) >= self.flush_threshold:
+            self.flush()
+
+    def task_end(
+        self, thread_id: int, region: Region, instance: InstanceId, time: float
+    ) -> None:
+        if not self.enabled:
+            return
+        self.events_dispatched += 1
+        batch = self.batch
+        batch.codes.append(
+            K_TASK_END
+            | (thread_id << TID_SHIFT)
+            | (region.handle << RID_SHIFT)
+            | (zigzag(instance) << 34)
+        )
+        batch.times.append(time)
+        batch.counted += 1
+        # task completion is a scheduling point
+        if len(batch.codes) >= self.flush_threshold:
+            self.flush()
+
+    def task_switch(self, thread_id: int, instance: InstanceId, time: float) -> None:
+        if not self.enabled:
+            return
+        self.events_dispatched += 1
+        batch = self.batch
+        batch.codes.append(
+            K_TASK_SWITCH | (thread_id << TID_SHIFT) | (zigzag(instance) << 34)
+        )
+        batch.times.append(time)
+        batch.counted += 1
+        if len(batch.codes) >= self.flush_threshold:
+            self.flush()
+
+    def metric(self, thread_id: int, counters: dict, time: float) -> None:
+        if not self.enabled:
+            return
+        batch = self.batch
+        batch.payloads[len(batch.codes)] = counters
+        batch.codes.append(K_METRIC | (thread_id << TID_SHIFT) | F_PAYLOAD)
+        batch.times.append(time)
+        if len(batch.codes) >= self.capacity:
+            self.flush()
+
+    def phase_begin(self, name: str) -> None:
+        if self.enabled:
+            self.flush()
+            self.listener.on_phase_begin(name)
+
+    def phase_end(self, name: str) -> None:
+        if self.enabled:
+            self.flush()
+            self.listener.on_phase_end(name)
+
+    def finish(self, time: float) -> None:
+        if self.enabled:
+            self.flush()
             self.listener.on_finish(time)

@@ -6,6 +6,15 @@ reused".  A free-list keeps the per-thread memory footprint bounded by the
 *maximum concurrent* task-tree volume instead of the total number of task
 instances -- the property Table II quantifies.
 
+Slab extension (the columnar hot path): with ``slab_size > 1`` a cache
+miss constructs a whole slab of blank nodes at once and parks them as
+*virgin stock*, so steady-state allocation is one list ``pop`` plus field
+assignment instead of an object construction per node.  The counters are
+unchanged by slabbing -- ``allocated`` counts *hand-outs* of fresh nodes
+(one per acquire, exactly as before), never the stock sitting in the
+slab -- so pool statistics and everything derived from them (cube
+exports, Table II numbers) are identical whichever slab size is used.
+
 The pool also exposes the statistics the memory evaluation needs:
 how many nodes were ever allocated versus recycled.
 """
@@ -19,23 +28,48 @@ from repro.profiling.calltree import CallTreeNode
 
 
 class NodePool:
-    """Per-thread free-list of :class:`CallTreeNode` objects."""
+    """Per-thread free-list (+ optional slab stock) of :class:`CallTreeNode`.
 
-    __slots__ = ("_free", "allocated", "reused", "released", "trimmed", "max_free")
+    ``slab_size=1`` (the default) is the classic allocator: every cache
+    miss constructs exactly one node.  Larger sizes amortize construction
+    across a slab; the governor's degradation ladder still wins -- once
+    ``max_free`` is set (L1/L2), refills collapse back to single nodes
+    and :meth:`trim` drops the virgin stock along with the free list, so
+    a degraded pool retains no hidden slab memory.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "_free",
+        "_virgin",
+        "allocated",
+        "reused",
+        "released",
+        "trimmed",
+        "max_free",
+        "slab_size",
+        "slabs",
+    )
+
+    def __init__(self, slab_size: int = 1) -> None:
+        if slab_size < 1:
+            raise ValueError(f"slab_size must be >= 1, got {slab_size!r}")
         self._free: List[CallTreeNode] = []
-        #: nodes created fresh (peak memory proxy)
+        #: blank never-handed-out nodes from slab construction
+        self._virgin: List[CallTreeNode] = []
+        #: nodes handed out fresh (peak memory proxy)
         self.allocated: int = 0
         #: nodes served from the free list
         self.reused: int = 0
         #: nodes returned to the free list
         self.released: int = 0
-        #: nodes dropped from the free list by trim()/max_free
+        #: nodes dropped from the free list/virgin stock by trim()/max_free
         self.trimmed: int = 0
         #: cap on the free list (None = unbounded, the classic behavior);
         #: the governor's ladder sets this at L1/L2
         self.max_free: Optional[int] = None
+        self.slab_size = slab_size
+        #: slabs constructed (0 for a slab_size=1 pool)
+        self.slabs: int = 0
 
     # ------------------------------------------------------------------
     def acquire(
@@ -57,7 +91,20 @@ class NodePool:
             self.reused += 1
             return node
         self.allocated += 1
-        return CallTreeNode(region, parameter, parent=parent, is_stub=is_stub)
+        virgin = self._virgin
+        if not virgin:
+            # Degraded pools (max_free set by the ladder) must not hoard
+            # stock: refill one node at a time, exactly like slab_size=1.
+            if self.slab_size == 1 or self.max_free is not None:
+                return CallTreeNode(region, parameter, parent=parent, is_stub=is_stub)
+            self.slabs += 1
+            virgin.extend(CallTreeNode(None) for _ in range(self.slab_size))
+        node = virgin.pop()
+        node.region = region
+        node.parameter = parameter
+        node.parent = parent
+        node.is_stub = is_stub
+        return node
 
     def release_tree(self, root: CallTreeNode) -> int:
         """Return every node of a completed instance tree to the free list.
@@ -80,25 +127,35 @@ class NodePool:
         return count
 
     def trim(self, max_free: int = 0) -> int:
-        """Drop free-list nodes beyond ``max_free``; returns how many.
+        """Drop free-list nodes beyond ``max_free`` plus all virgin stock;
+        returns how many were dropped.
 
-        The only reference the pool holds on a released node is the
-        free-list entry, so trimming makes ``released - reused`` memory
-        actually reclaimable by the collector (ladder level L2).
+        The only references the pool holds are the free-list and virgin
+        entries, so trimming makes ``released - reused`` memory (and any
+        unused slab remainder) actually reclaimable by the collector
+        (ladder level L2).
         """
         if max_free < 0:
             raise ValueError(f"max_free must be >= 0, got {max_free!r}")
+        dropped = len(self._virgin)
+        if dropped:
+            del self._virgin[:]
         excess = len(self._free) - max_free
-        if excess <= 0:
-            return 0
-        del self._free[max_free:]
-        self.trimmed += excess
-        return excess
+        if excess > 0:
+            del self._free[max_free:]
+            dropped += excess
+        self.trimmed += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     @property
     def free_count(self) -> int:
         return len(self._free)
+
+    @property
+    def virgin_count(self) -> int:
+        """Blank nodes parked in slab stock (0 unless slab_size > 1)."""
+        return len(self._virgin)
 
     @property
     def live_count(self) -> int:
@@ -109,6 +166,15 @@ class NodePool:
         """
         return self.allocated + self.reused - self.released
 
+    @property
+    def held_count(self) -> int:
+        """Everything the pool itself keeps alive: free list + virgin stock.
+
+        This is the honest memory-gauge contribution -- slab stock is
+        real memory even though it was never handed out.
+        """
+        return len(self._free) + len(self._virgin)
+
     def stats(self) -> dict:
         out = {
             "allocated": self.allocated,
@@ -118,6 +184,9 @@ class NodePool:
         }
         if self.trimmed:
             out["trimmed"] = self.trimmed
+        if self.slabs:
+            out["slabs"] = self.slabs
+            out["virgin"] = self.virgin_count
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

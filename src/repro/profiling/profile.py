@@ -180,6 +180,43 @@ class Profile:
                     )
         return total
 
+    def flat_metric_columns(
+        self, include_stubs: bool = False
+    ) -> Tuple[List[int], Dict[int, Region], List[float], List[float], List[int]]:
+        """Columnar flat view: one row per call-tree node, handle-keyed.
+
+        Walks every tree (main + task aggregates) once, in the same
+        deterministic order the dict-based flat queries use, and returns
+        parallel columns ``(handles, regions, exclusive, inclusive,
+        visits)`` where ``regions`` maps each handle to its
+        :class:`~repro.events.regions.Region` in first-encounter order.
+        The columns are the array-backed substrate for the flat cube
+        queries (:mod:`repro.cube.query`): grouping them by handle with
+        ``np.bincount`` is a sequential per-bin fold in row order,
+        bit-identical to accumulating a dict row by row.
+        """
+        handles: List[int] = []
+        regions: Dict[int, Region] = {}
+        exclusive: List[float] = []
+        inclusive: List[float] = []
+        visits: List[int] = []
+        roots: List[CallTreeNode] = list(self.main_trees)
+        for per_thread in self.task_trees:
+            roots.extend(per_thread.values())
+        for root in roots:
+            for node in root.walk():
+                if node.is_stub and not include_stubs:
+                    continue
+                region = node.region
+                handle = region.handle
+                if handle not in regions:
+                    regions[handle] = region
+                handles.append(handle)
+                exclusive.append(node.exclusive_time)
+                inclusive.append(node.metrics.inclusive_time)
+                visits.append(node.metrics.visits)
+        return handles, regions, exclusive, inclusive, visits
+
     def stub_nodes(self, thread_id: Optional[int] = None) -> List[CallTreeNode]:
         """All stub nodes, optionally restricted to one thread's main tree."""
         trees = (

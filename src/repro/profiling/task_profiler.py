@@ -32,6 +32,21 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ProfileError
+from repro.events.batch import (
+    F_PAYLOAD,
+    INST_SHIFT,
+    K_ENTER,
+    K_EXIT,
+    K_METRIC,
+    K_TASK_BEGIN,
+    K_TASK_END,
+    K_TASK_SWITCH,
+    KIND_MASK,
+    RID_MASK,
+    RID_SHIFT,
+    TID_MASK,
+    TID_SHIFT,
+)
 from repro.events.model import InstanceId, is_implicit
 from repro.events.regions import Region, RegionType
 from repro.profiling.calltree import CallTreeNode
@@ -163,7 +178,9 @@ class ThreadTaskProfiler:
         self._stub_frame: Optional[_Frame] = None
         #: finished-task aggregate trees of this thread
         self.task_trees: Dict[TaskTreeKey, CallTreeNode] = {}
-        self.pool = NodePool()
+        # Slabbed allocation amortizes node construction on the columnar
+        # hot path; counters (and thus cube exports) are slab-invariant.
+        self.pool = NodePool(slab_size=16)
         self.concurrency = ConcurrencyTracker()
         if max_call_path_depth is not None and max_call_path_depth < 1:
             raise ValueError("max_call_path_depth must be >= 1")
@@ -471,7 +488,9 @@ class TaskProfiler:
 
             governor.attach_gauge(
                 "pool_nodes",
-                lambda: sum(t.pool.live_count + t.pool.free_count for t in self.threads),
+                # held_count (free list + virgin slab stock) keeps the
+                # gauge honest about slab memory the pool retains.
+                lambda: sum(t.pool.live_count + t.pool.held_count for t in self.threads),
             )
             governor.on_level(L1_EAGER_RELEASE, self._ladder_eager_release)
             governor.on_level(L2_AGGREGATES_ONLY, self._ladder_aggregates_only)
@@ -526,6 +545,106 @@ class TaskProfiler:
             thread.finish(time)
         self.finished = True
         self._finish_time = time
+
+    # -- batched dispatch --------------------------------------------------
+    def on_batch(self, batch) -> None:
+        """Consume one columnar event batch (the deferred-analysis path).
+
+        Strict ungoverned mode -- the hot path -- decodes each packed
+        code and calls the per-thread handlers directly, saving the
+        listener-protocol frame per event.  Lenient or governed mode
+        replays through ``self.on_*`` attribute lookup instead, so the
+        shadowed salvage/governed handlers observe every event exactly
+        as under per-event dispatch.  Either way the event sequence each
+        :class:`ThreadTaskProfiler` sees is identical to the legacy
+        path, which is what keeps the cubes byte-identical.
+        """
+        codes = batch.codes
+        times = batch.times
+        payloads = batch.payloads
+        lookup = batch.registry.lookup
+        if not self.strict or self.governor is not None:
+            on_enter = self.on_enter
+            on_exit = self.on_exit
+            on_task_begin = self.on_task_begin
+            on_task_end = self.on_task_end
+            on_task_switch = self.on_task_switch
+            on_metric = self.on_metric
+            for i, code in enumerate(codes):
+                kind = code & KIND_MASK
+                tid = (code >> TID_SHIFT) & TID_MASK
+                if kind == K_ENTER:
+                    on_enter(
+                        tid,
+                        lookup((code >> RID_SHIFT) & RID_MASK),
+                        times[i],
+                        payloads[i] if code & F_PAYLOAD else None,
+                    )
+                elif kind == K_EXIT:
+                    on_exit(tid, lookup((code >> RID_SHIFT) & RID_MASK), times[i])
+                elif kind == K_TASK_BEGIN:
+                    zz = code >> INST_SHIFT
+                    on_task_begin(
+                        tid,
+                        lookup((code >> RID_SHIFT) & RID_MASK),
+                        (zz >> 1) if not zz & 1 else -((zz + 1) >> 1),
+                        times[i],
+                        payloads[i] if code & F_PAYLOAD else None,
+                    )
+                elif kind == K_TASK_END:
+                    zz = code >> INST_SHIFT
+                    on_task_end(
+                        tid,
+                        lookup((code >> RID_SHIFT) & RID_MASK),
+                        (zz >> 1) if not zz & 1 else -((zz + 1) >> 1),
+                        times[i],
+                    )
+                elif kind == K_TASK_SWITCH:
+                    zz = code >> INST_SHIFT
+                    on_task_switch(
+                        tid, (zz >> 1) if not zz & 1 else -((zz + 1) >> 1), times[i]
+                    )
+                elif kind == K_METRIC:
+                    on_metric(tid, payloads[i], times[i])
+            return
+        threads = self.threads
+        instance_table = self.instance_table
+        for i, code in enumerate(codes):
+            kind = code & KIND_MASK
+            thread = threads[(code >> TID_SHIFT) & TID_MASK]
+            if kind == K_ENTER:
+                thread.enter(
+                    lookup((code >> RID_SHIFT) & RID_MASK),
+                    times[i],
+                    payloads[i] if code & F_PAYLOAD else None,
+                )
+            elif kind == K_EXIT:
+                thread.exit(lookup((code >> RID_SHIFT) & RID_MASK), times[i])
+            elif kind == K_TASK_BEGIN:
+                zz = code >> INST_SHIFT
+                thread.task_begin(
+                    lookup((code >> RID_SHIFT) & RID_MASK),
+                    (zz >> 1) if not zz & 1 else -((zz + 1) >> 1),
+                    times[i],
+                    payloads[i] if code & F_PAYLOAD else None,
+                )
+            elif kind == K_TASK_END:
+                zz = code >> INST_SHIFT
+                thread.task_end(
+                    lookup((code >> RID_SHIFT) & RID_MASK),
+                    (zz >> 1) if not zz & 1 else -((zz + 1) >> 1),
+                    times[i],
+                )
+            elif kind == K_TASK_SWITCH:
+                zz = code >> INST_SHIFT
+                instance = (zz >> 1) if not zz & 1 else -((zz + 1) >> 1)
+                if instance >= 0 and instance_table.get(instance) is None:
+                    raise ProfileError(
+                        f"task_switch to unknown instance {instance}"
+                    )
+                thread.task_switch(instance, times[i])
+            elif kind == K_METRIC:
+                thread.metric(payloads[i])
 
     # -- lenient (salvage) listener variants -------------------------------
     # Installed as instance attributes by __init__(strict=False); the class

@@ -152,7 +152,14 @@ def _decode_parameter(data: bytes, offset: int) -> Tuple[Optional[tuple], int]:
 # Record stream encoder
 # ----------------------------------------------------------------------
 class RecordEncoder:
-    """Stateful encoder: interns regions across chunk boundaries.
+    """Stateful encoder: emits each region's def once, keyed by its
+    live registry handle.
+
+    The wire region id *is* ``region.handle`` -- no private renumbering.
+    That makes the registry the one shared intern table end to end: a
+    decoder pins replayed regions to these same handles, so recorded
+    and live runs (including the columnar batch path, whose packed
+    codes carry handles) agree on every region id.
 
     Region defs are emitted into the same payload that first references
     them, so any prefix of *sealed* chunks is self-describing -- the
@@ -160,15 +167,12 @@ class RecordEncoder:
     """
 
     def __init__(self) -> None:
-        self._region_ids = {}
-        self._next_region = 1
+        self._defined = set()
 
     def _region_ref(self, region: Region, out: bytearray) -> int:
-        rid = self._region_ids.get(region.handle)
-        if rid is None:
-            rid = self._next_region
-            self._next_region += 1
-            self._region_ids[region.handle] = rid
+        rid = region.handle
+        if rid not in self._defined:
+            self._defined.add(rid)
             out.append(KIND_REGION_DEF)
             encode_varint(rid, out)
             _encode_str(region.name, out)
@@ -193,14 +197,14 @@ class RecordEncoder:
         out = bytearray()
         append = out.append
         pack_time = _DOUBLE.pack
-        region_ids = self._region_ids
+        defined = self._defined
         for record in records:
             kind = record[0]
             if kind == "enter":
                 _, thread_id, time, region, parameter = record
-                rid = region_ids.get(region.handle)
-                if rid is None:
-                    rid = self._region_ref(region, out)
+                rid = region.handle
+                if rid not in defined:
+                    self._region_ref(region, out)
                 append(KIND_ENTER)
                 if thread_id < 0x80:
                     append(thread_id)
@@ -217,9 +221,9 @@ class RecordEncoder:
                     _encode_parameter(parameter, out)
             elif kind == "exit":
                 _, thread_id, time, region = record
-                rid = region_ids.get(region.handle)
-                if rid is None:
-                    rid = self._region_ref(region, out)
+                rid = region.handle
+                if rid not in defined:
+                    self._region_ref(region, out)
                 append(KIND_EXIT)
                 if thread_id < 0x80:
                     append(thread_id)
@@ -232,9 +236,9 @@ class RecordEncoder:
                     encode_varint(rid, out)
             elif kind == "task_begin":
                 _, thread_id, time, region, instance, parameter = record
-                rid = region_ids.get(region.handle)
-                if rid is None:
-                    rid = self._region_ref(region, out)
+                rid = region.handle
+                if rid not in defined:
+                    self._region_ref(region, out)
                 append(KIND_TASK_BEGIN)
                 if thread_id < 0x80:
                     append(thread_id)
@@ -256,9 +260,9 @@ class RecordEncoder:
                     _encode_parameter(parameter, out)
             elif kind == "task_end":
                 _, thread_id, time, region, instance = record
-                rid = region_ids.get(region.handle)
-                if rid is None:
-                    rid = self._region_ref(region, out)
+                rid = region.handle
+                if rid not in defined:
+                    self._region_ref(region, out)
                 append(KIND_TASK_END)
                 if thread_id < 0x80:
                     append(thread_id)
@@ -372,8 +376,11 @@ class RecordDecoder:
                     ) from exc
                 if rid in self._regions:
                     raise RecordingError(f"duplicate region def for id {rid}")
+                # Pin the replayed region to the wire id (= the live
+                # run's registry handle): one shared intern table, so
+                # recorded-and-replayed batches agree on region ids.
                 self._regions[rid] = self.registry.register(
-                    name, region_type, file, line
+                    name, region_type, file, line, handle=rid
                 )
             elif kind == KIND_INIT:
                 n_threads, offset = decode_varint(data, offset)

@@ -85,6 +85,19 @@ class RuntimeConfig:
     #: :class:`~repro.errors.WatchdogTimeout` when the region has not
     #: completed within this many virtual µs (stuck-task detection).
     watchdog_us: float | None = None
+    #: Columnar event dispatch: when True (the default) the runtime
+    #: fills a struct-of-arrays :class:`~repro.events.batch.EventBatch`
+    #: and flushes it to the substrate manager at scheduling-point
+    #: boundaries (``on_batch`` fast path); when False every event is
+    #: forwarded as an individual listener call (the legacy hot path,
+    #: kept for A/B comparison -- both paths produce byte-identical
+    #: cubes).  Only effective when a substrate manager is attached.
+    batch_events: bool = True
+    #: Soft batch size: past this many buffered events the batch drains
+    #: at the next task-scheduling point.
+    batch_flush_threshold: int = 1024
+    #: Hard batch cap: the batch drains wherever it is at this size.
+    batch_capacity: int = 8192
     #: Wall-clock watchdog: real seconds one run may take.  Complements
     #: ``watchdog_us``, which cannot catch a kernel stuck in host Python
     #: *without* advancing virtual time.  Enforced by the supervised
@@ -103,6 +116,12 @@ class RuntimeConfig:
         if self.wall_timeout_s is not None and self.wall_timeout_s <= 0:
             raise ValueError(
                 f"wall_timeout_s must be positive, got {self.wall_timeout_s!r}"
+            )
+        if self.batch_flush_threshold < 1 or self.batch_capacity < self.batch_flush_threshold:
+            raise ValueError(
+                "need 1 <= batch_flush_threshold <= batch_capacity, got "
+                f"batch_flush_threshold={self.batch_flush_threshold!r} "
+                f"batch_capacity={self.batch_capacity!r}"
             )
         if self.queue_policy not in QUEUE_POLICIES:
             raise ValueError(
@@ -133,3 +152,7 @@ class RuntimeConfig:
     def with_memory_budget(self, budget) -> "RuntimeConfig":
         """Arm the resource governor with a MemoryBudget (or None)."""
         return replace(self, memory_budget=budget)
+
+    def with_batching(self, enabled: bool) -> "RuntimeConfig":
+        """Toggle columnar event batching (True = batched hot path)."""
+        return replace(self, batch_events=enabled)

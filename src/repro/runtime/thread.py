@@ -426,6 +426,12 @@ class WorkerThread:
     def _schedule_until(self, condition):
         """Execute tasks (or idle) until ``condition()`` holds."""
         rt = self.rt
+        # Entering the task scheduler is a scheduling point: give the
+        # batched instrumentation layer a chance to drain, so consumers
+        # (governor gauges, online validation) are caught up before this
+        # thread potentially idles for a long virtual stretch.  A no-op
+        # on the per-event layer and below the soft threshold.
+        rt.instr.sched_point()
         while not condition():
             task, fresh = yield from self._find_task()
             if task is not None:

@@ -28,6 +28,15 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.events.batch import (
+    K_ENTER,
+    K_EXIT,
+    K_METRIC,
+    K_TASK_BEGIN,
+    K_TASK_END,
+    K_TASK_SWITCH,
+    EventBatch,
+)
 from repro.events.model import InstanceId
 from repro.events.regions import Region, RegionRegistry
 
@@ -115,6 +124,45 @@ class Substrate:
 
     def on_phase_end(self, name: str) -> None:
         pass
+
+    # -- batched dispatch ----------------------------------------------
+    def on_batch(self, batch: EventBatch) -> None:
+        """Consume one columnar :class:`~repro.events.batch.EventBatch`.
+
+        The default implementation is the **fallback shim**: it replays
+        the batch as the legacy per-event callbacks, so a substrate that
+        only implements ``on_enter``/``on_exit``/... keeps working
+        unchanged under batched dispatch.  Dispatch goes through
+        ``self.on_*`` attribute lookup, so the method-shadowing idiom
+        (instance attributes rebinding callbacks at initialize time, as
+        the profiling and tracing substrates do) is honored.
+
+        The shim contract: the substrate observes the *same events in
+        the same order* as under per-event dispatch; exceptions escape
+        to the manager exactly as they would from the per-event
+        callbacks (the manager quarantines or aborts per ``essential``).
+        Substrates override this with a native fast path when they can
+        consume the columns directly.
+        """
+        on_enter = self.on_enter
+        on_exit = self.on_exit
+        on_task_begin = self.on_task_begin
+        on_task_end = self.on_task_end
+        on_task_switch = self.on_task_switch
+        on_metric = self.on_metric
+        for kind, thread_id, region, time, instance, payload in batch.rows():
+            if kind == K_ENTER:
+                on_enter(thread_id, region, time, payload)
+            elif kind == K_EXIT:
+                on_exit(thread_id, region, time)
+            elif kind == K_TASK_BEGIN:
+                on_task_begin(thread_id, region, instance, time, payload)
+            elif kind == K_TASK_END:
+                on_task_end(thread_id, region, instance, time)
+            elif kind == K_TASK_SWITCH:
+                on_task_switch(thread_id, instance, time)
+            elif kind == K_METRIC:
+                on_metric(thread_id, payload, time)
 
     def __repr__(self) -> str:
         flags = []

@@ -20,7 +20,12 @@ from repro.substrates.base import Substrate
 
 
 class GovernorSubstrate(Substrate):
-    """Surfaces the resource governor's ladder state as a run artifact."""
+    """Surfaces the resource governor's ladder state as a run artifact.
+
+    Overrides no event callbacks, so the manager's batched dispatch
+    never routes :class:`~repro.events.batch.EventBatch` flushes here --
+    it is a pure artifact carrier on both the legacy and columnar paths.
+    """
 
     name = "governor"
     essential = False

@@ -106,6 +106,32 @@ class SubstrateManager:
                 if getattr(getattr(s, callback), "__func__", None) is not base
             ]
             setattr(self, "_targets_" + callback, targets)
+        # Batched dispatch targets: a substrate belongs in the batch
+        # fan-out if it consumes batches natively (overridden on_batch)
+        # or if any of its six event callbacks is overridden (the base
+        # on_batch shim then replays the batch through them).  A
+        # substrate with neither -- the governor -- is skipped entirely.
+        batch_base = Substrate.on_batch
+        event_bases = tuple(
+            getattr(Substrate, cb) for cb in _DISPATCH_CALLBACKS[:6]
+        )
+        self._targets_on_batch = [
+            s
+            for s in self._active
+            if getattr(s.on_batch, "__func__", None) is not batch_base
+            or any(
+                getattr(getattr(s, cb), "__func__", None) is not base
+                for cb, base in zip(_DISPATCH_CALLBACKS[:6], event_bases)
+            )
+        ]
+        # Satellite fix: the per-event charge used to be re-summed by the
+        # property on every event; cache it here and re-derive it on any
+        # dispatch rebuild (attachment-time init, quarantine).  The sum
+        # spans *all attached* substrates -- per the documented contract a
+        # quarantine invalidates the cache but never lowers the charge.
+        self._extra_cost_per_event = float(
+            sum(s.per_event_cost for s in self.substrates)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -114,9 +140,11 @@ class SubstrateManager:
 
         Fixed at attachment time (quarantining a substrate does not
         retroactively lower the charge -- the cost model is part of the
-        virtual timeline and must stay deterministic).
+        virtual timeline and must stay deterministic).  The value is
+        cached by :meth:`_rebuild_dispatch`; reading it is a field load,
+        not a per-event re-summation.
         """
-        return sum(s.per_event_cost for s in self.substrates)
+        return self._extra_cost_per_event
 
     def get(self, name: str) -> Optional[Substrate]:
         """The attached substrate with this name, or ``None``."""
@@ -301,6 +329,32 @@ class SubstrateManager:
                 if substrate.essential:
                     raise
                 self._quarantine(substrate, "on_phase_end", exc)
+
+    def on_batch(self, batch) -> None:
+        """Fan one columnar batch out to every batch-capable substrate.
+
+        This is the hot-path replacement for per-event fan-out: one
+        dispatch call per *flush* instead of one per event, with each
+        substrate consuming the whole batch (natively or through the
+        base-class replay shim).  Every substrate still observes the
+        same events in the same order as under per-event dispatch; only
+        the interleaving *between* substrates coarsens from per-event to
+        per-batch.
+
+        Quarantine semantics: an exception from a non-essential
+        substrate quarantines it exactly as in per-event dispatch.  The
+        incident's ``events_delivered`` is the post-batch count -- with
+        deferred dispatch the batch is the granularity at which delivery
+        is accounted.
+        """
+        self.events_delivered += batch.counted
+        for substrate in self._targets_on_batch:
+            try:
+                substrate.on_batch(batch)
+            except Exception as exc:
+                if substrate.essential:
+                    raise
+                self._quarantine(substrate, "on_batch", exc)
 
     def on_finish(self, time: float) -> None:
         """End of measurement: finalize the still-active substrates.

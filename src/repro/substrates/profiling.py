@@ -77,6 +77,10 @@ class ProfilingSubstrate(Substrate):
         self.on_metric = profiler.on_metric
         self.on_phase_begin = profiler.on_phase_begin
         self.on_phase_end = profiler.on_phase_end
+        # Columnar fast path: the profiler decodes whole batches itself
+        # (and internally falls back to the shadowed per-event handlers
+        # in lenient/governed mode).
+        self.on_batch = profiler.on_batch
 
     def finalize(self, time: float) -> None:
         if self.profiler is not None:

@@ -11,6 +11,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.events.batch import (
+    K_ENTER,
+    K_EXIT,
+    K_TASK_BEGIN,
+    K_TASK_END,
+    K_TASK_SWITCH,
+    EventBatch,
+)
 from repro.events.regions import Region, RegionRegistry
 from repro.events.stream import ProgramTrace
 from repro.instrument.pomp2 import RecordingListener
@@ -43,6 +51,47 @@ class TracingSubstrate(Substrate):
         self.on_task_begin = recorder.on_task_begin
         self.on_task_end = recorder.on_task_end
         self.on_task_switch = recorder.on_task_switch
+
+    def on_batch(self, batch: EventBatch) -> None:
+        """Native batch consume: one loop building events straight into
+        the trace, bypassing the per-event listener frames.
+
+        ``trace.record`` is looked up once per batch *through the
+        instance*, so a fault injector that shadowed it (stream-fault
+        mode) still intercepts every recorded event.
+        """
+        from repro.events.model import (
+            EnterEvent,
+            ExitEvent,
+            TaskBeginEvent,
+            TaskEndEvent,
+            TaskSwitchEvent,
+            implicit_instance_id,
+        )
+
+        record = self.trace.record
+        current = self._recorder._current
+        for kind, thread_id, region, time, instance, payload in batch.rows():
+            if kind == K_ENTER:
+                record(
+                    EnterEvent(thread_id, time, current[thread_id], region, payload)
+                )
+            elif kind == K_EXIT:
+                record(ExitEvent(thread_id, time, current[thread_id], region))
+            elif kind == K_TASK_BEGIN:
+                current[thread_id] = instance
+                record(
+                    TaskBeginEvent(
+                        thread_id, time, instance, region, instance, payload
+                    )
+                )
+            elif kind == K_TASK_END:
+                record(TaskEndEvent(thread_id, time, instance, region, instance))
+                current[thread_id] = implicit_instance_id(thread_id)
+            elif kind == K_TASK_SWITCH:
+                current[thread_id] = instance
+                record(TaskSwitchEvent(thread_id, time, instance, instance))
+            # metrics live in the profile, not the event trace
 
     def artifact(self) -> Optional[ProgramTrace]:
         return self.trace

@@ -20,6 +20,14 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional, Set
 
+from repro.events.batch import (
+    K_ENTER,
+    K_EXIT,
+    K_TASK_BEGIN,
+    K_TASK_END,
+    K_TASK_SWITCH,
+    EventBatch,
+)
 from repro.events.model import (
     EnterEvent,
     ExitEvent,
@@ -131,6 +139,55 @@ class OnlineValidationSubstrate(Substrate):
     def on_task_switch(self, thread_id, instance, time) -> None:
         self._feed(thread_id, TaskSwitchEvent(thread_id, time, instance, instance))
         self._current[thread_id] = instance
+
+    def on_batch(self, batch: EventBatch) -> None:
+        """Native batch consume: one decode loop feeding the checkers.
+
+        Mirrors the per-event callbacks exactly (event construction,
+        feed-then-bookkeeping ordering for ``_current`` / ``_begun`` /
+        ``_ended`` / ``_known_active``), so the violation report is
+        identical whichever dispatch path ran.
+        """
+        feed = self._feed
+        current = self._current
+        begun = self._begun
+        ended = self._ended
+        known_active = self._known_active
+        for kind, thread_id, region, time, instance, payload in batch.rows():
+            if kind == K_ENTER:
+                feed(
+                    thread_id,
+                    EnterEvent(thread_id, time, current[thread_id], region, payload),
+                )
+            elif kind == K_EXIT:
+                feed(
+                    thread_id,
+                    ExitEvent(thread_id, time, current[thread_id], region),
+                )
+            elif kind == K_TASK_BEGIN:
+                feed(
+                    thread_id,
+                    TaskBeginEvent(
+                        thread_id, time, instance, region, instance, payload
+                    ),
+                )
+                current[thread_id] = instance
+                begun[instance] = begun.get(instance, 0) + 1
+                known_active.add(instance)
+            elif kind == K_TASK_END:
+                feed(
+                    thread_id,
+                    TaskEndEvent(thread_id, time, instance, region, instance),
+                )
+                current[thread_id] = implicit_instance_id(thread_id)
+                ended[instance] = ended.get(instance, 0) + 1
+            elif kind == K_TASK_SWITCH:
+                feed(
+                    thread_id,
+                    TaskSwitchEvent(thread_id, time, instance, instance),
+                )
+                current[thread_id] = instance
+            # metrics carry no task-consistency information
 
     # ------------------------------------------------------------------
     def finalize(self, time: float) -> None:

@@ -1,0 +1,106 @@
+"""Acceptance gate: the batched hot path changes *speed*, never *numbers*.
+
+ISSUE acceptance criteria, end to end:
+
+* fib / sort / nqueens export byte-identical cubes under the legacy
+  per-event path (``batch_events=False``) and the batched default;
+* ``events_dispatched`` agrees between the two paths (the satellite
+  fix: batched dispatch counts individual events, not flushes);
+* a *recorded* batched run replays and verifies MATCH;
+* the recorder's wire region ids are the live registry handles -- one
+  shared intern table, no double interning (satellite fix).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.experiment import run_app
+from repro.archive.store import content_hash
+from repro.cube.export import profile_to_dict
+from repro.events.regions import RegionRegistry, RegionType
+from repro.faults.campaign import run_tolerant
+from repro.recorder import verify_recording
+from repro.recorder.codec import RecordDecoder, RecordEncoder
+
+APPS = ["fib", "sort", "nqueens"]
+
+
+@pytest.fixture(scope="module", params=APPS)
+def pair(request):
+    app = request.param
+    legacy = run_app(app, size="test", n_threads=2, seed=0, batch_events=False)
+    batched = run_app(app, size="test", n_threads=2, seed=0)
+    return app, legacy, batched
+
+
+def test_both_paths_verify(pair):
+    app, legacy, batched = pair
+    assert legacy.verified, f"{app}: legacy run failed functional verification"
+    assert batched.verified, f"{app}: batched run failed functional verification"
+
+
+def test_cube_export_byte_identical(pair):
+    app, legacy, batched = pair
+    ld = profile_to_dict(legacy.profile)
+    bd = profile_to_dict(batched.profile)
+    assert bd == ld, f"{app}: batched cube dict diverges from legacy"
+    # Byte-level: canonical JSON and the archive content hash both agree.
+    canon = dict(sort_keys=True, separators=(",", ":"))
+    assert json.dumps(bd, **canon).encode() == json.dumps(ld, **canon).encode()
+    assert content_hash(batched.profile) == content_hash(legacy.profile)
+
+
+def test_events_dispatched_identical(pair):
+    app, legacy, batched = pair
+    assert (
+        batched.parallel.events_dispatched == legacy.parallel.events_dispatched
+    ), f"{app}: batched path miscounts dispatched events"
+    assert batched.parallel.events_dispatched > 0
+
+
+def test_recorded_batched_run_verifies_match(tmp_path):
+    record_dir = tmp_path / "run"
+    outcome = run_tolerant(
+        "fib", size="test", n_threads=2, seed=0,
+        record_dir=str(record_dir), checkpoint_every=32,
+    )
+    assert outcome.status == "complete"
+    report = verify_recording(str(record_dir))
+    assert report.usable and report.matched
+    assert report.exit_code == 0
+
+
+def test_codec_uses_live_registry_handles():
+    """Wire region ids are the registry handles -- one intern table."""
+    reg = RegionRegistry()
+    # Burn a few handles first so region handles are not accidentally
+    # equal to a dense 0..n-1 renumbering an encoder-private table
+    # would produce.
+    for i in range(5):
+        reg.register(f"burn{i}", RegionType.FUNCTION)
+    a = reg.register("alpha", RegionType.FUNCTION, file="a.py", line=1)
+    b = reg.register("beta", RegionType.TASK)
+    records = [
+        ("enter", 0, 1.0, a, None),
+        ("task_begin", 1, 2.0, b, 7, None),
+        ("task_end", 1, 3.0, b, 7),
+        ("exit", 0, 4.0, a),
+    ]
+    payload = RecordEncoder().encode(records)
+    decoder = RecordDecoder()
+    decoded = decoder.decode(payload)
+
+    da = decoded[0][3]
+    db = decoded[1][3]
+    assert (da.name, db.name) == ("alpha", "beta")
+    # The decoded regions carry the *live* handles, pinned from the wire.
+    assert da.handle == a.handle
+    assert db.handle == b.handle
+    assert decoder.registry.lookup(a.handle) is da
+    assert decoder.registry.lookup(b.handle) is db
+    # And re-encoding the same region emits no second REGION_DEF.
+    enc = RecordEncoder()
+    first = enc.encode([("enter", 0, 1.0, a, None)])
+    second = enc.encode([("exit", 0, 2.0, a)])
+    assert len(second) < len(first)

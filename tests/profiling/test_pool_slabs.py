@@ -1,0 +1,218 @@
+"""NodePool slab extension and its interplay with the degradation ladder.
+
+Satellite coverage: slab allocation must change *allocation mechanics*
+only -- counters, statistics, and (critically) the governor's memory
+ladder semantics are slab-invariant:
+
+* L1 (``max_free=0`` + trim) and L2 (``l2_max_free`` residue) must drop
+  virgin slab stock along with the free list -- a degraded pool retains
+  no hidden slab memory;
+* trimmed nodes stay weakref-reclaimable (the pool holds the only
+  references);
+* counters match a slab_size=1 pool over the same workload, so pool
+  statistics feeding the cube export are identical whichever slab size
+  runs.
+"""
+
+import gc
+import weakref
+
+import pytest
+
+from repro.events.regions import RegionRegistry, RegionType
+from repro.governor import (
+    L1_EAGER_RELEASE,
+    L2_AGGREGATES_ONLY,
+    MemoryBudget,
+    ResourceGovernor,
+)
+from repro.profiling.pool import NodePool
+from repro.profiling.task_profiler import TaskProfiler
+
+
+@pytest.fixture
+def region():
+    reg = RegionRegistry()
+    return reg.register("task", RegionType.TASK)
+
+
+# ----------------------------------------------------------------------
+# Slab mechanics
+# ----------------------------------------------------------------------
+def test_first_acquire_builds_one_slab(region):
+    pool = NodePool(slab_size=4)
+    node = pool.acquire(region)
+    assert node.region is region
+    assert pool.allocated == 1
+    assert pool.slabs == 1
+    assert pool.virgin_count == 3
+    assert pool.held_count == 3
+    stats = pool.stats()
+    assert stats["slabs"] == 1
+    assert stats["virgin"] == 3
+
+
+def test_slab_pool_stats_match_classic_pool(region):
+    """Counters are slab-invariant over an identical workload."""
+    classic = NodePool()
+    slabbed = NodePool(slab_size=8)
+    for pool in (classic, slabbed):
+        roots = [pool.acquire(region) for _ in range(5)]
+        for root in roots[:3]:
+            pool.release_tree(root)
+        pool.acquire(region)  # served from the free list
+    for key in ("allocated", "reused", "released"):
+        assert slabbed.stats()[key] == classic.stats()[key], key
+    # the classic pool reports no slab keys at all (test-pinned shape)
+    assert "slabs" not in classic.stats()
+    assert "virgin" not in classic.stats()
+
+
+def test_free_list_preferred_over_virgin_stock(region):
+    pool = NodePool(slab_size=4)
+    first = pool.acquire(region)
+    pool.release_tree(first)
+    again = pool.acquire(region)
+    assert again is first
+    assert pool.reused == 1
+    assert pool.virgin_count == 3  # stock untouched
+
+
+def test_slab_refills_when_stock_exhausted(region):
+    pool = NodePool(slab_size=3)
+    for _ in range(4):  # 3 from the first slab, 1 triggers a second
+        pool.acquire(region)
+    assert pool.slabs == 2
+    assert pool.allocated == 4
+    assert pool.virgin_count == 2
+
+
+# ----------------------------------------------------------------------
+# Ladder interplay
+# ----------------------------------------------------------------------
+def test_trim_drops_virgin_stock_and_free_excess(region):
+    pool = NodePool(slab_size=8)
+    roots = [pool.acquire(region) for _ in range(3)]
+    for root in roots:
+        pool.release_tree(root)
+    assert pool.free_count == 3 and pool.virgin_count == 5
+    dropped = pool.trim(1)  # L2-style residue of 1
+    assert dropped == 7  # 5 virgins + 2 free-list excess
+    assert pool.trimmed == 7
+    assert pool.free_count == 1 and pool.virgin_count == 0
+    assert pool.held_count == 1
+
+
+def test_degraded_pool_refills_single_nodes(region):
+    """After L1 sets max_free, cache misses must not hoard new slabs."""
+    pool = NodePool(slab_size=4)
+    pool.acquire(region)
+    pool.max_free = 0  # what _ladder_eager_release does
+    pool.trim(0)
+    assert pool.virgin_count == 0
+    pool.acquire(region)
+    pool.acquire(region)
+    assert pool.slabs == 1  # no second slab under degradation
+    assert pool.virgin_count == 0
+    assert pool.held_count == 0
+
+
+def test_release_respects_max_free_with_slabs(region):
+    pool = NodePool(slab_size=4)
+    pool.max_free = 1
+    pool.trim(1)
+    roots = [pool.acquire(region) for _ in range(3)]
+    for root in roots:
+        pool.release_tree(root)
+    assert pool.free_count <= 1
+
+
+def test_trimmed_slab_nodes_are_weakref_reclaimable(region):
+    pool = NodePool(slab_size=4)
+    node = pool.acquire(region)
+    pool.release_tree(node)
+    refs = [weakref.ref(n) for n in pool._free + pool._virgin]
+    assert refs
+    pool.trim(0)
+    del node
+    gc.collect()
+    assert all(ref() is None for ref in refs)
+
+
+# ----------------------------------------------------------------------
+# Through the TaskProfiler's ladder actions
+# ----------------------------------------------------------------------
+@pytest.fixture
+def governed_profiler():
+    reg = RegionRegistry()
+    impl = reg.register("parallel", RegionType.IMPLICIT_TASK)
+    task = reg.register("task", RegionType.TASK)
+    governor = ResourceGovernor(
+        MemoryBudget(max_pool_nodes=1000, l2_max_free=2)
+    )
+    profiler = TaskProfiler(2, impl, governor=governor)
+    return profiler, task
+
+
+def _prime_slabs(profiler, task):
+    """Give every thread pool live nodes, free nodes, and virgin stock."""
+    for thread in profiler.threads:
+        assert thread.pool.slab_size > 1  # the profiler opts into slabs
+        roots = [thread.pool.acquire(task) for _ in range(4)]
+        for root in roots[:3]:
+            thread.pool.release_tree(root)
+        assert thread.pool.virgin_count > 0
+        assert thread.pool.free_count == 3
+
+
+def test_ladder_l1_trims_slabbed_pools(governed_profiler):
+    profiler, task = governed_profiler
+    _prime_slabs(profiler, task)
+    profiler._ladder_eager_release()
+    for thread in profiler.threads:
+        assert thread.pool.max_free == 0
+        assert thread.pool.free_count == 0
+        assert thread.pool.virgin_count == 0
+        assert thread.pool.held_count == 0
+
+
+def test_ladder_l2_trims_to_budget_residue(governed_profiler):
+    profiler, task = governed_profiler
+    _prime_slabs(profiler, task)
+    profiler._ladder_aggregates_only()
+    for thread in profiler.threads:
+        assert thread.pool.max_free == 2
+        assert thread.pool.free_count == 2
+        assert thread.pool.virgin_count == 0
+
+
+def test_ladder_fires_through_governor_level_entry(governed_profiler):
+    """The governor's on_level wiring reaches the slabbed pools."""
+    profiler, task = governed_profiler
+    _prime_slabs(profiler, task)
+    governor = profiler.governor
+    for action in governor._actions[L1_EAGER_RELEASE]:
+        action()
+    for thread in profiler.threads:
+        assert thread.pool.virgin_count == 0
+    _prime_slabs_allowed = all(
+        t.pool.max_free == 0 for t in profiler.threads
+    )
+    assert _prime_slabs_allowed
+    for action in governor._actions[L2_AGGREGATES_ONLY]:
+        action()
+    for thread in profiler.threads:
+        assert thread.pool.max_free == 2
+
+
+def test_pool_gauge_counts_held_slab_stock(governed_profiler):
+    profiler, task = governed_profiler
+    gauge = profiler.governor._gauges["pool_nodes"]
+    base = gauge()
+    node = profiler.threads[0].pool.acquire(task)
+    # one live node was handed out, and the rest of its slab is stock
+    # the gauge must see (held_count keeps the gauge honest)
+    slab = profiler.threads[0].pool.slab_size
+    assert gauge() == base + slab
+    profiler.threads[0].pool.release_tree(node)
+    assert gauge() == base + slab
