@@ -1,0 +1,121 @@
+"""Gateway overhead: durability must stay cheap per campaign.
+
+The campaign gateway wraps every supervised grid in a durable ledger
+(fsync'd submit + admit + lease + running + settle records under a
+flock), a lease-renewal thread, and a recovery scan.  That machinery
+is the price of kill-anywhere recovery — and it is only acceptable if
+a gateway-served campaign stays within a few percent of driving the
+supervisor directly.  Gate: serve within 5 % of plain ``run_supervised``
+on the same grid (plus an absolute slack so fork jitter on a
+sub-second grid cannot flake the ratio).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service import CampaignSpec, Gateway
+from repro.supervisor import FAST_BACKOFF, call_cell, run_supervised
+
+N_CELLS = 12
+GATEWAY_RELATIVE_BUDGET = 1.05
+GATEWAY_ABSOLUTE_SLACK_S = 0.25  # fork/scheduler jitter on short grids
+
+
+def _stub_grid():
+    return [
+        call_cell(
+            "repro.supervisor.stubs:ok_cell", {"value": i}, cell_id=f"cell-{i}"
+        )
+        for i in range(N_CELLS)
+    ]
+
+
+def _cells_spec(n=N_CELLS):
+    return CampaignSpec.from_dict(
+        {
+            "kind": "cells",
+            "cells": [
+                {
+                    "kind": "call",
+                    "cell_id": f"cell-{i}",
+                    "params": {
+                        "target": "repro.supervisor.stubs:ok_cell",
+                        "kwargs": {"value": i},
+                    },
+                }
+                for i in range(n)
+            ],
+        }
+    )
+
+
+def test_gateway_overhead_within_budget(report, tmp_path):
+    """Interleaved min-of-N: ledger + lease + recovery scan vs plain."""
+    repeats = 3
+
+    def plain_run(tag):
+        return run_supervised(
+            _stub_grid(),
+            jobs=2,
+            backoff=FAST_BACKOFF,
+            journal_path=str(tmp_path / f"plain-{tag}.jsonl"),
+        )
+
+    def gateway_run(tag):
+        gateway = Gateway(
+            str(tmp_path / f"home-{tag}"),
+            jobs=2,
+            reclaim_backoff=FAST_BACKOFF,
+        )
+        campaign, created = gateway.submit(_cells_spec())
+        assert created
+        serve = gateway.serve(run_until_idle=True, poll_s=0.01)
+        return gateway, campaign, serve
+
+    plain_s, gateway_s = [], []
+    for tag in range(repeats):
+        start = time.perf_counter()
+        assert plain_run(tag).ok
+        plain_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        gateway, campaign, serve = gateway_run(tag)
+        gateway_s.append(time.perf_counter() - start)
+        assert serve.executed == 1 and serve.idle
+        refreshed = gateway.campaign(campaign.campaign_id)
+        assert refreshed.state == "archived"
+        assert refreshed.cells["ok"] == N_CELLS
+
+    plain, served = min(plain_s), min(gateway_s)
+    budget = plain * GATEWAY_RELATIVE_BUDGET + GATEWAY_ABSOLUTE_SLACK_S
+    report.section("gateway overhead: submit + serve vs plain supervise")
+    report(f"cells: {N_CELLS}, jobs: 2, min of {repeats}")
+    report(f"plain supervised:  {plain * 1e3:8.1f} ms")
+    report(f"gateway served:    {served * 1e3:8.1f} ms")
+    report(
+        f"budget (5 % + {GATEWAY_ABSOLUTE_SLACK_S * 1e3:.0f} ms slack): "
+        f"{budget * 1e3:8.1f} ms"
+    )
+    assert served <= budget, (
+        f"gateway path {served * 1e3:.1f} ms exceeds "
+        f"{budget * 1e3:.1f} ms budget"
+    )
+
+
+def test_submit_latency_is_bounded(report, tmp_path):
+    """A durable submit is a handful of fsyncs, not a supervised run."""
+    gateway = Gateway(str(tmp_path / "home"), reclaim_backoff=FAST_BACKOFF)
+    laps = []
+    for i in range(10):
+        spec = _cells_spec(1)
+        start = time.perf_counter()
+        gateway.submit(spec, idempotency_key=f"k{i}")
+        laps.append(time.perf_counter() - start)
+    worst_ms = max(laps) * 1e3
+    median_ms = sorted(laps)[len(laps) // 2] * 1e3
+    report.section("submit latency (1-cell campaign, fsync'd ledger)")
+    report(f"median: {median_ms:8.2f} ms   worst: {worst_ms:8.2f} ms")
+    # A submit is flock + one fsync'd append; anything near a second
+    # means the ledger path grew accidental work.
+    assert worst_ms < 1000.0, f"submit took {worst_ms:.0f} ms"

@@ -52,8 +52,10 @@ from repro.archive.store import (
     canonical_profile_bytes,
     content_hash,
 )
+from repro.errors import ArchiveLockTimeout
 
 __all__ = [
+    "ArchiveLockTimeout",
     "ArchiveRecord",
     "ArchiveStore",
     "BASELINE_METRICS",

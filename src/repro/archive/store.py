@@ -48,7 +48,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.cube.export import profile_from_dict, profile_to_dict
-from repro.errors import ArchiveError
+from repro.errors import ArchiveError, ArchiveLockTimeout
 from repro.ioutil import atomic_write
 from repro.archive.meta import RunMeta
 
@@ -120,10 +120,24 @@ class GcStats:
 
 
 class ArchiveStore:
-    """A content-addressed archive rooted at one directory."""
+    """A content-addressed archive rooted at one directory.
 
-    def __init__(self, root: str):
+    ``lock_timeout_s`` bounds how long any index mutation will wait for
+    the advisory index lock; past it, :class:`~repro.errors.ArchiveLockTimeout`
+    is raised instead of blocking forever.  The default (None) preserves
+    the historical block-indefinitely behavior; lease-based callers (the
+    campaign gateway) set it below their lease TTL so a wedged lock
+    holder surfaces as a structured error, not as a silently forfeited
+    lease.
+    """
+
+    def __init__(self, root: str, *, lock_timeout_s: Optional[float] = None):
         self.root = os.fspath(root)
+        if lock_timeout_s is not None and lock_timeout_s <= 0:
+            raise ValueError(
+                f"lock_timeout_s must be positive, got {lock_timeout_s!r}"
+            )
+        self.lock_timeout_s = lock_timeout_s
 
     # -- paths ---------------------------------------------------------
     @property
@@ -150,7 +164,30 @@ class ArchiveStore:
             yield
             return
         with open(lock_path, "a+") as handle:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            if self.lock_timeout_s is None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            else:
+                # Bounded wait: poll a non-blocking flock until the
+                # deadline.  EWOULDBLOCK is the only retryable errno;
+                # anything else is a real filesystem failure.
+                deadline = time.monotonic() + self.lock_timeout_s
+                while True:
+                    try:
+                        fcntl.flock(
+                            handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB
+                        )
+                        break
+                    except (BlockingIOError, PermissionError):
+                        if time.monotonic() >= deadline:
+                            raise ArchiveLockTimeout(
+                                f"could not acquire the archive index lock "
+                                f"at {lock_path!r} within "
+                                f"{self.lock_timeout_s:g} s (held by a "
+                                f"concurrent writer?)"
+                            ) from None
+                        time.sleep(
+                            min(0.01, self.lock_timeout_s / 20.0)
+                        )
             try:
                 yield
             finally:

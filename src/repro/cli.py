@@ -585,6 +585,175 @@ def build_parser() -> argparse.ArgumentParser:
     sentinel_parser.add_argument("--json", metavar="FILE",
                                  help="write the structured report as JSON")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the crash-safe campaign gateway over a home directory: "
+        "recover the ledger, then admit/claim/execute submitted "
+        "campaigns (SIGTERM drains in-flight work, exit 143; everything "
+        "is resumable)",
+    )
+    serve_parser.add_argument(
+        "home", help="gateway home (ledger.jsonl, journals/, archive/)"
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker subprocesses per campaign (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--lease-ttl-s", type=float, default=300.0, metavar="S",
+        help="lease time-to-live: an expired lease marks its holder "
+        "presumed-dead and recovery reclaims the campaign (default: 300)",
+    )
+    serve_parser.add_argument(
+        "--max-lease-attempts", type=int, default=3, metavar="N",
+        help="lease grants per campaign before it fails as "
+        "lease-exhausted (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--cell-timeout-s", type=float, default=60.0, metavar="S",
+        help="wall-clock limit per cell attempt, clamped to the "
+        "campaign's remaining deadline budget (default: 60)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per cell for transient outcomes (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-s", type=float, default=0.5, metavar="S",
+        help="worker liveness heartbeat interval (default: 0.5)",
+    )
+    serve_parser.add_argument(
+        "--no-heartbeat", action="store_true",
+        help="disable heartbeats and stuck detection",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="arm admission control: bound the admitted-not-leased "
+        "queue at N campaigns (default: off)",
+    )
+    serve_parser.add_argument(
+        "--admission-policy", default="block",
+        choices=["block", "reject", "shed"],
+        help="overload behavior at the queue's high watermark: defer "
+        "admission (block), fail the newcomer with E_ADMISSION_REJECTED "
+        "(reject), or cancel the oldest admitted campaign (shed) "
+        "(default: block)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="arm the per-class circuit breaker inside each campaign's "
+        "supervisor (default: off)",
+    )
+    serve_parser.add_argument(
+        "--until-idle", action="store_true",
+        help="exit once no resumable work remains instead of polling "
+        "for new submissions forever",
+    )
+    serve_parser.add_argument(
+        "--max-campaigns", type=int, default=None, metavar="N",
+        help="stop after executing N campaigns",
+    )
+    serve_parser.add_argument(
+        "--budget-s", type=float, default=None, metavar="S",
+        help="stop after S seconds of serving (in-flight work drains)",
+    )
+    serve_parser.add_argument(
+        "--poll-s", type=float, default=0.5, metavar="S",
+        help="idle poll interval while waiting for work (default: 0.5)",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable serve report instead of text",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="durably enqueue a campaign with the gateway (idempotent "
+        "under --key); a serve process executes it",
+    )
+    submit_parser.add_argument("home", help="gateway home directory")
+    submit_parser.add_argument(
+        "--apps", type=_parse_names, default=["fib", "nqueens"],
+        help="comma-separated kernel names for a fault campaign "
+        "(default: fib,nqueens; ignored with --cells-file)",
+    )
+    submit_parser.add_argument(
+        "--modes", type=_parse_names, default=list(FAULT_MODES),
+        help="comma-separated fault modes; 'none' runs cells healthy "
+        f"(default: all of {','.join(FAULT_MODES)})",
+    )
+    submit_parser.add_argument(
+        "--seeds", type=_parse_threads, default=[0, 1, 2],
+        help="comma-separated seeds (default: 0,1,2)",
+    )
+    submit_parser.add_argument("--size", default="test",
+                               choices=["test", "small", "medium"])
+    submit_parser.add_argument("--threads", type=int, default=2)
+    submit_parser.add_argument(
+        "--watchdog-us", type=float, default=None, metavar="US",
+        help="virtual-time watchdog per run (default: 1e6)",
+    )
+    submit_parser.add_argument(
+        "--substrates", type=_parse_names, default=None, metavar="NAMES",
+        help="comma-separated substrate names fault cells should attach",
+    )
+    submit_parser.add_argument(
+        "--wall-timeout-s", type=float, default=None, metavar="S",
+        help="per-cell wall-clock limit carried by the spec (the "
+        "gateway clamps it to the remaining deadline budget)",
+    )
+    submit_parser.add_argument(
+        "--cells-file", metavar="FILE",
+        help="submit these run specs verbatim (JSON list or JSONL) "
+        "instead of a fault grid",
+    )
+    submit_parser.add_argument(
+        "--key", dest="idempotency_key", metavar="KEY",
+        help="idempotency key: resubmitting the same spec under the "
+        "same key returns the original campaign instead of creating "
+        "a duplicate",
+    )
+    submit_parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="end-to-end deadline from submission, propagated down to "
+        "the supervisor and every cell's wall-clock limit",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable response (stable E_* error "
+        "codes on failure)",
+    )
+
+    status_parser = sub.add_parser(
+        "status",
+        help="one campaign's ledger record, or a table of all of them",
+    )
+    status_parser.add_argument("home", help="gateway home directory")
+    status_parser.add_argument(
+        "campaign_id", nargs="?", default=None,
+        help="campaign id (cNNNN); omit to list every campaign",
+    )
+    status_parser.add_argument(
+        "--cancel", action="store_true",
+        help="cancel the named campaign (pre-lease states only)",
+    )
+    status_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable records",
+    )
+
+    fetch_parser = sub.add_parser(
+        "fetch",
+        help="a campaign's record plus its archived runs (found by the "
+        "campaign:<id> tag the gateway stamps on every cell)",
+    )
+    fetch_parser.add_argument("home", help="gateway home directory")
+    fetch_parser.add_argument("campaign_id", help="campaign id (cNNNN)")
+    fetch_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable response",
+    )
+
     return parser
 
 
@@ -1482,8 +1651,339 @@ def cmd_supervise(args) -> int:
         )
         print(f"summary written to {args.summary}")
     if report.interrupted:
-        return 130
+        # 128 + signal number, like a shell reports it: 143 for the
+        # SIGTERM drain, 130 for Ctrl-C.  Both leave a resumable journal.
+        return 143 if report.terminated else 130
     return 0 if report.ok else 1
+
+
+# ----------------------------------------------------------------------
+# Campaign gateway verbs (repro.service)
+# ----------------------------------------------------------------------
+def _gateway_failure(exc: BaseException, as_json: bool) -> int:
+    """Uniform failure surface for gateway verbs: stable code, exit 2."""
+    from repro.errors import error_payload
+
+    payload = error_payload(exc)
+    if as_json:
+        print(json.dumps({"error": payload}, indent=2))
+    else:
+        print(
+            f"repro: {payload['code']}: {payload['message']}", file=sys.stderr
+        )
+    return 2
+
+
+def _require_home(home: str) -> bool:
+    """Read-only verbs refuse a home with no ledger instead of creating it."""
+    import os
+
+    if not os.path.exists(os.path.join(home, "ledger.jsonl")):
+        print(
+            f"repro: no gateway ledger at {home!r} "
+            f"(`repro submit` or `repro serve` creates one)",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _load_cells_file(path: str) -> List[dict]:
+    """Raw run-spec dicts from a JSON list or JSONL file."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read().strip()
+    if not text:
+        raise ValueError(f"{path!r} is empty")
+    if text.startswith("["):
+        cells = json.loads(text)
+    else:
+        cells = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if not isinstance(cells, list) or not all(
+        isinstance(cell, dict) for cell in cells
+    ):
+        raise ValueError(
+            f"{path!r} must hold a JSON list (or JSONL) of run-spec objects"
+        )
+    return cells
+
+
+def _print_campaign(campaign: dict) -> None:
+    """Human-readable single-campaign ledger record."""
+    from repro.service import CampaignSpec
+
+    spec = CampaignSpec.from_dict(campaign["spec"])
+    print(f"{campaign['campaign_id']}: {campaign['state']}")
+    if spec.kind == "fault":
+        print(
+            f"  spec: fault grid {','.join(spec.apps)} "
+            f"x {','.join(spec.modes)} "
+            f"x seeds {','.join(str(s) for s in spec.seeds)} "
+            f"({spec.n_cells} cells)"
+        )
+    else:
+        print(f"  spec: {spec.n_cells} explicit cells")
+    print(f"  attempts: {campaign['attempts']}")
+    lease = campaign.get("lease")
+    if lease:
+        print(f"  lease: {lease['owner']} (expires_at {lease['expires_at']:.0f})")
+    if campaign.get("deadline_at") is not None:
+        print(f"  deadline_at: {campaign['deadline_at']:.0f}")
+    cells = campaign.get("cells")
+    if cells:
+        outcomes = ", ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(cells.items())
+            if outcome != "total"
+        )
+        print(f"  cells: {outcomes} (total {cells.get('total', '?')})")
+    error = campaign.get("error")
+    if error:
+        print(f"  error: {error['code']}: {error['message']}")
+    if campaign.get("idempotency_key"):
+        print(f"  idempotency_key: {campaign['idempotency_key']}")
+
+
+def cmd_serve(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import Gateway
+
+    admission = None
+    if args.max_pending is not None:
+        from repro.fabric import AdmissionPolicy
+
+        admission = AdmissionPolicy(
+            max_pending=args.max_pending, policy=args.admission_policy
+        )
+    breaker = None
+    if args.breaker_threshold is not None:
+        from repro.fabric import BreakerPolicy
+
+        breaker = BreakerPolicy(threshold=args.breaker_threshold)
+    try:
+        gateway = Gateway(
+            args.home,
+            jobs=args.jobs,
+            lease_ttl_s=args.lease_ttl_s,
+            max_lease_attempts=args.max_lease_attempts,
+            cell_timeout_s=args.cell_timeout_s,
+            retries=args.retries,
+            heartbeat_s=None if args.no_heartbeat else args.heartbeat_s,
+            admission=admission,
+            breaker=breaker,
+        )
+        report = gateway.serve(
+            run_until_idle=args.until_idle,
+            poll_s=args.poll_s,
+            max_campaigns=args.max_campaigns,
+            budget_s=args.budget_s,
+        )
+    except (ValueError, ReproError) as exc:
+        return _gateway_failure(exc, args.as_json)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        recovery = report.recovery
+        if recovery is not None and recovery.touched:
+            print(
+                f"recovery: {len(recovery.reclaimed)} lease(s) reclaimed, "
+                f"{len(recovery.exhausted)} exhausted, "
+                f"{len(recovery.expired)} expired"
+            )
+        gateway.refresh()
+        states: dict = {}
+        for campaign in gateway.state.campaigns.values():
+            states[campaign.state] = states.get(campaign.state, 0) + 1
+        summary = ", ".join(
+            f"{state}={count}" for state, count in sorted(states.items())
+        )
+        how = (
+            "drained (SIGTERM)" if report.terminated
+            else "drained (interrupt)" if report.drained
+            else "idle" if report.idle
+            else "stopped"
+        )
+        print(
+            f"served {report.executed} campaign(s); {how}"
+            + (f"; ledger: {summary}" if summary else "")
+        )
+    if report.drained:
+        # 128 + signal, shell-style; the drain left resumable state.
+        return 143 if report.terminated else 130
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import CampaignSpec, Gateway, GatewayAPI
+
+    if args.cells_file:
+        try:
+            cells = _load_cells_file(args.cells_file)
+            # Expand once right here so a malformed cell fails this
+            # submit, not the whole campaign at execution time.
+            CampaignSpec(kind="cells", cells=cells).build_specs("validate")
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"repro: cannot load cells file: {exc}", file=sys.stderr)
+            return 2
+        request: dict = {"kind": "cells", "cells": cells}
+    else:
+        for app in args.apps:
+            if app not in list_programs():
+                return _unknown_kernel(app)
+        unknown = [
+            mode for mode in args.modes
+            if mode != "none" and mode not in FAULT_MODES
+        ]
+        if unknown:
+            print(
+                f"repro: unknown fault mode(s) {', '.join(unknown)}; "
+                f"available: none, {', '.join(FAULT_MODES)}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.substrates:
+            from repro.substrates import available_substrates
+
+            for name in args.substrates:
+                if name not in available_substrates():
+                    return _unknown_substrate(name)
+        from repro.faults.campaign import DEFAULT_WATCHDOG_US
+
+        request = {
+            "kind": "fault",
+            "apps": args.apps,
+            "modes": args.modes,
+            "seeds": args.seeds,
+            "size": args.size,
+            "n_threads": args.threads,
+            "watchdog_us": (
+                args.watchdog_us
+                if args.watchdog_us is not None
+                else DEFAULT_WATCHDOG_US
+            ),
+        }
+        if args.substrates is not None:
+            request["substrates"] = args.substrates
+    if args.wall_timeout_s is not None:
+        request["wall_timeout_s"] = args.wall_timeout_s
+    if args.idempotency_key is not None:
+        request["idempotency_key"] = args.idempotency_key
+    if args.deadline_s is not None:
+        request["deadline_s"] = args.deadline_s
+
+    try:
+        response = GatewayAPI(Gateway(args.home)).submit(request)
+    except (ValueError, ReproError) as exc:
+        return _gateway_failure(exc, args.as_json)
+    if args.as_json:
+        print(json.dumps(response, indent=2))
+        return 0
+    campaign = response["campaign"]
+    n_cells = CampaignSpec.from_dict(campaign["spec"]).n_cells
+    if response["created"]:
+        line = f"{campaign['campaign_id']}: submitted ({n_cells} cells)"
+        if args.deadline_s is not None:
+            line += f", deadline in {args.deadline_s:g} s"
+    else:
+        line = (
+            f"{campaign['campaign_id']}: already submitted "
+            f"(idempotent match, state {campaign['state']})"
+        )
+    print(line)
+    return 0
+
+
+def cmd_status(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import Gateway, GatewayAPI
+    from repro.service.api import campaign_brief
+
+    if not _require_home(args.home):
+        return 2
+    if args.cancel and args.campaign_id is None:
+        print("repro: --cancel needs a campaign id", file=sys.stderr)
+        return 2
+    api = GatewayAPI(Gateway(args.home))
+    try:
+        if args.cancel:
+            response = api.cancel(args.campaign_id)
+        elif args.campaign_id is not None:
+            response = api.status(args.campaign_id)
+        else:
+            response = api.status()
+    except (ValueError, ReproError) as exc:
+        return _gateway_failure(exc, args.as_json)
+    if args.as_json:
+        print(json.dumps(response, indent=2))
+        return 0
+    if "campaigns" in response:
+        rows = [
+            [
+                brief["campaign_id"],
+                brief["state"],
+                brief["cells"],
+                brief["ok"],
+                brief["attempts"],
+                brief["code"] or "-",
+            ]
+            for brief in (
+                campaign_brief(campaign)
+                for campaign in api.gateway.state.campaigns.values()
+            )
+        ]
+        if not rows:
+            print("no campaigns in the ledger yet")
+            return 0
+        print(format_table(
+            ["campaign", "state", "cells", "ok", "attempts", "error"], rows
+        ))
+        if response["skipped_lines"]:
+            print(
+                f"({response['skipped_lines']} torn ledger line(s) tolerated)"
+            )
+        return 0
+    _print_campaign(response["campaign"])
+    return 0
+
+
+def cmd_fetch(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import Gateway, GatewayAPI
+
+    if not _require_home(args.home):
+        return 2
+    api = GatewayAPI(Gateway(args.home))
+    try:
+        response = api.fetch(args.campaign_id)
+    except (ValueError, ReproError) as exc:
+        return _gateway_failure(exc, args.as_json)
+    if args.as_json:
+        print(json.dumps(response, indent=2))
+        return 0
+    _print_campaign(response["campaign"])
+    runs = response["runs"]
+    if not runs:
+        print("  runs: none archived")
+        return 0
+    rows = [
+        [
+            run["run_id"],
+            run["sha256"][:12],
+            run["meta"].get("kernel", "?"),
+            run["meta"].get("seed", "?"),
+            next(
+                (
+                    tag.split(":", 1)[1]
+                    for tag in run["meta"].get("tags", [])
+                    if tag.startswith("mode:")
+                ),
+                "-",
+            ),
+        ]
+        for run in runs
+    ]
+    print(format_table(["run", "sha256", "kernel", "seed", "mode"], rows))
+    return 0
 
 
 COMMANDS = {
@@ -1502,6 +2002,10 @@ COMMANDS = {
     "supervise": cmd_supervise,
     "archive": cmd_archive,
     "sentinel": cmd_sentinel,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "fetch": cmd_fetch,
 }
 
 

@@ -287,6 +287,29 @@ class AdmissionController:
                 else:
                     self._cond.wait()
 
+    def reset(self, items) -> None:
+        """Replace the pending queue from an external source of truth.
+
+        Recovery paths that persist admission durably elsewhere (the
+        campaign gateway's ledger) rebuild the in-memory queue from it
+        wholesale: ``items`` is an iterable of ``(item, tag)`` pairs in
+        queue order.  Lifetime counters are untouched -- a rebuild is
+        not an admission -- but watermark/hysteresis state is refreshed
+        against the new depth.
+        """
+        with self._cond:
+            self._queue.clear()
+            self._per_tag.clear()
+            for item, tag in items:
+                self._queue.append((item, tag))
+                if tag is not None:
+                    self._per_tag[tag] = self._per_tag.get(tag, 0) + 1
+            self.stats.peak_pending = max(
+                self.stats.peak_pending, len(self._queue)
+            )
+            if not self._queue_saturated():
+                self._cond.notify_all()
+
     def pop(self) -> Optional[Tuple[Any, Any]]:
         """Take the oldest admitted item, or None when the queue is empty."""
         with self._cond:

@@ -1,0 +1,219 @@
+"""Chaos harness for the campaign gateway: SIGKILL at every transition.
+
+The gateway's contract (:mod:`repro.service`) is **kill-anywhere**: a
+SIGKILL at any instant leaves every campaign in exactly one valid
+state, from which recovery finishes the work with nothing lost and
+nothing double-executed.  Like the archive's crash harness
+(:mod:`repro.faults.crash`), this module exists to keep that promise
+honest with real processes and real kills, not mocks:
+:func:`crash_at_every_transition` runs one scenario per (happy-path
+edge, phase) pair -- ``phase='before'`` kills after the decision but
+before the ledger append (the transition must effectively not have
+happened), ``phase='after'`` kills once the append is durable but
+before any in-memory effect (the transition must have happened exactly
+once) -- then restarts the gateway, serves to completion, resubmits
+under the original idempotency key, and audits the wreckage with
+:func:`repro.service.audit.verify_gateway`.
+
+The kill is delivered by the serving process to *itself* from inside
+the transition hook, which is the most surgical approximation of "the
+machine died at this instruction" available without a kernel.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.audit import verify_gateway
+from repro.service.gateway import Gateway
+from repro.service.model import HAPPY_PATH_EDGES, CampaignSpec
+from repro.supervisor.backoff import FAST_BACKOFF
+
+#: Each scenario kills at one (edge, phase); together they cover every
+#: durable step of the happy path.
+KILL_PHASES = ("before", "after")
+
+#: Stub grid the chaos campaigns run: fast, deterministic, no archive.
+_CHAOS_CELLS = tuple(
+    {
+        "kind": "call",
+        "cell_id": f"chaos{i}",
+        "params": {
+            "target": "repro.supervisor.stubs:ok_cell",
+            "kwargs": {},
+        },
+    }
+    for i in range(3)
+)
+
+
+def chaos_spec() -> CampaignSpec:
+    return CampaignSpec(kind="cells", cells=_CHAOS_CELLS)
+
+
+class DieAtTransition:
+    """Transition hook that SIGKILLs its own process at one edge.
+
+    Picklable (module-level class, plain attributes) so it survives the
+    ``spawn`` start method; under ``fork`` it simply rides along.
+    """
+
+    def __init__(self, from_state: str, to_state: str, phase: str):
+        if phase not in KILL_PHASES:
+            raise ValueError(f"phase must be one of {KILL_PHASES}, got {phase!r}")
+        self.from_state = from_state
+        self.to_state = to_state
+        self.phase = phase
+
+    def __call__(self, _cid: str, frm: str, to: str, phase: str) -> None:
+        if (frm, to, phase) == (self.from_state, self.to_state, self.phase):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _chaos_gateway(home: str, hook: Optional[DieAtTransition]) -> Gateway:
+    """Harness-tuned gateway: fast reclaim, fixed owner-independent knobs."""
+    return Gateway(
+        home,
+        lease_ttl_s=30.0,
+        reclaim_backoff=FAST_BACKOFF,
+        transition_hook=hook,
+    )
+
+
+def serve_until_killed(home: str, from_state: str, to_state: str, phase: str) -> None:
+    """Subprocess target: serve the home until the armed kill fires.
+
+    Exits 0 only if the loop went idle without the edge ever occurring
+    -- the driver treats that as a scenario failure, because a kill
+    point that never fires proves nothing.
+    """
+    gateway = _chaos_gateway(home, DieAtTransition(from_state, to_state, phase))
+    gateway.serve(run_until_idle=True)
+
+
+def recover_and_finish(home: str) -> None:
+    """Subprocess target: the restarted gateway finishing the backlog."""
+    gateway = _chaos_gateway(home, None)
+    gateway.serve(run_until_idle=True)
+
+
+def _run_in_subprocess(target, args: tuple, timeout_s: float) -> Optional[int]:
+    """Fork-run one target; returns its exit code (negative = signal)."""
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    # Not daemonic: the gateway's supervisor spawns worker grandchildren.
+    proc = ctx.Process(target=target, args=args)
+    proc.start()
+    proc.join(timeout=timeout_s)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=10.0)
+        return None  # hung: neither killed at the edge nor finished
+    return proc.exitcode
+
+
+def crash_at_every_transition(
+    root: str,
+    *,
+    edges: Tuple[Tuple[str, str], ...] = HAPPY_PATH_EDGES,
+    phases: Tuple[str, ...] = KILL_PHASES,
+    timeout_s: float = 60.0,
+) -> List[Dict[str, object]]:
+    """Run one kill-recover-audit scenario per (edge, phase).
+
+    Each scenario gets a fresh gateway home under ``root``.  The
+    returned dicts carry everything a test needs to assert the
+    contract::
+
+        {"edge": "leased->running", "phase": "before",
+         "killed": True,          # the serve process died by SIGKILL
+         "final_state": "archived",
+         "resubmit_dedup": True,  # idempotent resubmit did not double-run
+         "audit_ok": True, "problems": []}
+    """
+    results: List[Dict[str, object]] = []
+    for from_state, to_state in edges:
+        for phase in phases:
+            home = os.path.join(root, f"{from_state}-{to_state}-{phase}")
+            gateway = _chaos_gateway(home, None)
+            spec = chaos_spec()
+            submitted, _created = gateway.submit(
+                spec, idempotency_key="chaos-key"
+            )
+            exitcode = _run_in_subprocess(
+                serve_until_killed,
+                (home, from_state, to_state, phase),
+                timeout_s,
+            )
+            killed = exitcode is not None and exitcode == -signal.SIGKILL
+            recover_code = _run_in_subprocess(
+                recover_and_finish, (home,), timeout_s
+            )
+            # Idempotent resubmission after the crash must return the
+            # original campaign, not enqueue a second execution.
+            gateway.refresh()
+            resubmitted, created = gateway.submit(
+                spec, idempotency_key="chaos-key"
+            )
+            resubmit_dedup = (
+                not created
+                and resubmitted.campaign_id == submitted.campaign_id
+            )
+            audit = verify_gateway(home, require_settled=True)
+            gateway.refresh()
+            campaign = gateway.state.get(submitted.campaign_id)
+            results.append(
+                {
+                    "edge": f"{from_state}->{to_state}",
+                    "phase": phase,
+                    "killed": killed,
+                    "serve_exit": exitcode,
+                    "recover_exit": recover_code,
+                    "final_state": campaign.state if campaign else "missing",
+                    "resubmit_dedup": resubmit_dedup,
+                    "audit_ok": audit.ok,
+                    "problems": list(audit.problems),
+                }
+            )
+    return results
+
+
+def chaos_summary(results: List[Dict[str, object]]) -> str:
+    """Fixed-width per-scenario table, harness-report style."""
+    lines = [
+        f"{'kill point':<26} {'phase':<7} {'killed':<7} {'final':<10} audit",
+        "-" * 66,
+    ]
+    for row in results:
+        lines.append(
+            f"{row['edge']:<26} {row['phase']:<7} "
+            f"{'yes' if row['killed'] else 'NO':<7} "
+            f"{row['final_state']:<10} "
+            f"{'ok' if row['audit_ok'] else 'FAIL'}"
+        )
+    bad = sum(
+        1
+        for row in results
+        if not (row["killed"] and row["audit_ok"] and row["resubmit_dedup"])
+    )
+    lines.append("-" * 66)
+    lines.append(
+        f"{len(results) - bad}/{len(results)} kill points survived "
+        f"(killed at the edge, recovered, audited clean)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "KILL_PHASES",
+    "DieAtTransition",
+    "chaos_spec",
+    "chaos_summary",
+    "crash_at_every_transition",
+    "recover_and_finish",
+    "serve_until_killed",
+]

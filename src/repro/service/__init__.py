@@ -1,0 +1,60 @@
+"""repro.service -- the crash-safe campaign gateway.
+
+Layered front-end over the supervisor + fabric + archive stack:
+
+* :mod:`repro.service.model` -- the domain: campaign states, the
+  transition machine, specs, leases.
+* :mod:`repro.service.ledger` -- the infrastructure: a flock-serialized,
+  fsync'd write-ahead ledger with torn-line-tolerant replay.
+* :mod:`repro.service.gateway` -- the application: submit / admit /
+  claim / execute / recover / serve, with idempotency keys, lease-based
+  mutual exclusion, end-to-end deadline propagation, and SIGTERM drain.
+* :mod:`repro.service.api` -- the interface: validated dict requests
+  and responses for the CLI (and any future remote surface).
+* :mod:`repro.service.audit` -- the proof: verify a gateway home against
+  the kill-anywhere contract (every campaign in exactly one valid
+  state, no lost work, no duplicated work).
+"""
+
+from repro.service.audit import GatewayAudit, verify_gateway
+from repro.service.api import GatewayAPI, parse_submit_request
+from repro.service.gateway import (
+    DEFAULT_LEASE_TTL_S,
+    Gateway,
+    RecoveryReport,
+    ServeReport,
+)
+from repro.service.ledger import LEDGER_VERSION, Ledger, LedgerState, load_ledger
+from repro.service.model import (
+    CAMPAIGN_STATES,
+    HAPPY_PATH_EDGES,
+    RESUMABLE_STATES,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+    Campaign,
+    CampaignSpec,
+    check_transition,
+)
+
+__all__ = [
+    "CAMPAIGN_STATES",
+    "DEFAULT_LEASE_TTL_S",
+    "Campaign",
+    "CampaignSpec",
+    "Gateway",
+    "GatewayAPI",
+    "GatewayAudit",
+    "HAPPY_PATH_EDGES",
+    "LEDGER_VERSION",
+    "Ledger",
+    "LedgerState",
+    "RESUMABLE_STATES",
+    "RecoveryReport",
+    "ServeReport",
+    "TERMINAL_STATES",
+    "VALID_TRANSITIONS",
+    "check_transition",
+    "load_ledger",
+    "parse_submit_request",
+    "verify_gateway",
+]

@@ -1,0 +1,162 @@
+"""The gateway's request/response surface: validated dicts in and out.
+
+This is the layer the CLI (and any future HTTP front-end) talks to:
+plain JSON-able dicts both ways, request validation with stable error
+codes, and no domain objects leaking upward.  Every response that can
+fail carries the taxonomy's ``{"code", "type", "message"}`` error
+payload (:func:`repro.errors.error_payload`), so clients switch on
+``code``, never on message text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ValidationError
+from repro.service.gateway import Gateway
+from repro.service.model import Campaign, CampaignSpec
+
+#: Submit-request keys we understand; anything else is a typo'd field
+#: the client should hear about, not a silently dropped option.
+_SUBMIT_KEYS = frozenset(
+    {
+        "kind",
+        "apps",
+        "modes",
+        "seeds",
+        "size",
+        "n_threads",
+        "watchdog_us",
+        "substrates",
+        "wall_timeout_s",
+        "cells",
+        "idempotency_key",
+        "deadline_s",
+    }
+)
+
+
+def parse_submit_request(request: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a submit request into spec kwargs + gateway options.
+
+    Raises :class:`~repro.errors.ValidationError` (``E_VALIDATION``)
+    with a message naming every offending field, so a client fixes its
+    request in one round trip.
+    """
+    problems = []
+    unknown = sorted(set(request) - _SUBMIT_KEYS)
+    if unknown:
+        problems.append(f"unknown field(s): {', '.join(unknown)}")
+    kind = request.get("kind", "fault")
+    if kind == "fault" and not request.get("apps"):
+        problems.append("a fault campaign needs a non-empty 'apps' list")
+    if kind == "cells" and not request.get("cells"):
+        problems.append("a cells campaign needs a non-empty 'cells' list")
+    seeds = request.get("seeds")
+    if seeds is not None:
+        try:
+            [int(seed) for seed in seeds]
+        except (TypeError, ValueError):
+            problems.append(f"'seeds' must be a list of integers, got {seeds!r}")
+    deadline_s = request.get("deadline_s")
+    if deadline_s is not None:
+        try:
+            if float(deadline_s) <= 0:
+                problems.append(
+                    f"'deadline_s' must be positive, got {deadline_s!r}"
+                )
+        except (TypeError, ValueError):
+            problems.append(f"'deadline_s' must be a number, got {deadline_s!r}")
+    key = request.get("idempotency_key")
+    if key is not None and (not isinstance(key, str) or not key):
+        problems.append(
+            f"'idempotency_key' must be a non-empty string, got {key!r}"
+        )
+    if problems:
+        raise ValidationError("invalid submit request: " + "; ".join(problems))
+    spec_fields = {
+        k: v
+        for k, v in request.items()
+        if k not in ("idempotency_key", "deadline_s") and v is not None
+    }
+    return {
+        "spec": spec_fields,
+        "idempotency_key": key,
+        "deadline_s": float(deadline_s) if deadline_s is not None else None,
+    }
+
+
+class GatewayAPI:
+    """Dict-shaped facade over one :class:`Gateway`."""
+
+    def __init__(self, gateway: Gateway):
+        self.gateway = gateway
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Submit a campaign; idempotent under ``idempotency_key``."""
+        parsed = parse_submit_request(request)
+        spec = CampaignSpec.from_dict(parsed["spec"])
+        campaign, created = self.gateway.submit(
+            spec,
+            idempotency_key=parsed["idempotency_key"],
+            deadline_s=parsed["deadline_s"],
+        )
+        return {"campaign": campaign.to_dict(), "created": created}
+
+    def status(self, campaign_id: Optional[str] = None) -> Dict[str, Any]:
+        """One campaign's record, or the whole ledger's worth."""
+        self.gateway.refresh()
+        if campaign_id is not None:
+            return {"campaign": self.gateway.campaign(campaign_id).to_dict()}
+        return {
+            "campaigns": [
+                campaign.to_dict()
+                for campaign in self.gateway.state.campaigns.values()
+            ],
+            "skipped_lines": self.gateway.state.skipped_lines,
+        }
+
+    def cancel(self, campaign_id: str) -> Dict[str, Any]:
+        return {"campaign": self.gateway.cancel(campaign_id).to_dict()}
+
+    def fetch(self, campaign_id: str) -> Dict[str, Any]:
+        """A settled campaign's record plus its archived runs.
+
+        The runs come back from the shared archive by the
+        ``campaign:<id>`` tag the gateway stamps on every cell, so the
+        response is complete even across reclaims and resumes (dedup
+        means a cell re-executed after a kill shows up once).
+        """
+        self.gateway.refresh()
+        campaign = self.gateway.campaign(campaign_id)
+        runs = []
+        try:
+            from repro.archive.query import find_runs
+            from repro.archive.store import ArchiveStore
+
+            store = ArchiveStore(self.gateway.archive_dir)
+            runs = [
+                record.to_dict()
+                for record in find_runs(store, tag=f"campaign:{campaign_id}")
+            ]
+        except FileNotFoundError:
+            pass  # nothing archived yet (cells kind, or not yet run)
+        return {"campaign": campaign.to_dict(), "runs": runs}
+
+
+def campaign_brief(campaign: Campaign) -> Dict[str, Any]:
+    """The one-line summary fields the status table renders."""
+    error = campaign.error or {}
+    cells = campaign.cells or {}
+    return {
+        "campaign_id": campaign.campaign_id,
+        "state": campaign.state,
+        "cells": campaign.spec.n_cells,
+        "ok": cells.get("ok", 0),
+        "attempts": campaign.attempts,
+        "code": error.get("code", ""),
+    }
+
+
+__all__ = ["GatewayAPI", "campaign_brief", "parse_submit_request"]

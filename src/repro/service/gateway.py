@@ -1,0 +1,822 @@
+"""The campaign gateway: crash-safe orchestration over the supervisor.
+
+One :class:`Gateway` owns a **home** directory::
+
+    <home>/ledger.jsonl        the write-ahead campaign ledger
+    <home>/journals/<cid>.jsonl  per-campaign supervisor journal
+    <home>/archive/            shared content-addressed profile store
+
+and drives every campaign through the domain state machine
+(:mod:`repro.service.model`).  The crash-safety contract is
+**kill-anywhere**: because each transition is an fsync'd ledger append
+*before* its effect, and each campaign's execution runs over its own
+supervisor journal with ``resume=True``, a SIGKILL at any instant
+leaves every campaign in exactly one valid state, from which
+:meth:`recover` + :meth:`serve` finish the work without re-running
+completed cells (the content-addressed archive dedups the residue of a
+kill inside a cell).
+
+Lifecycle responsibilities, by method:
+
+* :meth:`submit` -- durable intake, idempotency keys, deadline stamping.
+* :meth:`admit` -- backpressure via the fabric's
+  :class:`~repro.fabric.admission.AdmissionController` (block / reject /
+  shed + per-tag quotas), deadline expiry of stale queue entries.
+* :meth:`claim` -- atomic lease grant (one flock'd read-decide-append),
+  honoring reclaim-backoff gates (``not_before``).
+* :meth:`execute` -- run the campaign under its remaining deadline
+  budget: the gateway deadline clamps both the supervisor's
+  ``deadline_s`` and every cell's wall-clock limit, so one slow cell
+  cannot eat the budget of the rest.  A lease-renewal thread keeps the
+  lease alive for as long as the work is genuinely running.
+* :meth:`recover` -- startup/maintenance pass: reclaim expired (or, on
+  takeover, all) leases with seeded backoff, fail lease-exhausted
+  campaigns, expire deadline-passed ones.
+* :meth:`serve` -- the loop: recover, then admit/claim/execute until
+  idle, a budget expires, or a drain signal (SIGTERM) arrives --
+  whereupon in-flight work is drained via the supervisor's own SIGTERM
+  parity and journaled resumable.
+
+``transition_hook`` exists for the chaos harness
+(:mod:`repro.faults.service`): it is called around every ledger append
+that changes a campaign's state, which is exactly where a process can
+be SIGKILLed to prove the kill-anywhere contract.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    AdmissionRejected,
+    CampaignExpired,
+    CampaignFailed,
+    GatewayDraining,
+    IdempotencyConflict,
+    LeaseExpired,
+    UnknownCampaign,
+    error_payload,
+)
+from repro.fabric.admission import AdmissionController, AdmissionPolicy
+from repro.fabric.breaker import BreakerPolicy
+from repro.service.ledger import Ledger, LedgerState, load_ledger
+from repro.service.model import (
+    Campaign,
+    CampaignSpec,
+    cells_summary,
+    check_transition,
+)
+from repro.supervisor.backoff import BackoffPolicy
+from repro.supervisor.supervisor import Supervisor, SupervisorReport
+
+#: Default lease TTL: generous, because expiry means "the holder is
+#: presumed dead" -- renewal (every TTL/3) keeps honest long work alive.
+DEFAULT_LEASE_TTL_S = 300.0
+
+#: A hook receives (campaign_id, from_state, to_state, phase) with
+#: phase "before" (the decision is made, nothing written) or "after"
+#: (the ledger append is durable, the in-memory effect not yet applied).
+TransitionHook = Callable[[str, str, str, str], None]
+
+
+class _ServeDrain(BaseException):
+    """Raised by the serve loop's SIGTERM handler to begin the drain."""
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`Gateway.recover` pass did."""
+
+    #: leases rewound to ``admitted`` (with backoff gates)
+    reclaimed: List[str] = field(default_factory=list)
+    #: campaigns failed for exhausting their lease attempts
+    exhausted: List[str] = field(default_factory=list)
+    #: campaigns expired for a passed deadline
+    expired: List[str] = field(default_factory=list)
+    #: torn/corrupt ledger lines tolerated during replay
+    skipped_lines: int = 0
+
+    @property
+    def touched(self) -> int:
+        return len(self.reclaimed) + len(self.exhausted) + len(self.expired)
+
+    def to_dict(self) -> dict:
+        return {
+            "reclaimed": list(self.reclaimed),
+            "exhausted": list(self.exhausted),
+            "expired": list(self.expired),
+            "skipped_lines": self.skipped_lines,
+        }
+
+
+@dataclass
+class ServeReport:
+    """What one :meth:`Gateway.serve` invocation did."""
+
+    executed: int = 0
+    #: the loop stopped because a drain was requested
+    drained: bool = False
+    #: the drain was a SIGTERM (exit 143) rather than a Ctrl-C
+    terminated: bool = False
+    #: the loop stopped because no resumable work remained
+    idle: bool = False
+    recovery: Optional[RecoveryReport] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "executed": self.executed,
+            "drained": self.drained,
+            "terminated": self.terminated,
+            "idle": self.idle,
+            "recovery": self.recovery.to_dict() if self.recovery else None,
+        }
+
+
+class _LeaseRenewer:
+    """Daemon thread renewing one campaign's lease while work runs.
+
+    Renewal happens at TTL/3 so two consecutive missed renewals still
+    leave slack before expiry; a renewal failure is swallowed (the
+    worst case is the designed one -- the lease expires and recovery
+    reclaims the campaign).
+    """
+
+    def __init__(self, gateway: "Gateway", campaign_id: str):
+        self._gateway = gateway
+        self._campaign_id = campaign_id
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"lease-renew-{campaign_id}", daemon=True
+        )
+
+    def start(self) -> "_LeaseRenewer":
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        interval = self._gateway.lease_ttl_s / 3.0
+        while not self._stop.wait(interval):
+            try:
+                self._gateway.renew_lease(self._campaign_id)
+            except Exception:  # lease loss is survivable by design
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class Gateway:
+    """Durable campaign front-end over one home directory.
+
+    Thread-compatible but process-oriented: many processes may
+    ``submit``/``status`` against one home concurrently (the ledger
+    flock serializes them), while :meth:`serve` assumes it is the only
+    *server* for the home -- which is why startup recovery may take
+    over outstanding leases.
+    """
+
+    def __init__(
+        self,
+        home: str,
+        *,
+        jobs: int = 1,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        max_lease_attempts: int = 3,
+        reclaim_backoff: Optional[BackoffPolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        cell_timeout_s: Optional[float] = None,
+        retries: int = 1,
+        heartbeat_s: Optional[float] = None,
+        owner: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+        transition_hook: Optional[TransitionHook] = None,
+    ):
+        if lease_ttl_s <= 0:
+            raise ValueError(f"lease_ttl_s must be positive, got {lease_ttl_s!r}")
+        if max_lease_attempts < 1:
+            raise ValueError(
+                f"max_lease_attempts must be >= 1, got {max_lease_attempts!r}"
+            )
+        self.home = os.fspath(home)
+        os.makedirs(self.home, exist_ok=True)
+        self.archive_dir = os.path.join(self.home, "archive")
+        self.journals_dir = os.path.join(self.home, "journals")
+        os.makedirs(self.journals_dir, exist_ok=True)
+        self.ledger = Ledger(os.path.join(self.home, "ledger.jsonl"))
+        self.ledger.ensure_header()
+        self.jobs = jobs
+        self.lease_ttl_s = lease_ttl_s
+        self.max_lease_attempts = max_lease_attempts
+        self.reclaim_backoff = (
+            reclaim_backoff if reclaim_backoff is not None else BackoffPolicy()
+        )
+        self.admission_policy = admission
+        self.breaker_policy = breaker
+        self.cell_timeout_s = cell_timeout_s
+        self.retries = retries
+        self.heartbeat_s = heartbeat_s
+        self.owner = owner or f"pid:{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self.clock = clock
+        self.transition_hook = transition_hook
+        self.state = LedgerState()
+        self._draining = False
+        #: the drain was signal-initiated (SIGTERM) rather than Ctrl-C
+        self._drain_terminated = False
+        self._admission = (
+            AdmissionController(admission) if admission is not None else None
+        )
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    def refresh(self) -> LedgerState:
+        self.state = load_ledger(self.ledger.path)
+        return self.state
+
+    def campaign(self, campaign_id: str) -> Campaign:
+        found = self.state.get(campaign_id)
+        if found is None:
+            raise UnknownCampaign(
+                f"campaign {campaign_id!r} is not in this gateway's ledger "
+                f"({self.ledger.path})"
+            )
+        return found
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Transitions (the only writers besides submit/lease)
+    # ------------------------------------------------------------------
+    def _hook(self, cid: str, frm: str, to: str, phase: str) -> None:
+        if self.transition_hook is not None:
+            self.transition_hook(cid, frm, to, phase)
+
+    def _transition(
+        self,
+        campaign: Campaign,
+        to_state: str,
+        *,
+        now: float,
+        error: Optional[Dict[str, str]] = None,
+        cells: Optional[Dict[str, int]] = None,
+        not_before: float = 0.0,
+    ) -> Campaign:
+        """Write-ahead one state edge, then apply it in memory.
+
+        Caller must hold ``self.ledger.locked()``; the edge is validated
+        against the domain machine before anything is written.
+        """
+        from_state = campaign.state
+        check_transition(from_state, to_state, campaign.campaign_id)
+        record: Dict[str, object] = {
+            "type": "transition",
+            "cid": campaign.campaign_id,
+            "from": from_state,
+            "to": to_state,
+            "at": now,
+        }
+        if error is not None:
+            record["error"] = error
+        if cells is not None:
+            record["cells"] = cells
+        if not_before:
+            record["not_before"] = not_before
+        self._hook(campaign.campaign_id, from_state, to_state, "before")
+        self.ledger.append(record)
+        self._hook(campaign.campaign_id, from_state, to_state, "after")
+        campaign.state = to_state
+        campaign.updated_at = now
+        campaign.not_before = not_before
+        if error is not None:
+            campaign.error = dict(error)
+        if cells is not None:
+            campaign.cells = dict(cells)
+        if to_state != "running":
+            campaign.lease_owner = None
+            campaign.lease_expires_at = None
+        return campaign
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: CampaignSpec,
+        *,
+        idempotency_key: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> Tuple[Campaign, bool]:
+        """Durably accept one campaign; returns ``(campaign, created)``.
+
+        With an idempotency key, resubmitting the same spec returns the
+        original campaign (``created=False``) -- the client may retry a
+        submit over a crashed connection forever without double-running
+        anything.  The same key with a *different* spec fingerprint is
+        an :class:`~repro.errors.IdempotencyConflict`.
+        """
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s!r}")
+        if self._draining:
+            raise GatewayDraining(
+                "gateway is draining; new submissions are refused"
+            )
+        now = self.clock()
+        with self.ledger.locked():
+            self.refresh()
+            if idempotency_key is not None:
+                existing_id = self.state.by_key.get(idempotency_key)
+                if existing_id is not None:
+                    existing = self.state.campaigns[existing_id]
+                    if existing.spec.fingerprint() != spec.fingerprint():
+                        raise IdempotencyConflict(
+                            f"idempotency key {idempotency_key!r} was already "
+                            f"used by campaign {existing_id} with a different "
+                            f"spec (fingerprint "
+                            f"{existing.spec.fingerprint()[:12]} != "
+                            f"{spec.fingerprint()[:12]})",
+                            key=idempotency_key,
+                            campaign_id=existing_id,
+                        )
+                    return existing, False
+            cid = self.state.next_campaign_id()
+            record: Dict[str, object] = {
+                "type": "submit",
+                "cid": cid,
+                "spec": spec.to_dict(),
+                "at": now,
+            }
+            if idempotency_key is not None:
+                record["key"] = idempotency_key
+            if deadline_s is not None:
+                record["deadline_at"] = now + deadline_s
+            self.ledger.append(record)
+            campaign = Campaign(
+                campaign_id=cid,
+                spec=spec,
+                state="submitted",
+                idempotency_key=idempotency_key,
+                submitted_at=now,
+                updated_at=now,
+                deadline_at=record.get("deadline_at"),
+            )
+            self.state.campaigns[cid] = campaign
+            if idempotency_key is not None:
+                self.state.by_key[idempotency_key] = cid
+            return campaign, True
+
+    def cancel(self, campaign_id: str) -> Campaign:
+        """Cancel a campaign that has not started executing.
+
+        Idempotent on already-cancelled campaigns; anything leased or
+        running must drain or expire instead (cancelling under a live
+        lease would race the holder).
+        """
+        now = self.clock()
+        with self.ledger.locked():
+            self.refresh()
+            campaign = self.campaign(campaign_id)
+            if campaign.state == "cancelled":
+                return campaign
+            return self._transition(campaign, "cancelled", now=now)
+
+    # ------------------------------------------------------------------
+    # Queue movement
+    # ------------------------------------------------------------------
+    def admit(self) -> List[Campaign]:
+        """Move submitted campaigns through admission control.
+
+        Without an :class:`AdmissionPolicy` every submitted campaign is
+        admitted immediately.  With one, the fabric controller applies
+        the configured overload behavior: ``block`` defers (the campaign
+        stays ``submitted`` and is re-offered next loop), ``reject``
+        fails it with the stable admission code, ``shed`` admits it but
+        cancels the oldest admitted-not-leased campaign to make room.
+        """
+        admitted: List[Campaign] = []
+        now = self.clock()
+        with self.ledger.locked():
+            self.refresh()
+            self._sync_admission()
+            for campaign in self.state.in_state("submitted"):
+                if campaign.deadline_passed(now):
+                    self._expire(campaign, now)
+                    continue
+                if self._admission is None:
+                    admitted.append(
+                        self._transition(campaign, "admitted", now=now)
+                    )
+                    continue
+                verdict, shed = self._admission.offer(
+                    campaign.campaign_id, tag=campaign.spec.admission_tag
+                )
+                for victim_id, _tag in shed:
+                    victim = self.state.get(victim_id)
+                    if victim is not None and victim.state == "admitted":
+                        self._transition(
+                            victim,
+                            "cancelled",
+                            now=now,
+                            error=error_payload(
+                                AdmissionRejected(
+                                    "shed by admission control to admit "
+                                    "fresher work (resubmit to retry)"
+                                )
+                            ),
+                        )
+                if verdict == "admitted":
+                    admitted.append(
+                        self._transition(campaign, "admitted", now=now)
+                    )
+                elif verdict == "rejected":
+                    self._transition(
+                        campaign,
+                        "failed",
+                        now=now,
+                        error=error_payload(
+                            AdmissionRejected(
+                                "rejected by admission control: pending "
+                                "queue at its high watermark"
+                            )
+                        ),
+                    )
+                # deferred: stays submitted, re-offered next pass
+        return admitted
+
+    def _sync_admission(self) -> None:
+        """Rebuild the controller's pending set from the ledger.
+
+        The controller is in-memory; after a restart (or out-of-band
+        ledger writes by peer processes) its queue must mirror the
+        campaigns currently in ``admitted`` -- the ledger, not the
+        controller, is the source of truth.
+        """
+        if self._admission is None:
+            return
+        self._admission.reset(
+            (campaign.campaign_id, campaign.spec.admission_tag)
+            for campaign in self.state.in_state("admitted")
+        )
+
+    def _expire(self, campaign: Campaign, now: float) -> Campaign:
+        budget = (
+            f"{campaign.deadline_at - campaign.submitted_at:g} s"
+            if campaign.deadline_at is not None
+            else "?"
+        )
+        return self._transition(
+            campaign,
+            "expired",
+            now=now,
+            error=error_payload(
+                CampaignExpired(
+                    f"campaign deadline ({budget} after submission) passed "
+                    f"in state {campaign.state!r}"
+                )
+            ),
+        )
+
+    def claim(self) -> Optional[Campaign]:
+        """Atomically lease the oldest claimable admitted campaign.
+
+        The whole read-decide-append runs under one ledger flock, so two
+        gateways racing over a shared home cannot double-claim: the
+        loser's refresh already shows the winner's lease record.
+        """
+        now = self.clock()
+        with self.ledger.locked():
+            self.refresh()
+            for campaign in self.state.in_state("admitted"):
+                if campaign.not_before > now:
+                    continue
+                if campaign.deadline_passed(now):
+                    self._expire(campaign, now)
+                    continue
+                attempt = campaign.attempts + 1
+                expires_at = now + self.lease_ttl_s
+                self._hook(campaign.campaign_id, "admitted", "leased", "before")
+                self.ledger.append(
+                    {
+                        "type": "lease",
+                        "cid": campaign.campaign_id,
+                        "owner": self.owner,
+                        "attempt": attempt,
+                        "expires_at": expires_at,
+                        "at": now,
+                    }
+                )
+                self._hook(campaign.campaign_id, "admitted", "leased", "after")
+                campaign.state = "leased"
+                campaign.attempts = attempt
+                campaign.lease_owner = self.owner
+                campaign.lease_expires_at = expires_at
+                campaign.updated_at = now
+                if self._admission is not None:
+                    self._admission.pop()
+                return campaign
+        return None
+
+    def renew_lease(self, campaign_id: str) -> None:
+        """Extend a held lease; raises :class:`LeaseExpired` if lost."""
+        now = self.clock()
+        with self.ledger.locked():
+            self.refresh()
+            campaign = self.campaign(campaign_id)
+            if (
+                campaign.state not in ("leased", "running")
+                or campaign.lease_owner != self.owner
+                or not campaign.lease_active(now)
+            ):
+                raise LeaseExpired(
+                    f"lease on {campaign_id} is no longer held by "
+                    f"{self.owner} (state={campaign.state!r}, "
+                    f"owner={campaign.lease_owner!r})"
+                )
+            expires_at = now + self.lease_ttl_s
+            self.ledger.append(
+                {
+                    "type": "renew",
+                    "cid": campaign_id,
+                    "owner": self.owner,
+                    "expires_at": expires_at,
+                    "at": now,
+                }
+            )
+            campaign.lease_expires_at = expires_at
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, campaign_id: str) -> Campaign:
+        """Run one leased campaign to a settled (or resumable) state.
+
+        Deadline propagation happens here: the campaign's remaining
+        budget becomes the supervisor's ``deadline_s`` *and* clamps the
+        per-cell wall-clock limit, so the end-to-end promise "this
+        campaign is over by T" holds at every layer.  Execution resumes
+        the campaign's own journal, so a reclaimed campaign replays its
+        completed cells instead of re-running them.
+        """
+        now = self.clock()
+        with self.ledger.locked():
+            self.refresh()
+            campaign = self.campaign(campaign_id)
+            if campaign.state != "leased" or campaign.lease_owner != self.owner:
+                raise LeaseExpired(
+                    f"cannot execute {campaign_id}: lease not held by "
+                    f"{self.owner} (state={campaign.state!r})"
+                )
+            if not campaign.lease_active(now):
+                raise LeaseExpired(
+                    f"cannot execute {campaign_id}: lease expired "
+                    f"{now - (campaign.lease_expires_at or now):.1f} s ago"
+                )
+            remaining = campaign.remaining_budget_s(now)
+            if remaining is not None and remaining <= 0:
+                return self._expire(campaign, now)
+            self._transition(campaign, "running", now=now)
+
+        renewer = _LeaseRenewer(self, campaign_id).start()
+        try:
+            report = self._run_supervised(campaign, remaining)
+        except Exception as exc:
+            # A campaign whose spec will not even expand (or whose
+            # supervisor blew up outright) fails in place; one poisoned
+            # submission must not take the whole serve loop down.
+            return self._fail_execution(campaign_id, exc)
+        finally:
+            renewer.stop()
+        return self._settle(campaign_id, report)
+
+    def _fail_execution(self, campaign_id: str, exc: Exception) -> Campaign:
+        now = self.clock()
+        with self.ledger.locked():
+            self.refresh()
+            campaign = self.campaign(campaign_id)
+            return self._transition(
+                campaign,
+                "failed",
+                now=now,
+                error=error_payload(
+                    CampaignFailed(
+                        f"execution error: {type(exc).__name__}: {exc}"
+                    )
+                ),
+            )
+
+    def _run_supervised(
+        self, campaign: Campaign, remaining: Optional[float]
+    ) -> SupervisorReport:
+        specs = campaign.spec.build_specs(
+            campaign.campaign_id,
+            self.archive_dir if campaign.spec.kind == "fault" else None,
+        )
+        timeout_s = self.cell_timeout_s
+        if remaining is not None:
+            timeout_s = min(timeout_s, remaining) if timeout_s else remaining
+        supervisor = Supervisor(
+            specs,
+            jobs=self.jobs,
+            timeout_s=timeout_s,
+            retries=self.retries,
+            journal_path=os.path.join(
+                self.journals_dir, f"{campaign.campaign_id}.jsonl"
+            ),
+            resume=True,
+            heartbeat_s=self.heartbeat_s,
+            deadline_s=remaining,
+            breaker=self.breaker_policy,
+        )
+        return supervisor.run()
+
+    def _settle(self, campaign_id: str, report: SupervisorReport) -> Campaign:
+        """Fold a supervisor report into the campaign's next state."""
+        now = self.clock()
+        summary = cells_summary(report.results)
+        with self.ledger.locked():
+            self.refresh()
+            campaign = self.campaign(campaign_id)
+            if report.interrupted:
+                # Drained, not failed: rewind to admitted with no
+                # backoff gate -- the next serve (or another instance)
+                # resumes the journal immediately.  Any interrupt means
+                # someone wants this server to stop, so the loop drains.
+                self._draining = True
+                if report.terminated:
+                    self._drain_terminated = True
+                return self._transition(
+                    campaign, "admitted", now=now, cells=summary
+                )
+            if report.deadline_hit or campaign.deadline_passed(now):
+                return self._transition(
+                    campaign,
+                    "expired",
+                    now=now,
+                    error=error_payload(
+                        CampaignExpired(
+                            "deadline budget exhausted during execution; "
+                            "completed cells are archived"
+                        )
+                    ),
+                    cells=summary,
+                )
+            if all(result.ok for result in report.results):
+                return self._transition(
+                    campaign, "archived", now=now, cells=summary
+                )
+            bad = sum(1 for r in report.results if not r.ok)
+            return self._transition(
+                campaign,
+                "failed",
+                now=now,
+                error=error_payload(
+                    CampaignFailed(
+                        f"{bad}/{len(report.results)} cells did not succeed"
+                    )
+                ),
+                cells=summary,
+            )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self, *, takeover: bool = True) -> RecoveryReport:
+        """Reconcile the ledger after a crash (or before serving).
+
+        ``takeover=True`` (the default, correct for the unique server of
+        a home) reclaims *every* outstanding lease -- a lease held by a
+        SIGKILLed predecessor would otherwise park its campaign until
+        TTL expiry.  ``takeover=False`` is the polite maintenance mode:
+        only expired leases are reclaimed.
+        """
+        now = self.clock()
+        report = RecoveryReport()
+        with self.ledger.locked():
+            self.refresh()
+            report.skipped_lines = self.state.skipped_lines
+            for campaign in list(self.state.campaigns.values()):
+                if campaign.state in ("leased", "running"):
+                    own = campaign.lease_owner == self.owner
+                    # An active lease we hold ourselves is real work in
+                    # flight -- never reclaim it.  An active lease held
+                    # by someone else falls only to a takeover.
+                    if campaign.lease_active(now) and (own or not takeover):
+                        continue
+                    if campaign.attempts >= self.max_lease_attempts:
+                        self._transition(
+                            campaign,
+                            "failed",
+                            now=now,
+                            error=error_payload(
+                                LeaseExpired(
+                                    f"lease expired {campaign.attempts} "
+                                    f"times (max "
+                                    f"{self.max_lease_attempts}); giving up"
+                                )
+                            ),
+                        )
+                        report.exhausted.append(campaign.campaign_id)
+                        continue
+                    gate = now + self.reclaim_backoff.delay(
+                        max(1, campaign.attempts), key=campaign.campaign_id
+                    )
+                    self._transition(
+                        campaign, "admitted", now=now, not_before=gate
+                    )
+                    report.reclaimed.append(campaign.campaign_id)
+                if campaign.state in ("submitted", "admitted") and (
+                    campaign.deadline_passed(now)
+                ):
+                    self._expire(campaign, now)
+                    report.expired.append(campaign.campaign_id)
+        return report
+
+    # ------------------------------------------------------------------
+    # The serve loop
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        *,
+        run_until_idle: bool = False,
+        poll_s: float = 0.05,
+        max_campaigns: Optional[int] = None,
+        budget_s: Optional[float] = None,
+    ) -> ServeReport:
+        """Recover, then admit/claim/execute until told to stop.
+
+        Stops when: a drain signal arrives (SIGTERM sets
+        ``terminated``; Ctrl-C drains too), ``run_until_idle`` and no
+        resumable work remains, ``max_campaigns`` executions happened,
+        or ``budget_s`` of wall time elapsed.  In-flight work survives
+        every one of these: the supervisor drains and journals, and
+        :meth:`_settle` rewinds interrupted campaigns to ``admitted``.
+        """
+        report = ServeReport()
+        in_main = threading.current_thread() is threading.main_thread()
+        previous_term = None
+        if in_main:
+            def _on_term(_signum, _frame):
+                self._draining = True
+                raise _ServeDrain()
+
+            try:
+                previous_term = signal.signal(signal.SIGTERM, _on_term)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                previous_term = None
+        started = time.monotonic()
+        try:
+            report.recovery = self.recover()
+            while not self._draining:
+                if budget_s is not None and time.monotonic() - started >= budget_s:
+                    break
+                if (
+                    max_campaigns is not None
+                    and report.executed >= max_campaigns
+                ):
+                    break
+                self.admit()
+                claimed = self.claim()
+                if claimed is None:
+                    if run_until_idle and not self.state.open_campaigns:
+                        report.idle = True
+                        break
+                    # Either a long-lived server awaiting submissions,
+                    # or open campaigns exist but none are claimable yet
+                    # (backoff gates / deferred admission).  The polite
+                    # recover pass reclaims any lease that expired while
+                    # we were looping (e.g. a peer gateway died).
+                    self.recover(takeover=False)
+                    time.sleep(poll_s)
+                    continue
+                self.execute(claimed.campaign_id)
+                report.executed += 1
+        except (KeyboardInterrupt, _ServeDrain) as exc:
+            self._draining = True
+            self._drain_terminated = (
+                self._drain_terminated or isinstance(exc, _ServeDrain)
+            )
+        finally:
+            if in_main and previous_term is not None:
+                signal.signal(signal.SIGTERM, previous_term)
+        if self._draining:
+            report.drained = True
+            report.terminated = self._drain_terminated
+        return report
+
+
+__all__ = [
+    "DEFAULT_LEASE_TTL_S",
+    "Gateway",
+    "RecoveryReport",
+    "ServeReport",
+]

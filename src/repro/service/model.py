@@ -1,0 +1,353 @@
+"""Domain model of the campaign gateway: states, specs, campaigns.
+
+The gateway's unit of work is a **campaign** -- one client submission
+that expands into a supervised grid of cells.  Its life is a fixed
+state machine::
+
+                    submit            claim             execute
+    submitted ---------------> admitted ------> leased ---------> running
+        |                        |  ^             |                  |
+        |                        |  +--reclaim----+---- reclaim -----+
+        |                        |        (lease expired)            |
+        v                        v                                   v
+    {cancelled, expired,     {cancelled, expired}        {archived, failed,
+     failed}                                              expired}
+
+    terminal states: archived | failed | cancelled | expired
+    resumable states: submitted | admitted | leased | running
+
+Every edge is validated by :func:`check_transition` before it is
+written to the ledger, so an illegal edge is a raised
+:class:`~repro.errors.CampaignStateError`, never a corrupt record.  The
+**reclaim** edges (``leased``/``running`` back to ``admitted``) are how
+a silently dead worker forfeits its lease: recovery rewinds the
+campaign to the queue with a seeded backoff gate (``not_before``)
+instead of losing or double-running it -- the re-execution resumes the
+campaign's supervisor journal, so completed cells replay instead of
+re-running.
+
+Everything here is pure data + validation; ledger I/O lives in
+:mod:`repro.service.ledger`, orchestration in
+:mod:`repro.service.gateway`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CampaignStateError
+from repro.supervisor.spec import RunSpec, fault_cell, spec_from_dict
+
+#: Every state a campaign can be in, in lifecycle order.
+CAMPAIGN_STATES = (
+    "submitted",
+    "admitted",
+    "leased",
+    "running",
+    "archived",
+    "failed",
+    "cancelled",
+    "expired",
+)
+
+#: States that settle a campaign; re-serving cannot change them.
+TERMINAL_STATES = frozenset({"archived", "failed", "cancelled", "expired"})
+
+#: States a restart picks back up (directly or after lease reclaim).
+RESUMABLE_STATES = frozenset({"submitted", "admitted", "leased", "running"})
+
+#: The legal state-machine edges.  ``leased -> admitted`` and
+#: ``running -> admitted`` are the lease-reclaim edges; ``leased ->
+#: failed`` is lease-attempt exhaustion.
+VALID_TRANSITIONS: Mapping[str, frozenset] = {
+    "submitted": frozenset({"admitted", "cancelled", "failed", "expired"}),
+    "admitted": frozenset({"leased", "cancelled", "expired"}),
+    "leased": frozenset({"running", "admitted", "failed", "expired"}),
+    "running": frozenset({"archived", "failed", "expired", "admitted"}),
+    "archived": frozenset(),
+    "failed": frozenset(),
+    "cancelled": frozenset(),
+    "expired": frozenset(),
+}
+
+#: The healthy path, as (from, to) edges -- what the chaos harness
+#: SIGKILLs at, one by one.
+HAPPY_PATH_EDGES: Tuple[Tuple[str, str], ...] = (
+    ("submitted", "admitted"),
+    ("admitted", "leased"),
+    ("leased", "running"),
+    ("running", "archived"),
+)
+
+SPEC_KINDS = ("fault", "cells")
+
+
+def check_transition(
+    from_state: str, to_state: str, campaign_id: Optional[str] = None
+) -> None:
+    """Raise :class:`CampaignStateError` unless ``from -> to`` is legal."""
+    allowed = VALID_TRANSITIONS.get(from_state)
+    if allowed is None:
+        raise CampaignStateError(
+            f"unknown campaign state {from_state!r} "
+            f"(states: {', '.join(CAMPAIGN_STATES)})",
+            campaign_id=campaign_id,
+            from_state=from_state,
+            to_state=to_state,
+        )
+    if to_state not in allowed:
+        raise CampaignStateError(
+            f"illegal campaign transition {from_state!r} -> {to_state!r}"
+            + (f" for {campaign_id}" if campaign_id else "")
+            + (
+                f" (legal: {', '.join(sorted(allowed))})"
+                if allowed
+                else f" ({from_state!r} is terminal)"
+            ),
+            campaign_id=campaign_id,
+            from_state=from_state,
+            to_state=to_state,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What one campaign runs: a fault grid, or explicit cells.
+
+    ``kind='fault'`` expands ``apps x modes x seeds`` into fault-campaign
+    cells (the service's production shape); ``kind='cells'`` carries raw
+    :class:`~repro.supervisor.spec.RunSpec` dicts verbatim (stub grids
+    for tests and the chaos harness).  Pure JSON-able data either way:
+    the spec crosses the ledger, the idempotency fingerprint, and -- as
+    cells -- the worker process boundary.
+    """
+
+    kind: str = "fault"
+    apps: Tuple[str, ...] = ()
+    modes: Tuple[str, ...] = ("none",)
+    seeds: Tuple[int, ...] = (0,)
+    size: str = "test"
+    n_threads: int = 2
+    watchdog_us: Optional[float] = None
+    substrates: Optional[Tuple[str, ...]] = None
+    #: per-cell wall-clock limit (the gateway clamps it to the remaining
+    #: campaign deadline budget at execution time)
+    wall_timeout_s: Optional[float] = None
+    #: raw RunSpec dicts (``kind='cells'`` only)
+    cells: Tuple[Dict[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPEC_KINDS:
+            raise ValueError(
+                f"spec kind must be one of {SPEC_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "fault" and not self.apps:
+            raise ValueError("a fault campaign needs at least one app")
+        if self.kind == "cells" and not self.cells:
+            raise ValueError("a cells campaign needs at least one cell")
+        if self.wall_timeout_s is not None and self.wall_timeout_s <= 0:
+            raise ValueError(
+                f"wall_timeout_s must be positive, got {self.wall_timeout_s!r}"
+            )
+        # Freeze the mutable collection fields into tuples so the spec
+        # is hashable and its fingerprint stable.
+        object.__setattr__(self, "apps", tuple(self.apps))
+        object.__setattr__(self, "modes", tuple(self.modes) or ("none",))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if self.substrates is not None:
+            object.__setattr__(self, "substrates", tuple(self.substrates))
+        object.__setattr__(
+            self, "cells", tuple(dict(cell) for cell in self.cells)
+        )
+
+    @property
+    def admission_tag(self) -> str:
+        """Per-tag quota grouping: the first kernel, or ``cells``."""
+        if self.kind == "fault":
+            return self.apps[0]
+        return "cells"
+
+    def to_dict(self) -> dict:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == "fault":
+            data.update(
+                apps=list(self.apps),
+                modes=list(self.modes),
+                seeds=list(self.seeds),
+                size=self.size,
+                n_threads=self.n_threads,
+            )
+            if self.watchdog_us is not None:
+                data["watchdog_us"] = self.watchdog_us
+            if self.substrates is not None:
+                data["substrates"] = list(self.substrates)
+        else:
+            data["cells"] = [dict(cell) for cell in self.cells]
+        if self.wall_timeout_s is not None:
+            data["wall_timeout_s"] = self.wall_timeout_s
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        return cls(
+            kind=data.get("kind", "fault"),
+            apps=tuple(data.get("apps") or ()),
+            modes=tuple(data.get("modes") or ("none",)),
+            seeds=tuple(data.get("seeds") or (0,)),
+            size=data.get("size", "test"),
+            n_threads=int(data.get("n_threads", 2)),
+            watchdog_us=data.get("watchdog_us"),
+            substrates=(
+                tuple(data["substrates"])
+                if data.get("substrates") is not None
+                else None
+            ),
+            wall_timeout_s=data.get("wall_timeout_s"),
+            cells=tuple(data.get("cells") or ()),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash for idempotency-conflict detection.
+
+        Two submissions under one idempotency key must agree on this,
+        or the resubmit is a client bug
+        (:class:`~repro.errors.IdempotencyConflict`), not a retry.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def build_specs(
+        self, campaign_id: str, archive_dir: Optional[str] = None
+    ) -> List[RunSpec]:
+        """Expand into the supervised grid this campaign executes.
+
+        Fault cells archive into ``archive_dir`` tagged
+        ``campaign:<id>`` so the campaign's runs stay queryable; cell
+        ids are prefixed with the campaign id because all campaigns of
+        one gateway share journal-per-campaign files but the archive is
+        shared.
+        """
+        if self.kind == "cells":
+            return [spec_from_dict(dict(cell)) for cell in self.cells]
+        return [
+            fault_cell(
+                app,
+                mode,
+                seed,
+                size=self.size,
+                n_threads=self.n_threads,
+                watchdog_us=self.watchdog_us,
+                wall_timeout_s=self.wall_timeout_s,
+                substrates=self.substrates,
+                archive_dir=archive_dir,
+                archive_tags=(f"campaign:{campaign_id}",),
+            )
+            for app in self.apps
+            for mode in self.modes
+            for seed in self.seeds
+        ]
+
+    @property
+    def n_cells(self) -> int:
+        if self.kind == "cells":
+            return len(self.cells)
+        return len(self.apps) * len(self.modes) * len(self.seeds)
+
+
+@dataclass
+class Campaign:
+    """One campaign's current view, as replayed from the ledger."""
+
+    campaign_id: str
+    spec: CampaignSpec
+    state: str = "submitted"
+    idempotency_key: Optional[str] = None
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    #: absolute wall-clock deadline (epoch seconds); None = no deadline
+    deadline_at: Optional[float] = None
+    #: lease attempts ever granted (monotone across reclaims)
+    attempts: int = 0
+    #: earliest epoch time the next lease may be granted (reclaim backoff)
+    not_before: float = 0.0
+    lease_owner: Optional[str] = None
+    lease_expires_at: Optional[float] = None
+    #: structured failure context ({code, type, message}), when any
+    error: Optional[Dict[str, str]] = None
+    #: cell outcome counts stamped by the terminal transition
+    cells: Optional[Dict[str, int]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def lease_active(self, now: float) -> bool:
+        """A live lease: granted, unexpired, and the campaign still holds it."""
+        return (
+            self.state in ("leased", "running")
+            and self.lease_expires_at is not None
+            and now < self.lease_expires_at
+        )
+
+    def deadline_passed(self, now: float) -> bool:
+        return self.deadline_at is not None and now >= self.deadline_at
+
+    def remaining_budget_s(self, now: float) -> Optional[float]:
+        """Seconds left until the campaign deadline (None = unbounded)."""
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - now)
+
+    def to_dict(self) -> dict:
+        data: Dict[str, Any] = {
+            "campaign_id": self.campaign_id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "submitted_at": self.submitted_at,
+            "updated_at": self.updated_at,
+            "attempts": self.attempts,
+        }
+        if self.idempotency_key is not None:
+            data["idempotency_key"] = self.idempotency_key
+        if self.deadline_at is not None:
+            data["deadline_at"] = self.deadline_at
+        if self.not_before:
+            data["not_before"] = self.not_before
+        if self.lease_owner is not None:
+            data["lease"] = {
+                "owner": self.lease_owner,
+                "expires_at": self.lease_expires_at,
+            }
+        if self.error is not None:
+            data["error"] = dict(self.error)
+        if self.cells is not None:
+            data["cells"] = dict(self.cells)
+        return data
+
+
+def cells_summary(results: Sequence[Any]) -> Dict[str, int]:
+    """Fold supervisor :class:`CellResult`s into outcome counts."""
+    counts: Dict[str, int] = {}
+    for result in results:
+        outcome = getattr(result, "outcome", None) or "unknown"
+        counts[outcome] = counts.get(outcome, 0) + 1
+    counts["total"] = len(results)
+    return counts
+
+
+__all__ = [
+    "CAMPAIGN_STATES",
+    "TERMINAL_STATES",
+    "RESUMABLE_STATES",
+    "VALID_TRANSITIONS",
+    "HAPPY_PATH_EDGES",
+    "Campaign",
+    "CampaignSpec",
+    "cells_summary",
+    "check_transition",
+]

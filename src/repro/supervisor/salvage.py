@@ -96,7 +96,8 @@ def _archive_salvaged(archive_dir: str, result, spec, outcome: str) -> dict:
                 f"outcome:{outcome}",
                 f"source:{result.source}",
             )
-            + ((f"mode:{mode}",) if mode not in (None, "none") else ()),
+            + ((f"mode:{mode}",) if mode not in (None, "none") else ())
+            + tuple(_spec_value(params, "archive_tags") or ()),
             source="salvage",
             extra={
                 "cell_id": spec.cell_id,

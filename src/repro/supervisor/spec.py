@@ -27,8 +27,8 @@ SPEC_KINDS = ("fault", "call")
 #: Parameters excluded from :meth:`RunSpec.class_key`: the seed is what
 #: varies between repetitions of one configuration (the archive's
 #: ``config_fingerprint`` convention), and the archive/record
-#: directories are deployment plumbing, not behavior.
-_CLASS_KEY_EXCLUDED = ("seed", "archive_dir", "record_dir")
+#: directories and archive tags are deployment plumbing, not behavior.
+_CLASS_KEY_EXCLUDED = ("seed", "archive_dir", "archive_tags", "record_dir")
 
 
 @dataclass(frozen=True)
@@ -129,17 +129,22 @@ def fault_cell(
     wall_timeout_s: Optional[float] = None,
     substrates: Optional[Sequence[str]] = None,
     archive_dir: Optional[str] = None,
+    archive_tags: Optional[Sequence[str]] = None,
     record_dir: Optional[str] = None,
+    cell_id: Optional[str] = None,
 ) -> RunSpec:
     """One fault-campaign cell (``mode='none'`` = healthy run).
 
     ``substrates`` optionally names extra measurement substrates for the
     worker to attach (registry names only -- the spec must stay JSON).
     ``archive_dir`` makes the worker archive the cell's (possibly
-    salvaged) profile into the content-addressed store at that path.
-    ``record_dir`` arms durable event recording (:mod:`repro.recorder`)
-    in the worker; on crash/timeout/oom/stuck the supervisor salvages a
-    partial profile from that directory, and retries warm-start from it.
+    salvaged) profile into the content-addressed store at that path;
+    ``archive_tags`` adds extra tags to that archive record (the
+    campaign gateway stamps ``campaign:<id>`` here so a campaign's runs
+    are queryable by tag).  ``record_dir`` arms durable event recording
+    (:mod:`repro.recorder`) in the worker; on crash/timeout/oom/stuck
+    the supervisor salvages a partial profile from that directory, and
+    retries warm-start from it.
     """
     params: Dict[str, Any] = {
         "app": app,
@@ -153,11 +158,13 @@ def fault_cell(
         params["substrates"] = list(substrates)
     if archive_dir:
         params["archive_dir"] = os.fspath(archive_dir)
+    if archive_tags:
+        params["archive_tags"] = [str(tag) for tag in archive_tags]
     if record_dir:
         params["record_dir"] = os.fspath(record_dir)
     return RunSpec(
         kind="fault",
-        cell_id=f"{app}|{mode}|s{seed}",
+        cell_id=cell_id or f"{app}|{mode}|s{seed}",
         params=params,
         wall_timeout_s=wall_timeout_s,
     )

@@ -82,12 +82,24 @@ class CellResult:
     cached: bool = False
 
 
+class _SigtermDrain(BaseException):
+    """Raised by the supervisor's SIGTERM handler to enter the drain path.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so no
+    ``except Exception`` in the launch loop can swallow it: a SIGTERM
+    must always reach the drain logic that journals the partial state.
+    """
+
+
 @dataclass
 class SupervisorReport:
     """Everything one supervisor invocation produced."""
 
     results: List[CellResult] = field(default_factory=list)
     interrupted: bool = False
+    #: True when the interrupt was a SIGTERM (orchestrator-initiated
+    #: drain) rather than a Ctrl-C; callers exit 143 instead of 130
+    terminated: bool = False
     #: True when the campaign deadline expired and queued cells were
     #: journaled as ``cancelled``
     deadline_hit: bool = False
@@ -188,7 +200,25 @@ class Supervisor:
         delayed: List[tuple] = []  # (due_monotonic, spec, global_attempt, round)
         running: List[_Running] = []
         interrupted = False
+        terminated = False
         deadline_hit = False
+
+        # SIGTERM parity with Ctrl-C: drain workers, journal the partial
+        # table, stay resumable.  An orchestrator (systemd, a container
+        # runtime, the campaign gateway) stopping a supervised run must
+        # not lose more than the in-flight cells.  Installable only from
+        # the main thread; elsewhere the parent-kill path still applies.
+        previous_sigterm = None
+        sigterm_installed = False
+        if threading.current_thread() is threading.main_thread():
+            def _on_sigterm(_signum, _frame):
+                raise _SigtermDrain()
+
+            try:
+                previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+                sigterm_installed = True
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
 
         breaker = (
             CircuitBreaker(self.breaker_policy) if self.breaker_policy else None
@@ -277,10 +307,13 @@ class Supervisor:
                     breaker=breaker,
                     no_retries=deadline_hit,
                 )
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, _SigtermDrain) as exc:
             interrupted = True
-            self._drain(running, journal, results)
+            terminated = isinstance(exc, _SigtermDrain)
+            self._drain(running, journal, results, terminated=terminated)
         finally:
+            if sigterm_installed:
+                signal.signal(signal.SIGTERM, previous_sigterm)
             if journal is not None:
                 journal.close()
 
@@ -302,6 +335,7 @@ class Supervisor:
         return SupervisorReport(
             results=ordered,
             interrupted=interrupted,
+            terminated=terminated,
             deadline_hit=deadline_hit,
             breaker_summary=breaker.summary() if breaker is not None else {},
             admission_stats=(
@@ -704,12 +738,19 @@ class Supervisor:
         running: List[_Running],
         journal: Optional[Journal],
         results: Dict[str, CellResult],
+        terminated: bool = False,
     ) -> None:
-        """Ctrl-C: stop workers, journal the partial state, keep results."""
+        """Ctrl-C/SIGTERM: stop workers, journal partial state, keep results."""
         previous = None
+        previous_term = None
         in_main = threading.current_thread() is threading.main_thread()
-        if in_main:  # a second Ctrl-C must not break the cleanup
+        if in_main:  # a second Ctrl-C/SIGTERM must not break the cleanup
             previous = signal.signal(signal.SIGINT, signal.SIG_IGN)
+            try:
+                previous_term = signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                previous_term = None
+        cause = "SIGTERM" if terminated else "KeyboardInterrupt"
         try:
             for entry in running:
                 self._kill(entry)
@@ -717,9 +758,9 @@ class Supervisor:
                     "outcome": "interrupted",
                     "ok": False,
                     "status": "interrupted",
-                    "summary": "killed by KeyboardInterrupt mid-attempt "
+                    "summary": f"killed by {cause} mid-attempt "
                     "(re-run with --resume)",
-                    "error": "KeyboardInterrupt",
+                    "error": cause,
                     "duration_s": round(time.monotonic() - entry.started, 6),
                 }
                 if journal is not None:
@@ -731,7 +772,7 @@ class Supervisor:
                     status="interrupted",
                     summary=payload["summary"],
                     attempts=entry.attempt,
-                    error="KeyboardInterrupt",
+                    error=cause,
                     duration_s=payload["duration_s"],
                 )
             running.clear()
@@ -743,6 +784,8 @@ class Supervisor:
         finally:
             if in_main:
                 signal.signal(signal.SIGINT, previous)
+                if previous_term is not None:
+                    signal.signal(signal.SIGTERM, previous_term)
 
 
 def run_supervised(specs: Sequence[RunSpec], **kwargs) -> SupervisorReport:
@@ -796,8 +839,9 @@ def outcome_table(report: SupervisorReport) -> str:
             "re-run with --resume to finish the grid"
         )
     if report.interrupted:
+        cause = "terminated (SIGTERM)" if report.terminated else "interrupted"
         lines.append(
-            "campaign interrupted: completed cells are journaled; "
+            f"campaign {cause}: completed cells are journaled; "
             "re-run with --resume to finish the grid"
         )
     return "\n".join(lines)

@@ -143,6 +143,8 @@ def _archive_outcome(archive_dir: str, outcome, params: Dict[str, Any]) -> dict:
     from repro.archive import ArchiveStore, meta_for_outcome
 
     mode = params.get("mode", "none")
+    tags = (f"mode:{mode}",) if mode not in (None, "none") else ()
+    tags += tuple(params.get("archive_tags") or ())
     try:
         record = ArchiveStore(archive_dir).put(
             outcome.profile,
@@ -151,7 +153,7 @@ def _archive_outcome(archive_dir: str, outcome, params: Dict[str, Any]) -> dict:
                 size=params.get("size", "test"),
                 variant=params.get("variant", "optimized"),
                 seed=params.get("seed", 0),
-                tags=(f"mode:{mode}",) if mode not in (None, "none") else (),
+                tags=tags,
                 source="supervisor",
             ),
         )
@@ -270,6 +272,10 @@ def worker_main(conn, spec_dict: dict, wall_timeout_s=None, heartbeat_s=None) ->
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+        # A forked worker inherits the supervisor's SIGTERM drain
+        # handler; restore the default so the parent's drain TERM kills
+        # the worker cleanly instead of raising the parent's sentinel.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     send_lock = threading.Lock()

@@ -1,0 +1,69 @@
+"""Bounded index-lock waits: ArchiveLockTimeout instead of hanging.
+
+Lease-based callers (the campaign gateway) cannot afford an unbounded
+block on the archive's advisory index lock -- a wedged peer would eat
+the lease TTL.  ``lock_timeout_s`` turns that hang into a stable,
+typed error.
+"""
+
+import fcntl
+import os
+
+import pytest
+
+from repro.analysis import run_app
+from repro.archive import ArchiveStore, meta_for_result
+from repro.errors import ArchiveLockTimeout
+
+
+@pytest.fixture(scope="module")
+def fib_result():
+    return run_app("fib", size="test", variant="optimized", n_threads=2, seed=0)
+
+
+def _meta(result):
+    return meta_for_result(result, size="test", variant="optimized")
+
+
+def _hold_index_lock(root):
+    """An exclusive flock on the store's index.lock, held by this fd."""
+    os.makedirs(root, exist_ok=True)
+    handle = open(os.path.join(root, "index.lock"), "a+")
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    return handle
+
+
+def test_lock_timeout_raises_stable_error(tmp_path, fib_result):
+    root = str(tmp_path / "arch")
+    store = ArchiveStore(root, lock_timeout_s=0.2)
+    holder = _hold_index_lock(root)
+    try:
+        with pytest.raises(ArchiveLockTimeout) as excinfo:
+            store.put(fib_result.profile, _meta(fib_result))
+        assert excinfo.value.code == "E_ARCHIVE_LOCK_TIMEOUT"
+        assert "0.2" in str(excinfo.value)
+    finally:
+        fcntl.flock(holder.fileno(), fcntl.LOCK_UN)
+        holder.close()
+
+
+def test_put_succeeds_once_lock_releases(tmp_path, fib_result):
+    root = str(tmp_path / "arch")
+    store = ArchiveStore(root, lock_timeout_s=5.0)
+    holder = _hold_index_lock(root)
+    fcntl.flock(holder.fileno(), fcntl.LOCK_UN)
+    holder.close()
+    record = store.put(fib_result.profile, _meta(fib_result))
+    assert record.run_id == "r0001"
+
+
+def test_nonpositive_timeout_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        ArchiveStore(str(tmp_path / "arch"), lock_timeout_s=0.0)
+
+
+def test_default_remains_unbounded_blocking(tmp_path):
+    # No timeout configured: historical behavior (block indefinitely)
+    # is preserved; construction must not opt in accidentally.
+    store = ArchiveStore(str(tmp_path / "arch"))
+    assert store.lock_timeout_s is None

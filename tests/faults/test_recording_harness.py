@@ -67,18 +67,32 @@ def test_kill_too_late_still_dies_after_complete_run(tmp_path):
 
 def test_wall_clock_kills_leave_recoverable_streams(tmp_path):
     """Honest mid-write SIGKILLs: wherever they land, every cycle's
-    stream must recover to a clean prefix without an exception."""
-    killed = crash_recorded_run(
-        str(tmp_path), cycles=2, seed=0, kill_after_s=0.2, size="test"
-    )
-    assert killed >= 1  # at least one child died mid-flight
+    stream must recover to a clean prefix without an exception.
+
+    The kill delay is wall-clock, so on a loaded machine a short window
+    can land every kill before the child seals its first chunk --
+    recovery is still exercised (empty prefix), but the run proves
+    nothing about mid-stream tears.  Widen the window until at least
+    one cycle got past a seal; the never-raises invariant is asserted
+    on every round regardless of where the kills landed.
+    """
+    killed = 0
     recovered = 0
-    for cycle in sorted(os.listdir(tmp_path)):
-        path = events_path(str(tmp_path / cycle))
-        if not os.path.exists(path):
-            continue
-        stream = read_records(path, truncate=True)  # must not raise
-        recovered += len(stream.records)
-        if stream.records:
-            assert stream.records[0][0] == "init"
+    for round_no, kill_after_s in enumerate((0.2, 0.5, 1.0, 2.0)):
+        round_dir = tmp_path / f"round{round_no}"
+        killed += crash_recorded_run(
+            str(round_dir), cycles=2, seed=0, kill_after_s=kill_after_s,
+            size="test",
+        )
+        for cycle in sorted(os.listdir(round_dir)):
+            path = events_path(str(round_dir / cycle))
+            if not os.path.exists(path):
+                continue
+            stream = read_records(path, truncate=True)  # must not raise
+            recovered += len(stream.records)
+            if stream.records:
+                assert stream.records[0][0] == "init"
+        if killed >= 1 and recovered > 0:
+            break
+    assert killed >= 1  # at least one child died mid-flight
     assert recovered > 0

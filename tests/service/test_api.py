@@ -1,0 +1,94 @@
+"""Request validation and the dict-shaped gateway facade."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service import Gateway, GatewayAPI, parse_submit_request
+from repro.supervisor.backoff import FAST_BACKOFF
+
+
+class TestParseSubmitRequest:
+    def test_minimal_fault_request(self):
+        parsed = parse_submit_request({"apps": ["fib"]})
+        assert parsed["spec"] == {"apps": ["fib"]}
+        assert parsed["idempotency_key"] is None
+        assert parsed["deadline_s"] is None
+
+    def test_every_problem_reported_at_once(self):
+        with pytest.raises(ValidationError) as excinfo:
+            parse_submit_request(
+                {
+                    "apps": ["fib"],
+                    "tyop": 1,
+                    "seeds": ["x"],
+                    "deadline_s": -3,
+                    "idempotency_key": "",
+                }
+            )
+        message = str(excinfo.value)
+        assert "tyop" in message
+        assert "seeds" in message
+        assert "deadline_s" in message
+        assert "idempotency_key" in message
+        assert excinfo.value.code == "E_VALIDATION"
+
+    def test_fault_kind_needs_apps(self):
+        with pytest.raises(ValidationError):
+            parse_submit_request({})
+
+    def test_cells_kind_needs_cells(self):
+        with pytest.raises(ValidationError):
+            parse_submit_request({"kind": "cells"})
+
+    def test_gateway_options_split_from_spec(self):
+        parsed = parse_submit_request(
+            {"apps": ["fib"], "idempotency_key": "k", "deadline_s": 60}
+        )
+        assert "idempotency_key" not in parsed["spec"]
+        assert "deadline_s" not in parsed["spec"]
+        assert parsed["idempotency_key"] == "k"
+        assert parsed["deadline_s"] == 60.0
+
+
+class TestGatewayAPI:
+    @pytest.fixture()
+    def api(self, tmp_path):
+        return GatewayAPI(
+            Gateway(str(tmp_path / "home"), reclaim_backoff=FAST_BACKOFF)
+        )
+
+    def _cells_request(self, n=1):
+        return {
+            "kind": "cells",
+            "cells": [
+                {
+                    "kind": "call",
+                    "cell_id": f"stub{i}",
+                    "params": {
+                        "target": "repro.supervisor.stubs:ok_cell",
+                        "kwargs": {},
+                    },
+                }
+                for i in range(n)
+            ],
+        }
+
+    def test_submit_status_roundtrip(self, api):
+        response = api.submit(self._cells_request())
+        assert response["created"] is True
+        cid = response["campaign"]["campaign_id"]
+        status = api.status(cid)
+        assert status["campaign"]["state"] == "submitted"
+        listing = api.status()
+        assert [c["campaign_id"] for c in listing["campaigns"]] == [cid]
+
+    def test_cancel_reflects_in_status(self, api):
+        cid = api.submit(self._cells_request())["campaign"]["campaign_id"]
+        assert api.cancel(cid)["campaign"]["state"] == "cancelled"
+        assert api.status(cid)["campaign"]["state"] == "cancelled"
+
+    def test_fetch_without_archive_returns_empty_runs(self, api):
+        cid = api.submit(self._cells_request())["campaign"]["campaign_id"]
+        response = api.fetch(cid)
+        assert response["campaign"]["campaign_id"] == cid
+        assert response["runs"] == []

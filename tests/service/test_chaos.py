@@ -1,0 +1,43 @@
+"""Kill-anywhere property: SIGKILL at every transition, then audit.
+
+One scenario per (happy-path edge, before/after phase): a subprocess
+serves the campaign and kills itself at the armed transition point, a
+second subprocess recovers and finishes, then the parent resubmits
+under the original idempotency key and audits the home.  The contract:
+the serve process really died by SIGKILL, recovery settled the campaign
+``archived``, the resubmit deduplicated, and the audit found no lost or
+duplicated work.
+"""
+
+import signal
+
+import pytest
+
+from repro.faults.service import chaos_summary, crash_at_every_transition
+from repro.service.model import HAPPY_PATH_EDGES
+
+
+@pytest.mark.slow
+def test_kill_at_every_transition(tmp_path):
+    results = crash_at_every_transition(str(tmp_path), timeout_s=120.0)
+    assert len(results) == 2 * len(HAPPY_PATH_EDGES)
+    summary = chaos_summary(results)
+    for row in results:
+        context = f"{row['edge']}/{row['phase']}:\n{summary}"
+        assert row["serve_exit"] == -signal.SIGKILL, context
+        assert row["killed"], context
+        assert row["recover_exit"] == 0, context
+        assert row["final_state"] == "archived", context
+        assert row["resubmit_dedup"], context
+        assert row["audit_ok"], f"{context}\nproblems: {row['problems']}"
+
+
+def test_chaos_summary_counts_failures():
+    rows = [
+        {"edge": "a->b", "phase": "before", "killed": True,
+         "final_state": "archived", "audit_ok": True, "resubmit_dedup": True},
+        {"edge": "b->c", "phase": "after", "killed": False,
+         "final_state": "missing", "audit_ok": False, "resubmit_dedup": False},
+    ]
+    text = chaos_summary(rows)
+    assert "1/2 kill points survived" in text

@@ -1,0 +1,141 @@
+"""End-to-end CLI tests for the gateway verbs: submit/serve/status/fetch."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def submit(home, *extra):
+    return main(
+        [
+            "submit", str(home), "--apps", "fib", "--modes", "none",
+            "--seeds", "0,1", *extra,
+        ]
+    )
+
+
+@pytest.fixture()
+def served_home(tmp_path):
+    """A home with one campaign submitted and served to archived."""
+    home = tmp_path / "home"
+    assert submit(home, "--key", "k1") == 0
+    assert main(
+        ["serve", str(home), "--until-idle", "--jobs", "2",
+         "--poll-s", "0.01"]
+    ) == 0
+    return home
+
+
+# ----------------------------------------------------------------------
+# submit
+# ----------------------------------------------------------------------
+def test_submit_creates_and_reports(tmp_path, capsys):
+    assert submit(tmp_path / "home") == 0
+    out = capsys.readouterr().out
+    assert "c0001" in out and "submitted" in out and "2 cells" in out
+
+
+def test_submit_is_idempotent_under_key(tmp_path, capsys):
+    home = tmp_path / "home"
+    assert submit(home, "--key", "k") == 0
+    assert submit(home, "--key", "k") == 0
+    out = capsys.readouterr().out
+    assert "already submitted" in out
+    assert out.count("c0001") == 2
+
+
+def test_submit_key_conflict_is_stable_code(tmp_path, capsys):
+    home = tmp_path / "home"
+    assert submit(home, "--key", "k") == 0
+    capsys.readouterr()  # drain the first submit's line
+    code = main(
+        ["submit", str(home), "--apps", "nqueens", "--modes", "none",
+         "--seeds", "0", "--key", "k", "--json"]
+    )
+    assert code == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["error"]["code"] == "E_IDEMPOTENCY_CONFLICT"
+
+
+def test_submit_unknown_kernel_fails_fast(tmp_path, capsys):
+    code = main(["submit", str(tmp_path / "home"), "--apps", "nope"])
+    assert code == 2
+    assert "unknown kernel" in capsys.readouterr().err
+
+
+def test_submit_cells_file_validates_eagerly(tmp_path, capsys):
+    bad = tmp_path / "cells.json"
+    bad.write_text(json.dumps([{"cell_id": "x"}]))  # no 'kind'
+    code = main(
+        ["submit", str(tmp_path / "home"), "--cells-file", str(bad)]
+    )
+    assert code == 2
+    assert "cannot load cells file" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# serve / status / fetch
+# ----------------------------------------------------------------------
+def test_serve_until_idle_archives(served_home, capsys):
+    assert main(["status", str(served_home), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (campaign,) = payload["campaigns"]
+    assert campaign["state"] == "archived"
+    assert campaign["cells"] == {"ok": 2, "total": 2}
+
+
+def test_status_table_lists_campaigns(served_home, capsys):
+    assert main(["status", str(served_home)]) == 0
+    out = capsys.readouterr().out
+    assert "c0001" in out and "archived" in out
+
+
+def test_status_single_campaign_details(served_home, capsys):
+    assert main(["status", str(served_home), "c0001"]) == 0
+    out = capsys.readouterr().out
+    assert "c0001: archived" in out
+    assert "fault grid fib" in out
+
+
+def test_status_unknown_campaign_json_payload(served_home, capsys):
+    assert main(["status", str(served_home), "c9999", "--json"]) == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["error"]["code"] == "E_UNKNOWN_CAMPAIGN"
+
+
+def test_status_missing_home_refuses(tmp_path, capsys):
+    assert main(["status", str(tmp_path / "nope")]) == 2
+    assert "no gateway ledger" in capsys.readouterr().err
+
+
+def test_status_cancel_pre_lease(tmp_path, capsys):
+    home = tmp_path / "home"
+    assert submit(home) == 0
+    assert main(["status", str(home), "c0001", "--cancel"]) == 0
+    assert "c0001: cancelled" in capsys.readouterr().out
+
+
+def test_fetch_returns_archived_runs(served_home, capsys):
+    assert main(["fetch", str(served_home), "c0001", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["campaign"]["state"] == "archived"
+    runs = payload["runs"]
+    assert len(runs) == 2
+    for run in runs:
+        assert run["meta"]["kernel"] == "fib"
+        assert "campaign:c0001" in run["meta"]["tags"]
+
+
+def test_serve_json_report(tmp_path, capsys):
+    home = tmp_path / "home"
+    assert submit(home) == 0
+    capsys.readouterr()  # drain the submit line
+    assert main(
+        ["serve", str(home), "--until-idle", "--poll-s", "0.01", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executed"] == 1
+    assert payload["idle"] is True
+    assert payload["recovery"]["reclaimed"] == []

@@ -1,0 +1,276 @@
+"""Gateway orchestration: leases, idempotency, deadlines, recovery."""
+
+import pytest
+
+from repro.errors import (
+    CampaignStateError,
+    GatewayDraining,
+    IdempotencyConflict,
+    LeaseExpired,
+    UnknownCampaign,
+)
+from repro.service import CampaignSpec, Gateway, verify_gateway
+from repro.supervisor.backoff import FAST_BACKOFF
+
+
+def cells_spec(n=2, target="ok_cell", **kwargs):
+    return CampaignSpec(
+        kind="cells",
+        cells=tuple(
+            {
+                "kind": "call",
+                "cell_id": f"stub{i}",
+                "params": {
+                    "target": f"repro.supervisor.stubs:{target}",
+                    "kwargs": dict(kwargs),
+                },
+            }
+            for i in range(n)
+        ),
+    )
+
+
+class FakeClock:
+    """Deterministic epoch clock the gateway can be driven with."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_gateway(tmp_path, name="home", **kwargs):
+    kwargs.setdefault("reclaim_backoff", FAST_BACKOFF)
+    return Gateway(str(tmp_path / name), **kwargs)
+
+
+class TestSubmit:
+    def test_submit_is_durable(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        campaign, created = gateway.submit(cells_spec())
+        assert created
+        assert campaign.state == "submitted"
+        # A fresh process over the same home sees the submission.
+        peer = make_gateway(tmp_path)
+        assert peer.campaign(campaign.campaign_id).state == "submitted"
+
+    def test_idempotent_resubmit_returns_original(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        first, created = gateway.submit(cells_spec(), idempotency_key="k")
+        again, created_again = gateway.submit(cells_spec(), idempotency_key="k")
+        assert created and not created_again
+        assert again.campaign_id == first.campaign_id
+
+    def test_same_key_different_spec_conflicts(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        gateway.submit(cells_spec(2), idempotency_key="k")
+        with pytest.raises(IdempotencyConflict) as excinfo:
+            gateway.submit(cells_spec(3), idempotency_key="k")
+        assert excinfo.value.code == "E_IDEMPOTENCY_CONFLICT"
+        assert excinfo.value.key == "k"
+
+    def test_draining_gateway_refuses_intake(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        gateway._draining = True
+        with pytest.raises(GatewayDraining):
+            gateway.submit(cells_spec())
+
+    def test_unknown_campaign(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        with pytest.raises(UnknownCampaign):
+            gateway.campaign("c9999")
+
+
+class TestServe:
+    def test_happy_path_archives_and_audits_clean(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        campaign, _ = gateway.submit(cells_spec(3))
+        report = gateway.serve(run_until_idle=True, poll_s=0.01)
+        assert report.executed == 1 and report.idle
+        settled = gateway.campaign(campaign.campaign_id)
+        assert settled.state == "archived"
+        assert settled.cells == {"ok": 3, "total": 3}
+        audit = verify_gateway(gateway.home, require_settled=True)
+        assert audit.ok, audit.problems
+
+    def test_failing_cells_fail_the_campaign(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        campaign, _ = gateway.submit(cells_spec(1, target="error_cell"))
+        gateway.serve(run_until_idle=True, poll_s=0.01)
+        settled = gateway.campaign(campaign.campaign_id)
+        assert settled.state == "failed"
+        assert settled.error["code"] == "E_CAMPAIGN_FAILED"
+
+    def test_poisoned_spec_fails_without_killing_the_loop(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        bad = CampaignSpec(
+            kind="cells",
+            cells=({"kind": "call", "cell_id": "x", "params": {}},),
+        )
+        poisoned, _ = gateway.submit(bad)
+        healthy, _ = gateway.submit(cells_spec(1))
+        report = gateway.serve(run_until_idle=True, poll_s=0.01)
+        assert report.executed == 2
+        assert gateway.campaign(poisoned.campaign_id).state == "failed"
+        assert gateway.campaign(healthy.campaign_id).state == "archived"
+
+
+class TestCancel:
+    def test_cancel_before_lease(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        campaign, _ = gateway.submit(cells_spec())
+        assert gateway.cancel(campaign.campaign_id).state == "cancelled"
+        # idempotent
+        assert gateway.cancel(campaign.campaign_id).state == "cancelled"
+
+    def test_cancel_under_live_lease_is_illegal(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        campaign, _ = gateway.submit(cells_spec())
+        gateway.admit()
+        assert gateway.claim() is not None
+        with pytest.raises(CampaignStateError):
+            gateway.cancel(campaign.campaign_id)
+
+
+class TestLeases:
+    def test_concurrent_double_claim_has_one_winner(self, tmp_path):
+        first = make_gateway(tmp_path)
+        second = Gateway(first.home, reclaim_backoff=FAST_BACKOFF)
+        assert first.owner != second.owner
+        first.submit(cells_spec())
+        first.admit()
+        winner = first.claim()
+        assert winner is not None
+        # The loser's flock'd read-decide-append sees the lease record.
+        assert second.claim() is None
+
+    def test_execute_requires_the_lease(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        campaign, _ = gateway.submit(cells_spec())
+        gateway.admit()
+        with pytest.raises(LeaseExpired):
+            gateway.execute(campaign.campaign_id)  # never claimed
+
+    def test_expired_lease_is_reclaimed_with_backoff_gate(self, tmp_path):
+        clock = FakeClock()
+        gateway = make_gateway(tmp_path, lease_ttl_s=30.0, clock=clock)
+        campaign, _ = gateway.submit(cells_spec())
+        gateway.admit()
+        assert gateway.claim() is not None
+        clock.advance(31.0)  # lease dies silently
+        report = gateway.recover(takeover=False)
+        assert report.reclaimed == [campaign.campaign_id]
+        reclaimed = gateway.campaign(campaign.campaign_id)
+        assert reclaimed.state == "admitted"
+        assert reclaimed.attempts == 1
+        assert reclaimed.not_before >= clock.now
+
+    def test_lease_exhaustion_fails_the_campaign(self, tmp_path):
+        clock = FakeClock()
+        gateway = make_gateway(
+            tmp_path, lease_ttl_s=10.0, max_lease_attempts=2, clock=clock
+        )
+        campaign, _ = gateway.submit(cells_spec())
+        gateway.admit()
+        for _ in range(2):
+            clock.advance(3600.0)  # past any backoff gate
+            assert gateway.claim() is not None
+            clock.advance(11.0)  # lease expires
+            gateway.recover(takeover=False)
+        failed = gateway.campaign(campaign.campaign_id)
+        assert failed.state == "failed"
+        assert failed.error["code"] == "E_LEASE_EXPIRED"
+
+    def test_takeover_reclaims_live_foreign_lease(self, tmp_path):
+        clock = FakeClock()
+        first = make_gateway(tmp_path, lease_ttl_s=300.0, clock=clock)
+        first.submit(cells_spec())
+        first.admit()
+        assert first.claim() is not None
+        successor = Gateway(
+            first.home, lease_ttl_s=300.0, clock=clock,
+            reclaim_backoff=FAST_BACKOFF,
+        )
+        # Polite mode leaves the (still live) foreign lease alone...
+        assert successor.recover(takeover=False).reclaimed == []
+        # ...takeover mode (the unique server restarting) reclaims it.
+        assert len(successor.recover(takeover=True).reclaimed) == 1
+
+    def test_recover_never_reclaims_own_live_lease(self, tmp_path):
+        clock = FakeClock()
+        gateway = make_gateway(tmp_path, lease_ttl_s=300.0, clock=clock)
+        campaign, _ = gateway.submit(cells_spec())
+        gateway.admit()
+        assert gateway.claim() is not None
+        assert gateway.recover(takeover=True).reclaimed == []
+        assert gateway.campaign(campaign.campaign_id).state == "leased"
+
+    def test_renew_extends_and_loss_raises(self, tmp_path):
+        clock = FakeClock()
+        gateway = make_gateway(tmp_path, lease_ttl_s=30.0, clock=clock)
+        campaign, _ = gateway.submit(cells_spec())
+        gateway.admit()
+        assert gateway.claim() is not None
+        clock.advance(20.0)
+        gateway.renew_lease(campaign.campaign_id)
+        assert gateway.campaign(
+            campaign.campaign_id
+        ).lease_expires_at == clock.now + 30.0
+        clock.advance(31.0)
+        with pytest.raises(LeaseExpired):
+            gateway.renew_lease(campaign.campaign_id)
+
+
+class TestDeadlines:
+    def test_deadline_expires_queued_campaign(self, tmp_path):
+        clock = FakeClock()
+        gateway = make_gateway(tmp_path, clock=clock)
+        campaign, _ = gateway.submit(cells_spec(), deadline_s=60.0)
+        clock.advance(61.0)
+        gateway.admit()
+        expired = gateway.campaign(campaign.campaign_id)
+        assert expired.state == "expired"
+        assert expired.error["code"] == "E_CAMPAIGN_EXPIRED"
+
+    def test_deadline_propagates_into_execution(self, tmp_path):
+        # Two 10 s sleep cells under a ~0.5 s budget: the supervisor's
+        # deadline (not the cell timeout, not the test suite's patience)
+        # must stop the campaign.
+        gateway = make_gateway(tmp_path, cell_timeout_s=60.0)
+        campaign, _ = gateway.submit(
+            cells_spec(2, target="sleep_cell", wall_s=10.0), deadline_s=0.5
+        )
+        gateway.serve(run_until_idle=True, poll_s=0.01)
+        settled = gateway.campaign(campaign.campaign_id)
+        assert settled.state == "expired"
+        assert settled.error["code"] == "E_CAMPAIGN_EXPIRED"
+
+    def test_submit_rejects_nonpositive_deadline(self, tmp_path):
+        gateway = make_gateway(tmp_path)
+        with pytest.raises(ValueError):
+            gateway.submit(cells_spec(), deadline_s=0.0)
+
+
+class TestAdmission:
+    def test_reject_policy_fails_overflow_with_stable_code(self, tmp_path):
+        from repro.fabric import AdmissionPolicy
+
+        gateway = make_gateway(
+            tmp_path,
+            admission=AdmissionPolicy(max_pending=1, policy="reject"),
+        )
+        first, _ = gateway.submit(cells_spec(1))
+        second, _ = gateway.submit(cells_spec(2))
+        gateway.admit()
+        states = {
+            cid: gateway.campaign(cid).state
+            for cid in (first.campaign_id, second.campaign_id)
+        }
+        assert states[first.campaign_id] == "admitted"
+        assert states[second.campaign_id] == "failed"
+        rejected = gateway.campaign(second.campaign_id)
+        assert rejected.error["code"] == "E_ADMISSION_REJECTED"

@@ -1,0 +1,100 @@
+"""Domain model: the transition machine, specs, fingerprints."""
+
+import pytest
+
+from repro.errors import CampaignStateError
+from repro.service import (
+    CAMPAIGN_STATES,
+    HAPPY_PATH_EDGES,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+    CampaignSpec,
+    check_transition,
+)
+
+
+class TestTransitions:
+    def test_happy_path_edges_are_all_legal(self):
+        for frm, to in HAPPY_PATH_EDGES:
+            check_transition(frm, to)  # must not raise
+
+    def test_terminal_states_have_no_exits(self):
+        for state in TERMINAL_STATES:
+            assert VALID_TRANSITIONS[state] == frozenset()
+            with pytest.raises(CampaignStateError):
+                check_transition(state, "admitted")
+
+    def test_illegal_edge_raises_with_context(self):
+        with pytest.raises(CampaignStateError) as excinfo:
+            check_transition("submitted", "running", "c0001")
+        assert excinfo.value.code == "E_CAMPAIGN_STATE"
+        assert excinfo.value.campaign_id == "c0001"
+        assert excinfo.value.from_state == "submitted"
+        assert excinfo.value.to_state == "running"
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(CampaignStateError):
+            check_transition("limbo", "admitted")
+
+    def test_reclaim_edges_exist(self):
+        # A dead leaseholder's campaign rewinds to the queue, both from
+        # leased (claimed, not started) and running (mid-execution).
+        check_transition("leased", "admitted")
+        check_transition("running", "admitted")
+
+    def test_every_state_is_enumerated(self):
+        assert set(VALID_TRANSITIONS) == set(CAMPAIGN_STATES)
+
+
+class TestCampaignSpec:
+    def test_fault_grid_counts_cells(self):
+        spec = CampaignSpec(
+            kind="fault", apps=("fib", "nqueens"), modes=("none", "drop_events"),
+            seeds=(0, 1, 2),
+        )
+        assert spec.n_cells == 12
+
+    def test_roundtrip_preserves_fingerprint(self):
+        spec = CampaignSpec(kind="fault", apps=("fib",), seeds=(3, 4))
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_changes_with_spec(self):
+        base = CampaignSpec(kind="fault", apps=("fib",))
+        other = CampaignSpec(kind="fault", apps=("fib",), seeds=(1,))
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_fault_spec_needs_apps(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(kind="fault", apps=())
+
+    def test_cells_spec_needs_cells(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(kind="cells", cells=())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(kind="batch", apps=("fib",))
+
+    def test_build_specs_tags_the_campaign(self):
+        spec = CampaignSpec(kind="fault", apps=("fib",), seeds=(0,))
+        (cell,) = spec.build_specs("c0042", "/tmp/archive")
+        assert "campaign:c0042" in tuple(cell.params.get("archive_tags") or ())
+
+    def test_cells_kind_expands_verbatim(self):
+        spec = CampaignSpec(
+            kind="cells",
+            cells=(
+                {
+                    "kind": "call",
+                    "cell_id": "stub0",
+                    "params": {
+                        "target": "repro.supervisor.stubs:ok_cell",
+                        "kwargs": {},
+                    },
+                },
+            ),
+        )
+        (cell,) = spec.build_specs("c0001")
+        assert cell.cell_id == "stub0"

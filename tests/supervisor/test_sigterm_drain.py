@@ -1,0 +1,116 @@
+"""SIGTERM parity: an orchestrator's TERM drains like Ctrl-C.
+
+The supervisor CLI contract: SIGTERM mid-campaign exits 143 (128+15,
+shell-style), journals partial state, and a ``--resume`` run finishes
+the remaining cells without re-running completed ones.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+SPEC_CELLS = [
+    {
+        "kind": "call",
+        "cell_id": "quick",
+        "params": {"target": "repro.supervisor.stubs:ok_cell", "kwargs": {}},
+    },
+    {
+        "kind": "call",
+        "cell_id": "slow",
+        "params": {
+            "target": "repro.supervisor.stubs:sleep_cell",
+            "kwargs": {"wall_s": 30.0},
+        },
+    },
+]
+
+
+def _supervise_cmd(spec_file, journal, resume=False):
+    cmd = [
+        sys.executable, "-m", "repro", "supervise",
+        "--spec-file", str(spec_file), "--jobs", "1",
+        "--timeout-s", "60", "--retries", "0", "--no-archive",
+    ]
+    if resume:
+        cmd += ["--resume", str(journal)]
+    else:
+        cmd += ["--journal", str(journal)]
+    return cmd
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def _journaled_cells(journal):
+    cells = set()
+    with open(journal, encoding="utf-8") as handle:
+        for line in handle:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if entry.get("type") == "result":
+                cells.add(entry.get("cell"))
+    return cells
+
+
+def test_sigterm_exits_143_and_resume_finishes(tmp_path):
+    spec_file = tmp_path / "cells.json"
+    spec_file.write_text(json.dumps(SPEC_CELLS))
+    journal = tmp_path / "campaign.jsonl"
+
+    proc = subprocess.Popen(
+        _supervise_cmd(spec_file, journal),
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # Wait until the quick cell's result is journaled, so the TERM
+        # lands while the slow cell is genuinely mid-flight.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if journal.exists() and "quick" in _journaled_cells(journal):
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("quick cell never journaled; supervisor stuck?")
+        proc.send_signal(signal.SIGTERM)
+        stdout, _stderr = proc.communicate(timeout=60.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    assert proc.returncode == 143, stdout
+    assert "terminated (SIGTERM)" in stdout
+    assert "quick" in _journaled_cells(journal)
+
+    # The journal resumes: the completed cell replays, the drained one
+    # re-runs.  Resume keys on cell_id, so the re-run spec can carry a
+    # short sleep and still count as the same cell.
+    resume_cells = json.loads(json.dumps(SPEC_CELLS))
+    resume_cells[1]["params"]["kwargs"]["wall_s"] = 0.01
+    spec_file.write_text(json.dumps(resume_cells))
+    done = subprocess.run(
+        _supervise_cmd(spec_file, journal, resume=True),
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=120.0,
+    )
+    assert done.returncode == 0, done.stdout + done.stderr
+    assert {"quick", "slow"} <= _journaled_cells(journal)

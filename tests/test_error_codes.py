@@ -1,0 +1,85 @@
+"""The error-code taxonomy is frozen: codes may be added, never changed.
+
+Every ``--json`` surface emits ``{"code", "type", "message"}`` payloads
+and clients are invited to switch on ``code`` -- so an existing
+(class name, code) pair changing is an API break.  This test pins the
+full mapping as of its introduction; extend ``FROZEN`` when adding a
+class, never edit an existing line.
+"""
+
+from repro import errors
+
+FROZEN = {
+    "ReproError": "E_REPRO",
+    "ValidationError": "E_VALIDATION",
+    "SimulationError": "E_SIMULATION",
+    "DeadlockError": "E_DEADLOCK",
+    "EventOrderError": "E_EVENT_ORDER",
+    "ProfileError": "E_PROFILE",
+    "ProfileFormatError": "E_PROFILE_FORMAT",
+    "InstrumentationError": "E_INSTRUMENTATION",
+    "RuntimeModelError": "E_RUNTIME_MODEL",
+    "FaultInjectionError": "E_FAULT_INJECTION",
+    "WatchdogTimeout": "E_WATCHDOG_TIMEOUT",
+    "CampaignInterrupted": "E_CAMPAIGN_INTERRUPTED",
+    "MemoryPressureStop": "E_MEMORY_PRESSURE_STOP",
+    "ProcessError": "E_PROCESS",
+    "WallClockTimeout": "E_WALL_CLOCK_TIMEOUT",
+    "JournalVersionError": "E_JOURNAL_VERSION",
+    "ArchiveError": "E_ARCHIVE",
+    "ArchiveLockTimeout": "E_ARCHIVE_LOCK_TIMEOUT",
+    "SubstrateError": "E_SUBSTRATE",
+    "RecordingError": "E_RECORDING",
+    "StreamRepairError": "E_STREAM_REPAIR",
+    "ReplayDivergence": "E_REPLAY_DIVERGENCE",
+    "AdmissionRejected": "E_ADMISSION_REJECTED",
+    "LedgerVersionError": "E_LEDGER_VERSION",
+    "CampaignStateError": "E_CAMPAIGN_STATE",
+    "CampaignExpired": "E_CAMPAIGN_EXPIRED",
+    "CampaignFailed": "E_CAMPAIGN_FAILED",
+    "LeaseExpired": "E_LEASE_EXPIRED",
+    "IdempotencyConflict": "E_IDEMPOTENCY_CONFLICT",
+    "GatewayDraining": "E_GATEWAY_DRAINING",
+    "UnknownCampaign": "E_UNKNOWN_CAMPAIGN",
+}
+
+
+def test_frozen_codes_never_change():
+    codes = errors.error_codes()
+    for name, code in FROZEN.items():
+        assert codes.get(name) == code, (
+            f"{name} must keep its frozen code {code} (got {codes.get(name)}); "
+            f"clients switch on these"
+        )
+
+
+def test_every_class_has_a_distinct_code():
+    codes = errors.error_codes()
+    # A class that forgets to declare `code` inherits its parent's --
+    # two classes sharing a code would make payloads ambiguous.
+    assert len(set(codes.values())) == len(codes), sorted(codes.items())
+    for name, code in codes.items():
+        assert code.startswith("E_"), (name, code)
+
+
+def test_new_classes_must_be_frozen_here():
+    unpinned = set(errors.error_codes()) - set(FROZEN)
+    assert not unpinned, (
+        f"add the new error class(es) {sorted(unpinned)} to FROZEN "
+        f"(append-only) so their codes are pinned"
+    )
+
+
+def test_error_payload_shape():
+    payload = errors.error_payload(errors.UnknownCampaign("nope"))
+    assert payload == {
+        "code": "E_UNKNOWN_CAMPAIGN",
+        "type": "UnknownCampaign",
+        "message": "nope",
+    }
+
+
+def test_error_payload_degrades_for_foreign_exceptions():
+    payload = errors.error_payload(ValueError("bad input"))
+    assert payload["code"] == "E_REPRO"
+    assert payload["type"] == "ValueError"
